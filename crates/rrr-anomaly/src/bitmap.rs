@@ -1,0 +1,307 @@
+//! The assumption-free "chaos-game bitmap" anomaly detector of Wei, Kumar,
+//! Lolla, Keogh, Lonardi & Ratanamahatana (SSDBM 2005).
+//!
+//! The series is SAX-discretized into a small alphabet; a *lag* window (the
+//! recent past) and a *lead* window (the newest values) are each summarized
+//! by the frequency bitmap of their length-`L` subwords; the anomaly score
+//! is the squared distance between the two normalized bitmaps. A large
+//! distance means the newest values' local structure does not look like the
+//! recent past.
+
+use crate::OutlierDetector;
+
+/// Chaos-game bitmap detector.
+#[derive(Debug, Clone, Copy)]
+pub struct BitmapDetector {
+    /// Alphabet size for SAX discretization (the paper's authors recommend
+    /// 4; cells beyond 8 explode the bitmap).
+    pub alphabet: usize,
+    /// Subword (feature) length; bitmap has `alphabet^word_len` cells.
+    pub word_len: usize,
+    /// Lag window length (history summarized).
+    pub lag: usize,
+    /// Lead window length (newest values summarized, including the
+    /// candidate).
+    pub lead: usize,
+    /// Scores above this are outliers. Scores are normalized to `[0, 2]`
+    /// (squared distance of two L1-normalized frequency vectors is at most
+    /// 2 when they are disjoint).
+    pub threshold: f64,
+}
+
+impl Default for BitmapDetector {
+    fn default() -> Self {
+        BitmapDetector { alphabet: 4, word_len: 2, lag: 16, lead: 4, threshold: 0.9 }
+    }
+}
+
+impl BitmapDetector {
+    /// A spike-sensitive parameterization: the lead window is the single
+    /// newest value and features are level-1 (symbol histogram), so a value
+    /// whose discretized symbol is rare in the lag window scores high. This
+    /// is the right shape for the paper's per-window BGP series, where a
+    /// change shows up as a one-window spike or dip (duplicate-update
+    /// bursts, ratio collapses).
+    pub fn spike() -> Self {
+        BitmapDetector { alphabet: 4, word_len: 1, lag: 16, lead: 1, threshold: 1.0 }
+    }
+}
+
+/// Breakpoints dividing N(0,1) into equiprobable regions, for alphabet
+/// sizes 2..=6 (standard SAX tables).
+fn sax_breakpoints(alphabet: usize) -> &'static [f64] {
+    match alphabet {
+        2 => &[0.0],
+        3 => &[-0.43, 0.43],
+        4 => &[-0.6745, 0.0, 0.6745],
+        5 => &[-0.84, -0.25, 0.25, 0.84],
+        6 => &[-0.97, -0.43, 0.0, 0.43, 0.97],
+        _ => panic!("unsupported alphabet size {alphabet} (use 2..=6)"),
+    }
+}
+
+impl BitmapDetector {
+    /// SAX-discretizes a series: z-normalize then bucket by breakpoints.
+    /// A constant series maps entirely to symbol 0.
+    pub fn discretize(&self, series: &[f64]) -> Vec<u8> {
+        let n = series.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mean = series.iter().sum::<f64>() / n as f64;
+        let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let std = var.sqrt();
+        let bps = sax_breakpoints(self.alphabet);
+        series
+            .iter()
+            .map(|&x| {
+                if std < 1e-12 {
+                    return 0u8;
+                }
+                let z = (x - mean) / std;
+                bps.iter().take_while(|&&b| z > b).count() as u8
+            })
+            .collect()
+    }
+
+    /// Frequency bitmap of all length-`word_len` subwords, L1-normalized.
+    fn bitmap(&self, symbols: &[u8]) -> Vec<f64> {
+        let cells = self.alphabet.pow(self.word_len as u32);
+        let mut counts = vec![0.0f64; cells];
+        if symbols.len() < self.word_len {
+            return counts;
+        }
+        for w in symbols.windows(self.word_len) {
+            let mut idx = 0usize;
+            for &s in w {
+                idx = idx * self.alphabet + s as usize;
+            }
+            counts[idx] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        if total > 0.0 {
+            for c in counts.iter_mut() {
+                *c /= total;
+            }
+        }
+        counts
+    }
+
+    /// The anomaly score of the newest `lead` values of `series` against
+    /// the preceding `lag` values. `None` when the series is too short.
+    pub fn lead_lag_score(&self, series: &[f64]) -> Option<f64> {
+        let need = self.lag + self.lead;
+        if series.len() < need {
+            return None;
+        }
+        let tail = &series[series.len() - need..];
+        // Discretize lag+lead jointly so both windows share breakpoints.
+        let symbols = self.discretize(tail);
+        let (lag_syms, lead_syms) = symbols.split_at(self.lag);
+        let a = self.bitmap(lag_syms);
+        let b = self.bitmap(lead_syms);
+        Some(a.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum())
+    }
+}
+
+impl OutlierDetector for BitmapDetector {
+    fn is_outlier(&self, history: &[f64], candidate: f64) -> bool {
+        let mut series = history.to_vec();
+        series.push(candidate);
+        match self.lead_lag_score(&series) {
+            Some(s) => s > self.threshold,
+            None => false,
+        }
+    }
+
+    fn score(&self, history: &[f64], candidate: f64) -> f64 {
+        let mut series = history.to_vec();
+        series.push(candidate);
+        self.lead_lag_score(&series).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> BitmapDetector {
+        BitmapDetector::default()
+    }
+
+    #[test]
+    fn discretize_monotone() {
+        let d = detector();
+        let syms = d.discretize(&[-2.0, -0.5, 0.5, 2.0]);
+        // Symbols must be non-decreasing with the values.
+        for w in syms.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(syms.iter().all(|&s| (s as usize) < d.alphabet));
+    }
+
+    #[test]
+    fn constant_series_not_anomalous() {
+        let d = detector();
+        let hist = vec![0.8; 30];
+        assert!(!d.is_outlier(&hist, 0.8));
+    }
+
+    #[test]
+    fn level_shift_detected() {
+        let d = detector();
+        // Stable ratio near 1.0 for a long time, then a collapse to 0.
+        let mut hist: Vec<f64> = (0..40).map(|i| 0.95 + 0.01 * ((i % 4) as f64)).collect();
+        assert!(!d.is_outlier(&hist, 0.96), "in-distribution value flagged");
+        // Push the shift into the lead window.
+        hist.extend_from_slice(&[0.0, 0.0, 0.0]);
+        assert!(d.is_outlier(&hist, 0.0), "level shift missed");
+    }
+
+    #[test]
+    fn noise_not_flagged_shift_flagged() {
+        let d = detector();
+        // alternating-ish but stationary noise
+        let hist: Vec<f64> = (0..60)
+            .map(|i| 0.5 + 0.05 * ((i * 7 % 11) as f64 / 11.0 - 0.5))
+            .collect();
+        assert!(!d.is_outlier(&hist, 0.52));
+        let mut shifted = hist.clone();
+        shifted.extend_from_slice(&[1.5, 1.5, 1.5]);
+        assert!(d.is_outlier(&shifted, 1.5));
+    }
+
+    #[test]
+    fn score_increases_with_structural_difference() {
+        let d = detector();
+        let base: Vec<f64> = (0..40).map(|i| (i % 2) as f64).collect();
+        let mild = d.score(&base, 1.0);
+        let mut broken = base.clone();
+        broken.extend_from_slice(&[5.0, 5.0, 5.0]);
+        let severe = d.score(&broken, 5.0);
+        assert!(severe > mild, "severe {severe} <= mild {mild}");
+    }
+
+    #[test]
+    fn spike_preset_flags_single_window_events() {
+        let d = BitmapDetector::spike();
+        // Constant-zero history (a quiet duplicate-update counter), then a
+        // burst of 2 in one window.
+        let hist = vec![0.0; 30];
+        assert!(d.is_outlier(&hist, 2.0), "single-window burst missed");
+        assert!(!d.is_outlier(&hist, 0.0));
+        // Ratio series pinned at 1.0, collapsing once.
+        let hist = vec![1.0; 30];
+        assert!(d.is_outlier(&hist, 0.0));
+        // Bimodal but stationary noise is tolerated.
+        let hist: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 0.4 } else { 0.6 }).collect();
+        assert!(!d.is_outlier(&hist, 0.4));
+        assert!(!d.is_outlier(&hist, 0.6));
+    }
+
+    #[test]
+    fn too_short_never_flags() {
+        let d = detector();
+        assert!(!d.is_outlier(&[1.0; 5], 100.0));
+        assert_eq!(d.lead_lag_score(&[1.0; 5]), None);
+    }
+
+    #[test]
+    fn bitmap_cells_and_normalization() {
+        let d = detector();
+        let syms = vec![0u8, 1, 2, 3, 0, 1, 2, 3];
+        let bm = d.bitmap(&syms);
+        assert_eq!(bm.len(), 16);
+        let sum: f64 = bm.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_alphabet_panics() {
+        let d = BitmapDetector { alphabet: 9, ..Default::default() };
+        let _ = d.discretize(&[1.0, 2.0]);
+    }
+}
+
+/// Offline sliding scorer: the lead/lag anomaly score at every eligible
+/// index of a series (useful for post-hoc analysis and plotting; the online
+/// pipeline uses [`crate::MonitoredSeries`] instead).
+impl BitmapDetector {
+    pub fn score_series(&self, series: &[f64]) -> Vec<Option<f64>> {
+        (0..series.len())
+            .map(|i| self.lead_lag_score(&series[..=i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::OutlierDetector;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Scores are finite and bounded by 2 (squared distance of two
+        /// L1-normalized vectors), for arbitrary finite series.
+        #[test]
+        fn scores_bounded(series in proptest::collection::vec(-100.0f64..100.0, 0..80)) {
+            let d = BitmapDetector::default();
+            for s in d.score_series(&series).into_iter().flatten() {
+                prop_assert!(s.is_finite());
+                prop_assert!((0.0..=2.0 + 1e-9).contains(&s));
+            }
+        }
+
+        /// Shifting and scaling a series never changes its discretization
+        /// (z-normalization invariance), hence not its scores.
+        #[test]
+        fn affine_invariance(
+            series in proptest::collection::vec(-10.0f64..10.0, 24..48),
+            shift in -50.0f64..50.0,
+            scale in 0.1f64..10.0,
+        ) {
+            let d = BitmapDetector::default();
+            let transformed: Vec<f64> = series.iter().map(|x| x * scale + shift).collect();
+            let a = d.score_series(&series);
+            let b = d.score_series(&transformed);
+            for (x, y) in a.iter().zip(&b) {
+                match (x, y) {
+                    (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-6),
+                    (None, None) => {}
+                    other => prop_assert!(false, "eligibility mismatch {other:?}"),
+                }
+            }
+        }
+
+        /// A constant series never flags, regardless of its level.
+        #[test]
+        fn constant_never_flags(level in -100.0f64..100.0, n in 21usize..60) {
+            let d = BitmapDetector::default();
+            let hist = vec![level; n];
+            prop_assert!(!d.is_outlier(&hist, level));
+            let spike = BitmapDetector::spike();
+            prop_assert!(!spike.is_outlier(&hist, level));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The Iglewicz–Hoaglin modified z-score detector.
+
+use crate::OutlierDetector;
+
+/// Modified z-score: `M = 0.6745 (x - median) / MAD`, flagging `|M| > 3.5`
+/// by default. When the MAD is zero (more than half the history identical),
+/// falls back to the mean absolute deviation (`M = (x - median) /
+/// (1.253314 · meanAD)`); when that is also zero, any deviation from the
+/// (constant) history is an outlier.
+#[derive(Debug, Clone, Copy)]
+pub struct ModifiedZScore {
+    /// |M| above this is an outlier. The literature default is 3.5.
+    pub threshold: f64,
+    /// Minimum history length before judging.
+    pub min_history: usize,
+    /// With a perfectly constant history (both MAD and meanAD zero), a
+    /// candidate must deviate by more than this absolute amount to count —
+    /// keeps a single stray observation in an otherwise-degenerate ratio
+    /// series from firing.
+    pub min_deviation: f64,
+}
+
+impl Default for ModifiedZScore {
+    fn default() -> Self {
+        ModifiedZScore { threshold: 3.5, min_history: 8, min_deviation: 0.05 }
+    }
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+impl ModifiedZScore {
+    /// The modified z-score of `candidate` against `history`, or `None`
+    /// when the history is degenerate (constant) — in which case any
+    /// deviation at all is anomalous.
+    pub fn zscore(&self, history: &[f64], candidate: f64) -> Option<f64> {
+        let mut sorted: Vec<f64> = history.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let med = median(&sorted);
+        let mut devs: Vec<f64> = history.iter().map(|x| (x - med).abs()).collect();
+        devs.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let mad = median(&devs);
+        if mad > f64::EPSILON {
+            return Some(0.6745 * (candidate - med) / mad);
+        }
+        let mean_ad = devs.iter().sum::<f64>() / devs.len() as f64;
+        if mean_ad > f64::EPSILON {
+            return Some((candidate - med) / (1.253_314 * mean_ad));
+        }
+        None
+    }
+}
+
+impl OutlierDetector for ModifiedZScore {
+    fn is_outlier(&self, history: &[f64], candidate: f64) -> bool {
+        if history.len() < self.min_history {
+            return false;
+        }
+        match self.zscore(history, candidate) {
+            Some(m) => m.abs() > self.threshold,
+            None => {
+                // Constant history: meaningful deviation is anomalous.
+                (candidate - history[0]).abs() > self.min_deviation
+            }
+        }
+    }
+
+    fn score(&self, history: &[f64], candidate: f64) -> f64 {
+        if history.len() < self.min_history {
+            return 0.0;
+        }
+        match self.zscore(history, candidate) {
+            Some(m) => m.abs(),
+            None => {
+                if (candidate - history[0]).abs() > self.min_deviation {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_clear_outlier() {
+        let d = ModifiedZScore::default();
+        let hist: Vec<f64> = (0..20).map(|i| 1.0 + 0.01 * (i % 3) as f64).collect();
+        assert!(d.is_outlier(&hist, 0.2));
+        assert!(d.is_outlier(&hist, 2.0));
+        assert!(!d.is_outlier(&hist, 1.01));
+    }
+
+    #[test]
+    fn constant_history_fallback() {
+        let d = ModifiedZScore::default();
+        let hist = vec![0.5; 20];
+        assert!(!d.is_outlier(&hist, 0.5));
+        assert!(d.is_outlier(&hist, 0.6));
+        assert_eq!(d.score(&hist, 0.5), 0.0);
+        assert!(d.score(&hist, 0.6).is_infinite());
+        // Sub-min_deviation wiggle is tolerated.
+        assert!(!d.is_outlier(&hist, 0.52));
+    }
+
+    #[test]
+    fn mad_zero_meanad_nonzero() {
+        // Majority identical (MAD 0) but some deviation: meanAD fallback.
+        let mut hist = vec![1.0; 15];
+        hist.extend_from_slice(&[1.4, 0.6, 1.2, 0.8]);
+        let d = ModifiedZScore::default();
+        assert!(d.is_outlier(&hist, 5.0));
+        assert!(!d.is_outlier(&hist, 1.0));
+    }
+
+    #[test]
+    fn too_short_history_never_flags() {
+        let d = ModifiedZScore::default();
+        assert!(!d.is_outlier(&[1.0, 2.0], 100.0));
+        assert_eq!(d.score(&[1.0, 2.0], 100.0), 0.0);
+    }
+
+    #[test]
+    fn score_monotone_in_deviation() {
+        let d = ModifiedZScore::default();
+        let hist: Vec<f64> = (0..30).map(|i| (i % 5) as f64).collect();
+        assert!(d.score(&hist, 50.0) > d.score(&hist, 10.0));
+        assert!(d.score(&hist, 10.0) > d.score(&hist, 2.0));
+    }
+
+    #[test]
+    fn symmetric() {
+        let d = ModifiedZScore::default();
+        let hist: Vec<f64> = (0..30).map(|i| (i % 5) as f64 - 2.0).collect();
+        let hi = d.score(&hist, 10.0);
+        let lo = d.score(&hist, -10.0);
+        assert!((hi - lo).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::OutlierDetector;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The detector is translation-invariant: shifting history and
+        /// candidate together preserves the verdict.
+        #[test]
+        fn translation_invariant(
+            hist in proptest::collection::vec(-10.0f64..10.0, 10..40),
+            cand in -10.0f64..10.0,
+            shift in -100.0f64..100.0,
+        ) {
+            let d = ModifiedZScore::default();
+            let shifted: Vec<f64> = hist.iter().map(|x| x + shift).collect();
+            prop_assert_eq!(
+                d.is_outlier(&hist, cand),
+                d.is_outlier(&shifted, cand + shift)
+            );
+        }
+
+        /// Values drawn from within the history's own range are never
+        /// flagged when the spread is healthy (MAD comparable to range).
+        #[test]
+        fn in_range_of_uniformish_history_ok(seedv in 0u64..1000) {
+            // Deterministic pseudo-random history with real spread.
+            let hist: Vec<f64> = (0..40)
+                .map(|i| ((seedv.wrapping_mul(6364136223846793005).wrapping_add(i * 2654435761)) % 1000) as f64 / 1000.0)
+                .collect();
+            let d = ModifiedZScore::default();
+            let median = {
+                let mut s = hist.clone();
+                s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                s[s.len() / 2]
+            };
+            prop_assert!(!d.is_outlier(&hist, median));
+        }
+
+        /// Monotone: a candidate farther from the median never scores lower.
+        #[test]
+        fn monotone_in_distance(
+            hist in proptest::collection::vec(0.0f64..1.0, 10..40),
+            a in 2.0f64..10.0,
+            b in 10.0f64..100.0,
+        ) {
+            let d = ModifiedZScore::default();
+            prop_assert!(d.score(&hist, b) >= d.score(&hist, a) - 1e-9);
+        }
+    }
+}

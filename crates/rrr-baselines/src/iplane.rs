@@ -1,0 +1,172 @@
+//! iPlane path splicing (Appendix D): predict the unmeasured path from
+//! source `s` to destination `d` by finding corpus traceroutes `(s, d')`
+//! and `(s', d)` that intersect at a PoP `p`, and splicing `(s, p, d)`.
+//! Staleness invalidates splices silently — unless stale traceroutes are
+//! pruned using staleness prediction signals.
+
+use rrr_types::{CityId, ProbeId};
+use std::collections::{HashMap, HashSet};
+
+/// A PoP: an ⟨AS, city⟩ tuple (the paper groups IPs to PoPs with IPMap;
+/// ungeolocated addresses become their own PoP, which we represent by
+/// omission).
+pub type Pop = (rrr_types::Asn, CityId);
+
+/// A corpus traceroute reduced to PoP granularity.
+#[derive(Debug, Clone)]
+pub struct PopSequence {
+    pub src: ProbeId,
+    pub dst_key: u32,
+    pub pops: Vec<Pop>,
+}
+
+impl PopSequence {
+    pub fn contains(&self, p: &Pop) -> bool {
+        self.pops.contains(p)
+    }
+}
+
+/// A spliced prediction: corpus path `a` (from `src`) and corpus path `b`
+/// (to `dst`) meet at `pop`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Splice {
+    /// Index of the source-side path in the corpus.
+    pub a: usize,
+    /// Index of the destination-side path.
+    pub b: usize,
+    pub pop: Pop,
+}
+
+/// Builds the splice set over a corpus: all (a, b, pop) with `a` and `b`
+/// from different sources/destinations intersecting at `pop`. `max_per_pair`
+/// caps splices per (src, dst) combination to keep the set tractable (the
+/// paper picks one intersection per prediction).
+pub fn build_splices(corpus: &[PopSequence], max_per_pair: usize) -> Vec<Splice> {
+    // pop → path indices through it
+    let mut through: HashMap<Pop, Vec<usize>> = HashMap::new();
+    for (i, seq) in corpus.iter().enumerate() {
+        let mut seen = HashSet::new();
+        for p in &seq.pops {
+            if seen.insert(*p) {
+                through.entry(*p).or_default().push(i);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut per_pair: HashMap<(ProbeId, u32), usize> = HashMap::new();
+    for (pop, idxs) in &through {
+        for &a in idxs {
+            for &b in idxs {
+                if a == b {
+                    continue;
+                }
+                let (sa, db) = (corpus[a].src, corpus[b].dst_key);
+                // A useful prediction joins a's source to b's destination,
+                // where the direct pair is not already in the corpus view.
+                if corpus[a].dst_key == db || corpus[b].src == sa {
+                    continue;
+                }
+                let n = per_pair.entry((sa, db)).or_insert(0);
+                if *n >= max_per_pair {
+                    continue;
+                }
+                *n += 1;
+                out.push(Splice { a, b, pop: *pop });
+            }
+        }
+    }
+    out
+}
+
+/// Counts how many splices remain *valid* under the current PoP sequences:
+/// both constituent paths must still traverse the splice PoP. `usable`
+/// masks out corpus paths pruned as stale (pass all-true for the unpruned
+/// variant). Returns `(valid_and_usable, usable)` — the numerator and
+/// denominator views Figure 16 needs.
+pub fn valid_splices(
+    splices: &[Splice],
+    current: &[PopSequence],
+    usable: &[bool],
+) -> (usize, usize) {
+    let mut valid = 0;
+    let mut retained = 0;
+    for s in splices {
+        if !usable[s.a] || !usable[s.b] {
+            continue;
+        }
+        retained += 1;
+        if current[s.a].contains(&s.pop) && current[s.b].contains(&s.pop) {
+            valid += 1;
+        }
+    }
+    (valid, retained)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrr_types::Asn;
+
+    fn seq(src: u32, dst: u32, pops: &[(u32, u16)]) -> PopSequence {
+        PopSequence {
+            src: ProbeId(src),
+            dst_key: dst,
+            pops: pops.iter().map(|(a, c)| (Asn(*a), CityId(*c))).collect(),
+        }
+    }
+
+    #[test]
+    fn splices_found_at_shared_pop() {
+        let corpus = vec![
+            seq(1, 10, &[(100, 0), (200, 1), (300, 2)]),
+            seq(2, 20, &[(400, 3), (200, 1), (500, 4)]),
+        ];
+        let splices = build_splices(&corpus, 8);
+        // a=0,b=1 (predict 1→20) and a=1,b=0 (predict 2→10), both at PoP
+        // (200, city1).
+        assert_eq!(splices.len(), 2);
+        for s in &splices {
+            assert_eq!(s.pop, (Asn(200), CityId(1)));
+        }
+    }
+
+    #[test]
+    fn no_splice_for_same_destination() {
+        let corpus = vec![
+            seq(1, 10, &[(200, 1)]),
+            seq(2, 10, &[(200, 1)]),
+        ];
+        assert!(build_splices(&corpus, 8).is_empty());
+    }
+
+    #[test]
+    fn validity_tracks_current_paths_and_pruning() {
+        let corpus = vec![
+            seq(1, 10, &[(100, 0), (200, 1)]),
+            seq(2, 20, &[(300, 2), (200, 1)]),
+        ];
+        let splices = build_splices(&corpus, 8);
+        assert_eq!(splices.len(), 2);
+        // Initially valid.
+        let (v, r) = valid_splices(&splices, &corpus, &[true, true]);
+        assert_eq!((v, r), (2, 2));
+        // Path 1 moves off the shared PoP: splices break silently.
+        let current = vec![corpus[0].clone(), seq(2, 20, &[(300, 2), (999, 9)])];
+        let (v, r) = valid_splices(&splices, &current, &[true, true]);
+        assert_eq!((v, r), (0, 2));
+        // Pruning the stale path removes the broken splices from service.
+        let (v, r) = valid_splices(&splices, &current, &[true, false]);
+        assert_eq!((v, r), (0, 0));
+    }
+
+    #[test]
+    fn per_pair_cap_respected() {
+        // Two shared PoPs would give 2 splices per (src,dst) pair; cap 1.
+        let corpus = vec![
+            seq(1, 10, &[(200, 1), (201, 2)]),
+            seq(2, 20, &[(200, 1), (201, 2)]),
+        ];
+        let splices = build_splices(&corpus, 1);
+        assert_eq!(splices.len(), 2); // one per direction
+    }
+}

@@ -1,0 +1,143 @@
+//! Signal-driven refreshing under emulation (§5.3): a schedule of
+//! (time, pair) staleness prediction signals drives traceroute issuance.
+//! False signals waste budget (the traceroute finds no change), exactly as
+//! the paper's emulation charges them.
+
+use crate::emu::{Ctx, EmuWorld, Strategy};
+use rrr_types::Timestamp;
+
+/// A time-ordered queue of signal firings resolved to pair indices.
+#[derive(Debug, Clone, Default)]
+pub struct SignalSchedule {
+    /// (time, pair), sorted by time.
+    events: Vec<(Timestamp, usize)>,
+    cursor: usize,
+}
+
+impl SignalSchedule {
+    pub fn new(mut events: Vec<(Timestamp, usize)>) -> Self {
+        events.sort_by_key(|(t, _)| *t);
+        SignalSchedule { events, cursor: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Pops every signal due at or before `now`.
+    pub fn due(&mut self, now: Timestamp) -> Vec<usize> {
+        let mut out = Vec::new();
+        while self.cursor < self.events.len() && self.events[self.cursor].0 <= now {
+            out.push(self.events[self.cursor].1);
+            self.cursor += 1;
+        }
+        out
+    }
+}
+
+/// Refresh-on-signal: every due signal triggers a traceroute of the
+/// signaled pair, budget permitting. Undelivered signals queue up (budget
+/// carry-over will eventually drain them or the campaign ends).
+pub struct SignalDriven {
+    schedule: SignalSchedule,
+    backlog: Vec<usize>,
+}
+
+impl SignalDriven {
+    pub fn new(schedule: SignalSchedule) -> Self {
+        SignalDriven { schedule, backlog: Vec::new() }
+    }
+}
+
+impl Strategy for SignalDriven {
+    fn round(&mut self, ctx: &mut Ctx<'_>) {
+        self.backlog.extend(self.schedule.due(ctx.now));
+        while let Some(&pair) = self.backlog.first() {
+            if ctx.try_traceroute(pair).is_none() {
+                return;
+            }
+            self.backlog.remove(0);
+        }
+    }
+}
+
+/// The §5.3 "optimal signals" upper bound: a schedule containing exactly
+/// one signal per ground-truth change, at the change time (no false
+/// positives, perfect coverage).
+pub fn optimal_schedule(emu: &EmuWorld) -> SignalSchedule {
+    let mut events = Vec::new();
+    for (pair, tl) in emu.timelines.iter().enumerate() {
+        for (t, _) in tl.states.iter().skip(1) {
+            events.push((*t, pair));
+        }
+    }
+    SignalSchedule::new(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emu::testutil::world;
+    use crate::emu::run_emulation;
+    use crate::simple::RoundRobin;
+
+    #[test]
+    fn schedule_pops_in_order() {
+        let mut s = SignalSchedule::new(vec![
+            (Timestamp(500), 2),
+            (Timestamp(100), 1),
+            (Timestamp(900), 3),
+        ]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.due(Timestamp(100)), vec![1]);
+        assert_eq!(s.due(Timestamp(100)), Vec::<usize>::new());
+        assert_eq!(s.due(Timestamp(1000)), vec![2, 3]);
+    }
+
+    #[test]
+    fn optimal_signals_detect_everything_with_budget() {
+        let w = world(30, &[(0, 1000, 99), (7, 50_000, 88), (22, 100_000, 77)]);
+        let mut s = SignalDriven::new(optimal_schedule(&w));
+        let res = run_emulation(&w, &mut s, 0.01);
+        assert_eq!(res.detected, 3);
+        assert_eq!(res.total_changes, 3);
+    }
+
+    #[test]
+    fn signals_beat_round_robin_under_starvation() {
+        // 200 pairs, 3 changes: round-robin wastes budget on unchanged
+        // paths; signal-driven goes straight to the changes.
+        let w = world(200, &[(0, 1000, 99), (77, 50_000, 88), (150, 100_000, 77)]);
+        let budget = 0.00002;
+        let rr = run_emulation(&w, &mut RoundRobin::default(), budget);
+        let sg = run_emulation(
+            &w,
+            &mut SignalDriven::new(optimal_schedule(&w)),
+            budget,
+        );
+        assert!(sg.detected > rr.detected, "signals {} <= rr {}", sg.detected, rr.detected);
+        assert_eq!(sg.detected, 3);
+    }
+
+    #[test]
+    fn false_signals_waste_budget() {
+        // One real change on pair 0; a storm of false signals on pair 1
+        // scheduled earlier eats the budget first.
+        let w = world(2, &[(0, 80_000, 99)]);
+        let mut events: Vec<(Timestamp, usize)> = (0..50u64)
+            .map(|k| (Timestamp(1000 + k), 1usize))
+            .collect();
+        events.push((Timestamp(80_000), 0));
+        let mut s = SignalDriven::new(SignalSchedule::new(events));
+        // Budget for ~1 traceroute every 4 rounds: the backlog of false
+        // signals delays the real one past... the campaign still long
+        // enough to drain, so compare detection *time* indirectly via a
+        // tighter budget where it cannot drain.
+        let res = run_emulation(&w, &mut s, 0.00004);
+        assert_eq!(res.detected, 0, "false-signal backlog must starve the real one");
+    }
+}

@@ -1,0 +1,132 @@
+//! Periodic round-robin measurement and Sibyl-style patching (§5.3).
+
+use crate::emu::{Ctx, Strategy};
+use rrr_types::PeeringPointId;
+use std::collections::HashMap;
+
+/// Round-robin: cycle through all pairs, re-measuring as budget allows —
+/// the Ark / Atlas campaign model.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl Strategy for RoundRobin {
+    fn round(&mut self, ctx: &mut Ctx<'_>) {
+        let n = ctx.pair_count();
+        if n == 0 {
+            return;
+        }
+        loop {
+            let pair = self.cursor % n;
+            if ctx.try_traceroute(pair).is_none() {
+                return;
+            }
+            self.cursor += 1;
+        }
+    }
+}
+
+/// Sibyl's patching on top of round-robin (§5.3): when a re-measurement
+/// reveals that subpath `s` changed to `s'`, every other stored path
+/// traversing `s` is patched to traverse `s'`. The emulation is optimistic,
+/// as in the paper: a patch is only applied when it matches ground truth
+/// and incorrect patches are not penalized.
+#[derive(Debug, Default)]
+pub struct Sibyl {
+    cursor: usize,
+}
+
+impl Strategy for Sibyl {
+    fn round(&mut self, ctx: &mut Ctx<'_>) {
+        let n = ctx.pair_count();
+        if n == 0 {
+            return;
+        }
+        loop {
+            let pair = self.cursor % n;
+            let before = ctx.stored(pair).clone();
+            let Some(changed) = ctx.try_traceroute(pair) else { return };
+            self.cursor += 1;
+            if !changed {
+                continue;
+            }
+            let after = ctx.stored(pair).clone();
+            // Element-level diff: positions where the crossing set changed.
+            let mut subst: HashMap<Vec<PeeringPointId>, Vec<PeeringPointId>> = HashMap::new();
+            for (old, new) in before.crossings.iter().zip(&after.crossings) {
+                if old != new {
+                    subst.insert(old.clone(), new.clone());
+                }
+            }
+            if subst.is_empty() {
+                continue;
+            }
+            // Patch every other pair whose belief traverses a changed
+            // element.
+            for q in 0..n {
+                if q == pair {
+                    continue;
+                }
+                let belief = ctx.stored(q);
+                if !belief.crossings.iter().any(|c| subst.contains_key(c)) {
+                    continue;
+                }
+                let mut patched = belief.clone();
+                for c in patched.crossings.iter_mut() {
+                    if let Some(new) = subst.get(c) {
+                        *c = new.clone();
+                    }
+                }
+                ctx.apply_patch(q, patched);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emu::testutil::{path, world};
+    use crate::emu::{run_emulation, EmuWorld, PathTimeline};
+    use rrr_types::{Duration, Timestamp};
+
+    #[test]
+    fn round_robin_covers_everything_with_big_budget() {
+        let w = world(5, &[(0, 1000, 99), (3, 50_000, 88)]);
+        let res = run_emulation(&w, &mut RoundRobin::default(), 10.0);
+        assert_eq!(res.detected, 2);
+    }
+
+    #[test]
+    fn round_robin_starves_at_tiny_budget() {
+        let w = world(50, &[(0, 1000, 99), (30, 2000, 88), (45, 3000, 77)]);
+        let res = run_emulation(&w, &mut RoundRobin::default(), 0.00005);
+        assert!(res.detected < 3);
+    }
+
+    /// Two pairs share a crossing element; a change to that element on one
+    /// pair lets Sibyl patch (and credit) the other without measuring it.
+    #[test]
+    fn sibyl_patches_shared_subpath() {
+        let shared = path(&[7, 8]);
+        let mut changed = shared.clone();
+        changed.crossings[0] = vec![rrr_types::PeeringPointId(70)];
+        let timelines = vec![
+            PathTimeline {
+                states: vec![(Timestamp(0), shared.clone()), (Timestamp(100), changed.clone())],
+            },
+            PathTimeline {
+                states: vec![(Timestamp(0), shared), (Timestamp(100), changed)],
+            },
+        ];
+        let w = EmuWorld { timelines, round: Duration::minutes(15), duration: Duration::hours(4) };
+        // Budget for ~one traceroute per round: round-robin alone would
+        // still find both eventually, so starve it to one pair's worth and
+        // compare.
+        let rr = run_emulation(&w, &mut RoundRobin::default(), 0.0186); // ≈ 1 trace per 2 rounds... tuned below
+        let sy = run_emulation(&w, &mut Sibyl::default(), 0.0186);
+        assert!(sy.detected >= rr.detected);
+        assert_eq!(sy.detected, 2, "patching must credit the unmeasured twin");
+    }
+}

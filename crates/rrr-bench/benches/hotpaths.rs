@@ -1,0 +1,148 @@
+//! Criterion micro-benchmarks for the pipeline's hot paths: prefix-trie
+//! longest-prefix matching, Gao–Rexford route computation, data-plane
+//! forwarding, outlier detection, MRT round-trips, and a full detector
+//! step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rrr_anomaly::{BitmapDetector, ModifiedZScore, OutlierDetector};
+use rrr_bench::{World, WorldConfig};
+use rrr_bgp::{compute_routes, NetState};
+use rrr_core::DetectorConfig;
+use rrr_ip2as::{IpToAsMap, PrefixTrie};
+use rrr_mrt::{MrtReader, MrtRecord, MrtWriter, VpDirectory};
+use rrr_topology::{generate, AsIdx, TopologyConfig};
+use rrr_trace::forward;
+use rrr_types::{Ipv4, Prefix, Timestamp};
+
+fn bench_trie(c: &mut Criterion) {
+    let mut trie = PrefixTrie::new();
+    for i in 0..10_000u32 {
+        trie.insert(Prefix::new(Ipv4(0x1000_0000 + (i << 12)), 20), i);
+    }
+    c.bench_function("trie_longest_match", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37);
+            std::hint::black_box(trie.longest_match(Ipv4(0x1000_0000 + (x % 0x0FFF_FFFF))))
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = generate(&TopologyConfig::small(5));
+    let state = NetState::new(&topo);
+    c.bench_function("compute_routes_60as", |b| {
+        b.iter(|| std::hint::black_box(compute_routes(&topo, &state)))
+    });
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let topo = generate(&TopologyConfig::small(5));
+    let state = NetState::new(&topo);
+    let routes = compute_routes(&topo, &state);
+    let dst = topo.host_addr(AsIdx(0), 1);
+    let src = AsIdx(30);
+    let city = topo.as_info(src).hub_city;
+    c.bench_function("forward_path", |b| {
+        let mut flow = 0u64;
+        b.iter(|| {
+            flow += 1;
+            std::hint::black_box(forward(&topo, &state, &routes, src, city, dst, flow))
+        })
+    });
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let history: Vec<f64> = (0..64).map(|i| 0.8 + 0.01 * ((i % 7) as f64)).collect();
+    let z = ModifiedZScore::default();
+    c.bench_function("modified_zscore", |b| {
+        b.iter(|| std::hint::black_box(z.is_outlier(&history, 0.2)))
+    });
+    let bm = BitmapDetector::spike();
+    c.bench_function("bitmap_spike", |b| {
+        b.iter(|| std::hint::black_box(bm.is_outlier(&history, 0.2)))
+    });
+}
+
+fn bench_mrt(c: &mut Criterion) {
+    let topo = generate(&TopologyConfig::small(5));
+    let events = rrr_bgp::generate_events(
+        &topo,
+        &rrr_bgp::EventConfig::small(5, rrr_types::Duration::days(1)),
+    );
+    let topo = std::sync::Arc::new(topo);
+    let engine = rrr_bgp::Engine::new(topo.clone(), &rrr_bgp::EngineConfig::default(), events);
+    let mut dir = VpDirectory::default();
+    for vp in engine.vps() {
+        dir.register(vp.id, topo.asn_of(vp.asx));
+    }
+    let rib = engine.rib_snapshot();
+    c.bench_function("mrt_encode_rib", |b| {
+        b.iter(|| {
+            let mut w = MrtWriter::new();
+            for u in &rib {
+                w.write_update(&dir, u);
+            }
+            std::hint::black_box(w.len())
+        })
+    });
+    let mut w = MrtWriter::new();
+    for u in &rib {
+        w.write_update(&dir, u);
+    }
+    let bytes = w.into_bytes();
+    c.bench_function("mrt_parse_rib", |b| {
+        b.iter(|| {
+            let n: usize = MrtReader::new(&bytes)
+                .map(|r| match r {
+                    Ok(MrtRecord::Bgp4mp { .. }) => 1,
+                    _ => 0,
+                })
+                .sum();
+            std::hint::black_box(n)
+        })
+    });
+}
+
+fn bench_ip2as_build(c: &mut Criterion) {
+    let world = World::new(WorldConfig::small(5));
+    let rib = world.engine.rib_snapshot();
+    c.bench_function("ip2as_from_rib", |b| {
+        b.iter(|| std::hint::black_box(IpToAsMap::from_announcements(rib.iter())))
+    });
+}
+
+fn bench_detector_step(c: &mut Criterion) {
+    c.bench_function("detector_step_one_round", |b| {
+        b.iter_batched(
+            || {
+                let mut world = World::new(WorldConfig::small(5));
+                let mut det = world.build_detector(DetectorConfig::default());
+                for tr in world.platform.anchoring_round(&world.engine, Timestamp::ZERO) {
+                    let src_asn = world.topo.asn_of(world.platform.probe(tr.probe).asx);
+                    det.add_corpus(tr, Some(src_asn));
+                }
+                let t = Timestamp(900);
+                let updates = world.engine.advance_to(t);
+                let public = world.platform.random_round(&world.engine, t, 80);
+                (det, updates, public)
+            },
+            |(mut det, updates, public)| {
+                std::hint::black_box(det.step(Timestamp(900), &updates, &public))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_trie,
+    bench_routing,
+    bench_forward,
+    bench_detectors,
+    bench_mrt,
+    bench_ip2as_build,
+    bench_detector_step
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Diagnostic dump of a small retrospective run (development aid).
+
+use rrr_bench::{run_retrospective, Matcher, WorldConfig};
+use rrr_core::DetectorConfig;
+use std::collections::HashMap;
+
+fn main() {
+    let res = run_retrospective(WorldConfig::small(42), DetectorConfig::default());
+    println!("pairs: {}", res.tracker.pairs().len());
+    println!("changes: {}", res.changes.len());
+    let mut per_kind = HashMap::new();
+    for c in &res.changes {
+        *per_kind.entry(format!("{:?}", c.kind)).or_insert(0usize) += 1;
+    }
+    println!("change kinds: {per_kind:?}");
+    let mut change_pairs: Vec<u32> = res.changes.iter().map(|c| c.pair.0).collect();
+    change_pairs.sort_unstable();
+    change_pairs.dedup();
+    println!("distinct changed pairs: {}", change_pairs.len());
+    let times: Vec<u64> = res.changes.iter().take(10).map(|c| c.time.0).collect();
+    println!("first change times: {times:?}");
+
+    println!("signal records: {}", res.signals.len());
+    let mut per_tech = HashMap::new();
+    let mut empty_pairs = 0usize;
+    for s in &res.signals {
+        *per_tech.entry(format!("{:?}", s.technique)).or_insert(0usize) += 1;
+        if s.pairs.is_empty() {
+            empty_pairs += 1;
+        }
+    }
+    println!("per technique: {per_tech:?}");
+    println!("records with no mapped pairs: {empty_pairs}");
+    let mut sig_pairs: Vec<u32> = res.signals.iter().flat_map(|s| s.pairs.iter().map(|p| p.0)).collect();
+    sig_pairs.sort_unstable();
+    sig_pairs.dedup();
+    println!("distinct signaled pairs: {}", sig_pairs.len());
+    let overlap = sig_pairs.iter().filter(|p| change_pairs.contains(p)).count();
+    println!("signaled ∩ changed pairs: {overlap}");
+    let st: Vec<u64> = res.signals.iter().take(10).map(|s| s.time.0).collect();
+    println!("first signal times: {st:?}");
+
+    let (sub, bor) = res.detector.trace_monitor_stats();
+    println!("subpath monitors (total/ready/gaveup): {sub:?}");
+    println!("border monitors (total/ready/gaveup): {bor:?}");
+    println!("pruned communities: {}", res.detector.calibrator().pruned_communities());
+    let eval = Matcher::default().evaluate(&res.signals, &res.changes);
+    println!(
+        "precision {:.3} coverage {:.3} ({} signals, {} true, {}/{} covered)",
+        eval.precision(),
+        eval.coverage_any(),
+        eval.total_signals,
+        eval.total_true_signals,
+        eval.covered_changes,
+        eval.total_changes
+    );
+    let mut techs: Vec<_> = eval.per_technique.iter().collect();
+    techs.sort_by_key(|(t, _)| format!("{t:?}"));
+    for (t, st) in techs {
+        println!(
+            "  {t:?}: {} signals, precision {:.2}, cov any {} as {} border {}",
+            st.signals,
+            st.precision(),
+            st.covered_any,
+            st.covered_as,
+            st.covered_border
+        );
+    }
+}

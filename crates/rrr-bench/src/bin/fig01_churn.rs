@@ -1,0 +1,26 @@
+//! **Figure 1** — fraction of monitored paths whose AS-level / border-level
+//! view differs from the initial traceroute, per day of the campaign.
+//! Change accumulation is non-monotonic (paths revert), with the border
+//! series above the AS series throughout.
+
+use rrr_bench::table::{print_series, save_json};
+use rrr_bench::{run_retrospective, WorldConfig};
+use rrr_core::DetectorConfig;
+
+fn main() {
+    let cfg = WorldConfig::from_env(30);
+    eprintln!("[fig01] {} days, seed {}", cfg.duration.as_secs() / 86_400, cfg.seed);
+    let res = run_retrospective(cfg, DetectorConfig::default());
+    let points: Vec<(u64, Vec<f64>)> = res
+        .divergence
+        .iter()
+        .map(|&(day, a, b)| (day, vec![a, b]))
+        .collect();
+    print_series(
+        "Figure 1: fraction of paths differing from the initial traceroute",
+        "day",
+        &["as_level", "border_level"],
+        &points,
+    );
+    save_json("fig01_churn", &serde_json::json!({ "divergence_daily": res.divergence }));
+}

@@ -1,0 +1,81 @@
+//! **Figure 4** — the duplicate-burst correlation: the monitored series
+//! `U` (suffix-sharing VPs sending duplicates) spikes twice; only the spike
+//! *not* mirrored by a confounder series `U'` yields a staleness signal.
+
+use rrr_core::bgp_monitors::BgpMonitors;
+use rrr_anomaly::BitmapDetector;
+use rrr_types::{AsPath, Asn, BgpElem, BgpUpdate, Community, Prefix, Timestamp, TracerouteId, VpId, Window};
+
+const P: &str = "10.9.0.0/16";
+
+fn announce(vp: u32, path: &[u32], t: u64) -> BgpUpdate {
+    BgpUpdate {
+        time: Timestamp(t),
+        vp: VpId(vp),
+        prefix: P.parse().expect("prefix"),
+        elem: BgpElem::Announce {
+            path: AsPath::from_asns(path.iter().copied()),
+            communities: vec![Community::new(20, 50_001)],
+        },
+    }
+}
+
+fn main() {
+    // Corpus traceroute AS path: 10 → 20 → 30. VPs 0 and 1 share the suffix
+    // [20, 30]; both also traverse the off-path AS 77 (the confounder).
+    let mut m = BgpMonitors::new(vec![], BitmapDetector::spike());
+    m.init_rib(&[
+        announce(0, &[99, 77, 20, 30], 0),
+        announce(1, &[98, 77, 20, 30], 0),
+        announce(2, &[97, 55, 30], 0),
+    ]);
+    let tau = [Asn(10), Asn(20), Asn(30)];
+    m.register(TracerouteId(1), P.parse::<Prefix>().expect("prefix"), &tau, &[VpId(0), VpId(1), VpId(2)]);
+
+    println!("== Figure 4: correlating update bursts with confounder series ==\n");
+    println!("corpus traceroute AS path: 10 20 30; V0(suffix [20 30]) = {{vp0, vp1}}");
+    println!("confounder a_k = AS77 (on both VP paths, not on the traceroute)\n");
+    println!("t\tU\tU'(77)\tsignal");
+
+    // Warm up the series.
+    for w in 0..40u64 {
+        let (_, _) = m.close_window(Window(w), Timestamp((w + 1) * 900), &|_, _| true);
+        if w % 10 == 0 {
+            println!("w{w}\t0\t0\t-");
+        }
+    }
+
+    // Interval t_a: duplicates from both suffix VPs, no confounder burst
+    // (the change is on the shared suffix) → signal.
+    m.observe(&announce(0, &[99, 77, 20, 30], 40 * 900 + 1));
+    m.observe(&announce(1, &[98, 77, 20, 30], 40 * 900 + 2));
+    let (s, _) = m.close_window(Window(40), Timestamp(41 * 900), &|_, _| true);
+    println!("t_a\t2\t0\t{}", if s.is_empty() { "-" } else { "STALENESS SIGNAL" });
+
+    for w in 41..60u64 {
+        let (_, _) = m.close_window(Window(w), Timestamp((w + 1) * 900), &|_, _| true);
+    }
+
+    // Interval t_b: the same duplicates, but VP2 (which reaches d via AS 55
+    // only) is quiet while 77-traversing VPs burst — and U'(77) bursts too:
+    // the root cause is on the non-overlapping subpath → no signal.
+    // Build a confounder-only burst: both member VPs dup (their paths cross
+    // 77), which also registers on U'(77) — wait: U' counts non-member VPs.
+    // Move vp2 onto 77 first so it feeds U'(77).
+    m.observe(&announce(2, &[97, 77, 30], 60 * 900 + 1));
+    let (_, _) = m.close_window(Window(60), Timestamp(61 * 900), &|_, _| true);
+    for w in 61..85u64 {
+        let (_, _) = m.close_window(Window(w), Timestamp((w + 1) * 900), &|_, _| true);
+    }
+    m.observe(&announce(0, &[99, 77, 20, 30], 85 * 900 + 1));
+    m.observe(&announce(1, &[98, 77, 20, 30], 85 * 900 + 2));
+    m.observe(&announce(2, &[97, 77, 30], 85 * 900 + 3)); // confounder bursts too
+    let (s, _) = m.close_window(Window(85), Timestamp(86 * 900), &|_, _| true);
+    let burst = s.iter().any(|x| x.key.technique == rrr_core::Technique::BgpBurst);
+    println!("t_b\t2\t1\t{}", if burst { "STALENESS SIGNAL" } else { "suppressed (confounder bursting)" });
+    println!(
+        "\nAt t_a the burst is confined to the overlapping suffix → traceroute flagged stale.\n\
+         At t_b the confounder series bursts contemporaneously → the root cause lies outside\n\
+         the overlap and no signal is generated (Figure 4's two shaded intervals)."
+    );
+}

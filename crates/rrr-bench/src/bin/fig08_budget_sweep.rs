@@ -1,0 +1,143 @@
+//! **Figure 8** — fraction of border-level changes detected as a function
+//! of the probing budget (packets/second/path) for: staleness signals,
+//! DTRACK, Sibyl patching, periodic round-robin, DTRACK+SIGNALS, and the
+//! "optimal signals" upper bound.
+//!
+//! One simulated campaign provides (a) pseudo-ground-truth per-pair path
+//! timelines and (b) the detector's signal schedule; each approach is then
+//! emulated over the same timelines at every budget (§5.3's methodology).
+
+use rrr_baselines::{
+    optimal_schedule, run_emulation, Dtrack, DtrackPlusSignals, EmuWorld, PathTimeline,
+    RoundRobin, Sibyl, SignalDriven, SignalSchedule,
+};
+use rrr_bench::eval::PairId;
+use rrr_bench::table::{print_series, save_json};
+use rrr_bench::{split_probes, World, WorldConfig};
+use rrr_core::DetectorConfig;
+use rrr_types::{Timestamp, TracerouteId};
+use std::collections::HashMap;
+
+fn main() {
+    let cfg = WorldConfig::from_env(15);
+    eprintln!("[fig08] {} days, seed {}", cfg.duration.as_secs() / 86_400, cfg.seed);
+    let mut world = World::new(cfg.clone());
+    let (p_public, p_corpus) = split_probes(&world.platform, cfg.seed ^ 0x5EED_5EED);
+    let mut det = world.build_detector(DetectorConfig::default());
+
+    // Corpus pairs from the anchoring mesh (P_corpus sources).
+    let mesh = world.platform.anchoring_round(&world.engine, Timestamp::ZERO);
+    let mut pairs = Vec::new();
+    let mut id_to_pair: HashMap<TracerouteId, PairId> = HashMap::new();
+    for tr in mesh {
+        if !p_corpus.contains(&tr.probe) {
+            continue;
+        }
+        let (probe, dst) = (tr.probe, tr.dst);
+        let src_asn = world.topo.asn_of(world.platform.probe(probe).asx);
+        if let Some(id) = det.add_corpus(tr, Some(src_asn)) {
+            id_to_pair.insert(id, PairId(pairs.len() as u32));
+            pairs.push((probe, dst));
+        }
+    }
+
+    // Drive the campaign once, recording per-pair timelines (pseudo-ground-
+    // truth) and the detector's signal schedule.
+    let mut timelines: Vec<PathTimeline> = pairs
+        .iter()
+        .map(|&(p, d)| PathTimeline {
+            states: vec![(
+                Timestamp(0),
+                world.ground_truth(p, d).expect("initial path exists"),
+            )],
+        })
+        .collect();
+    let mut schedule_events: Vec<(Timestamp, usize)> = Vec::new();
+    let rounds = cfg.duration.as_secs() / cfg.round.as_secs();
+    let mut last_version = world.engine.version();
+    for r in 1..=rounds {
+        let t = Timestamp(r * cfg.round.as_secs());
+        let updates = world.engine.advance_to(t);
+        let mut public = world.platform.random_round(&world.engine, t, cfg.public_per_round);
+        public.retain(|tr| p_public.contains(&tr.probe));
+        for s in det.step(t, &updates, &public) {
+            for tr in &s.traceroutes {
+                if let Some(pid) = id_to_pair.get(tr) {
+                    schedule_events.push((t, pid.0 as usize));
+                }
+            }
+        }
+        if world.engine.version() != last_version {
+            last_version = world.engine.version();
+            for (i, &(p, d)) in pairs.iter().enumerate() {
+                let cur = world.ground_truth(p, d).expect("path exists");
+                if timelines[i].states.last().map(|(_, s)| s) != Some(&cur) {
+                    timelines[i].states.push((t, cur));
+                }
+            }
+        }
+    }
+    // De-duplicate signal storms: at most one scheduled refresh per (pair,
+    // hour) — repeated firings for a persistent change need one traceroute.
+    schedule_events.sort();
+    schedule_events.dedup_by_key(|(t, p)| (t.0 / 3600, *p));
+
+    let emu = EmuWorld { timelines, round: cfg.round, duration: cfg.duration };
+    eprintln!(
+        "[fig08] {} pairs, {} ground-truth changes, {} scheduled signals",
+        emu.pair_count(),
+        emu.total_changes(),
+        schedule_events.len()
+    );
+
+    let budgets = [0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05];
+    let mut series = Vec::new();
+    let mut json = Vec::new();
+    for &pps in &budgets {
+        let rr = run_emulation(&emu, &mut RoundRobin::default(), pps);
+        let sy = run_emulation(&emu, &mut Sibyl::default(), pps);
+        let dt = run_emulation(&emu, &mut Dtrack::new(emu.pair_count()), pps);
+        let sg = run_emulation(
+            &emu,
+            &mut SignalDriven::new(SignalSchedule::new(schedule_events.clone())),
+            pps,
+        );
+        let dts = run_emulation(
+            &emu,
+            &mut DtrackPlusSignals::new(
+                emu.pair_count(),
+                SignalSchedule::new(schedule_events.clone()),
+            ),
+            pps,
+        );
+        let opt = run_emulation(&emu, &mut SignalDriven::new(optimal_schedule(&emu)), pps);
+        series.push((
+            (pps * 100_000.0) as u64,
+            vec![
+                sg.fraction(),
+                dt.fraction(),
+                sy.fraction(),
+                rr.fraction(),
+                dts.fraction(),
+                opt.fraction(),
+            ],
+        ));
+        json.push(serde_json::json!({
+            "pps_per_path": pps,
+            "signals": sg.fraction(), "dtrack": dt.fraction(),
+            "sibyl": sy.fraction(), "round_robin": rr.fraction(),
+            "dtrack_plus_signals": dts.fraction(), "optimal": opt.fraction(),
+        }));
+        eprintln!(
+            "pps {pps:.4}: signals {:.2} dtrack {:.2} sibyl {:.2} rr {:.2} dtrack+signals {:.2} optimal {:.2}",
+            sg.fraction(), dt.fraction(), sy.fraction(), rr.fraction(), dts.fraction(), opt.fraction()
+        );
+    }
+    print_series(
+        "Figure 8: fraction of changes detected vs probing budget (x = pps/path * 1e5)",
+        "pps_x1e5",
+        &["signals", "dtrack", "sibyl", "round_robin", "dtrack_plus_signals", "optimal"],
+        &series,
+    );
+    save_json("fig08_budget_sweep", &serde_json::json!({ "points": json }));
+}

@@ -1,0 +1,55 @@
+//! **Figure 14** (Appendix C) — distribution over border IPs of how many
+//! AS pairs use the same border interface. IXP LAN addresses serve many
+//! pairs, which lets changes observed on one path implicate many others.
+
+use rrr_bench::table::{print_series, save_json};
+use rrr_bench::{World, WorldConfig};
+use rrr_ip2as::{find_borders, IpToAsMap};
+use rrr_types::Timestamp;
+use std::collections::{HashMap, HashSet};
+
+fn main() {
+    let cfg = WorldConfig::from_env(1);
+    let mut world = World::new(cfg);
+    let rib = world.engine.rib_snapshot();
+    let mut map = IpToAsMap::from_announcements(rib.iter());
+    for (ixp, lan) in &world.topo.registry.ixp_lans {
+        map.add_ixp_lan(*lan, *ixp);
+    }
+
+    // One dense sweep of public traceroutes.
+    let mut traces = world.platform.topology_round(&world.engine, Timestamp(0));
+    traces.extend(world.platform.random_round(&world.engine, Timestamp(0), 4000));
+
+    let mut pairs_per_ip: HashMap<rrr_types::Ipv4, HashSet<(rrr_types::Asn, rrr_types::Asn)>> =
+        HashMap::new();
+    for tr in &traces {
+        for b in find_borders(tr, &map) {
+            if b.far_ip == tr.dst {
+                continue; // final hop into the target host is not a border router
+            }
+            pairs_per_ip.entry(b.far_ip).or_default().insert((b.near_as, b.far_as));
+        }
+    }
+
+    let mut counts: Vec<usize> = pairs_per_ip.values().map(|s| s.len()).collect();
+    counts.sort_unstable();
+    let n = counts.len().max(1);
+    let cdf_at = |k: usize| counts.iter().filter(|&&c| c <= k).count() as f64 / n as f64;
+    let points: Vec<(u64, Vec<f64>)> = [1usize, 2, 3, 5, 10, 20, 30, 50]
+        .iter()
+        .map(|&k| (k as u64, vec![cdf_at(k)]))
+        .collect();
+    print_series(
+        "Figure 14: CDF of AS pairs sharing a border IP",
+        "as_pairs<=",
+        &["cdf"],
+        &points,
+    );
+    let over10 = counts.iter().filter(|&&c| c > 10).count() as f64 / n as f64;
+    println!("\nborder IPs observed: {n}; used by >10 AS pairs: {:.0}%", over10 * 100.0);
+    save_json(
+        "fig14_borderip_aspairs",
+        &serde_json::json!({ "counts": counts, "frac_over_10_pairs": over10 }),
+    );
+}

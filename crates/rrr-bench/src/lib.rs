@@ -1,0 +1,12 @@
+//! Experiment harness shared by every table/figure regenerator: simulated
+//! world assembly, ground-truth change tracking, signal↔change matching,
+//! and result printing/serialization.
+
+pub mod eval;
+pub mod retro;
+pub mod table;
+pub mod world;
+
+pub use eval::{ChangeEvent, ChangeKind, GroundTruthTracker, Matcher, PairId, TechniqueStats};
+pub use retro::{run_retrospective, RetroResult};
+pub use world::{split_probes, World, WorldConfig};

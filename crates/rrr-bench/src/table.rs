@@ -1,0 +1,94 @@
+//! Plain-text table and series printing, plus JSON result persistence, for
+//! the experiment binaries.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Prints an (x, series...) block suitable for plotting.
+pub fn print_series<X: Display>(title: &str, x_label: &str, labels: &[&str], points: &[(X, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    print!("{x_label}");
+    for l in labels {
+        print!("\t{l}");
+    }
+    println!();
+    for (x, ys) in points {
+        print!("{x}");
+        for y in ys {
+            print!("\t{y:.4}");
+        }
+        println!();
+    }
+}
+
+/// Formats a ratio as the paper prints them (two decimals).
+pub fn r2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Writes a JSON result document under `target/experiments/`.
+pub fn save_json(name: &str, value: &serde_json::Value) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))
+        .expect("write results");
+    println!("\n[results saved to {}]", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r2_format() {
+        assert_eq!(r2(0.816), "0.82");
+        assert_eq!(r2(1.0), "1.00");
+    }
+
+    #[test]
+    fn save_json_roundtrip() {
+        let path = save_json("unit_test_scratch", &serde_json::json!({"k": [1, 2, 3]}));
+        let body = std::fs::read_to_string(path).expect("file written");
+        assert!(body.contains("\"k\""));
+    }
+
+    #[test]
+    fn print_functions_do_not_panic() {
+        print_table("t", &["a", "bee"], &[vec!["1".into(), "2".into()]]);
+        print_series("s", "day", &["x"], &[(1u64, vec![0.5])]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Simulated-world assembly: topology, BGP engine, measurement platform,
+//! and detector construction with measured (not ground-truth) inputs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rrr_bgp::{generate_events, Engine, EngineConfig, EventConfig};
+use rrr_core::{DetectorConfig, StalenessDetector};
+use rrr_geo::{GeoDb, Geolocator, PingVantage};
+use rrr_ip2as::{AliasResolver, IpToAsMap};
+use rrr_topology::{generate, Topology, TopologyConfig};
+use rrr_trace::{canonical_path, CanonicalPath, Platform, PlatformConfig};
+use rrr_types::{Duration, Ipv4, ProbeId, VpId};
+use std::sync::Arc;
+
+/// Everything needed to spin up one simulated measurement campaign.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    pub seed: u64,
+    pub topo: TopologyConfig,
+    pub events: EventConfig,
+    pub engine: EngineConfig,
+    pub platform: PlatformConfig,
+    /// Campaign length.
+    pub duration: Duration,
+    /// Pipeline step cadence (the paper's 900-second rounds).
+    pub round: Duration,
+    /// Random public traceroutes per round (the "massive public feed").
+    pub public_per_round: usize,
+    /// Alias-resolution miss rate fed to the detector.
+    pub alias_miss: f64,
+    /// Geolocation database coverage/accuracy fed to the detector.
+    pub geo_coverage: f64,
+    pub geo_exact: f64,
+}
+
+impl WorldConfig {
+    /// Fast configuration for tests: tiny topology, a few days.
+    pub fn small(seed: u64) -> Self {
+        let duration = Duration::days(6);
+        WorldConfig {
+            seed,
+            topo: TopologyConfig::small(seed),
+            events: EventConfig::small(seed.wrapping_add(1), duration),
+            engine: EngineConfig { seed: seed.wrapping_add(2), num_vps: 10 },
+            platform: PlatformConfig::small(seed.wrapping_add(3)),
+            duration,
+            round: Duration::minutes(15),
+            public_per_round: 320,
+            alias_miss: 0.1,
+            geo_coverage: 0.9,
+            geo_exact: 0.95,
+        }
+    }
+
+    /// Evaluation-scale configuration for the figure/table regenerators.
+    pub fn evaluation(seed: u64, duration: Duration) -> Self {
+        WorldConfig {
+            seed,
+            topo: TopologyConfig::evaluation(seed),
+            events: EventConfig::evaluation(seed.wrapping_add(1), duration),
+            engine: EngineConfig { seed: seed.wrapping_add(2), num_vps: 28 },
+            platform: PlatformConfig::evaluation(seed.wrapping_add(3)),
+            duration,
+            round: Duration::minutes(15),
+            public_per_round: 420,
+            alias_miss: 0.1,
+            geo_coverage: 0.9,
+            geo_exact: 0.95,
+        }
+    }
+}
+
+/// One simulated world.
+pub struct World {
+    pub cfg: WorldConfig,
+    pub topo: Arc<Topology>,
+    pub engine: Engine,
+    pub platform: Platform,
+}
+
+impl World {
+    pub fn new(cfg: WorldConfig) -> Self {
+        let topo = Arc::new(generate(&cfg.topo));
+        let events = generate_events(&topo, &cfg.events);
+        let engine = Engine::new(Arc::clone(&topo), &cfg.engine, events);
+        let platform = Platform::new(&topo, &cfg.platform);
+        World { cfg, topo, engine, platform }
+    }
+
+    /// Builds a detector wired to *measured* inputs: the IP-to-AS map comes
+    /// from the collector RIB snapshot plus registry IXP LANs; geolocation
+    /// from a noisy database plus ping vantages at probe locations; alias
+    /// resolution with the configured miss rate. The detector's RIB mirror
+    /// is initialized from the same snapshot.
+    pub fn build_detector(&self, det_cfg: DetectorConfig) -> StalenessDetector {
+        let rib = self.engine.rib_snapshot();
+        let mut map = IpToAsMap::from_announcements(rib.iter());
+        for (ixp, lan) in &self.topo.registry.ixp_lans {
+            map.add_ixp_lan(*lan, *ixp);
+        }
+        let db = GeoDb::noisy(
+            &self.topo,
+            self.cfg.geo_coverage,
+            self.cfg.geo_exact,
+            self.cfg.seed.wrapping_add(7),
+        );
+        let vantages: Vec<PingVantage> = self
+            .platform
+            .probes
+            .iter()
+            .map(|p| PingVantage { asx: p.asx, city: p.city })
+            .collect();
+        let geo = Geolocator::new(db, vantages);
+        let alias = AliasResolver::from_topology(
+            &self.topo,
+            self.cfg.alias_miss,
+            self.cfg.seed.wrapping_add(8),
+        );
+        let vps: Vec<VpId> = self.engine.vps().iter().map(|v| v.id).collect();
+        let mut det = StalenessDetector::new(
+            Arc::clone(&self.topo),
+            map,
+            geo,
+            alias,
+            vps,
+            det_cfg,
+        );
+        det.init_rib(&rib);
+        det
+    }
+
+    /// Ground-truth canonical path for a probe→destination pair under the
+    /// current network state (flow-independent; §5.4 semantics).
+    pub fn ground_truth(&self, probe: ProbeId, dst: Ipv4) -> Option<CanonicalPath> {
+        let p = self.platform.probe(probe);
+        canonical_path(
+            &self.topo,
+            self.engine.state(),
+            self.engine.routes(),
+            p.asx,
+            p.city,
+            dst,
+        )
+    }
+}
+
+impl WorldConfig {
+    /// Builds a config from environment variables, shared by every
+    /// experiment binary: `RRR_SCALE=small|eval` (default eval),
+    /// `RRR_DAYS=N` (default `default_days`), `RRR_SEED=N` (default 42).
+    pub fn from_env(default_days: u64) -> WorldConfig {
+        let get = |k: &str, d: u64| {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        };
+        let seed = get("RRR_SEED", 42);
+        let days = get("RRR_DAYS", default_days);
+        match std::env::var("RRR_SCALE").as_deref() {
+            Ok("small") => {
+                let mut cfg = WorldConfig::small(seed);
+                cfg.duration = Duration::days(days);
+                cfg.events.duration = Duration::days(days);
+                cfg
+            }
+            _ => WorldConfig::evaluation(seed, Duration::days(days)),
+        }
+    }
+}
+
+/// Splits the platform's probes into two random halves (the paper's
+/// `P_public` / `P_corpus`, §5.1.1).
+pub fn split_probes(platform: &Platform, seed: u64) -> (Vec<ProbeId>, Vec<ProbeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<ProbeId> = platform.probes.iter().map(|p| p.id).collect();
+    ids.shuffle(&mut rng);
+    let half = ids.len() / 2;
+    let public = ids[..half].to_vec();
+    let corpus = ids[half..].to_vec();
+    (public, corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builds_and_detector_wires_up() {
+        let w = World::new(WorldConfig::small(5));
+        let det = w.build_detector(DetectorConfig::default());
+        assert!(det.corpus().is_empty());
+        // The measured map resolves anchor addresses (covered by /16s).
+        let a = w.platform.anchors[0];
+        assert!(det.map().most_specific_prefix(a.addr).is_some());
+    }
+
+    #[test]
+    fn ground_truth_reachable() {
+        let w = World::new(WorldConfig::small(5));
+        let a = w.platform.anchors[0];
+        let p = w.platform.mesh_probes(a.id)[0];
+        let gt = w.ground_truth(p, a.addr).expect("in plan");
+        assert!(gt.reached);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let w = World::new(WorldConfig::small(5));
+        let (pu, co) = split_probes(&w.platform, 9);
+        assert_eq!(pu.len() + co.len(), w.platform.probes.len());
+        for p in &pu {
+            assert!(!co.contains(p));
+        }
+    }
+}

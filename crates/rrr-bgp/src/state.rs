@@ -1,0 +1,136 @@
+//! Mutable overlay on the immutable topology: link availability, IGP cost
+//! biases, policy salts, TE communities, and IXP membership activation.
+
+use rrr_types::{Community, IxpId, PeeringPointId};
+use rrr_topology::{AdjacencyId, AsIdx, Topology};
+use std::collections::{HashMap, HashSet};
+
+/// Dynamic network state. Owned by the engine; read by routing, attribute
+/// computation, and the data plane.
+#[derive(Debug, Clone)]
+pub struct NetState {
+    /// Per peering point: is the physical session up?
+    pub point_up: Vec<bool>,
+    /// Per adjacency: has it been activated (latent adjacencies start
+    /// inactive)?
+    pub adj_active: Vec<bool>,
+    /// Per peering point: current IGP cost bias on each side (replaces the
+    /// static `bias_a`/`bias_b` once mutated).
+    pub bias_a: Vec<u32>,
+    pub bias_b: Vec<u32>,
+    /// Monotonic counter per AS, bumped by AS-wide internal churn (IGP
+    /// wobble); feeds the duplicate-update signature.
+    pub wobble_epoch: Vec<u64>,
+    /// Monotonic counter per peering point, bumped when that point's IGP
+    /// bias/MED changes; routes whose egress chain crosses the point get
+    /// re-signed (duplicates scoped to affected routes).
+    pub point_epoch: Vec<u64>,
+    /// Tiebreak salts: (chooser AS, origin AS) → salt permuting the choice
+    /// among equally-preferred routes (policy flips).
+    pub tiebreak_salt: HashMap<(AsIdx, AsIdx), u64>,
+    /// Traffic-engineering communities each AS currently attaches to all
+    /// routes it propagates (path-unrelated noise; Fig 13's pruning target).
+    pub te_communities: Vec<HashSet<Community>>,
+    /// IXP memberships activated after t0 (AS, IXP) — the ground truth the
+    /// §4.2.3 technique tries to discover via traceroutes.
+    pub activated_memberships: Vec<(AsIdx, IxpId)>,
+}
+
+impl NetState {
+    /// Initial state: every non-latent adjacency active, every point of an
+    /// active adjacency up, biases at their static values.
+    pub fn new(topo: &Topology) -> Self {
+        NetState {
+            point_up: vec![true; topo.points.len()],
+            adj_active: topo.adjacencies.iter().map(|a| !a.latent).collect(),
+            bias_a: topo.points.iter().map(|p| p.bias_a).collect(),
+            bias_b: topo.points.iter().map(|p| p.bias_b).collect(),
+            wobble_epoch: vec![0; topo.num_ases()],
+            point_epoch: vec![0; topo.points.len()],
+            tiebreak_salt: HashMap::new(),
+            te_communities: vec![HashSet::new(); topo.num_ases()],
+            activated_memberships: Vec::new(),
+        }
+    }
+
+    /// Whether an adjacency currently carries sessions: it must be active
+    /// and have at least one point up.
+    pub fn adj_usable(&self, topo: &Topology, adj: AdjacencyId) -> bool {
+        self.adj_active[adj.index()]
+            && topo.adjacency(adj).points.iter().any(|p| self.point_up[p.index()])
+    }
+
+    /// Up points of an adjacency.
+    pub fn up_points<'a>(
+        &'a self,
+        topo: &'a Topology,
+        adj: AdjacencyId,
+    ) -> impl Iterator<Item = PeeringPointId> + 'a {
+        topo.adjacency(adj)
+            .points
+            .iter()
+            .copied()
+            .filter(move |p| self.point_up[p.index()])
+    }
+
+    /// Current bias of a point as seen from AS `side_of` (must be one of the
+    /// adjacency endpoints).
+    pub fn bias_for(&self, topo: &Topology, point: PeeringPointId, side_of: AsIdx) -> u32 {
+        let p = topo.point(point);
+        let adj = topo.adjacency(p.adj);
+        if adj.a == side_of {
+            self.bias_a[point.index()]
+        } else {
+            debug_assert_eq!(adj.b, side_of);
+            self.bias_b[point.index()]
+        }
+    }
+
+    /// Salt for tiebreaks of `chooser` routing toward `origin`.
+    pub fn salt(&self, chooser: AsIdx, origin: AsIdx) -> u64 {
+        self.tiebreak_salt.get(&(chooser, origin)).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrr_topology::{generate, TopologyConfig};
+
+    #[test]
+    fn initial_state_matches_topology() {
+        let topo = generate(&TopologyConfig::small(3));
+        let st = NetState::new(&topo);
+        assert_eq!(st.point_up.len(), topo.points.len());
+        // Latent adjacencies start inactive, others active.
+        for adj in &topo.adjacencies {
+            assert_eq!(st.adj_active[adj.id.index()], !adj.latent);
+            if !adj.latent {
+                assert!(st.adj_usable(&topo, adj.id));
+            } else {
+                assert!(!st.adj_usable(&topo, adj.id));
+            }
+        }
+    }
+
+    #[test]
+    fn bias_sides() {
+        let topo = generate(&TopologyConfig::small(3));
+        let st = NetState::new(&topo);
+        let p = &topo.points[0];
+        let adj = topo.adjacency(p.adj);
+        assert_eq!(st.bias_for(&topo, p.id, adj.a), p.bias_a);
+        assert_eq!(st.bias_for(&topo, p.id, adj.b), p.bias_b);
+    }
+
+    #[test]
+    fn adj_unusable_when_all_points_down() {
+        let topo = generate(&TopologyConfig::small(3));
+        let mut st = NetState::new(&topo);
+        let adj = topo.adjacencies.iter().find(|a| !a.latent).expect("active adjacency");
+        for p in &adj.points {
+            st.point_up[p.index()] = false;
+        }
+        assert!(!st.adj_usable(&topo, adj.id));
+    }
+}

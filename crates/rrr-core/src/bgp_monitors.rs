@@ -1,0 +1,877 @@
+//! BGP-feed staleness techniques (§4.1): AS-path overlap ratios, community
+//! change tracking, and duplicate-update burst correlation.
+//!
+//! All three share a per-(destination prefix, traceroute AS path) monitor
+//! group, registered when a corpus traceroute is inserted. The engine feeds
+//! updates one at a time ([`BgpMonitors::observe`]); at the end of each
+//! 15-minute window ([`BgpMonitors::close_window`]) the time series advance
+//! and signals fire.
+
+use crate::signal::{SignalKey, SignalScope, StalenessSignal, Technique};
+use rrr_anomaly::{BitmapDetector, MonitoredSeries, SeriesVerdict};
+use rrr_types::{
+    community, AsPath, Asn, BgpElem, BgpUpdate, Community, Prefix, Timestamp, TracerouteId,
+    VpId, Window,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A monitor group key: one destination prefix and one traceroute AS path.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct GroupKey {
+    dst_prefix: Prefix,
+    as_path: Vec<Asn>,
+}
+
+/// §4.1.2 per-intersection state.
+#[derive(Debug, Clone)]
+struct AsPathJ {
+    /// Index of `a_j` in the traceroute AS path.
+    j: usize,
+    /// VPs whose BGP path first intersected the traceroute at `a_j` when
+    /// the monitor was registered — the fixed population that keeps VP
+    /// churn out of the series (§4.1.2).
+    vps0: BTreeSet<VpId>,
+    series: MonitoredSeries,
+    /// Ratio at registration (revocation reference, §4.3.2).
+    ref_ratio: f64,
+    asserting: bool,
+}
+
+/// §4.1.4 per-suffix state.
+#[derive(Debug, Clone)]
+struct BurstJ {
+    j: usize,
+    /// VPs sharing the suffix at registration.
+    v0: BTreeSet<VpId>,
+    /// Confounder ASes: on ≥2 member VPs' paths but not on the traceroute,
+    /// with the set of *all* VPs traversing them toward the destination
+    /// (minus those sharing the full suffix).
+    confounders: BTreeMap<Asn, BTreeSet<VpId>>,
+    /// Which confounder ASes each member VP's path traverses.
+    member_confounders: BTreeMap<VpId, BTreeSet<Asn>>,
+    u_series: MonitoredSeries,
+    u_prime: BTreeMap<Asn, MonitoredSeries>,
+}
+
+/// §4.1.3 state (per group).
+#[derive(Debug, Clone)]
+struct CommState {
+    /// VPs whose path overlapped some suffix of the traceroute at
+    /// registration.
+    vps: BTreeSet<VpId>,
+    /// Reference: per VP, the per-traceroute-AS community sets at
+    /// registration (revocation target).
+    reference: BTreeMap<VpId, BTreeSet<Community>>,
+    asserting: bool,
+}
+
+struct Group {
+    key: GroupKey,
+    traceroutes: Vec<TracerouteId>,
+    aspath: Vec<AsPathJ>,
+    bursts: Vec<BurstJ>,
+    comm: CommState,
+    /// Pending community-change signals collected during the open window.
+    pending_comm: Vec<(Vec<Community>, usize)>,
+}
+
+/// Per-(vp, prefix) samples observed in the open window.
+#[derive(Debug, Default, Clone)]
+struct WindowSamples {
+    /// AS paths: the standing path at window start plus each update's path.
+    paths: Vec<Option<AsPath>>,
+    /// Number of duplicate announcements.
+    duplicates: u32,
+}
+
+/// A request to revoke previous assertions of a monitor (§4.3.2).
+#[derive(Debug, Clone)]
+pub struct RevokeEvent {
+    pub key: SignalKey,
+    pub traceroutes: Vec<TracerouteId>,
+}
+
+/// The §4.1 monitor set.
+pub struct BgpMonitors {
+    /// Ordered so per-window signal emission is deterministic.
+    groups: BTreeMap<GroupKey, Group>,
+    /// Groups indexed by destination prefix for update routing.
+    by_prefix: HashMap<Prefix, Vec<GroupKey>>,
+    /// Current RIB mirror per (vp, prefix).
+    rib: HashMap<(VpId, Prefix), (AsPath, Vec<Community>)>,
+    /// Samples accumulated in the open window.
+    window: HashMap<(VpId, Prefix), WindowSamples>,
+    /// ASNs to strip from AS paths before any comparison (IXP route
+    /// servers, §4.1.1).
+    strip_asns: Vec<Asn>,
+    detector: BitmapDetector,
+    absorb_outliers: bool,
+}
+
+impl BgpMonitors {
+    pub fn new(strip_asns: Vec<Asn>, detector: BitmapDetector) -> Self {
+        Self::new_with(strip_asns, detector, false)
+    }
+
+    /// `absorb_outliers` disables stationarity preservation (ablation).
+    pub fn new_with(strip_asns: Vec<Asn>, detector: BitmapDetector, absorb_outliers: bool) -> Self {
+        BgpMonitors {
+            groups: BTreeMap::new(),
+            by_prefix: HashMap::new(),
+            rib: HashMap::new(),
+            window: HashMap::new(),
+            strip_asns,
+            detector,
+            absorb_outliers,
+        }
+    }
+
+    fn new_series(&self) -> MonitoredSeries {
+        MonitoredSeries::default().with_absorb_outliers(self.absorb_outliers)
+    }
+
+    /// Initializes the RIB mirror from a table dump, without generating
+    /// window samples.
+    pub fn init_rib(&mut self, rib: &[BgpUpdate]) {
+        for u in rib {
+            if let BgpElem::Announce { path, communities } = &u.elem {
+                self.rib.insert(
+                    (u.vp, u.prefix),
+                    (path.stripped(&self.strip_asns), communities.clone()),
+                );
+            }
+        }
+    }
+
+    fn current_path(&self, vp: VpId, prefix: Prefix) -> Option<&AsPath> {
+        self.rib.get(&(vp, prefix)).map(|(p, _)| p)
+    }
+
+    /// Registers monitors for one corpus traceroute, returning the keys of
+    /// every potential signal now watching it (used by §4.3.1 calibration
+    /// as the TN/FN population).
+    ///
+    /// `vps` is the full set of collector peers; the current RIB mirror
+    /// determines each monitor's fixed VP population.
+    pub fn register(
+        &mut self,
+        id: TracerouteId,
+        dst_prefix: Prefix,
+        as_path: &[Asn],
+        vps: &[VpId],
+    ) -> Vec<SignalKey> {
+        let key = GroupKey { dst_prefix, as_path: as_path.to_vec() };
+        if let Some(g) = self.groups.get_mut(&key) {
+            if !g.traceroutes.contains(&id) {
+                g.traceroutes.push(id);
+            }
+            return Self::group_keys(g);
+        }
+
+        // Classify each VP's current path against the traceroute.
+        let mut first_int: BTreeMap<usize, BTreeSet<VpId>> = BTreeMap::new();
+        let mut suffix_share: BTreeMap<usize, BTreeSet<VpId>> = BTreeMap::new();
+        let mut overlapping: BTreeSet<VpId> = BTreeSet::new();
+        let mut vp_paths: BTreeMap<VpId, AsPath> = BTreeMap::new();
+        for &vp in vps {
+            let Some(p) = self.current_path(vp, dst_prefix) else { continue };
+            if let Some(j) = p.first_intersection(as_path) {
+                first_int.entry(j).or_default().insert(vp);
+                overlapping.insert(vp);
+                for jj in j..as_path.len() {
+                    if p.suffix_matches(as_path, jj) {
+                        suffix_share.entry(jj).or_default().insert(vp);
+                    }
+                }
+                vp_paths.insert(vp, p.clone());
+            }
+        }
+
+        // §4.1.2 monitors: one per intersection index with any VPs.
+        let mut aspath = Vec::new();
+        for (&j, vps0) in &first_int {
+            let matched = vps0
+                .iter()
+                .filter(|vp| {
+                    vp_paths
+                        .get(vp)
+                        .is_some_and(|p| p.suffix_matches(as_path, j))
+                })
+                .count();
+            aspath.push(AsPathJ {
+                j,
+                vps0: vps0.clone(),
+                series: self.new_series(),
+                ref_ratio: matched as f64 / vps0.len() as f64,
+                asserting: false,
+            });
+        }
+
+        // §4.1.4 monitors: one per suffix with ≥2 sharing VPs.
+        let mut bursts = Vec::new();
+        for (&j, v0) in &suffix_share {
+            if v0.len() < 2 {
+                continue;
+            }
+            // Confounders: ASes on member paths, not on the traceroute,
+            // appearing on ≥2 member paths.
+            let mut counts: BTreeMap<Asn, BTreeSet<VpId>> = BTreeMap::new();
+            for vp in v0 {
+                for a in vp_paths[vp].deduped().iter() {
+                    if !as_path.contains(&a) {
+                        counts.entry(a).or_default().insert(*vp);
+                    }
+                }
+            }
+            let confounder_asns: BTreeSet<Asn> = counts
+                .iter()
+                .filter(|(_, s)| s.len() >= 2)
+                .map(|(a, _)| *a)
+                .collect();
+            // W^{k,d}: all VPs traversing a_k toward d but not sharing the
+            // full suffix.
+            let mut confounders = BTreeMap::new();
+            for &a_k in &confounder_asns {
+                let mut w = BTreeSet::new();
+                for &vp in vps {
+                    if v0.contains(&vp) {
+                        continue;
+                    }
+                    if let Some(p) = self.current_path(vp, dst_prefix) {
+                        if p.contains(a_k) {
+                            w.insert(vp);
+                        }
+                    }
+                }
+                if !w.is_empty() {
+                    confounders.insert(a_k, w);
+                }
+            }
+            let member_confounders = v0
+                .iter()
+                .map(|vp| {
+                    let set: BTreeSet<Asn> = vp_paths[vp]
+                        .deduped()
+                        .iter()
+                        .filter(|a| confounders.contains_key(a))
+                        .collect();
+                    (*vp, set)
+                })
+                .collect();
+            let u_prime = confounders
+                .keys()
+                .map(|a| (*a, self.new_series()))
+                .collect();
+            bursts.push(BurstJ {
+                j,
+                v0: v0.clone(),
+                confounders,
+                member_confounders,
+                u_series: self.new_series(),
+                u_prime,
+            });
+        }
+
+        // §4.1.3 reference state.
+        let mut reference = BTreeMap::new();
+        for &vp in &overlapping {
+            reference.insert(vp, self.tau_communities(vp, dst_prefix, as_path));
+        }
+        let comm = CommState { vps: overlapping, reference, asserting: false };
+
+        self.by_prefix.entry(dst_prefix).or_default().push(key.clone());
+        let group = Group {
+            key: key.clone(),
+            traceroutes: vec![id],
+            aspath,
+            bursts,
+            comm,
+            pending_comm: Vec::new(),
+        };
+        let keys = Self::group_keys(&group);
+        self.groups.insert(key, group);
+        keys
+    }
+
+    /// The potential-signal keys of one monitor group.
+    fn group_keys(g: &Group) -> Vec<SignalKey> {
+        let dst = g.key.dst_prefix;
+        let tau = &g.key.as_path;
+        let mut keys = Vec::with_capacity(g.aspath.len() + g.bursts.len() + 1);
+        for m in &g.aspath {
+            keys.push(SignalKey {
+                technique: Technique::BgpAsPath,
+                scope: SignalScope::AsSuffix { dst_prefix: dst, suffix: tau[m.j..].to_vec() },
+            });
+        }
+        for b in &g.bursts {
+            keys.push(SignalKey {
+                technique: Technique::BgpBurst,
+                scope: SignalScope::AsSuffix { dst_prefix: dst, suffix: tau[b.j..].to_vec() },
+            });
+        }
+        keys.push(SignalKey {
+            technique: Technique::BgpCommunity,
+            scope: SignalScope::AsSuffix { dst_prefix: dst, suffix: tau.clone() },
+        });
+        keys
+    }
+
+    /// Removes a traceroute from all groups. Groups left with no
+    /// traceroutes are kept alive: their time series stay warm, so a
+    /// refresh that re-measures the same path re-attaches to calibrated
+    /// monitors instead of restarting the 20-window eligibility clock.
+    pub fn unregister(&mut self, id: TracerouteId) {
+        for g in self.groups.values_mut() {
+            g.traceroutes.retain(|t| *t != id);
+        }
+    }
+
+    /// Communities relevant to a traceroute on a VP's current route: those
+    /// defined by ASes on the traceroute path.
+    fn tau_communities(&self, vp: VpId, prefix: Prefix, as_path: &[Asn]) -> BTreeSet<Community> {
+        match self.rib.get(&(vp, prefix)) {
+            Some((_, comms)) => comms
+                .iter()
+                .filter(|c| as_path.contains(&c.asn()))
+                .copied()
+                .collect(),
+            None => BTreeSet::new(),
+        }
+    }
+
+    /// Feeds one update into the open window.
+    pub fn observe(&mut self, u: &BgpUpdate) {
+        // Only monitored prefixes matter.
+        let group_keys = match self.by_prefix.get(&u.prefix) {
+            Some(ks) if !ks.is_empty() => ks.clone(),
+            _ => {
+                // Still mirror the RIB so later registrations see fresh state.
+                self.apply_to_rib(u);
+                return;
+            }
+        };
+
+        let old = self.rib.get(&(u.vp, u.prefix)).cloned();
+
+        // Record the window sample (standing path first).
+        {
+            let entry = self
+                .window
+                .entry((u.vp, u.prefix))
+                .or_insert_with(|| WindowSamples {
+                    paths: vec![old.as_ref().map(|(p, _)| p.clone())],
+                    duplicates: 0,
+                });
+            match &u.elem {
+                BgpElem::Announce { path, communities } => {
+                    let stripped = path.stripped(&self.strip_asns);
+                    entry.paths.push(Some(stripped.clone()));
+                    if let Some((op, oc)) = &old {
+                        if *op == stripped && *oc == *communities {
+                            entry.duplicates += 1;
+                        }
+                    }
+                }
+                BgpElem::Withdraw => {
+                    entry.paths.push(None);
+                }
+            }
+        }
+
+        // §4.1.3: community change detection per group.
+        if let BgpElem::Announce { path, communities } = &u.elem {
+            let stripped = path.stripped(&self.strip_asns);
+            for gk in &group_keys {
+                self.detect_comm_change(gk, u.vp, old.as_ref(), &stripped, communities);
+            }
+        }
+
+        self.apply_to_rib(u);
+    }
+
+    fn apply_to_rib(&mut self, u: &BgpUpdate) {
+        match &u.elem {
+            BgpElem::Announce { path, communities } => {
+                self.rib.insert(
+                    (u.vp, u.prefix),
+                    (path.stripped(&self.strip_asns), communities.clone()),
+                );
+            }
+            BgpElem::Withdraw => {
+                self.rib.remove(&(u.vp, u.prefix));
+            }
+        }
+    }
+
+    /// §4.1.3 edge detection for one update against one group.
+    fn detect_comm_change(
+        &mut self,
+        gk: &GroupKey,
+        vp: VpId,
+        old: Option<&(AsPath, Vec<Community>)>,
+        new_path: &AsPath,
+        new_comms: &[Community],
+    ) {
+        // Gather cross-VP community view before mutating the group (guard 2).
+        let others_have: HashSet<Community> = {
+            let g = &self.groups[gk];
+            let mut set = HashSet::new();
+            for &ovp in &g.comm.vps {
+                if ovp == vp {
+                    continue;
+                }
+                if let Some((_, oc)) = self.rib.get(&(ovp, gk.dst_prefix)) {
+                    set.extend(oc.iter().copied());
+                }
+            }
+            set
+        };
+
+        let g = self.groups.get_mut(gk).expect("group exists");
+        if !g.comm.vps.contains(&vp) {
+            return;
+        }
+        let Some((old_path, old_comms)) = old else { return };
+        // The VP must still overlap a suffix of the traceroute.
+        let Some(j) = new_path.first_intersection(&g.key.as_path) else { return };
+        if !new_path.suffix_matches(&g.key.as_path, j) {
+            return;
+        }
+
+        // Guard 1: all-or-nothing community transitions only count when the
+        // AS path is unchanged (stripping artifacts, §4.1.3).
+        let had = !old_comms.is_empty();
+        let has = !new_comms.is_empty();
+        if had != has && old_path != new_path {
+            return;
+        }
+
+        let mut changed: Vec<Community> = Vec::new();
+        for &a_j in &g.key.as_path {
+            let (added, removed) = community::diff_for_asn(old_comms, new_comms, a_j);
+            // Guard 2: an "added" community already visible on another
+            // overlapping VP's path is not a new signal.
+            changed.extend(added.into_iter().filter(|c| !others_have.contains(c)));
+            changed.extend(removed);
+        }
+        if !changed.is_empty() {
+            g.pending_comm.push((changed, 0));
+        }
+    }
+
+    /// Closes the current window: advances all series, emits signals and
+    /// revocations. `comm_allowed` filters communities through the
+    /// calibration pruning of Appendix B.
+    pub fn close_window(
+        &mut self,
+        window: Window,
+        time: Timestamp,
+        comm_allowed: &dyn Fn(Community, Prefix) -> bool,
+    ) -> (Vec<StalenessSignal>, Vec<RevokeEvent>) {
+        let mut signals = Vec::new();
+        let mut revokes = Vec::new();
+        let window_samples = std::mem::take(&mut self.window);
+        let det = self.detector;
+
+        for g in self.groups.values_mut() {
+            let dormant = g.traceroutes.is_empty();
+            let dst = g.key.dst_prefix;
+            let tau = &g.key.as_path;
+
+            // --- §4.1.2 AS-path ratio ---
+            for m in &mut g.aspath {
+                let mut intersect = 0u32;
+                let mut matched = 0u32;
+                for &vp in &m.vps0 {
+                    let samples: Vec<Option<AsPath>> = match window_samples.get(&(vp, dst)) {
+                        Some(ws) => ws.paths.clone(),
+                        None => vec![self.rib.get(&(vp, dst)).map(|(p, _)| p.clone())],
+                    };
+                    for s in samples.iter().flatten() {
+                        if s.first_intersection(tau) == Some(m.j) {
+                            intersect += 1;
+                            if s.suffix_matches(tau, m.j) {
+                                matched += 1;
+                            }
+                        }
+                    }
+                }
+                let value = (intersect > 0).then(|| matched as f64 / intersect as f64);
+                let verdict = m.series.push(value, &det);
+                let key = SignalKey {
+                    technique: Technique::BgpAsPath,
+                    scope: SignalScope::AsSuffix { dst_prefix: dst, suffix: tau[m.j..].to_vec() },
+                };
+                if let SeriesVerdict::Outlier { score } = verdict {
+                    if !dormant {
+                        signals.push(StalenessSignal {
+                            key: key.clone(),
+                            time,
+                            window,
+                            score,
+                            traceroutes: g.traceroutes.clone(),
+                            trigger_communities: Vec::new(),
+                        });
+                        m.asserting = true;
+                    }
+                } else if m.asserting {
+                    // §4.3.2: revoke when the ratio returns to its issuance
+                    // value.
+                    if let Some(v) = value {
+                        if (v - m.ref_ratio).abs() < 0.05 {
+                            m.asserting = false;
+                            revokes.push(RevokeEvent { key, traceroutes: g.traceroutes.clone() });
+                        }
+                    }
+                }
+            }
+
+            // --- §4.1.4 duplicate bursts ---
+            for b in &mut g.bursts {
+                let dups_of = |vp: VpId| -> u32 {
+                    window_samples.get(&(vp, dst)).map(|w| w.duplicates).unwrap_or(0)
+                };
+                let u_val = b.v0.iter().filter(|vp| dups_of(**vp) > 0).count() as f64;
+                let u_verdict = b.u_series.push(Some(u_val), &det);
+
+                // Advance confounder series regardless, so they stay aligned.
+                let mut outlier_confounders: BTreeSet<Asn> = BTreeSet::new();
+                for (a_k, w_set) in &b.confounders {
+                    let u2 = w_set.iter().filter(|vp| dups_of(**vp) > 0).count() as f64;
+                    let series = b.u_prime.get_mut(a_k).expect("series registered");
+                    if series.push(Some(u2), &det).is_outlier() {
+                        outlier_confounders.insert(*a_k);
+                    }
+                }
+
+                if let SeriesVerdict::Outlier { score } = u_verdict {
+                    if dormant {
+                        continue;
+                    }
+                    // The technique keys on *contemporaneous* duplicates
+                    // from multiple peers sharing the suffix (§4.1.4) — a
+                    // single chatty peer is not a correlated burst.
+                    let multi_peer = u_val >= 2.0;
+                    // At least one duplicate-sending member VP must traverse
+                    // no confounder that is itself bursting (Figure 4).
+                    let clean_member = b.v0.iter().any(|vp| {
+                        dups_of(*vp) > 0
+                            && b.member_confounders[vp]
+                                .iter()
+                                .all(|a_k| !outlier_confounders.contains(a_k))
+                    });
+                    if multi_peer && clean_member {
+                        signals.push(StalenessSignal {
+                            key: SignalKey {
+                                technique: Technique::BgpBurst,
+                                scope: SignalScope::AsSuffix {
+                                    dst_prefix: dst,
+                                    suffix: tau[b.j..].to_vec(),
+                                },
+                            },
+                            time,
+                            window,
+                            score,
+                            traceroutes: g.traceroutes.clone(),
+                            trigger_communities: Vec::new(),
+                        });
+                    }
+                }
+            }
+
+            // --- §4.1.3 community changes ---
+            let pending = std::mem::take(&mut g.pending_comm);
+            let mut fired_comms: Vec<Community> = Vec::new();
+            for (comms, _) in pending {
+                let allowed: Vec<Community> =
+                    comms.into_iter().filter(|c| comm_allowed(*c, dst)).collect();
+                fired_comms.extend(allowed);
+            }
+            if !fired_comms.is_empty() && !dormant {
+                fired_comms.sort_unstable();
+                fired_comms.dedup();
+                let j0 = 0;
+                signals.push(StalenessSignal {
+                    key: SignalKey {
+                        technique: Technique::BgpCommunity,
+                        scope: SignalScope::AsSuffix {
+                            dst_prefix: dst,
+                            suffix: tau[j0..].to_vec(),
+                        },
+                    },
+                    time,
+                    window,
+                    score: fired_comms.len() as f64,
+                    traceroutes: g.traceroutes.clone(),
+                    trigger_communities: fired_comms.clone(),
+                });
+                g.comm.asserting = true;
+            } else if g.comm.asserting {
+                // Revocation: every overlapping VP's τ-scoped community set
+                // matches the reference again.
+                let reverted = {
+                    let mut ok = true;
+                    for (&vp, reference) in &g.comm.reference {
+                        let now: BTreeSet<Community> = match self.rib.get(&(vp, dst)) {
+                            Some((_, comms)) => comms
+                                .iter()
+                                .filter(|c| tau.contains(&c.asn()))
+                                .copied()
+                                .collect(),
+                            None => BTreeSet::new(),
+                        };
+                        if now != *reference {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    ok
+                };
+                if reverted {
+                    g.comm.asserting = false;
+                    revokes.push(RevokeEvent {
+                        key: SignalKey {
+                            technique: Technique::BgpCommunity,
+                            scope: SignalScope::AsSuffix { dst_prefix: dst, suffix: tau.clone() },
+                        },
+                        traceroutes: g.traceroutes.clone(),
+                    });
+                }
+            }
+        }
+
+        (signals, revokes)
+    }
+
+    /// Number of registered monitor groups (for tests/stats).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Trigger communities of the last window's community signals are folded
+    /// into the signal score; expose per-group assertion state for tests.
+    pub fn comm_asserting(&self, dst_prefix: Prefix, as_path: &[Asn]) -> bool {
+        self.groups
+            .get(&GroupKey { dst_prefix, as_path: as_path.to_vec() })
+            .map(|g| g.comm.asserting)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().expect("valid prefix")
+    }
+
+    fn announce(vp: u32, prefix: &str, path: &[u32], comms: &[(u32, u32)], t: u64) -> BgpUpdate {
+        BgpUpdate {
+            time: Timestamp(t),
+            vp: VpId(vp),
+            prefix: pfx(prefix),
+            elem: BgpElem::Announce {
+                path: AsPath::from_asns(path.iter().copied()),
+                communities: comms.iter().map(|(a, v)| Community::new(*a, *v)).collect(),
+            },
+        }
+    }
+
+    fn asns(v: &[u32]) -> Vec<Asn> {
+        v.iter().copied().map(Asn).collect()
+    }
+
+    const P: &str = "10.9.0.0/16";
+    /// Corpus traceroute AS path: 10 → 20 → 30 (destination AS 30).
+    const TAU: &[u32] = &[10, 20, 30];
+
+    /// Two VPs whose paths share the suffix [20, 30]; one confounder VP.
+    fn setup() -> BgpMonitors {
+        let mut m = BgpMonitors::new(vec![], BitmapDetector::spike());
+        m.init_rib(&[
+            announce(0, P, &[99, 20, 30], &[(20, 50_001)], 0),
+            announce(1, P, &[98, 20, 30], &[(20, 50_001)], 0),
+            announce(2, P, &[97, 55, 30], &[], 0),
+        ]);
+        let n = m.register(
+            TracerouteId(1),
+            pfx(P),
+            &asns(TAU),
+            &[VpId(0), VpId(1), VpId(2)],
+        );
+        assert!(n.len() >= 2, "expected multiple potential monitors, got {}", n.len());
+        m
+    }
+
+    fn run_stable_windows(m: &mut BgpMonitors, count: u64, start: u64) -> u64 {
+        for w in start..start + count {
+            let (s, _) = m.close_window(Window(w), Timestamp(w * 900), &|_, _| true);
+            assert!(s.is_empty(), "stable window fired: {s:?}");
+        }
+        start + count
+    }
+
+    #[test]
+    fn registration_builds_monitors() {
+        let m = setup();
+        assert_eq!(m.group_count(), 1);
+    }
+
+    /// Shift both VPs onto a path that still first-intersects the
+    /// traceroute at AS 20 but deviates downstream — the change §4.1.2's
+    /// ratio is built to catch. Returns collected signals.
+    fn shift_and_collect(m: &mut BgpMonitors, w: u64, windows: u64) -> Vec<StalenessSignal> {
+        m.observe(&announce(0, P, &[99, 20, 55, 30], &[(20, 50_001)], w * 900 + 10));
+        m.observe(&announce(1, P, &[98, 20, 55, 30], &[(20, 50_001)], w * 900 + 11));
+        let mut signals = Vec::new();
+        for i in 0..windows {
+            let (s, _) = m.close_window(Window(w + i), Timestamp((w + i + 1) * 900), &|_, _| true);
+            signals.extend(s);
+        }
+        signals
+    }
+
+    #[test]
+    fn aspath_shift_fires_after_warmup() {
+        let mut m = setup();
+        let w = run_stable_windows(&mut m, 40, 0);
+        let signals = shift_and_collect(&mut m, w, 4);
+        assert!(
+            signals.iter().any(|s| s.key.technique == Technique::BgpAsPath),
+            "AS-path monitor must fire: {signals:?}"
+        );
+        assert!(signals.iter().all(|s| s.traceroutes == vec![TracerouteId(1)]));
+    }
+
+    #[test]
+    fn aspath_revokes_on_revert() {
+        let mut m = setup();
+        let w = run_stable_windows(&mut m, 40, 0);
+        let signals = shift_and_collect(&mut m, w, 4);
+        assert!(signals.iter().any(|s| s.key.technique == Technique::BgpAsPath));
+        // Revert to original paths: ratio returns to its issuance value.
+        let w = w + 4;
+        m.observe(&announce(0, P, &[99, 20, 30], &[(20, 50_001)], w * 900 + 10));
+        m.observe(&announce(1, P, &[98, 20, 30], &[(20, 50_001)], w * 900 + 11));
+        let mut revoked = Vec::new();
+        for i in 0..3 {
+            let (_, r) = m.close_window(Window(w + i), Timestamp((w + i + 1) * 900), &|_, _| true);
+            revoked.extend(r);
+        }
+        assert!(
+            revoked.iter().any(|r| r.key.technique == Technique::BgpAsPath),
+            "revert must revoke"
+        );
+    }
+
+    #[test]
+    fn community_change_fires_with_same_path() {
+        let mut m = setup();
+        // Same AS path, community 20:50001 → 20:50009 (geo move).
+        m.observe(&announce(0, P, &[99, 20, 30], &[(20, 50_009)], 10));
+        let (signals, _) = m.close_window(Window(0), Timestamp(900), &|_, _| true);
+        let comm: Vec<_> = signals
+            .iter()
+            .filter(|s| s.key.technique == Technique::BgpCommunity)
+            .collect();
+        assert_eq!(comm.len(), 1, "{signals:?}");
+        assert!(m.comm_asserting(pfx(P), &asns(TAU)));
+    }
+
+    #[test]
+    fn community_pruning_suppresses() {
+        let mut m = setup();
+        m.observe(&announce(0, P, &[99, 20, 30], &[(20, 50_009)], 10));
+        let (signals, _) = m.close_window(Window(0), Timestamp(900), &|_, _| false);
+        assert!(
+            !signals.iter().any(|s| s.key.technique == Technique::BgpCommunity),
+            "pruned communities must not fire"
+        );
+    }
+
+    #[test]
+    fn community_unrelated_asn_ignored() {
+        let mut m = setup();
+        // AS 97 is not on the traceroute; its community change is invisible
+        // (and VP2 doesn't overlap the suffix anyway).
+        m.observe(&announce(2, P, &[97, 55, 30], &[(97, 50_002)], 10));
+        // VP0 gains a community from off-path AS 99... 99 not in τ either.
+        m.observe(&announce(0, P, &[99, 20, 30], &[(20, 50_001), (99, 7)], 11));
+        let (signals, _) = m.close_window(Window(0), Timestamp(900), &|_, _| true);
+        assert!(
+            !signals.iter().any(|s| s.key.technique == Technique::BgpCommunity),
+            "{signals:?}"
+        );
+    }
+
+    #[test]
+    fn community_strip_artifact_guard() {
+        let mut m = setup();
+        // VP0's path changes AND communities vanish entirely: stripping
+        // artifact, not a signal.
+        m.observe(&announce(0, P, &[96, 20, 30], &[], 10));
+        let (signals, _) = m.close_window(Window(0), Timestamp(900), &|_, _| true);
+        assert!(
+            !signals.iter().any(|s| s.key.technique == Technique::BgpCommunity),
+            "{signals:?}"
+        );
+    }
+
+    #[test]
+    fn community_cross_vp_dedup_guard() {
+        let mut m = setup();
+        // VP1 already carries 20:50001; VP0 "gaining" it is not novel. VP0
+        // starts without it:
+        m.observe(&announce(0, P, &[99, 20, 30], &[], 5));
+        let _ = m.close_window(Window(0), Timestamp(900), &|_, _| true);
+        // Now VP0 gains the community VP1 already has, same path:
+        m.observe(&announce(0, P, &[99, 20, 30], &[(20, 50_001)], 910));
+        let (signals, _) = m.close_window(Window(1), Timestamp(1800), &|_, _| true);
+        assert!(
+            !signals.iter().any(|s| s.key.technique == Technique::BgpCommunity),
+            "cross-VP duplicate community must not fire: {signals:?}"
+        );
+    }
+
+    #[test]
+    fn burst_fires_on_correlated_duplicates() {
+        let mut m = setup();
+        let w = run_stable_windows(&mut m, 40, 0);
+        // Duplicates (identical announcements) from both suffix-sharing VPs.
+        m.observe(&announce(0, P, &[99, 20, 30], &[(20, 50_001)], w * 900 + 1));
+        m.observe(&announce(1, P, &[98, 20, 30], &[(20, 50_001)], w * 900 + 2));
+        let (signals, _) = m.close_window(Window(w), Timestamp((w + 1) * 900), &|_, _| true);
+        assert!(
+            signals.iter().any(|s| s.key.technique == Technique::BgpBurst),
+            "burst must fire: {signals:?}"
+        );
+    }
+
+    #[test]
+    fn unregister_makes_group_dormant_but_keeps_series_warm() {
+        let mut m = setup();
+        m.unregister(TracerouteId(1));
+        // Group retained (warm series) but dormant: no signals fire.
+        assert_eq!(m.group_count(), 1);
+        let w = run_stable_windows(&mut m, 40, 0);
+        let signals = shift_and_collect(&mut m, w, 4);
+        assert!(signals.is_empty(), "dormant group fired: {signals:?}");
+        // Re-attaching a traceroute resumes firing immediately — the
+        // 20-window eligibility clock did not restart.
+        m.register(TracerouteId(2), pfx(P), &asns(TAU), &[VpId(0), VpId(1), VpId(2)]);
+        // Revert then shift again to produce fresh outliers.
+        let w = w + 4;
+        m.observe(&announce(0, P, &[99, 20, 30], &[(20, 50_001)], w * 900 + 1));
+        m.observe(&announce(1, P, &[98, 20, 30], &[(20, 50_001)], w * 900 + 2));
+        for i in 0..2 {
+            let _ = m.close_window(Window(w + i), Timestamp((w + i + 1) * 900), &|_, _| true);
+        }
+        let signals = shift_and_collect(&mut m, w + 2, 4);
+        assert!(
+            signals.iter().any(|s| s.traceroutes == vec![TracerouteId(2)]),
+            "re-attached traceroute must fire without re-warmup: {signals:?}"
+        );
+    }
+}

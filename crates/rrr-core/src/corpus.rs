@@ -1,0 +1,298 @@
+//! The monitored corpus of traceroutes and their freshness state.
+
+use rrr_ip2as::{find_borders, map_traceroute, Border, IpToAsMap};
+use rrr_types::{Asn, Ipv4, Prefix, Timestamp, Traceroute, TracerouteId};
+use std::collections::HashMap;
+
+/// Freshness classification of a corpus traceroute (§6.2's three classes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Freshness {
+    /// No signal fired and every border is monitored by at least one
+    /// technique.
+    Fresh,
+    /// At least one staleness prediction signal fired since issuance.
+    Stale {
+        since: Timestamp,
+        /// Keys of the monitors currently asserting staleness (removed on
+        /// revocation, §4.3.2).
+        asserting: usize,
+    },
+    /// No signal fired but some borders are unmonitored; silence proves
+    /// nothing there.
+    Unknown,
+}
+
+impl Freshness {
+    pub fn is_stale(&self) -> bool {
+        matches!(self, Freshness::Stale { .. })
+    }
+}
+
+/// One monitored traceroute with its derived views.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    pub id: TracerouteId,
+    pub traceroute: Traceroute,
+    /// When the traceroute was issued (== traceroute.time at insertion).
+    pub issued: Timestamp,
+    /// AS path extracted per Appendix A (source AS first).
+    pub as_path: Vec<Asn>,
+    /// Inferred inter-AS border crossings.
+    pub borders: Vec<Border>,
+    /// Most specific announced prefix covering the destination.
+    pub dst_prefix: Option<Prefix>,
+    /// Number of monitors (potential signals) watching this entry.
+    pub monitors: usize,
+    /// Monitors currently asserting staleness.
+    pub asserting: usize,
+    /// First assertion time.
+    pub stale_since: Option<Timestamp>,
+}
+
+impl CorpusEntry {
+    pub fn freshness(&self) -> Freshness {
+        if self.asserting > 0 {
+            Freshness::Stale {
+                since: self.stale_since.expect("asserting implies a first assertion"),
+                asserting: self.asserting,
+            }
+        } else if self.monitors >= self.borders.len().max(1) {
+            Freshness::Fresh
+        } else {
+            Freshness::Unknown
+        }
+    }
+}
+
+/// The corpus: entries plus lookup indices used by monitor registration.
+#[derive(Debug, Default)]
+pub struct Corpus {
+    entries: HashMap<TracerouteId, CorpusEntry>,
+    /// dst prefix → entries.
+    pub by_dst_prefix: HashMap<Prefix, Vec<TracerouteId>>,
+    /// AS → entries whose path contains it.
+    pub by_asn: HashMap<Asn, Vec<TracerouteId>>,
+    /// (src, dst) → current entry (a refresh replaces the previous one).
+    pub by_pair: HashMap<(Ipv4, Ipv4), TracerouteId>,
+}
+
+impl Corpus {
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, id: TracerouteId) -> Option<&CorpusEntry> {
+        self.entries.get(&id)
+    }
+
+    pub fn get_mut(&mut self, id: TracerouteId) -> Option<&mut CorpusEntry> {
+        self.entries.get_mut(&id)
+    }
+
+    pub fn ids(&self) -> impl Iterator<Item = TracerouteId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    pub fn entries(&self) -> impl Iterator<Item = &CorpusEntry> {
+        self.entries.values()
+    }
+
+    /// Inserts a traceroute, computing its derived views. Returns `None`
+    /// (and does not insert) when the AS mapping is disqualified (loops) or
+    /// empty. A previous entry for the same (src, dst) pair is replaced.
+    pub fn insert(
+        &mut self,
+        tr: Traceroute,
+        map: &IpToAsMap,
+        src_asn: Option<Asn>,
+    ) -> Option<TracerouteId> {
+        let as_trace = map_traceroute(&tr, map, src_asn)?;
+        if as_trace.path.is_empty() {
+            return None;
+        }
+        let borders = find_borders(&tr, map);
+        let dst_prefix = map.most_specific_prefix(tr.dst);
+        let id = tr.id;
+
+        if let Some(old) = self.by_pair.insert((tr.src, tr.dst), id) {
+            self.remove(old);
+        }
+
+        self.by_dst_prefix.entry(dst_prefix.unwrap_or(Prefix::new(tr.dst, 32))).or_default().push(id);
+        for &a in &as_trace.path {
+            self.by_asn.entry(a).or_default().push(id);
+        }
+        self.entries.insert(
+            id,
+            CorpusEntry {
+                id,
+                issued: tr.time,
+                traceroute: tr,
+                as_path: as_trace.path,
+                borders,
+                dst_prefix,
+                monitors: 0,
+                asserting: 0,
+                stale_since: None,
+            },
+        );
+        Some(id)
+    }
+
+    /// Removes an entry and cleans indices.
+    pub fn remove(&mut self, id: TracerouteId) -> Option<CorpusEntry> {
+        let e = self.entries.remove(&id)?;
+        if let Some(v) = self
+            .by_dst_prefix
+            .get_mut(&e.dst_prefix.unwrap_or(Prefix::new(e.traceroute.dst, 32)))
+        {
+            v.retain(|x| *x != id);
+        }
+        for a in &e.as_path {
+            if let Some(v) = self.by_asn.get_mut(a) {
+                v.retain(|x| *x != id);
+            }
+        }
+        if self.by_pair.get(&(e.traceroute.src, e.traceroute.dst)) == Some(&id) {
+            self.by_pair.remove(&(e.traceroute.src, e.traceroute.dst));
+        }
+        Some(e)
+    }
+
+    /// Marks monitors asserting staleness on an entry.
+    pub fn assert_stale(&mut self, id: TracerouteId, at: Timestamp) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.asserting += 1;
+            e.stale_since.get_or_insert(at);
+        }
+    }
+
+    /// Revokes one assertion (§4.3.2); freshness returns once all revoke.
+    pub fn revoke_stale(&mut self, id: TracerouteId) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.asserting = e.asserting.saturating_sub(1);
+            if e.asserting == 0 {
+                e.stale_since = None;
+            }
+        }
+    }
+
+    /// Counts entries per freshness class.
+    pub fn freshness_counts(&self) -> (usize, usize, usize) {
+        let mut fresh = 0;
+        let mut stale = 0;
+        let mut unknown = 0;
+        for e in self.entries.values() {
+            match e.freshness() {
+                Freshness::Fresh => fresh += 1,
+                Freshness::Stale { .. } => stale += 1,
+                Freshness::Unknown => unknown += 1,
+            }
+        }
+        (fresh, stale, unknown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrr_types::{Hop, ProbeId};
+
+    fn ip(s: &str) -> Ipv4 {
+        s.parse().expect("valid ip")
+    }
+
+    fn tr(id: u64, hops: &[&str]) -> Traceroute {
+        Traceroute {
+            id: TracerouteId(id),
+            probe: ProbeId(0),
+            src: ip("10.0.200.1"),
+            dst: ip("10.2.0.1"),
+            time: Timestamp(100),
+            hops: hops.iter().map(|h| Hop::responsive(ip(h))).collect(),
+            reached: true,
+        }
+    }
+
+    fn map() -> IpToAsMap {
+        let mut m = IpToAsMap::new();
+        m.add_origin("10.0.0.0/16".parse().expect("p"), Asn(100));
+        m.add_origin("10.1.0.0/16".parse().expect("p"), Asn(101));
+        m.add_origin("10.2.0.0/16".parse().expect("p"), Asn(102));
+        m.add_origin("10.2.0.0/20".parse().expect("p"), Asn(102));
+        m
+    }
+
+    #[test]
+    fn insert_builds_views() {
+        let mut c = Corpus::new();
+        let m = map();
+        let id = c
+            .insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None)
+            .expect("valid trace");
+        let e = c.get(id).expect("inserted");
+        assert_eq!(e.as_path, vec![Asn(100), Asn(101), Asn(102)]);
+        assert_eq!(e.borders.len(), 2);
+        assert_eq!(e.dst_prefix, Some("10.2.0.0/20".parse().expect("p")));
+        assert_eq!(c.len(), 1);
+        assert!(c.by_asn.get(&Asn(101)).expect("indexed").contains(&id));
+    }
+
+    #[test]
+    fn looped_trace_rejected() {
+        let mut c = Corpus::new();
+        let m = map();
+        assert!(c
+            .insert(tr(1, &["10.1.0.1", "10.2.0.1", "10.1.0.3"]), &m, None)
+            .is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn refresh_replaces_pair() {
+        let mut c = Corpus::new();
+        let m = map();
+        let id1 = c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("ok");
+        let id2 = c.insert(tr(2, &["10.0.0.9", "10.2.0.1"]), &m, None).expect("ok");
+        assert_eq!(c.len(), 1);
+        assert!(c.get(id1).is_none());
+        assert!(c.get(id2).is_some());
+        // Index hygiene: AS 101 no longer references the removed entry.
+        assert!(!c.by_asn.get(&Asn(101)).map(|v| v.contains(&id1)).unwrap_or(false));
+    }
+
+    #[test]
+    fn staleness_lifecycle() {
+        let mut c = Corpus::new();
+        let m = map();
+        let id = c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("ok");
+        // Unknown until monitors registered (2 borders, 0 monitors).
+        assert_eq!(c.get(id).expect("entry").freshness(), Freshness::Unknown);
+        c.get_mut(id).expect("entry").monitors = 2;
+        assert_eq!(c.get(id).expect("entry").freshness(), Freshness::Fresh);
+
+        c.assert_stale(id, Timestamp(500));
+        c.assert_stale(id, Timestamp(600));
+        match c.get(id).expect("entry").freshness() {
+            Freshness::Stale { since, asserting } => {
+                assert_eq!(since, Timestamp(500));
+                assert_eq!(asserting, 2);
+            }
+            other => panic!("expected stale, got {other:?}"),
+        }
+        c.revoke_stale(id);
+        assert!(c.get(id).expect("entry").freshness().is_stale());
+        c.revoke_stale(id);
+        assert_eq!(c.get(id).expect("entry").freshness(), Freshness::Fresh);
+        let (f, s, u) = c.freshness_counts();
+        assert_eq!((f, s, u), (1, 0, 0));
+    }
+}

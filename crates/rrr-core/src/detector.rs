@@ -1,0 +1,666 @@
+//! The top-level staleness detector: owns the corpus, all six monitor
+//! families, and calibration; consumes BGP update and public traceroute
+//! streams; emits signals; plans and verifies refreshes.
+
+use crate::bgp_monitors::{BgpMonitors, RevokeEvent};
+use crate::calibration::{AssertingSignal, Calibrator, Outcome, RefreshPlan};
+use crate::corpus::Corpus;
+use crate::ixp_monitor::IxpMonitor;
+use crate::signal::{SignalKey, SignalScope, StalenessSignal, Technique};
+use crate::trace_monitors::TraceMonitors;
+use rrr_anomaly::{BitmapDetector, ModifiedZScore};
+use rrr_geo::Geolocator;
+use rrr_ip2as::{map_traceroute, AliasResolver, IpToAsMap};
+use rrr_topology::Topology;
+use rrr_types::{
+    Asn, BgpUpdate, Community, Timestamp, Traceroute, TracerouteId, VpId, Window, WindowConfig,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Detector configuration.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    pub seed: u64,
+    /// BGP series window (the paper: 15 minutes, one RouteViews dump cycle).
+    pub bgp_window: WindowConfig,
+    /// Calibration sliding window length `l` (§4.3.1; default 30).
+    pub calibration_l: usize,
+    /// Enabled techniques (disable some for ablations).
+    pub enabled: Vec<Technique>,
+    /// Outlier detector for the BGP-derived series (the paper's Bitmap).
+    pub bgp_detector: BitmapDetector,
+    /// Outlier detector for the traceroute-derived series (the paper's
+    /// modified z-score).
+    pub trace_detector: ModifiedZScore,
+    /// Ablation: absorb outliers into series histories instead of removing
+    /// them (disables §4.1.2's stationarity preservation).
+    pub absorb_outliers: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            seed: 1,
+            bgp_window: WindowConfig::BGP,
+            calibration_l: 30,
+            enabled: Technique::ALL.to_vec(),
+            bgp_detector: BitmapDetector::spike(),
+            trace_detector: ModifiedZScore::default(),
+            absorb_outliers: false,
+        }
+    }
+}
+
+/// The staleness detection pipeline.
+pub struct StalenessDetector {
+    cfg: DetectorConfig,
+    topo: Arc<Topology>,
+    map: IpToAsMap,
+    geo: Geolocator,
+    alias: AliasResolver,
+    vps: Vec<VpId>,
+    corpus: Corpus,
+    bgp: BgpMonitors,
+    trace: TraceMonitors,
+    ixp: IxpMonitor,
+    cal: Calibrator,
+    /// Potential signals per corpus traceroute.
+    potential: HashMap<TracerouteId, Vec<SignalKey>>,
+    /// Active staleness assertions: (traceroute, signal) → trigger
+    /// communities (empty for non-community signals).
+    active: HashMap<(TracerouteId, SignalKey), Vec<Community>>,
+    /// Next BGP window to close.
+    next_bgp_window: Window,
+    /// All signals ever emitted (experiment log).
+    log: Vec<StalenessSignal>,
+}
+
+impl StalenessDetector {
+    pub fn new(
+        topo: Arc<Topology>,
+        map: IpToAsMap,
+        geo: Geolocator,
+        alias: AliasResolver,
+        vps: Vec<VpId>,
+        cfg: DetectorConfig,
+    ) -> Self {
+        let strip = topo.registry.route_server_asns.clone();
+        let ixp = IxpMonitor::new(&topo);
+        StalenessDetector {
+            cal: Calibrator::new(cfg.calibration_l, cfg.seed),
+            bgp: BgpMonitors::new_with(strip, cfg.bgp_detector, cfg.absorb_outliers),
+            trace: TraceMonitors::new_with(cfg.trace_detector, cfg.absorb_outliers),
+            ixp,
+            corpus: Corpus::new(),
+            potential: HashMap::new(),
+            active: HashMap::new(),
+            next_bgp_window: Window(0),
+            log: Vec::new(),
+            cfg,
+            topo,
+            map,
+            geo,
+            alias,
+            vps,
+        }
+    }
+
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    pub fn calibrator(&self) -> &Calibrator {
+        &self.cal
+    }
+
+    pub fn map(&self) -> &IpToAsMap {
+        &self.map
+    }
+
+    pub fn signal_log(&self) -> &[StalenessSignal] {
+        &self.log
+    }
+
+    fn enabled(&self, t: Technique) -> bool {
+        self.cfg.enabled.contains(&t)
+    }
+
+    /// Seeds the BGP RIB mirror from a table dump.
+    pub fn init_rib(&mut self, rib: &[BgpUpdate]) {
+        self.bgp.init_rib(rib);
+    }
+
+    /// Seeds IXP membership from pre-t0 public traceroutes (§4.2.3's
+    /// augmentation of PeeringDB).
+    pub fn bootstrap_public(&mut self, traces: &[Traceroute]) {
+        for tr in traces {
+            self.ixp.bootstrap_trace(tr, &self.map);
+        }
+    }
+
+    /// Inserts a traceroute into the monitored corpus and registers
+    /// monitors. Returns `None` when the traceroute is disqualified
+    /// (AS-mapping loop / empty path).
+    pub fn add_corpus(&mut self, tr: Traceroute, src_asn: Option<Asn>) -> Option<TracerouteId> {
+        let id = self.corpus.insert(tr, &self.map, src_asn)?;
+        let mut keys = Vec::new();
+        {
+            let entry = self.corpus.get(id).expect("just inserted");
+            if let Some(dst_prefix) = entry.dst_prefix {
+                keys.extend(self.bgp.register(id, dst_prefix, &entry.as_path, &self.vps));
+            }
+            keys.extend(self.trace.register(
+                entry,
+                &self.map,
+                &self.topo,
+                &mut self.geo,
+                &self.alias,
+            ));
+        }
+        let entry = self.corpus.get_mut(id).expect("just inserted");
+        entry.monitors = keys.len();
+        self.potential.insert(id, keys);
+        Some(id)
+    }
+
+    /// Removes a traceroute from the corpus and all monitors.
+    pub fn remove_corpus(&mut self, id: TracerouteId) {
+        self.bgp.unregister(id);
+        self.trace.unregister(id);
+        self.potential.remove(&id);
+        self.active.retain(|(tr, _), _| *tr != id);
+        self.corpus.remove(id);
+    }
+
+    /// Advances the pipeline to `now`, consuming the BGP updates and public
+    /// traceroutes observed since the previous step (both time-sorted).
+    /// Returns the staleness prediction signals generated.
+    pub fn step(
+        &mut self,
+        now: Timestamp,
+        bgp_updates: &[BgpUpdate],
+        public: &[Traceroute],
+    ) -> Vec<StalenessSignal> {
+        let mut signals = Vec::new();
+        let mut revokes: Vec<RevokeEvent> = Vec::new();
+
+        // --- BGP stream, window by window ---
+        for u in bgp_updates {
+            let w = self.cfg.bgp_window.window_of(u.time);
+            while self.next_bgp_window < w {
+                self.close_bgp_window(&mut signals, &mut revokes);
+            }
+            self.bgp.observe(u);
+        }
+        while self.cfg.bgp_window.bounds(self.next_bgp_window).1 <= now {
+            self.close_bgp_window(&mut signals, &mut revokes);
+        }
+
+        // --- public traceroutes ---
+        for tr in public {
+            if self.enabled(Technique::TraceSubpath) || self.enabled(Technique::TraceBorder) {
+                self.trace
+                    .observe_trace(tr, &self.map, &self.topo, &mut self.geo, &self.alias);
+            }
+            if self.enabled(Technique::IxpColocation) {
+                let joins = self.ixp.observe_trace(tr, &self.map);
+                for (asn, ixp) in joins {
+                    let w = self.cfg.bgp_window.window_of(tr.time);
+                    signals.extend(self.ixp.signals_for_join(
+                        asn,
+                        ixp,
+                        &self.corpus,
+                        &self.topo,
+                        tr.time,
+                        w,
+                    ));
+                }
+            }
+        }
+        let (tsigs, trevokes) = self.trace.flush(now);
+        signals.extend(tsigs);
+        revokes.extend(trevokes);
+
+        // --- filter disabled techniques, apply assertions ---
+        signals.retain(|s| self.enabled(s.key.technique));
+        for s in &signals {
+            for &tr in &s.traceroutes {
+                let k = (tr, s.key.clone());
+                if !self.active.contains_key(&k) {
+                    self.active.insert(k, s.trigger_communities.clone());
+                    self.corpus.assert_stale(tr, s.time);
+                }
+            }
+        }
+        for r in &revokes {
+            for &tr in &r.traceroutes {
+                if self.active.remove(&(tr, r.key.clone())).is_some() {
+                    self.corpus.revoke_stale(tr);
+                }
+            }
+        }
+
+        self.log.extend(signals.iter().cloned());
+        signals
+    }
+
+    fn close_bgp_window(
+        &mut self,
+        signals: &mut Vec<StalenessSignal>,
+        revokes: &mut Vec<RevokeEvent>,
+    ) {
+        let w = self.next_bgp_window;
+        let (_, end) = self.cfg.bgp_window.bounds(w);
+        let cal = &self.cal;
+        let allowed =
+            |c: Community, dst: rrr_types::Prefix| cal.comm_allowed(c, dst);
+        let (mut s, r) = self.bgp.close_window(w, end, &allowed);
+        s.retain(|sig| self.enabled(sig.key.technique));
+        signals.extend(s);
+        revokes.extend(r);
+        self.next_bgp_window = w.next();
+        self.cal.roll_window();
+    }
+
+    /// Plans which traceroutes to refresh under a probing budget (§4.3.1).
+    pub fn plan_refresh(&mut self, budget: usize) -> RefreshPlan {
+        // Group active assertions back into per-key signals (ordered for
+        // deterministic planning).
+        let mut by_key: std::collections::BTreeMap<SignalKey, Vec<TracerouteId>> =
+            std::collections::BTreeMap::new();
+        for (tr, key) in self.active.keys() {
+            by_key.entry(key.clone()).or_default().push(*tr);
+        }
+        for v in by_key.values_mut() {
+            v.sort_unstable();
+        }
+        let mut asserting = Vec::new();
+        let mut stale_keys_per_probe: HashMap<rrr_types::ProbeId, HashSet<SignalKey>> =
+            HashMap::new();
+        for (key, trs) in by_key {
+            // Split by probe so calibration is per vantage point.
+            let mut per_probe: HashMap<rrr_types::ProbeId, Vec<TracerouteId>> = HashMap::new();
+            for tr in trs {
+                if let Some(e) = self.corpus.get(tr) {
+                    per_probe.entry(e.traceroute.probe).or_default().push(tr);
+                }
+            }
+            for (probe, trs) in per_probe {
+                stale_keys_per_probe.entry(probe).or_default().insert(key.clone());
+                asserting.push(AssertingSignal {
+                    probe,
+                    signal: StalenessSignal {
+                        key: key.clone(),
+                        time: Timestamp(0),
+                        window: Window(0),
+                        score: trs.len() as f64,
+                        traceroutes: trs,
+                        trigger_communities: Vec::new(),
+                    },
+                });
+            }
+        }
+        // Quiet potential signals per probe (ordered iteration).
+        let mut quiet: HashMap<rrr_types::ProbeId, Vec<SignalKey>> = HashMap::new();
+        let mut potential_sorted: Vec<_> = self.potential.iter().collect();
+        potential_sorted.sort_by_key(|(id, _)| **id);
+        for (id, keys) in potential_sorted {
+            let id = *id;
+            let Some(e) = self.corpus.get(id) else { continue };
+            let probe = e.traceroute.probe;
+            let stale = stale_keys_per_probe.get(&probe);
+            for k in keys {
+                if stale.is_none_or(|s| !s.contains(k)) {
+                    quiet.entry(probe).or_default().push(k.clone());
+                }
+            }
+        }
+        self.cal.plan_refresh(budget, &asserting, &quiet)
+    }
+
+    /// Whether the monitored portion named by `key` differs between the old
+    /// corpus entry and a fresh traceroute of the same pair.
+    pub fn portion_changed(&self, key: &SignalKey, new_tr: &Traceroute) -> bool {
+        match &key.scope {
+            SignalScope::AsSuffix { suffix, .. } => {
+                match map_traceroute(new_tr, &self.map, None) {
+                    Some(at) => {
+                        match at.path.iter().position(|a| *a == suffix[0]) {
+                            Some(p) => at.path[p..] != suffix[..],
+                            None => true,
+                        }
+                    }
+                    None => true,
+                }
+            }
+            SignalScope::IpSubpath { hops } => {
+                let new_hops: Vec<Option<rrr_types::Ipv4>> =
+                    new_tr.hops.iter().map(|h| h.addr).collect();
+                if new_hops.len() < hops.len() {
+                    return true;
+                }
+                !new_hops.windows(hops.len()).any(|w| {
+                    w.iter()
+                        .zip(hops)
+                        .all(|(o, e)| o.map_or(true, |o| o == *e))
+                })
+            }
+            SignalScope::CityBorder { near_as, far_as, border_ip, .. } => {
+                let borders = rrr_ip2as::find_borders(new_tr, &self.map);
+                !borders.iter().any(|b| {
+                    b.near_as == *near_as
+                        && b.far_as == *far_as
+                        && self.alias.key(b.far_ip) == self.alias.key(*border_ip)
+                })
+            }
+            SignalScope::IxpJoin { joined, member, .. } => {
+                match map_traceroute(new_tr, &self.map, None) {
+                    Some(at) => at
+                        .path
+                        .windows(2)
+                        .any(|w| w[0] == *joined && w[1] == *member),
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Verifies every potential signal of a corpus entry against a fresh
+    /// measurement of the same pair, feeding calibration (§4.3.1's TP/FP/
+    /// TN/FN bookkeeping and Appendix B's community tallies) without
+    /// touching the corpus. Returns whether any monitored portion changed.
+    pub fn verify_signals(&mut self, old_id: TracerouteId, new_tr: &Traceroute) -> bool {
+        let Some(entry) = self.corpus.get(old_id) else { return false };
+        let probe = entry.traceroute.probe;
+        let keys = self.potential.get(&old_id).cloned().unwrap_or_default();
+        let mut any_changed = false;
+        for key in &keys {
+            let changed = self.portion_changed(key, new_tr);
+            any_changed |= changed;
+            let asserted = self.active.contains_key(&(old_id, key.clone()));
+            let outcome = match (asserted, changed) {
+                (true, true) => Outcome::TruePositive,
+                (true, false) => Outcome::FalsePositive,
+                (false, false) => Outcome::TrueNegative,
+                (false, true) => Outcome::FalseNegative,
+            };
+            self.cal.record(probe, key, outcome);
+            if asserted && key.technique == Technique::BgpCommunity {
+                if let SignalScope::AsSuffix { dst_prefix, .. } = &key.scope {
+                    let comms = self.active[&(old_id, key.clone())].clone();
+                    for c in comms {
+                        self.cal.record_community(c, *dst_prefix, changed);
+                    }
+                }
+            }
+        }
+        any_changed
+    }
+
+    /// Applies a refresh measurement: verifies every potential signal of the
+    /// old entry (feeding calibration), then replaces the entry. Returns
+    /// the new corpus id, and whether any monitored portion had changed
+    /// (useful to experiments as "the refresh found a change").
+    pub fn apply_refresh(
+        &mut self,
+        old_id: TracerouteId,
+        new_tr: Traceroute,
+        src_asn: Option<Asn>,
+    ) -> (Option<TracerouteId>, bool) {
+        if self.corpus.get(old_id).is_none() {
+            let id = self.add_corpus(new_tr, src_asn);
+            return (id, false);
+        }
+        let any_changed = self.verify_signals(old_id, &new_tr);
+        self.remove_corpus(old_id);
+        let id = self.add_corpus(new_tr, src_asn);
+        (id, any_changed)
+    }
+
+    /// Monitor inventory statistics (diagnostics): subpath monitors
+    /// (total, ready, gave up) and border monitors (total, ready, gave up).
+    pub fn trace_monitor_stats(&self) -> ((usize, usize, usize), (usize, usize, usize)) {
+        self.trace.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrr_geo::GeoDb;
+    use rrr_types::{AsPath, BgpElem, CityId, Hop, Ipv4, Prefix, ProbeId};
+
+    fn ip(s: &str) -> Ipv4 {
+        s.parse().expect("valid ip")
+    }
+
+    fn trace(id: u64, t: u64, hops: &[&str]) -> Traceroute {
+        Traceroute {
+            id: TracerouteId(id),
+            probe: ProbeId(0),
+            src: ip("10.0.0.200"),
+            dst: ip("10.2.0.1"),
+            time: Timestamp(t),
+            hops: hops.iter().map(|h| Hop::responsive(ip(h))).collect(),
+            reached: true,
+        }
+    }
+
+    fn announce(vp: u32, path: &[u32], comms: &[(u32, u32)], t: u64) -> BgpUpdate {
+        BgpUpdate {
+            time: Timestamp(t),
+            vp: VpId(vp),
+            prefix: "10.2.0.0/16".parse().expect("p"),
+            elem: BgpElem::Announce {
+                path: AsPath::from_asns(path.iter().copied()),
+                communities: comms.iter().map(|(a, v)| Community::new(*a, *v)).collect(),
+            },
+        }
+    }
+
+    /// Small synthetic environment; the detector's topology is only used
+    /// for registry/alias/geo lookups, so a generated small instance works.
+    fn detector() -> StalenessDetector {
+        let topo = Arc::new(rrr_topology::generate(&rrr_topology::TopologyConfig::small(3)));
+        let mut map = IpToAsMap::new();
+        for i in 0..4u32 {
+            map.add_origin(
+                format!("10.{i}.0.0/16").parse::<Prefix>().expect("p"),
+                Asn(100 + i),
+            );
+        }
+        let mut db = GeoDb::default();
+        for third in 0..4u8 {
+            for last in 0..30u8 {
+                db.insert(Ipv4::new(10, third, 0, last), CityId(third as u16));
+            }
+        }
+        let geo = Geolocator::new(db, vec![]);
+        let alias = AliasResolver::from_topology(&topo, 1.0, 0);
+        let mut d = StalenessDetector::new(
+            topo,
+            map,
+            geo,
+            alias,
+            vec![VpId(0), VpId(1)],
+            DetectorConfig::default(),
+        );
+        d.init_rib(&[
+            announce(0, &[99, 101, 102], &[(101, 50_001)], 0),
+            announce(1, &[98, 101, 102], &[(101, 50_001)], 0),
+        ]);
+        d
+    }
+
+    #[test]
+    fn corpus_registration_counts_monitors() {
+        let mut d = detector();
+        let id = d
+            .add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
+            .expect("valid");
+        let e = d.corpus().get(id).expect("inserted");
+        assert!(e.monitors > 0, "monitors registered");
+        assert!(d.potential[&id].len() == e.monitors);
+    }
+
+    #[test]
+    fn community_change_asserts_and_plan_refresh_returns_it() {
+        let mut d = detector();
+        let id = d
+            .add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
+            .expect("valid");
+        // Community flip with identical AS path.
+        let sigs = d.step(
+            Timestamp(900),
+            &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)],
+            &[],
+        );
+        assert!(
+            sigs.iter().any(|s| s.key.technique == Technique::BgpCommunity),
+            "{sigs:?}"
+        );
+        assert!(d.corpus().get(id).expect("entry").freshness().is_stale());
+        let plan = d.plan_refresh(10);
+        assert_eq!(plan.refresh, vec![id]);
+    }
+
+    #[test]
+    fn apply_refresh_scores_fp_when_nothing_changed() {
+        let mut d = detector();
+        let id = d
+            .add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
+            .expect("valid");
+        let _ = d.step(
+            Timestamp(900),
+            &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)],
+            &[],
+        );
+        assert!(d.corpus().get(id).expect("entry").freshness().is_stale());
+        // Refresh measures the *same* path: community signal was an FP.
+        let (new_id, changed) =
+            d.apply_refresh(id, trace(2, 1000, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None);
+        assert!(!changed);
+        let new_id = new_id.expect("reinserted");
+        assert!(!d.corpus().get(new_id).expect("entry").freshness().is_stale());
+        // The community took an FP hit (Appendix B bookkeeping): after two
+        // more such rounds it gets pruned.
+        for k in 0..2 {
+            let t = 2000 + k * 900;
+            let _ = d.step(
+                Timestamp(t + 900),
+                &[
+                    announce(0, &[99, 101, 102], &[(101, 50_001)], t + 1),
+                    announce(0, &[99, 101, 102], &[(101, 50_009)], t + 2),
+                ],
+                &[],
+            );
+            let stale: Vec<TracerouteId> = d
+                .corpus()
+                .entries()
+                .filter(|e| e.freshness().is_stale())
+                .map(|e| e.id)
+                .collect();
+            for sid in stale {
+                let _ = d.apply_refresh(
+                    sid,
+                    trace(100 + k, t + 500, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]),
+                    None,
+                );
+            }
+        }
+        assert!(d.calibrator().pruned_communities() > 0, "FP community must be pruned");
+    }
+
+    #[test]
+    fn apply_refresh_scores_tp_when_changed() {
+        let mut d = detector();
+        let id = d
+            .add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
+            .expect("valid");
+        let _ = d.step(
+            Timestamp(900),
+            &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)],
+            &[],
+        );
+        // Refresh shows the path now avoids AS 101: the suffix changed.
+        let (_, changed) = d.apply_refresh(id, trace(2, 1000, &["10.0.0.2", "10.2.0.1"]), None);
+        assert!(changed);
+    }
+
+    #[test]
+    fn disabled_techniques_do_not_fire() {
+        let topo = Arc::new(rrr_topology::generate(&rrr_topology::TopologyConfig::small(3)));
+        let mut map = IpToAsMap::new();
+        for i in 0..4u32 {
+            map.add_origin(
+                format!("10.{i}.0.0/16").parse::<Prefix>().expect("p"),
+                Asn(100 + i),
+            );
+        }
+        let geo = Geolocator::new(GeoDb::default(), vec![]);
+        let alias = AliasResolver::from_topology(&topo, 1.0, 0);
+        let cfg = DetectorConfig {
+            enabled: vec![Technique::BgpAsPath], // no community signals
+            ..DetectorConfig::default()
+        };
+        let mut d = StalenessDetector::new(topo, map, geo, alias, vec![VpId(0)], cfg);
+        d.init_rib(&[announce(0, &[99, 101, 102], &[(101, 50_001)], 0)]);
+        d.add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
+            .expect("valid");
+        let sigs = d.step(
+            Timestamp(900),
+            &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)],
+            &[],
+        );
+        assert!(sigs.is_empty(), "{sigs:?}");
+    }
+
+    #[test]
+    fn portion_changed_semantics() {
+        let mut d = detector();
+        d.add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
+            .expect("valid");
+        let suffix_key = SignalKey {
+            technique: Technique::BgpAsPath,
+            scope: SignalScope::AsSuffix {
+                dst_prefix: "10.2.0.0/16".parse().expect("p"),
+                suffix: vec![Asn(101), Asn(102)],
+            },
+        };
+        // Same AS path → unchanged.
+        assert!(!d.portion_changed(&suffix_key, &trace(5, 1, &["10.0.0.2", "10.1.0.9", "10.2.0.4"])));
+        // Path skips AS 101 → changed.
+        assert!(d.portion_changed(&suffix_key, &trace(5, 1, &["10.0.0.2", "10.2.0.1"])));
+
+        let sub_key = SignalKey {
+            technique: Technique::TraceSubpath,
+            scope: SignalScope::IpSubpath {
+                hops: vec![ip("10.0.0.2"), ip("10.1.0.1"), ip("10.2.0.1")],
+            },
+        };
+        assert!(!d.portion_changed(&sub_key, &trace(5, 1, &["10.0.0.2", "10.1.0.1", "10.2.0.1"])));
+        // A star in the middle is a wildcard → unchanged.
+        let mut starred = trace(5, 1, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]);
+        starred.hops[1] = Hop::star();
+        assert!(!d.portion_changed(&sub_key, &starred));
+        // A different middle hop → changed.
+        assert!(d.portion_changed(&sub_key, &trace(5, 1, &["10.0.0.2", "10.1.0.7", "10.2.0.1"])));
+    }
+
+    #[test]
+    fn remove_corpus_clears_state() {
+        let mut d = detector();
+        let id = d
+            .add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
+            .expect("valid");
+        let _ = d.step(
+            Timestamp(900),
+            &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)],
+            &[],
+        );
+        d.remove_corpus(id);
+        assert!(d.corpus().get(id).is_none());
+        assert!(d.plan_refresh(10).refresh.is_empty());
+    }
+}

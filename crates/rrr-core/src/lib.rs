@@ -1,0 +1,33 @@
+//! The paper's contribution: **staleness prediction signals** for a corpus
+//! of traceroutes, derived purely from passively observed BGP updates and
+//! public traceroutes — no online measurements.
+//!
+//! Six techniques, each its own module:
+//!
+//! | Technique | Paper | Module |
+//! |---|---|---|
+//! | BGP AS-path overlap ratio | §4.1.2 | [`bgp_monitors`] |
+//! | BGP community changes | §4.1.3 | [`bgp_monitors`] |
+//! | Duplicate-update bursts | §4.1.4 | [`bgp_monitors`] |
+//! | IP-level subpath ratios | §4.2.1 | [`trace_monitors`] |
+//! | Router-level ⟨AS, city⟩ borders | §4.2.2 | [`trace_monitors`] |
+//! | IXP membership changes | §4.2.3 | [`ixp_monitor`] |
+//!
+//! [`detector::StalenessDetector`] runs them all against a [`corpus::Corpus`]
+//! and emits [`signal::StalenessSignal`]s; [`calibration`] implements §4.3's
+//! TPR/TNR-driven refresh scheduling, community pruning (Appendix B), and
+//! §4.3.2's signal revocation.
+
+pub mod adaptive;
+pub mod bgp_monitors;
+pub mod calibration;
+pub mod corpus;
+pub mod detector;
+pub mod ixp_monitor;
+pub mod signal;
+pub mod trace_monitors;
+
+pub use calibration::{Calibrator, RefreshPlan, SignalStats};
+pub use corpus::{Corpus, CorpusEntry, Freshness};
+pub use detector::{DetectorConfig, StalenessDetector};
+pub use signal::{SignalKey, SignalScope, StalenessSignal, Technique};

@@ -1,0 +1,161 @@
+//! Signal types: what fired, why, and which corpus traceroutes it affects.
+
+use rrr_types::{Asn, CityId, Ipv4, IxpId, Prefix, Timestamp, TracerouteId, Window};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six staleness prediction techniques.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// §4.1.2 — overlapping BGP AS-path ratio outliers.
+    BgpAsPath,
+    /// §4.1.3 — BGP community changes with scoped semantics.
+    BgpCommunity,
+    /// §4.1.4 — correlated duplicate-update bursts.
+    BgpBurst,
+    /// §4.2.3 — IXP membership (colocation) changes.
+    IxpColocation,
+    /// §4.2.1 — IP-level subpath ratio outliers in public traceroutes.
+    TraceSubpath,
+    /// §4.2.2 — router-level ⟨AS, city⟩ border shifts.
+    TraceBorder,
+}
+
+impl Technique {
+    /// All techniques, in Table 2 order.
+    pub const ALL: [Technique; 6] = [
+        Technique::BgpAsPath,
+        Technique::BgpCommunity,
+        Technique::BgpBurst,
+        Technique::IxpColocation,
+        Technique::TraceSubpath,
+        Technique::TraceBorder,
+    ];
+
+    /// Whether the technique consumes BGP feeds (vs public traceroutes).
+    pub fn is_bgp(self) -> bool {
+        matches!(self, Technique::BgpAsPath | Technique::BgpCommunity | Technique::BgpBurst)
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Technique::BgpAsPath => "BGP AS-paths",
+            Technique::BgpCommunity => "BGP communities",
+            Technique::BgpBurst => "BGP update bursts",
+            Technique::IxpColocation => "Colocation changes",
+            Technique::TraceSubpath => "Traceroute subpaths",
+            Technique::TraceBorder => "Traceroute borders",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What portion of the Internet a signal's monitor watches — used both to
+/// scope which traceroutes a firing affects and to verify correctness when
+/// a refresh arrives (§4.3.1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SignalScope {
+    /// An AS-level suffix toward a destination prefix (BGP techniques).
+    AsSuffix { dst_prefix: Prefix, suffix: Vec<Asn> },
+    /// An exact IP-level subpath (§4.2.1).
+    IpSubpath { hops: Vec<Ipv4> },
+    /// A border router between two ⟨AS, city⟩ locations (§4.2.2); the
+    /// router is represented by its observed border interface.
+    CityBorder {
+        near_as: Asn,
+        near_city: CityId,
+        far_as: Asn,
+        far_city: CityId,
+        border_ip: Ipv4,
+    },
+    /// A pair of ASes expected to re-route via a newly joined IXP (§4.2.3).
+    IxpJoin { joined: Asn, member: Asn, ixp: IxpId },
+}
+
+/// Stable identity of one *potential* signal (one monitor). Calibration
+/// tallies TPR/TNR per (vantage point, key) over time.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SignalKey {
+    pub technique: Technique,
+    pub scope: SignalScope,
+}
+
+/// One staleness prediction signal: a monitor fired in a window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StalenessSignal {
+    pub key: SignalKey,
+    /// When the anomaly was detected.
+    pub time: Timestamp,
+    /// The detection window index (in the monitor's own window grid).
+    pub window: Window,
+    /// Detector score (|modified z| or bitmap distance) — the priority
+    /// tiebreaker of §4.3.1.
+    pub score: f64,
+    /// Corpus traceroutes related to this monitor.
+    pub traceroutes: Vec<TracerouteId>,
+    /// For community signals: the communities whose change triggered it
+    /// (drives Appendix B's per-community calibration). Empty otherwise.
+    pub trigger_communities: Vec<rrr_types::Community>,
+}
+
+impl fmt::Display for StalenessSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} @ {}] {} traceroutes, score {:.2}",
+            self.key.technique,
+            self.time,
+            self.traceroutes.len(),
+            self.score
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technique_classification() {
+        assert!(Technique::BgpAsPath.is_bgp());
+        assert!(Technique::BgpBurst.is_bgp());
+        assert!(!Technique::TraceSubpath.is_bgp());
+        assert!(!Technique::IxpColocation.is_bgp());
+        assert_eq!(Technique::ALL.len(), 6);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Technique::BgpCommunity.to_string(), "BGP communities");
+        let s = StalenessSignal {
+            key: SignalKey {
+                technique: Technique::TraceSubpath,
+                scope: SignalScope::IpSubpath { hops: vec![] },
+            },
+            time: Timestamp(0),
+            window: Window(3),
+            score: 4.5,
+            traceroutes: vec![TracerouteId(1), TracerouteId(2)],
+            trigger_communities: vec![],
+        };
+        assert!(s.to_string().contains("2 traceroutes"));
+    }
+
+    #[test]
+    fn keys_hash_and_compare() {
+        use std::collections::HashSet;
+        let k1 = SignalKey {
+            technique: Technique::BgpAsPath,
+            scope: SignalScope::AsSuffix {
+                dst_prefix: "10.0.0.0/16".parse().expect("prefix"),
+                suffix: vec![Asn(1), Asn(2)],
+            },
+        };
+        let k2 = k1.clone();
+        let mut set = HashSet::new();
+        set.insert(k1);
+        assert!(set.contains(&k2));
+    }
+}

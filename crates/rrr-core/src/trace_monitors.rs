@@ -1,0 +1,583 @@
+//! Public-traceroute staleness techniques: IP-level subpath ratios (§4.2.1)
+//! and router-level ⟨AS, city⟩ border monitoring (§4.2.2).
+//!
+//! Both loosen "overlap" so that public traceroutes toward *any* destination
+//! contribute: a public trace that traverses the monitored segment counts,
+//! regardless of where it is headed. Accuracy is protected by (a) only
+//! monitoring segments that cross AS boundaries and (b) acting on shifts in
+//! observation *frequencies* (ratio time series with modified z-score
+//! outliers), never on a single discordant traceroute.
+
+use crate::adaptive::{AdaptiveSeries, Obs};
+use crate::bgp_monitors::RevokeEvent;
+use crate::corpus::CorpusEntry;
+use crate::signal::{SignalKey, SignalScope, StalenessSignal, Technique};
+use rrr_anomaly::ModifiedZScore;
+use rrr_geo::Geolocator;
+use rrr_ip2as::{find_borders, AliasKey, AliasResolver, IpToAsMap, StarPatcher};
+use rrr_topology::Topology;
+use rrr_types::{Asn, CityId, Ipv4, Timestamp, Traceroute, TracerouteId};
+use std::collections::HashMap;
+
+/// How far ahead of the segment start we search for its end hop in a public
+/// traceroute. Bounds matching cost; real segments are short.
+const SEARCH_HORIZON: usize = 12;
+
+/// §4.2.1 monitor: an exact IP-level subpath around one border crossing.
+#[derive(Debug, Clone)]
+struct SubpathMonitor {
+    /// Expected hop sequence, `expected[0]` = ι_m, last = ι_n.
+    expected: Vec<Ipv4>,
+    traceroutes: Vec<TracerouteId>,
+    series: AdaptiveSeries,
+    asserting: bool,
+}
+
+/// §4.2.2 monitor: which border router two ⟨AS, city⟩ locations use.
+#[derive(Debug, Clone)]
+struct BorderMonitor {
+    near_as: Asn,
+    near_city: CityId,
+    far_as: Asn,
+    far_city: CityId,
+    /// The border router observed by the corpus traceroute (alias identity
+    /// of the far-side border interface).
+    router: AliasKey,
+    border_ip: Ipv4,
+    traceroutes: Vec<TracerouteId>,
+    series: AdaptiveSeries,
+    asserting: bool,
+}
+
+type BorderKey = (Asn, CityId, Asn, CityId);
+
+/// The ⟨AS, city⟩ endpoints of the segment around a border crossing
+/// (Figure 5): the city where the trace *enters* the near AS and the city
+/// where it *leaves* the far AS. These are stable across hot-potato egress
+/// flips, so the monitored quantity — which border router connects the two
+/// locations — shifts exactly when the interconnection moves.
+fn segment_cities(
+    tr: &Traceroute,
+    map: &IpToAsMap,
+    topo: &Topology,
+    geo: &mut Geolocator,
+    b: &rrr_ip2as::Border,
+) -> Option<(CityId, CityId)> {
+    use rrr_ip2as::IpOrigin;
+    let mut near_entry: Option<Ipv4> = None;
+    for h in &tr.hops[..=b.near_idx] {
+        let Some(ip) = h.addr else { continue };
+        if matches!(map.lookup(ip), Some(IpOrigin::As(a)) if a == b.near_as) {
+            near_entry = Some(ip);
+            break;
+        }
+    }
+    let mut far_exit: Option<Ipv4> = None;
+    for h in &tr.hops[b.far_idx..] {
+        let Some(ip) = h.addr else { continue };
+        let owned = match map.lookup(ip) {
+            Some(IpOrigin::As(a)) => a == b.far_as,
+            // The crossing interface itself may sit on an IXP LAN.
+            Some(IpOrigin::Ixp(_)) => ip == b.far_ip,
+            None => false,
+        };
+        if owned {
+            far_exit = Some(ip);
+        }
+    }
+    let nc = geo.locate(topo, near_entry?)?;
+    let fc = geo.locate(topo, far_exit?)?;
+    Some((nc, fc))
+}
+
+/// The §4.2 monitor set.
+pub struct TraceMonitors {
+    subpaths: Vec<SubpathMonitor>,
+    by_start: HashMap<Ipv4, Vec<usize>>,
+    subpath_index: HashMap<Vec<Ipv4>, usize>,
+    borders: Vec<BorderMonitor>,
+    by_border_key: HashMap<BorderKey, Vec<usize>>,
+    border_index: HashMap<(BorderKey, AliasKey), usize>,
+    detector: ModifiedZScore,
+    absorb_outliers: bool,
+    /// Learns responsive hop triples and patches single stars before border
+    /// extraction (Appendix A).
+    patcher: StarPatcher,
+}
+
+impl TraceMonitors {
+    pub fn new(detector: ModifiedZScore) -> Self {
+        Self::new_with(detector, false)
+    }
+
+    /// `absorb_outliers` disables stationarity preservation (ablation).
+    pub fn new_with(detector: ModifiedZScore, absorb_outliers: bool) -> Self {
+        TraceMonitors {
+            subpaths: Vec::new(),
+            by_start: HashMap::new(),
+            subpath_index: HashMap::new(),
+            borders: Vec::new(),
+            by_border_key: HashMap::new(),
+            border_index: HashMap::new(),
+            detector,
+            absorb_outliers,
+            patcher: StarPatcher::new(),
+        }
+    }
+
+    /// Registers monitors for one corpus entry: per border crossing, an
+    /// exact IP subpath monitor (one responsive hop of context on each
+    /// side) and a router-level ⟨AS, city⟩ monitor. Returns the keys of
+    /// the potential signals now watching the entry.
+    pub fn register(
+        &mut self,
+        entry: &CorpusEntry,
+        map: &IpToAsMap,
+        topo: &Topology,
+        geo: &mut Geolocator,
+        alias: &AliasResolver,
+    ) -> Vec<SignalKey> {
+        let hops = &entry.traceroute.hops;
+        let mut created = Vec::new();
+
+        for b in &entry.borders {
+            // The "crossing" into the destination host itself is not a
+            // reusable border (no other traceroute shares the far hop).
+            if b.far_ip == entry.traceroute.dst {
+                continue;
+            }
+            // --- subpath monitor ---
+            // Extend one responsive hop before and after when available.
+            let mut m = b.near_idx;
+            if let Some(prev) = hops[..b.near_idx].iter().rposition(|h| h.addr.is_some()) {
+                m = prev;
+            }
+            let mut n = b.far_idx;
+            if let Some(next) = hops[b.far_idx + 1..].iter().position(|h| h.addr.is_some()) {
+                n = b.far_idx + 1 + next;
+            }
+            let expected: Option<Vec<Ipv4>> = hops[m..=n].iter().map(|h| h.addr).collect();
+            if let Some(expected) = expected {
+                if expected.len() >= 2 {
+                    match self.subpath_index.get(&expected) {
+                        Some(&idx) => {
+                            if !self.subpaths[idx].traceroutes.contains(&entry.id) {
+                                self.subpaths[idx].traceroutes.push(entry.id);
+                            }
+                        }
+                        None => {
+                            let idx = self.subpaths.len();
+                            self.by_start.entry(expected[0]).or_default().push(idx);
+                            self.subpath_index.insert(expected.clone(), idx);
+                            self.subpaths.push(SubpathMonitor {
+                                expected: expected.clone(),
+                                traceroutes: vec![entry.id],
+                                series: AdaptiveSeries::with_absorb_outliers(self.absorb_outliers),
+                                asserting: false,
+                            });
+                        }
+                    }
+                    created.push(SignalKey {
+                        technique: Technique::TraceSubpath,
+                        scope: SignalScope::IpSubpath { hops: expected },
+                    });
+                }
+            }
+
+            // --- border monitor ---
+            if let Some((nc, fc)) =
+                segment_cities(&entry.traceroute, map, topo, geo, b)
+            {
+                let key = (b.near_as, nc, b.far_as, fc);
+                let router = alias.key(b.far_ip);
+                match self.border_index.get(&(key, router)) {
+                    Some(&idx) => {
+                        if !self.borders[idx].traceroutes.contains(&entry.id) {
+                            self.borders[idx].traceroutes.push(entry.id);
+                        }
+                    }
+                    None => {
+                        let idx = self.borders.len();
+                        self.by_border_key.entry(key).or_default().push(idx);
+                        self.border_index.insert((key, router), idx);
+                        self.borders.push(BorderMonitor {
+                            near_as: b.near_as,
+                            near_city: nc,
+                            far_as: b.far_as,
+                            far_city: fc,
+                            router,
+                            border_ip: b.far_ip,
+                            traceroutes: vec![entry.id],
+                            series: AdaptiveSeries::with_absorb_outliers(self.absorb_outliers),
+                            asserting: false,
+                        });
+                    }
+                }
+                created.push(SignalKey {
+                    technique: Technique::TraceBorder,
+                    scope: SignalScope::CityBorder {
+                        near_as: b.near_as,
+                        near_city: nc,
+                        far_as: b.far_as,
+                        far_city: fc,
+                        border_ip: b.far_ip,
+                    },
+                });
+            }
+        }
+        created
+    }
+
+    /// Removes a traceroute from all monitors (empty monitors are retired
+    /// from firing but keep their series state for reuse).
+    pub fn unregister(&mut self, id: TracerouteId) {
+        for m in &mut self.subpaths {
+            m.traceroutes.retain(|t| *t != id);
+        }
+        for m in &mut self.borders {
+            m.traceroutes.retain(|t| *t != id);
+        }
+    }
+
+    /// Feeds one public traceroute into every overlapping monitor.
+    pub fn observe_trace(
+        &mut self,
+        tr: &Traceroute,
+        map: &IpToAsMap,
+        topo: &Topology,
+        geo: &mut Geolocator,
+        alias: &AliasResolver,
+    ) {
+        // Patch single unresponsive hops with their unique known middles
+        // before any matching (Appendix A), and learn from this trace.
+        self.patcher.learn(tr);
+        let tr = self.patcher.patch(tr);
+        let tr = &tr;
+
+        // --- subpath matching ---
+        let hops: Vec<Option<Ipv4>> = tr.hops.iter().map(|h| h.addr).collect();
+        for (i, hop) in hops.iter().enumerate() {
+            let Some(ip) = hop else { continue };
+            let Some(monitors) = self.by_start.get(ip) else { continue };
+            for &mi in monitors {
+                let m = &mut self.subpaths[mi];
+                let end = *m.expected.last().expect("subpaths have >= 2 hops");
+                // Does this trace reach ι_n after ι_m?
+                let horizon = (i + 1 + SEARCH_HORIZON).min(hops.len());
+                let Some(j) =
+                    hops[i + 1..horizon].iter().position(|h| *h == Some(end))
+                else {
+                    continue;
+                };
+                let j = i + 1 + j;
+                let observed = &hops[i..=j];
+                let matched = observed.len() == m.expected.len()
+                    && observed
+                        .iter()
+                        .zip(&m.expected)
+                        // unresponsive hops are wildcards, never evidence of
+                        // change (Appendix A)
+                        .all(|(o, e)| o.map_or(true, |o| o == *e));
+                m.series.push(Obs { time: tr.time, matched });
+            }
+        }
+
+        // --- border matching ---
+        for b in find_borders(tr, map) {
+            let Some((nc, fc)) = segment_cities(tr, map, topo, geo, &b) else {
+                continue;
+            };
+            let key = (b.near_as, nc, b.far_as, fc);
+            let Some(monitors) = self.by_border_key.get(&key) else { continue };
+            let observed_router = alias.key(b.far_ip);
+            for &mi in monitors {
+                let m = &mut self.borders[mi];
+                m.series.push(Obs { time: tr.time, matched: observed_router == m.router });
+            }
+        }
+    }
+
+    /// Advances all adaptive series to `now`, emitting signals for outliers
+    /// and revocations for monitors whose ratio returned to its normal
+    /// distribution (§4.3.2).
+    pub fn flush(&mut self, now: Timestamp) -> (Vec<StalenessSignal>, Vec<RevokeEvent>) {
+        let mut signals = Vec::new();
+        let mut revokes = Vec::new();
+        let det = self.detector;
+
+        for m in &mut self.subpaths {
+            if m.traceroutes.is_empty() {
+                let _ = m.series.flush_until(now, &det);
+                continue;
+            }
+            let normals_before = m.series.normal_count();
+            let outliers = m.series.flush_until(now, &det);
+            let key = SignalKey {
+                technique: Technique::TraceSubpath,
+                scope: SignalScope::IpSubpath { hops: m.expected.clone() },
+            };
+            if let Some(o) = outliers.last() {
+                signals.push(StalenessSignal {
+                    key,
+                    time: o.time,
+                    window: o.window,
+                    score: o.score,
+                    traceroutes: m.traceroutes.clone(),
+                    trigger_communities: Vec::new(),
+                });
+                m.asserting = true;
+            } else if m.asserting && m.series.normal_count() > normals_before {
+                // A new window closed in-distribution: the segment behaves
+                // as it did at issuance again.
+                m.asserting = false;
+                revokes.push(RevokeEvent { key, traceroutes: m.traceroutes.clone() });
+            }
+        }
+
+        for m in &mut self.borders {
+            if m.traceroutes.is_empty() {
+                let _ = m.series.flush_until(now, &det);
+                continue;
+            }
+            let normals_before = m.series.normal_count();
+            let outliers = m.series.flush_until(now, &det);
+            let key = SignalKey {
+                technique: Technique::TraceBorder,
+                scope: SignalScope::CityBorder {
+                    near_as: m.near_as,
+                    near_city: m.near_city,
+                    far_as: m.far_as,
+                    far_city: m.far_city,
+                    border_ip: m.border_ip,
+                },
+            };
+            if let Some(o) = outliers.last() {
+                signals.push(StalenessSignal {
+                    key,
+                    time: o.time,
+                    window: o.window,
+                    score: o.score,
+                    traceroutes: m.traceroutes.clone(),
+                    trigger_communities: Vec::new(),
+                });
+                m.asserting = true;
+            } else if m.asserting && m.series.normal_count() > normals_before {
+                m.asserting = false;
+                revokes.push(RevokeEvent { key, traceroutes: m.traceroutes.clone() });
+            }
+        }
+
+        (signals, revokes)
+    }
+
+    pub fn subpath_count(&self) -> usize {
+        self.subpaths.len()
+    }
+
+    /// (total, ready, gave up) per monitor family.
+    pub fn stats(&self) -> ((usize, usize, usize), (usize, usize, usize)) {
+        let sub = (
+            self.subpaths.len(),
+            self.subpaths.iter().filter(|m| m.series.ready()).count(),
+            self.subpaths.iter().filter(|m| m.series.gave_up()).count(),
+        );
+        let bor = (
+            self.borders.len(),
+            self.borders.iter().filter(|m| m.series.ready()).count(),
+            self.borders.iter().filter(|m| m.series.gave_up()).count(),
+        );
+        (sub, bor)
+    }
+
+    pub fn border_count(&self) -> usize {
+        self.borders.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrr_geo::GeoDb;
+    use rrr_ip2as::IpToAsMap;
+    use rrr_topology::{generate, TopologyConfig};
+    use rrr_types::{Hop, Prefix, ProbeId};
+
+    fn ip(s: &str) -> Ipv4 {
+        s.parse().expect("valid ip")
+    }
+
+    fn trace(id: u64, t: u64, hops: &[&str]) -> Traceroute {
+        Traceroute {
+            id: TracerouteId(id),
+            probe: ProbeId(0),
+            src: ip("10.0.0.200"),
+            dst: ip("10.2.0.1"),
+            time: Timestamp(t),
+            hops: hops.iter().map(|h| Hop::responsive(ip(h))).collect(),
+            reached: true,
+        }
+    }
+
+    fn map() -> IpToAsMap {
+        let mut m = IpToAsMap::new();
+        m.add_origin("10.0.0.0/16".parse::<Prefix>().expect("p"), Asn(100));
+        m.add_origin("10.1.0.0/16".parse::<Prefix>().expect("p"), Asn(101));
+        m.add_origin("10.2.0.0/16".parse::<Prefix>().expect("p"), Asn(102));
+        m
+    }
+
+    /// A self-contained environment: synthetic map; geolocation database
+    /// placing every test address in a fixed city; no aliases resolved (so
+    /// router identity = address).
+    fn env() -> (Topology, Geolocator, AliasResolver, IpToAsMap) {
+        let topo = generate(&TopologyConfig::small(3));
+        let mut db = GeoDb::default();
+        for third in 0..3u8 {
+            for last in 0..30u8 {
+                db.insert(Ipv4::new(10, third, 0, last), CityId(third as u16));
+            }
+        }
+        let geo = Geolocator::new(db, vec![]);
+        let alias = AliasResolver::from_topology(&topo, 1.0, 0); // nothing resolved
+        (topo, geo, alias, map())
+    }
+
+    fn corpus_entry() -> CorpusEntry {
+        let mut corpus = crate::corpus::Corpus::new();
+        let tr = trace(1, 0, &["10.0.0.2", "10.0.0.3", "10.1.0.1", "10.1.0.2", "10.2.0.1"]);
+        let id = corpus.insert(tr, &map(), None).expect("valid");
+        corpus.remove(id).expect("present")
+    }
+
+    #[test]
+    fn registration_creates_monitors_per_border() {
+        let (topo, mut geo, alias, _m) = env();
+        let mut tm = TraceMonitors::new(ModifiedZScore::default());
+        let entry = corpus_entry();
+        assert_eq!(entry.borders.len(), 2);
+        let created = tm.register(&entry, &_m, &topo, &mut geo, &alias);
+        // The second border's far hop is the destination host itself and is
+        // skipped (nothing else can ever observe it).
+        assert_eq!(tm.subpath_count(), 1);
+        assert_eq!(tm.border_count(), 1);
+        assert_eq!(created.len(), 2);
+        // Re-registration dedupes.
+        let again = tm.register(&entry, &_m, &topo, &mut geo, &alias);
+        assert_eq!(tm.subpath_count(), 1);
+        assert_eq!(again.len(), 2);
+    }
+
+    /// Drives the monitors with `per_round` public traces per 15-minute
+    /// round, all matching or all deviating at the first border.
+    fn feed_rounds(
+        tm: &mut TraceMonitors,
+        env: &mut (Topology, Geolocator, AliasResolver, IpToAsMap),
+        rounds: std::ops::Range<u64>,
+        matching: bool,
+    ) -> (Vec<StalenessSignal>, Vec<RevokeEvent>) {
+        let (topo, geo, alias, m) = (&env.0, &mut env.1, &env.2, &env.3);
+        let mut signals = Vec::new();
+        let mut revokes = Vec::new();
+        for r in rounds {
+            for k in 0..3u64 {
+                let t = r * 900 + k * 120;
+                // Public traces to a different destination crossing the
+                // same segment; deviating traces cross a different border
+                // interface 10.1.0.9.
+                let hops: &[&str] = if matching {
+                    &["10.0.0.2", "10.0.0.3", "10.1.0.1", "10.1.0.2", "10.1.0.8"]
+                } else {
+                    &["10.0.0.2", "10.0.0.3", "10.1.0.9", "10.1.0.2", "10.1.0.8"]
+                };
+                let tr = trace(1000 + r * 10 + k, t, hops);
+                tm.observe_trace(&tr, m, topo, geo, alias);
+            }
+            let (s, rv) = tm.flush(Timestamp((r + 1) * 900));
+            signals.extend(s);
+            revokes.extend(rv);
+        }
+        (signals, revokes)
+    }
+
+    #[test]
+    fn stable_segment_never_fires_then_shift_fires() {
+        let mut e = env();
+        let mut tm = TraceMonitors::new(ModifiedZScore::default());
+        let entry = corpus_entry();
+        tm.register(&entry, &e.3, &e.0, &mut e.1, &e.2);
+
+        let (pre, _) = feed_rounds(&mut tm, &mut e, 0..40, true);
+        assert!(pre.is_empty(), "stable feed fired: {pre:?}");
+
+        let (post, _) = feed_rounds(&mut tm, &mut e, 40..50, false);
+        let sub: Vec<_> = post
+            .iter()
+            .filter(|s| s.key.technique == Technique::TraceSubpath)
+            .collect();
+        assert!(!sub.is_empty(), "subpath shift missed");
+        assert!(sub[0].traceroutes.contains(&TracerouteId(1)));
+        // Border monitor fires too: the crossing router changed (10.1.0.1 →
+        // 10.1.0.9 between the same AS-city pair).
+        assert!(
+            post.iter().any(|s| s.key.technique == Technique::TraceBorder),
+            "border shift missed: {post:?}"
+        );
+    }
+
+    #[test]
+    fn revert_revokes() {
+        let mut e = env();
+        let mut tm = TraceMonitors::new(ModifiedZScore::default());
+        let entry = corpus_entry();
+        tm.register(&entry, &e.3, &e.0, &mut e.1, &e.2);
+        let _ = feed_rounds(&mut tm, &mut e, 0..40, true);
+        let (post, _) = feed_rounds(&mut tm, &mut e, 40..46, false);
+        assert!(!post.is_empty());
+        let (_, revokes) = feed_rounds(&mut tm, &mut e, 46..52, true);
+        assert!(
+            revokes.iter().any(|r| r.key.technique == Technique::TraceSubpath),
+            "revert must revoke subpath assertions"
+        );
+    }
+
+    #[test]
+    fn stars_are_wildcards_not_changes() {
+        let mut e = env();
+        let mut tm = TraceMonitors::new(ModifiedZScore::default());
+        let entry = corpus_entry();
+        tm.register(&entry, &e.3, &e.0, &mut e.1, &e.2);
+        let _ = feed_rounds(&mut tm, &mut e, 0..40, true);
+        // A matching trace with the middle hop unresponsive still matches.
+        let (topo, geo, alias, m) = (&e.0, &mut e.1, &e.2, &e.3);
+        let mut starred = trace(
+            9999,
+            40 * 900 + 10,
+            &["10.0.0.2", "10.0.0.3", "10.1.0.1", "10.1.0.2", "10.1.0.8"],
+        );
+        starred.hops[2] = Hop::star();
+        tm.observe_trace(&starred, m, topo, geo, alias);
+        // Fill out the round with normal traces so the window has data.
+        for k in 1..3u64 {
+            let tr = trace(
+                10_000 + k,
+                40 * 900 + k * 120,
+                &["10.0.0.2", "10.0.0.3", "10.1.0.1", "10.1.0.2", "10.1.0.8"],
+            );
+            tm.observe_trace(&tr, m, topo, geo, alias);
+        }
+        let (signals, _) = tm.flush(Timestamp(41 * 900));
+        assert!(signals.is_empty(), "wildcard hop treated as change: {signals:?}");
+    }
+
+    #[test]
+    fn unregistered_monitor_stops_firing() {
+        let mut e = env();
+        let mut tm = TraceMonitors::new(ModifiedZScore::default());
+        let entry = corpus_entry();
+        tm.register(&entry, &e.3, &e.0, &mut e.1, &e.2);
+        let _ = feed_rounds(&mut tm, &mut e, 0..40, true);
+        tm.unregister(TracerouteId(1));
+        let (post, _) = feed_rounds(&mut tm, &mut e, 40..50, false);
+        assert!(post.is_empty(), "unregistered monitors must not fire");
+    }
+}

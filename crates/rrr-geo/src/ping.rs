@@ -1,0 +1,184 @@
+//! Simulated shortest-ping geolocation (Appendix A).
+//!
+//! The real technique derives candidate (facility, city) locations for a
+//! target from PeeringDB, finds vantage points near each candidate in ASes
+//! co-located (or in the customer cone of co-located ASes), and declares the
+//! target to be in a vantage point's city when a ping round-trip is ≤ 1 ms
+//! (≤ 100 km by speed of light in fiber).
+//!
+//! The simulation keeps the candidate/VP search on *registry* data and
+//! models the ping itself physically: RTT = distance(vp city, true city) /
+//! 100 km per ms, plus queueing noise — ground truth enters only through
+//! the ping measurement, as in reality.
+
+use rrr_topology::{AsIdx, IpOwner, Relationship, Topology};
+use rrr_types::{CityId, Ipv4};
+
+/// A vantage point usable for pings (a probe or looking glass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PingVantage {
+    pub asx: AsIdx,
+    pub city: CityId,
+}
+
+/// Outcome statistics of a shortest-ping run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PingStats {
+    /// Vantage points probed (3 pings each in the real technique).
+    pub vantages_probed: usize,
+}
+
+fn city_distance_km(topo: &Topology, a: CityId, b: CityId) -> f64 {
+    let _ = topo;
+    rrr_topology::city::city(a)
+        .point()
+        .distance_km(rrr_topology::city::city(b).point())
+}
+
+/// Preference rank of a vantage point for a target AS (lower = better):
+/// co-located AS with a known relationship, ordered like Local Preference
+/// (target is VP's customer best), then co-located without a relationship,
+/// then customer-cone VPs.
+fn preference(topo: &Topology, vp: &PingVantage, target_as: AsIdx, colocated: bool) -> u8 {
+    if colocated {
+        match topo.registry.db_rel(vp.asx, target_as) {
+            Some(Relationship::Customer) => 0, // target is vp's customer
+            Some(Relationship::Peer) => 1,
+            Some(Relationship::Provider) => 2,
+            None => 3,
+        }
+    } else {
+        4
+    }
+}
+
+/// Runs shortest-ping geolocation for `target`.
+///
+/// `vantages` are the available ping sources. Returns the declared city (the
+/// first vantage whose simulated RTT is ≤ 1 ms) and probing stats, or `None`
+/// when the target does not answer pings or no vantage gets a short ping.
+pub fn shortest_ping(
+    topo: &Topology,
+    target: Ipv4,
+    vantages: &[PingVantage],
+    stats: &mut PingStats,
+) -> Option<CityId> {
+    // Targets that never respond to probes don't respond to pings either.
+    let router = topo.router_of_iface(target)?;
+    if !topo.router(router).responsive {
+        return None;
+    }
+    let true_city = topo.router(router).city;
+
+    let target_as = match topo.owner_of_ip(target) {
+        IpOwner::As(a) => a,
+        // IXP LAN addresses: the owning member is unknown from the address
+        // plan alone; use the router owner's documented cities instead.
+        IpOwner::Ixp(_) => topo.router(router).owner,
+        IpOwner::Unknown => return None,
+    };
+
+    // Candidate cities from the registry (documented facility presence).
+    let candidate_cities = topo.registry.cities_of(target_as);
+    if candidate_cities.is_empty() {
+        return None;
+    }
+
+    // Vantage points in or near (≤ 40 km of) a candidate city, in an AS
+    // documented at that city or adjacent to the target AS.
+    let mut ranked: Vec<(u8, f64, &PingVantage)> = Vec::new();
+    for vp in vantages {
+        for &cand in &candidate_cities {
+            let near = vp.city == cand || city_distance_km(topo, vp.city, cand) <= 40.0;
+            if !near {
+                continue;
+            }
+            let colocated = topo.registry.cities_of(vp.asx).contains(&cand);
+            let pref = preference(topo, vp, target_as, colocated);
+            ranked.push((pref, city_distance_km(topo, vp.city, cand), vp));
+            break;
+        }
+    }
+    ranked.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
+
+    for (_, _, vp) in ranked {
+        stats.vantages_probed += 1;
+        // Simulated ping: physical floor plus a deterministic sub-0.1 ms
+        // queueing term.
+        let rtt_ms = city_distance_km(topo, vp.city, true_city) / 100.0 + 0.05;
+        if rtt_ms <= 1.0 {
+            return Some(vp.city);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrr_topology::{generate, TopologyConfig};
+
+    fn vantages_everywhere(topo: &Topology) -> Vec<PingVantage> {
+        // One vantage per (AS, city) presence.
+        let mut out = Vec::new();
+        for (i, info) in topo.ases.iter().enumerate() {
+            for &c in &info.cities {
+                out.push(PingVantage { asx: AsIdx(i as u32), city: c });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn locates_responsive_routers_with_dense_vantages() {
+        let topo = generate(&TopologyConfig::small(5));
+        let vps = vantages_everywhere(&topo);
+        let mut located = 0;
+        let mut tried = 0;
+        for r in topo.routers.iter().take(60) {
+            let ip = r.ifaces[0];
+            let mut stats = PingStats::default();
+            tried += 1;
+            if let Some(city) = shortest_ping(&topo, ip, &vps, &mut stats) {
+                located += 1;
+                // A 1 ms RTT bounds the distance to 100 km of the true city.
+                let d = city_distance_km(&topo, city, r.city);
+                assert!(d <= 100.0, "located {d} km away");
+            }
+        }
+        assert!(
+            located * 2 > tried,
+            "dense vantages should locate most routers: {located}/{tried}"
+        );
+    }
+
+    #[test]
+    fn unresponsive_targets_fail() {
+        let topo = generate(&TopologyConfig::small(5));
+        let vps = vantages_everywhere(&topo);
+        if let Some(r) = topo.routers.iter().find(|r| !r.responsive) {
+            let mut stats = PingStats::default();
+            assert_eq!(shortest_ping(&topo, r.ifaces[0], &vps, &mut stats), None);
+            assert_eq!(stats.vantages_probed, 0);
+        }
+    }
+
+    #[test]
+    fn unknown_address_fails() {
+        let topo = generate(&TopologyConfig::small(5));
+        let vps = vantages_everywhere(&topo);
+        let mut stats = PingStats::default();
+        assert_eq!(
+            shortest_ping(&topo, Ipv4::new(8, 8, 8, 8), &vps, &mut stats),
+            None
+        );
+    }
+
+    #[test]
+    fn no_vantages_no_location() {
+        let topo = generate(&TopologyConfig::small(5));
+        let mut stats = PingStats::default();
+        let r = topo.routers.iter().find(|r| r.responsive).expect("responsive router");
+        assert_eq!(shortest_ping(&topo, r.ifaces[0], &[], &mut stats), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! IP-to-AS mapping built from observed BGP announcements (Appendix A):
+//! longest prefix matching over collector RIBs, excluding prefixes more
+//! specific than /24, with IXP LAN prefixes mapped to their IXP.
+
+use crate::trie::PrefixTrie;
+use rrr_types::{Asn, BgpUpdate, Ipv4, IxpId, Prefix};
+use std::collections::BTreeSet;
+
+/// What an address maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpOrigin {
+    /// Originated by an AS (for MOAS prefixes, the lowest origin ASN is the
+    /// representative; `IpToAsMap::origins` exposes the full set).
+    As(Asn),
+    /// Inside an IXP LAN (traIXroute-style detection).
+    Ixp(IxpId),
+}
+
+/// Longest-prefix IP-to-AS map.
+pub struct IpToAsMap {
+    trie: PrefixTrie<BTreeSet<Asn>>,
+    ixp_trie: PrefixTrie<IxpId>,
+}
+
+impl Default for IpToAsMap {
+    fn default() -> Self {
+        IpToAsMap::new()
+    }
+}
+
+impl IpToAsMap {
+    pub fn new() -> Self {
+        IpToAsMap { trie: PrefixTrie::new(), ixp_trie: PrefixTrie::new() }
+    }
+
+    /// Builds a map from a RIB snapshot / update stream: the origin of each
+    /// announced prefix is the last AS of the path. Prefixes more specific
+    /// than /24 are discarded (§4.1.1); withdrawals are ignored (mapping
+    /// uses the accumulated view, as the paper does with table dumps).
+    pub fn from_announcements<'a, I: IntoIterator<Item = &'a BgpUpdate>>(updates: I) -> Self {
+        let mut map = IpToAsMap::new();
+        for u in updates {
+            if let Some(path) = u.elem.path() {
+                if let Some(origin) = path.origin() {
+                    map.add_origin(u.prefix, origin);
+                }
+            }
+        }
+        map
+    }
+
+    /// Registers one origination.
+    pub fn add_origin(&mut self, prefix: Prefix, origin: Asn) {
+        if prefix.more_specific_than_24() {
+            return;
+        }
+        if let Some(set) = self.trie.get(prefix) {
+            if set.contains(&origin) {
+                return;
+            }
+        }
+        let mut set = self.trie.remove(prefix).unwrap_or_default();
+        set.insert(origin);
+        self.trie.insert(prefix, set);
+    }
+
+    /// Registers an IXP LAN (from the registry; these take precedence over
+    /// AS prefixes for addresses they cover).
+    pub fn add_ixp_lan(&mut self, prefix: Prefix, ixp: IxpId) {
+        self.ixp_trie.insert(prefix, ixp);
+    }
+
+    /// Maps an address. IXP LANs win over (coarser or equal) AS prefixes.
+    pub fn lookup(&self, ip: Ipv4) -> Option<IpOrigin> {
+        if let Some((_, ixp)) = self.ixp_trie.longest_match(ip) {
+            return Some(IpOrigin::Ixp(*ixp));
+        }
+        self.trie
+            .longest_match(ip)
+            .and_then(|(_, set)| set.iter().next().copied())
+            .map(IpOrigin::As)
+    }
+
+    /// Full origin set of the most specific covering prefix (MOAS view).
+    pub fn origins(&self, ip: Ipv4) -> Option<&BTreeSet<Asn>> {
+        self.trie.longest_match(ip).map(|(_, set)| set)
+    }
+
+    /// The most specific prefix covering `ip`, if any. This is the prefix a
+    /// destination-based monitor should subscribe to (§4.1.1).
+    pub fn most_specific_prefix(&self, ip: Ipv4) -> Option<Prefix> {
+        self.trie.longest_match(ip).map(|(p, _)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrr_types::{AsPath, BgpElem, Timestamp, VpId};
+
+    fn announce(prefix: &str, path: &[u32]) -> BgpUpdate {
+        BgpUpdate {
+            time: Timestamp(0),
+            vp: VpId(0),
+            prefix: prefix.parse().expect("valid prefix"),
+            elem: BgpElem::Announce {
+                path: AsPath::from_asns(path.iter().copied()),
+                communities: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn builds_from_announcements() {
+        let updates = vec![
+            announce("10.0.0.0/16", &[1, 2, 3]),
+            announce("10.0.4.0/22", &[1, 2, 4]),
+        ];
+        let m = IpToAsMap::from_announcements(&updates);
+        assert_eq!(m.lookup("10.0.4.1".parse().expect("ip")), Some(IpOrigin::As(Asn(4))));
+        assert_eq!(m.lookup("10.0.100.1".parse().expect("ip")), Some(IpOrigin::As(Asn(3))));
+        assert_eq!(m.lookup("11.0.0.1".parse().expect("ip")), None);
+        assert_eq!(
+            m.most_specific_prefix("10.0.4.1".parse().expect("ip")),
+            Some("10.0.4.0/22".parse().expect("prefix"))
+        );
+    }
+
+    #[test]
+    fn rejects_more_specific_than_24() {
+        let updates = vec![announce("10.0.0.0/25", &[1, 9])];
+        let m = IpToAsMap::from_announcements(&updates);
+        assert_eq!(m.lookup("10.0.0.1".parse().expect("ip")), None);
+    }
+
+    #[test]
+    fn moas_keeps_all_origins() {
+        let updates = vec![
+            announce("10.0.0.0/16", &[1, 2, 3]),
+            announce("10.0.0.0/16", &[7, 8, 9]),
+        ];
+        let m = IpToAsMap::from_announcements(&updates);
+        let set = m.origins("10.0.0.1".parse().expect("ip")).expect("mapped");
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&Asn(3)) && set.contains(&Asn(9)));
+        // representative = lowest
+        assert_eq!(m.lookup("10.0.0.1".parse().expect("ip")), Some(IpOrigin::As(Asn(3))));
+    }
+
+    #[test]
+    fn ixp_lan_takes_precedence() {
+        let mut m = IpToAsMap::new();
+        m.add_origin("10.0.0.0/8".parse().expect("prefix"), Asn(5));
+        m.add_ixp_lan("10.1.0.0/20".parse().expect("prefix"), IxpId(2));
+        assert_eq!(m.lookup("10.1.0.9".parse().expect("ip")), Some(IpOrigin::Ixp(IxpId(2))));
+        assert_eq!(m.lookup("10.2.0.9".parse().expect("ip")), Some(IpOrigin::As(Asn(5))));
+    }
+
+    #[test]
+    fn withdrawals_ignored() {
+        let w = BgpUpdate {
+            time: Timestamp(0),
+            vp: VpId(0),
+            prefix: "10.0.0.0/16".parse().expect("prefix"),
+            elem: BgpElem::Withdraw,
+        };
+        let m = IpToAsMap::from_announcements(&[w]);
+        assert_eq!(m.lookup("10.0.0.1".parse().expect("ip")), None);
+    }
+}

@@ -1,0 +1,256 @@
+//! A binary (Patricia-flavored) prefix trie for longest-prefix matching.
+
+use rrr_types::{Ipv4, Prefix};
+
+/// Node index sentinel.
+const NONE: u32 = u32::MAX;
+
+struct Node<T> {
+    children: [u32; 2],
+    /// Value attached when a prefix terminates here.
+    value: Option<T>,
+}
+
+/// A prefix trie mapping [`Prefix`]es to values, supporting exact and
+/// longest-prefix lookups.
+///
+/// The implementation is a plain one-bit-per-level binary trie over the
+/// prefix bits (at most 32 levels), stored in a flat arena for cache
+/// friendliness and trivially safe code.
+pub struct PrefixTrie<T> {
+    nodes: Vec<Node<T>>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        PrefixTrie::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    pub fn new() -> Self {
+        PrefixTrie { nodes: vec![Node { children: [NONE; 2], value: None }], len: 0 }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bit(addr: u32, depth: u8) -> usize {
+        ((addr >> (31 - depth)) & 1) as usize
+    }
+
+    /// Inserts (or replaces) a prefix's value; returns the previous value.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let addr = prefix.network().value();
+        let mut cur = 0usize;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(addr, depth);
+            if self.nodes[cur].children[b] == NONE {
+                self.nodes.push(Node { children: [NONE; 2], value: None });
+                let idx = (self.nodes.len() - 1) as u32;
+                self.nodes[cur].children[b] = idx;
+            }
+            cur = self.nodes[cur].children[b] as usize;
+        }
+        let old = self.nodes[cur].value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes a prefix, returning its value if present.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<T> {
+        let addr = prefix.network().value();
+        let mut cur = 0usize;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(addr, depth);
+            if self.nodes[cur].children[b] == NONE {
+                return None;
+            }
+            cur = self.nodes[cur].children[b] as usize;
+        }
+        let old = self.nodes[cur].value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Prefix) -> Option<&T> {
+        let addr = prefix.network().value();
+        let mut cur = 0usize;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(addr, depth);
+            if self.nodes[cur].children[b] == NONE {
+                return None;
+            }
+            cur = self.nodes[cur].children[b] as usize;
+        }
+        self.nodes[cur].value.as_ref()
+    }
+
+    /// Longest-prefix match for an address: the most specific stored prefix
+    /// containing it.
+    pub fn longest_match(&self, ip: Ipv4) -> Option<(Prefix, &T)> {
+        let addr = ip.value();
+        let mut cur = 0usize;
+        let mut best: Option<(u8, &T)> = self.nodes[0].value.as_ref().map(|v| (0, v));
+        for depth in 0..32u8 {
+            let b = Self::bit(addr, depth);
+            let next = self.nodes[cur].children[b];
+            if next == NONE {
+                break;
+            }
+            cur = next as usize;
+            if let Some(v) = self.nodes[cur].value.as_ref() {
+                best = Some((depth + 1, v));
+            }
+        }
+        best.map(|(len, v)| (Prefix::new(ip, len), v))
+    }
+
+    /// Iterates over all stored `(prefix, value)` pairs in DFS order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(usize, u32, u8)> = vec![(0, 0, 0)]; // (node, addr, depth)
+        while let Some((n, addr, depth)) = stack.pop() {
+            if let Some(v) = &self.nodes[n].value {
+                out.push((Prefix::new(Ipv4(addr), depth), v));
+            }
+            for b in [1usize, 0] {
+                let c = self.nodes[n].children[b];
+                if c != NONE {
+                    debug_assert!(depth < 32);
+                    let bit = (b as u32) << (31 - depth);
+                    stack.push((c as usize, addr | bit, depth + 1));
+                }
+            }
+        }
+        out.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().expect("valid prefix literal")
+    }
+    fn ip(s: &str) -> Ipv4 {
+        s.parse().expect("valid address literal")
+    }
+
+    #[test]
+    fn basic_lpm() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.1.2.0/24"), 24);
+        assert_eq!(t.longest_match(ip("10.1.2.3")).map(|x| *x.1), Some(24));
+        assert_eq!(t.longest_match(ip("10.1.9.3")).map(|x| *x.1), Some(16));
+        assert_eq!(t.longest_match(ip("10.9.9.9")).map(|x| *x.1), Some(8));
+        assert_eq!(t.longest_match(ip("11.0.0.1")), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn matched_prefix_is_reported() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.0.0/16"), ());
+        let (pfx, _) = t.longest_match(ip("10.1.200.7")).expect("match exists");
+        assert_eq!(pfx, p("10.1.0.0/16"));
+    }
+
+    #[test]
+    fn replace_and_remove() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(p("10.0.0.0/8")), Some(2));
+        assert_eq!(t.remove(p("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+        assert_eq!(t.longest_match(ip("10.0.0.1")), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        assert_eq!(t.longest_match(ip("200.1.2.3")).map(|x| *x.1), Some("default"));
+        t.insert(p("200.0.0.0/8"), "specific");
+        assert_eq!(t.longest_match(ip("200.1.2.3")).map(|x| *x.1), Some("specific"));
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::new(ip("1.2.3.4"), 32), 1);
+        assert_eq!(t.longest_match(ip("1.2.3.4")).map(|x| *x.1), Some(1));
+        assert_eq!(t.longest_match(ip("1.2.3.5")), None);
+        assert_eq!(t.get(Prefix::new(ip("1.2.3.4"), 32)), Some(&1));
+    }
+
+    #[test]
+    fn iter_roundtrips() {
+        let mut t = PrefixTrie::new();
+        let prefixes = [p("10.0.0.0/8"), p("10.1.0.0/16"), p("192.168.0.0/24"), p("0.0.0.0/0")];
+        for (i, pf) in prefixes.iter().enumerate() {
+            t.insert(*pf, i);
+        }
+        let collected: Vec<Prefix> = t.iter().map(|(pf, _)| pf).collect();
+        assert_eq!(collected.len(), prefixes.len());
+        for pf in &prefixes {
+            assert!(collected.contains(pf));
+        }
+    }
+
+    proptest! {
+        /// LPM agrees with a brute-force scan over stored prefixes.
+        #[test]
+        fn lpm_matches_bruteforce(
+            entries in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..64),
+            probe in any::<u32>(),
+        ) {
+            let mut t = PrefixTrie::new();
+            let mut stored: Vec<Prefix> = Vec::new();
+            for (addr, len) in entries {
+                let pf = Prefix::new(Ipv4(addr), len);
+                t.insert(pf, pf);
+                if !stored.contains(&pf) {
+                    stored.push(pf);
+                }
+            }
+            prop_assert_eq!(t.len(), stored.len());
+            let probe = Ipv4(probe);
+            let expect = stored
+                .iter()
+                .filter(|pf| pf.contains(probe))
+                .max_by_key(|pf| pf.len())
+                .copied();
+            let got = t.longest_match(probe).map(|(_, v)| *v);
+            prop_assert_eq!(got, expect);
+        }
+
+        /// Insert-then-remove restores absence.
+        #[test]
+        fn insert_remove_inverse(addr in any::<u32>(), len in 0u8..=32, probe in any::<u32>()) {
+            let mut t = PrefixTrie::new();
+            let pf = Prefix::new(Ipv4(addr), len);
+            t.insert(pf, 7u8);
+            prop_assert_eq!(t.remove(pf), Some(7));
+            prop_assert_eq!(t.longest_match(Ipv4(probe)), None);
+        }
+    }
+}

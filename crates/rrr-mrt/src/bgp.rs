@@ -1,0 +1,334 @@
+//! BGP-4 UPDATE message encoding/parsing (RFC 4271, 4-byte ASNs per
+//! RFC 6793).
+
+use crate::wire::{get_prefix, get_u16, get_u32, get_u8, put_prefix, Error, Result};
+use bytes::{Buf, BufMut};
+use rrr_types::{AsPath, Asn, Community, Ipv4, Prefix};
+
+/// BGP message type code for UPDATE.
+pub const MSG_UPDATE: u8 = 2;
+
+const ATTR_ORIGIN: u8 = 1;
+const ATTR_AS_PATH: u8 = 2;
+const ATTR_NEXT_HOP: u8 = 3;
+const ATTR_COMMUNITIES: u8 = 8;
+
+const FLAG_TRANSITIVE: u8 = 0x40;
+const FLAG_OPTIONAL: u8 = 0x80;
+const FLAG_EXT_LEN: u8 = 0x10;
+
+const SEG_AS_SEQUENCE: u8 = 2;
+
+/// Parsed path attributes (the supported subset).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathAttributes {
+    pub origin: u8,
+    pub as_path: AsPath,
+    pub next_hop: Option<Ipv4>,
+    pub communities: Vec<Community>,
+}
+
+/// A BGP UPDATE message.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BgpMessage {
+    pub withdrawn: Vec<Prefix>,
+    pub attrs: PathAttributes,
+    pub nlri: Vec<Prefix>,
+}
+
+impl BgpMessage {
+    /// An announcement of `nlri` with the given path/communities.
+    pub fn announce(
+        nlri: Vec<Prefix>,
+        path: AsPath,
+        next_hop: Ipv4,
+        communities: Vec<Community>,
+    ) -> Self {
+        BgpMessage {
+            withdrawn: Vec::new(),
+            attrs: PathAttributes {
+                origin: 0,
+                as_path: path,
+                next_hop: Some(next_hop),
+                communities,
+            },
+            nlri,
+        }
+    }
+
+    /// A withdrawal of `withdrawn`.
+    pub fn withdraw(withdrawn: Vec<Prefix>) -> Self {
+        BgpMessage { withdrawn, attrs: PathAttributes::default(), nlri: Vec::new() }
+    }
+
+    /// Encodes the full BGP message (marker, length, type, body).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        buf.put_slice(&[0xFF; 16]); // marker
+        buf.put_u16(0); // length placeholder
+        buf.put_u8(MSG_UPDATE);
+
+        // Withdrawn routes.
+        let wr_len_pos = buf.len();
+        buf.put_u16(0);
+        for &p in &self.withdrawn {
+            put_prefix(buf, p);
+        }
+        let wr_len = (buf.len() - wr_len_pos - 2) as u16;
+        buf[wr_len_pos..wr_len_pos + 2].copy_from_slice(&wr_len.to_be_bytes());
+
+        // Path attributes.
+        let pa_len_pos = buf.len();
+        buf.put_u16(0);
+        if !self.nlri.is_empty() {
+            encode_attr(buf, ATTR_ORIGIN, FLAG_TRANSITIVE, |b| b.put_u8(self.attrs.origin));
+            encode_attr(buf, ATTR_AS_PATH, FLAG_TRANSITIVE, |b| {
+                if !self.attrs.as_path.is_empty() {
+                    b.put_u8(SEG_AS_SEQUENCE);
+                    b.put_u8(self.attrs.as_path.len() as u8);
+                    for a in self.attrs.as_path.iter() {
+                        b.put_u32(a.value());
+                    }
+                }
+            });
+            if let Some(nh) = self.attrs.next_hop {
+                encode_attr(buf, ATTR_NEXT_HOP, FLAG_TRANSITIVE, |b| b.put_u32(nh.value()));
+            }
+            if !self.attrs.communities.is_empty() {
+                encode_attr(buf, ATTR_COMMUNITIES, FLAG_OPTIONAL | FLAG_TRANSITIVE, |b| {
+                    for c in &self.attrs.communities {
+                        b.put_u32(c.0);
+                    }
+                });
+            }
+        }
+        let pa_len = (buf.len() - pa_len_pos - 2) as u16;
+        buf[pa_len_pos..pa_len_pos + 2].copy_from_slice(&pa_len.to_be_bytes());
+
+        // NLRI.
+        for &p in &self.nlri {
+            put_prefix(buf, p);
+        }
+
+        let total = (buf.len() - start) as u16;
+        buf[start + 16..start + 18].copy_from_slice(&total.to_be_bytes());
+    }
+
+    /// Parses a full BGP message.
+    pub fn parse(buf: &mut impl Buf) -> Result<Self> {
+        if buf.remaining() < 19 {
+            return Err(Error::Truncated("bgp header"));
+        }
+        let mut marker = [0u8; 16];
+        buf.copy_to_slice(&mut marker);
+        if marker != [0xFF; 16] {
+            return Err(Error::Malformed("bgp marker"));
+        }
+        let total = get_u16(buf, "bgp length")? as usize;
+        if total < 19 {
+            return Err(Error::BadLength("bgp length"));
+        }
+        let typ = get_u8(buf, "bgp type")?;
+        if typ != MSG_UPDATE {
+            return Err(Error::Unsupported("bgp message type", typ as u64));
+        }
+        let body_len = total - 19;
+        if buf.remaining() < body_len {
+            return Err(Error::Truncated("bgp body"));
+        }
+        let mut body = buf.copy_to_bytes(body_len);
+
+        // Withdrawn routes.
+        let wr_len = get_u16(&mut body, "withdrawn length")? as usize;
+        if body.remaining() < wr_len {
+            return Err(Error::BadLength("withdrawn routes"));
+        }
+        let mut wr = body.copy_to_bytes(wr_len);
+        let mut withdrawn = Vec::new();
+        while wr.has_remaining() {
+            withdrawn.push(get_prefix(&mut wr, "withdrawn prefix")?);
+        }
+
+        // Path attributes.
+        let pa_len = get_u16(&mut body, "attributes length")? as usize;
+        if body.remaining() < pa_len {
+            return Err(Error::BadLength("path attributes"));
+        }
+        let mut pa = body.copy_to_bytes(pa_len);
+        let attrs = parse_attrs(&mut pa)?;
+
+        // NLRI: rest of the body.
+        let mut nlri = Vec::new();
+        while body.has_remaining() {
+            nlri.push(get_prefix(&mut body, "nlri prefix")?);
+        }
+
+        Ok(BgpMessage { withdrawn, attrs, nlri })
+    }
+}
+
+fn encode_attr(buf: &mut Vec<u8>, typ: u8, flags: u8, body: impl FnOnce(&mut Vec<u8>)) {
+    let mut tmp = Vec::new();
+    body(&mut tmp);
+    if tmp.len() > 255 {
+        buf.put_u8(flags | FLAG_EXT_LEN);
+        buf.put_u8(typ);
+        buf.put_u16(tmp.len() as u16);
+    } else {
+        buf.put_u8(flags);
+        buf.put_u8(typ);
+        buf.put_u8(tmp.len() as u8);
+    }
+    buf.put_slice(&tmp);
+}
+
+/// Parses a standalone attribute block (as embedded in TABLE_DUMP_V2 RIB
+/// entries).
+pub fn parse_attr_block(mut bytes: bytes::Bytes) -> Result<PathAttributes> {
+    parse_attrs(&mut bytes)
+}
+
+fn parse_attrs(buf: &mut impl Buf) -> Result<PathAttributes> {
+    let mut attrs = PathAttributes::default();
+    while buf.has_remaining() {
+        let flags = get_u8(buf, "attr flags")?;
+        let typ = get_u8(buf, "attr type")?;
+        let len = if flags & FLAG_EXT_LEN != 0 {
+            get_u16(buf, "attr ext length")? as usize
+        } else {
+            get_u8(buf, "attr length")? as usize
+        };
+        if buf.remaining() < len {
+            return Err(Error::Truncated("attr body"));
+        }
+        let mut body = buf.copy_to_bytes(len);
+        match typ {
+            ATTR_ORIGIN => attrs.origin = get_u8(&mut body, "origin")?,
+            ATTR_AS_PATH => {
+                let mut asns = Vec::new();
+                while body.has_remaining() {
+                    let seg_type = get_u8(&mut body, "as_path segment type")?;
+                    if seg_type != SEG_AS_SEQUENCE {
+                        return Err(Error::Unsupported("as_path segment", seg_type as u64));
+                    }
+                    let n = get_u8(&mut body, "as_path segment length")? as usize;
+                    for _ in 0..n {
+                        asns.push(Asn(get_u32(&mut body, "as_path asn")?));
+                    }
+                }
+                attrs.as_path = AsPath(asns);
+            }
+            ATTR_NEXT_HOP => attrs.next_hop = Some(Ipv4(get_u32(&mut body, "next_hop")?)),
+            ATTR_COMMUNITIES => {
+                if len % 4 != 0 {
+                    return Err(Error::BadLength("communities"));
+                }
+                while body.has_remaining() {
+                    attrs.communities.push(Community(get_u32(&mut body, "community")?));
+                }
+            }
+            // Unknown attributes are skipped (body already consumed).
+            _ => {}
+        }
+    }
+    Ok(attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(msg: &BgpMessage) -> BgpMessage {
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let mut rd = &buf[..];
+        let out = BgpMessage::parse(&mut rd).expect("roundtrip parse");
+        assert_eq!(rd.len(), 0, "trailing bytes");
+        out
+    }
+
+    #[test]
+    fn announce_roundtrip() {
+        let msg = BgpMessage::announce(
+            vec!["200.61.128.0/19".parse().expect("prefix")],
+            AsPath::from_asns([13030, 1299, 2914, 18747]),
+            Ipv4::new(195, 66, 224, 175),
+            vec![Community::new(13030, 2), Community::new(13030, 51701)],
+        );
+        assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn withdraw_roundtrip() {
+        let msg = BgpMessage::withdraw(vec![
+            "10.0.0.0/8".parse().expect("prefix"),
+            "192.0.2.0/24".parse().expect("prefix"),
+        ]);
+        assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn empty_as_path_announce() {
+        let msg = BgpMessage::announce(
+            vec!["10.0.0.0/16".parse().expect("prefix")],
+            AsPath::new(),
+            Ipv4::new(1, 1, 1, 1),
+            vec![],
+        );
+        assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let msg = BgpMessage::withdraw(vec!["10.0.0.0/8".parse().expect("prefix")]);
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        buf[0] = 0;
+        assert_eq!(BgpMessage::parse(&mut &buf[..]), Err(Error::Malformed("bgp marker")));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let msg = BgpMessage::announce(
+            vec!["10.0.0.0/16".parse().expect("prefix")],
+            AsPath::from_asns([1, 2, 3]),
+            Ipv4::new(1, 1, 1, 1),
+            vec![Community::new(1, 2)],
+        );
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut rd = &buf[..cut];
+            assert!(BgpMessage::parse(&mut rd).is_err(), "cut at {cut} parsed");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(
+            nlri in proptest::collection::vec((any::<u32>(), 8u8..=24), 0..5),
+            wdr in proptest::collection::vec((any::<u32>(), 8u8..=24), 0..5),
+            path in proptest::collection::vec(any::<u32>(), 0..12),
+            comms in proptest::collection::vec(any::<u32>(), 0..12),
+        ) {
+            let nlri: Vec<Prefix> = nlri.into_iter().map(|(a, l)| Prefix::new(Ipv4(a), l)).collect();
+            let withdrawn: Vec<Prefix> = wdr.into_iter().map(|(a, l)| Prefix::new(Ipv4(a), l)).collect();
+            let msg = BgpMessage {
+                withdrawn,
+                attrs: if nlri.is_empty() {
+                    PathAttributes::default()
+                } else {
+                    PathAttributes {
+                        origin: 0,
+                        as_path: AsPath::from_asns(path),
+                        next_hop: Some(Ipv4::new(10, 0, 0, 1)),
+                        communities: comms.into_iter().map(Community).collect(),
+                    }
+                },
+                nlri,
+            };
+            prop_assert_eq!(roundtrip(&msg), msg);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! MRT record layer (RFC 6396): BGP4MP_MESSAGE_AS4 for updates,
+//! TABLE_DUMP_V2 (PEER_INDEX_TABLE / RIB_IPV4_UNICAST) for RIB snapshots.
+
+use crate::bgp::{BgpMessage, PathAttributes};
+use crate::wire::{get_prefix, get_u16, get_u32, get_u8, put_prefix, Error, Result};
+use bytes::{Buf, BufMut};
+use rrr_types::{Asn, Ipv4, Prefix};
+
+const TYPE_TABLE_DUMP_V2: u16 = 13;
+const TYPE_BGP4MP: u16 = 16;
+
+const SUB_PEER_INDEX_TABLE: u16 = 1;
+const SUB_RIB_IPV4_UNICAST: u16 = 2;
+const SUB_BGP4MP_MESSAGE_AS4: u16 = 4;
+
+const AFI_IPV4: u16 = 1;
+/// Peer type flags: 4-byte ASN, IPv4 address.
+const PEER_TYPE_AS4_IPV4: u8 = 0x02;
+
+/// One RIB entry within a RIB_IPV4_UNICAST record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntry {
+    /// Index into the preceding PEER_INDEX_TABLE.
+    pub peer_index: u16,
+    /// Originated time (seconds).
+    pub originated: u32,
+    pub attrs: PathAttributes,
+}
+
+/// A parsed MRT record (supported subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtRecord {
+    /// BGP4MP / BGP4MP_MESSAGE_AS4.
+    Bgp4mp {
+        time: u32,
+        peer_as: Asn,
+        local_as: Asn,
+        peer_ip: Ipv4,
+        local_ip: Ipv4,
+        msg: BgpMessage,
+    },
+    /// TABLE_DUMP_V2 / PEER_INDEX_TABLE.
+    PeerIndexTable {
+        collector_id: u32,
+        peers: Vec<(Ipv4, Asn)>,
+    },
+    /// TABLE_DUMP_V2 / RIB_IPV4_UNICAST.
+    RibIpv4 {
+        time: u32,
+        seq: u32,
+        prefix: Prefix,
+        entries: Vec<RibEntry>,
+    },
+}
+
+impl MrtRecord {
+    /// Encodes the record with its MRT common header.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        let mut body = Vec::new();
+        let (time, typ, sub) = match self {
+            MrtRecord::Bgp4mp { time, peer_as, local_as, peer_ip, local_ip, msg } => {
+                body.put_u32(peer_as.value());
+                body.put_u32(local_as.value());
+                body.put_u16(0); // interface index
+                body.put_u16(AFI_IPV4);
+                body.put_u32(peer_ip.value());
+                body.put_u32(local_ip.value());
+                msg.encode(&mut body);
+                (*time, TYPE_BGP4MP, SUB_BGP4MP_MESSAGE_AS4)
+            }
+            MrtRecord::PeerIndexTable { collector_id, peers } => {
+                body.put_u32(*collector_id);
+                body.put_u16(0); // view name length (no view name)
+                body.put_u16(peers.len() as u16);
+                for (ip, asn) in peers {
+                    body.put_u8(PEER_TYPE_AS4_IPV4);
+                    body.put_u32(ip.value()); // peer BGP id
+                    body.put_u32(ip.value()); // peer IP
+                    body.put_u32(asn.value());
+                }
+                (0, TYPE_TABLE_DUMP_V2, SUB_PEER_INDEX_TABLE)
+            }
+            MrtRecord::RibIpv4 { time, seq, prefix, entries } => {
+                body.put_u32(*seq);
+                put_prefix(&mut body, *prefix);
+                body.put_u16(entries.len() as u16);
+                for e in entries {
+                    body.put_u16(e.peer_index);
+                    body.put_u32(e.originated);
+                    let mut attrs = Vec::new();
+                    // Reuse the UPDATE attribute encoding by wrapping in a
+                    // synthetic announce and slicing out the attribute bytes.
+                    let msg = BgpMessage {
+                        withdrawn: vec![],
+                        attrs: e.attrs.clone(),
+                        nlri: vec![*prefix],
+                    };
+                    let mut whole = Vec::new();
+                    msg.encode(&mut whole);
+                    // header(19) + withdrawn_len(2) + attrs_len(2)
+                    let pa_len =
+                        u16::from_be_bytes([whole[21], whole[22]]) as usize;
+                    attrs.extend_from_slice(&whole[23..23 + pa_len]);
+                    body.put_u16(attrs.len() as u16);
+                    body.put_slice(&attrs);
+                }
+                (*time, TYPE_TABLE_DUMP_V2, SUB_RIB_IPV4_UNICAST)
+            }
+        };
+        buf.put_u32(time);
+        buf.put_u16(typ);
+        buf.put_u16(sub);
+        buf.put_u32(body.len() as u32);
+        buf.put_slice(&body);
+    }
+
+    /// Parses one record (header + body) from the buffer.
+    pub fn parse(buf: &mut impl Buf) -> Result<Self> {
+        let time = get_u32(buf, "mrt timestamp")?;
+        let typ = get_u16(buf, "mrt type")?;
+        let sub = get_u16(buf, "mrt subtype")?;
+        let len = get_u32(buf, "mrt length")? as usize;
+        if buf.remaining() < len {
+            return Err(Error::Truncated("mrt body"));
+        }
+        let mut body = buf.copy_to_bytes(len);
+        match (typ, sub) {
+            (TYPE_BGP4MP, SUB_BGP4MP_MESSAGE_AS4) => {
+                let peer_as = Asn(get_u32(&mut body, "peer as")?);
+                let local_as = Asn(get_u32(&mut body, "local as")?);
+                let _ifindex = get_u16(&mut body, "ifindex")?;
+                let afi = get_u16(&mut body, "afi")?;
+                if afi != AFI_IPV4 {
+                    return Err(Error::Unsupported("afi", afi as u64));
+                }
+                let peer_ip = Ipv4(get_u32(&mut body, "peer ip")?);
+                let local_ip = Ipv4(get_u32(&mut body, "local ip")?);
+                let msg = BgpMessage::parse(&mut body)?;
+                Ok(MrtRecord::Bgp4mp { time, peer_as, local_as, peer_ip, local_ip, msg })
+            }
+            (TYPE_TABLE_DUMP_V2, SUB_PEER_INDEX_TABLE) => {
+                let collector_id = get_u32(&mut body, "collector id")?;
+                let name_len = get_u16(&mut body, "view name length")? as usize;
+                if body.remaining() < name_len {
+                    return Err(Error::Truncated("view name"));
+                }
+                body.advance(name_len);
+                let count = get_u16(&mut body, "peer count")? as usize;
+                let mut peers = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let ptype = get_u8(&mut body, "peer type")?;
+                    if ptype != PEER_TYPE_AS4_IPV4 {
+                        return Err(Error::Unsupported("peer type", ptype as u64));
+                    }
+                    let _bgp_id = get_u32(&mut body, "peer bgp id")?;
+                    let ip = Ipv4(get_u32(&mut body, "peer ip")?);
+                    let asn = Asn(get_u32(&mut body, "peer as")?);
+                    peers.push((ip, asn));
+                }
+                Ok(MrtRecord::PeerIndexTable { collector_id, peers })
+            }
+            (TYPE_TABLE_DUMP_V2, SUB_RIB_IPV4_UNICAST) => {
+                let seq = get_u32(&mut body, "rib seq")?;
+                let prefix = get_prefix(&mut body, "rib prefix")?;
+                let count = get_u16(&mut body, "rib entry count")? as usize;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let peer_index = get_u16(&mut body, "rib peer index")?;
+                    let originated = get_u32(&mut body, "rib originated")?;
+                    let alen = get_u16(&mut body, "rib attr length")? as usize;
+                    if body.remaining() < alen {
+                        return Err(Error::Truncated("rib attrs"));
+                    }
+                    let abytes = body.copy_to_bytes(alen);
+                    let attrs = crate::bgp::parse_attr_block(abytes)?;
+                    entries.push(RibEntry { peer_index, originated, attrs });
+                }
+                Ok(MrtRecord::RibIpv4 { time, seq, prefix, entries })
+            }
+            _ => Err(Error::Unsupported("mrt type/subtype", ((typ as u64) << 16) | sub as u64)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrr_types::{AsPath, Community};
+
+    fn roundtrip(r: &MrtRecord) -> MrtRecord {
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let mut rd = &buf[..];
+        let out = MrtRecord::parse(&mut rd).expect("roundtrip parse");
+        assert_eq!(rd.len(), 0);
+        out
+    }
+
+    #[test]
+    fn bgp4mp_roundtrip() {
+        let r = MrtRecord::Bgp4mp {
+            time: 1_600_000_000,
+            peer_as: Asn(13030),
+            local_as: Asn(64_512),
+            peer_ip: Ipv4::new(195, 66, 224, 175),
+            local_ip: Ipv4::new(195, 66, 224, 1),
+            msg: BgpMessage::announce(
+                vec!["200.61.128.0/19".parse().expect("prefix")],
+                AsPath::from_asns([13030, 1299, 2914, 18747]),
+                Ipv4::new(195, 66, 224, 175),
+                vec![Community::new(13030, 51701)],
+            ),
+        };
+        assert_eq!(roundtrip(&r), r);
+    }
+
+    #[test]
+    fn peer_index_roundtrip() {
+        let r = MrtRecord::PeerIndexTable {
+            collector_id: 7,
+            peers: vec![
+                (Ipv4::new(10, 0, 0, 1), Asn(100)),
+                (Ipv4::new(10, 0, 0, 2), Asn(200)),
+            ],
+        };
+        assert_eq!(roundtrip(&r), r);
+    }
+
+    #[test]
+    fn rib_roundtrip() {
+        let r = MrtRecord::RibIpv4 {
+            time: 55,
+            seq: 3,
+            prefix: "10.0.0.0/16".parse().expect("prefix"),
+            entries: vec![RibEntry {
+                peer_index: 1,
+                originated: 42,
+                attrs: PathAttributes {
+                    origin: 0,
+                    as_path: AsPath::from_asns([100, 200, 300]),
+                    next_hop: Some(Ipv4::new(10, 0, 0, 1)),
+                    communities: vec![Community::new(100, 5)],
+                },
+            }],
+        };
+        assert_eq!(roundtrip(&r), r);
+    }
+
+    #[test]
+    fn unsupported_type_rejected() {
+        let mut buf = Vec::new();
+        buf.put_u32(0);
+        buf.put_u16(99);
+        buf.put_u16(1);
+        buf.put_u32(0);
+        assert!(matches!(
+            MrtRecord::parse(&mut &buf[..]),
+            Err(Error::Unsupported("mrt type/subtype", _))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let r = MrtRecord::PeerIndexTable { collector_id: 1, peers: vec![] };
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let mut rd = &buf[..buf.len() - 1];
+        // With an empty peer list the body is 8 bytes; cut one off.
+        assert!(MrtRecord::parse(&mut rd).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Streaming MRT dump files and the bridge between the simulator's
+//! [`BgpUpdate`] records and wire-format MRT — a BGPStream-reader analogue.
+
+use crate::bgp::BgpMessage;
+use crate::mrt::MrtRecord;
+use crate::wire::Result;
+use rrr_types::{BgpElem, BgpUpdate, Ipv4, Timestamp, VpId};
+use std::collections::HashMap;
+
+/// Maps the simulator's vantage points to (peer IP, peer AS) pairs, as a
+/// collector's peer table would.
+#[derive(Debug, Clone, Default)]
+pub struct VpDirectory {
+    peers: Vec<(Ipv4, rrr_types::Asn)>,
+    by_ip: HashMap<Ipv4, VpId>,
+}
+
+impl VpDirectory {
+    /// Registers a vantage point; peer addresses are synthesized in
+    /// 172.16.0.0/12 (collector-LAN style).
+    pub fn register(&mut self, vp: VpId, asn: rrr_types::Asn) {
+        let idx = self.peers.len() as u32;
+        debug_assert_eq!(vp.0, idx, "VPs must be registered in id order");
+        let ip = Ipv4::new(172, 16, (idx >> 8) as u8, (idx & 0xFF) as u8);
+        self.peers.push((ip, asn));
+        self.by_ip.insert(ip, vp);
+    }
+
+    pub fn peer_of(&self, vp: VpId) -> (Ipv4, rrr_types::Asn) {
+        self.peers[vp.index()]
+    }
+
+    pub fn vp_of(&self, peer_ip: Ipv4) -> Option<VpId> {
+        self.by_ip.get(&peer_ip).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// The PEER_INDEX_TABLE record for this directory.
+    pub fn peer_index_record(&self) -> MrtRecord {
+        MrtRecord::PeerIndexTable { collector_id: 0, peers: self.peers.clone() }
+    }
+}
+
+/// Writes MRT records into an in-memory dump.
+#[derive(Debug, Default)]
+pub struct MrtWriter {
+    buf: Vec<u8>,
+}
+
+impl MrtWriter {
+    pub fn new() -> Self {
+        MrtWriter::default()
+    }
+
+    pub fn write_record(&mut self, r: &MrtRecord) {
+        r.encode(&mut self.buf);
+    }
+
+    /// Encodes one simulator update as a BGP4MP record.
+    pub fn write_update(&mut self, dir: &VpDirectory, u: &BgpUpdate) {
+        let (peer_ip, peer_as) = dir.peer_of(u.vp);
+        let msg = match &u.elem {
+            BgpElem::Announce { path, communities } => BgpMessage::announce(
+                vec![u.prefix],
+                path.clone(),
+                peer_ip,
+                communities.clone(),
+            ),
+            BgpElem::Withdraw => BgpMessage::withdraw(vec![u.prefix]),
+        };
+        self.write_record(&MrtRecord::Bgp4mp {
+            time: u.time.as_secs() as u32,
+            peer_as,
+            local_as: rrr_types::Asn(64_512),
+            peer_ip,
+            local_ip: Ipv4::new(172, 16, 255, 254),
+            msg,
+        });
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Iterates records out of an MRT dump.
+pub struct MrtReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> MrtReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        MrtReader { buf }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl Iterator for MrtReader<'_> {
+    type Item = Result<MrtRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut rd = self.buf;
+        match MrtRecord::parse(&mut rd) {
+            Ok(r) => {
+                self.buf = rd;
+                Some(Ok(r))
+            }
+            Err(e) => {
+                self.buf = &[]; // stop on error
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Decodes a BGP4MP record back to simulator updates (one per NLRI /
+/// withdrawn prefix), resolving the peer via the directory. Non-update
+/// records yield an empty vec.
+pub fn record_to_updates(dir: &VpDirectory, r: &MrtRecord) -> Vec<BgpUpdate> {
+    let MrtRecord::Bgp4mp { time, peer_ip, msg, .. } = r else {
+        return Vec::new();
+    };
+    let Some(vp) = dir.vp_of(*peer_ip) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for &p in &msg.withdrawn {
+        out.push(BgpUpdate {
+            time: Timestamp(*time as u64),
+            vp,
+            prefix: p,
+            elem: BgpElem::Withdraw,
+        });
+    }
+    for &p in &msg.nlri {
+        out.push(BgpUpdate {
+            time: Timestamp(*time as u64),
+            vp,
+            prefix: p,
+            elem: BgpElem::Announce {
+                path: msg.attrs.as_path.clone(),
+                communities: msg.attrs.communities.clone(),
+            },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrr_types::{AsPath, Asn, Community};
+
+    fn directory(n: u32) -> VpDirectory {
+        let mut d = VpDirectory::default();
+        for i in 0..n {
+            d.register(VpId(i), Asn(100 + i));
+        }
+        d
+    }
+
+    fn sample_updates(dir: &VpDirectory) -> Vec<BgpUpdate> {
+        let mut out = Vec::new();
+        for i in 0..dir.len() as u32 {
+            out.push(BgpUpdate {
+                time: Timestamp(1000 + i as u64),
+                vp: VpId(i),
+                prefix: format!("10.{i}.0.0/16").parse().expect("prefix"),
+                elem: BgpElem::Announce {
+                    path: AsPath::from_asns([100 + i, 200, 300]),
+                    communities: vec![Community::new(200, 50_000 + i)],
+                },
+            });
+        }
+        out.push(BgpUpdate {
+            time: Timestamp(2000),
+            vp: VpId(0),
+            prefix: "10.0.0.0/16".parse().expect("prefix"),
+            elem: BgpElem::Withdraw,
+        });
+        out
+    }
+
+    #[test]
+    fn full_pipeline_roundtrip() {
+        let dir = directory(4);
+        let updates = sample_updates(&dir);
+        let mut w = MrtWriter::new();
+        w.write_record(&dir.peer_index_record());
+        for u in &updates {
+            w.write_update(&dir, u);
+        }
+        let bytes = w.into_bytes();
+
+        let mut got = Vec::new();
+        let mut peer_tables = 0;
+        for rec in MrtReader::new(&bytes) {
+            let rec = rec.expect("valid stream");
+            if matches!(rec, MrtRecord::PeerIndexTable { .. }) {
+                peer_tables += 1;
+            }
+            got.extend(record_to_updates(&dir, &rec));
+        }
+        assert_eq!(peer_tables, 1);
+        assert_eq!(got, updates);
+    }
+
+    #[test]
+    fn directory_lookup() {
+        let dir = directory(300);
+        let (ip, asn) = dir.peer_of(VpId(259));
+        assert_eq!(asn, Asn(359));
+        assert_eq!(dir.vp_of(ip), Some(VpId(259)));
+        assert_eq!(dir.vp_of(Ipv4::new(1, 2, 3, 4)), None);
+        // 259 = 0x103 → 172.16.1.3
+        assert_eq!(ip, Ipv4::new(172, 16, 1, 3));
+    }
+
+    #[test]
+    fn reader_stops_on_garbage() {
+        let dir = directory(1);
+        let mut w = MrtWriter::new();
+        w.write_update(&dir, &sample_updates(&dir)[0]);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&[1, 2, 3]); // trailing garbage
+        let results: Vec<_> = MrtReader::new(&bytes).collect();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+    }
+
+    #[test]
+    fn unknown_peer_ignored() {
+        let dir = directory(1);
+        let other = directory(2);
+        let u = &sample_updates(&other)[1]; // vp 1, not in dir
+        let mut w = MrtWriter::new();
+        w.write_update(&other, u);
+        let bytes = w.into_bytes();
+        let rec = MrtReader::new(&bytes).next().expect("one record").expect("valid");
+        assert!(record_to_updates(&dir, &rec).is_empty());
+    }
+}

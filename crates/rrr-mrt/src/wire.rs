@@ -1,0 +1,113 @@
+//! Low-level wire helpers and the parse error type.
+
+use bytes::{Buf, BufMut};
+use rrr_types::{Ipv4, Prefix};
+use std::fmt;
+
+/// Parse/encode error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Input ended before a complete field.
+    Truncated(&'static str),
+    /// A length field is inconsistent with the surrounding structure.
+    BadLength(&'static str),
+    /// An enumerated field holds a value outside the supported subset.
+    Unsupported(&'static str, u64),
+    /// A semantic constraint was violated (e.g. prefix length > 32).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated(what) => write!(f, "truncated {what}"),
+            Error::BadLength(what) => write!(f, "inconsistent length in {what}"),
+            Error::Unsupported(what, v) => write!(f, "unsupported {what} value {v}"),
+            Error::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Checked big-endian readers over a `Buf`.
+pub fn get_u8(buf: &mut impl Buf, what: &'static str) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(Error::Truncated(what));
+    }
+    Ok(buf.get_u8())
+}
+
+pub fn get_u16(buf: &mut impl Buf, what: &'static str) -> Result<u16> {
+    if buf.remaining() < 2 {
+        return Err(Error::Truncated(what));
+    }
+    Ok(buf.get_u16())
+}
+
+pub fn get_u32(buf: &mut impl Buf, what: &'static str) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(Error::Truncated(what));
+    }
+    Ok(buf.get_u32())
+}
+
+/// Reads an NLRI-encoded prefix: length byte then `ceil(len/8)` bytes.
+pub fn get_prefix(buf: &mut impl Buf, what: &'static str) -> Result<Prefix> {
+    let len = get_u8(buf, what)?;
+    if len > 32 {
+        return Err(Error::Malformed(what));
+    }
+    let nbytes = len.div_ceil(8) as usize;
+    if buf.remaining() < nbytes {
+        return Err(Error::Truncated(what));
+    }
+    let mut octets = [0u8; 4];
+    for o in octets.iter_mut().take(nbytes) {
+        *o = buf.get_u8();
+    }
+    Ok(Prefix::new(Ipv4::from(octets), len))
+}
+
+/// Writes an NLRI-encoded prefix.
+pub fn put_prefix(buf: &mut impl BufMut, p: Prefix) {
+    buf.put_u8(p.len());
+    let octets = p.network().octets();
+    buf.put_slice(&octets[..p.len().div_ceil(8) as usize]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_roundtrip_various_lengths() {
+        for s in ["0.0.0.0/0", "10.0.0.0/7", "10.0.0.0/8", "10.128.0.0/9", "192.0.2.0/24", "1.2.3.4/32"] {
+            let p: Prefix = s.parse().expect("valid prefix literal");
+            let mut buf = Vec::new();
+            put_prefix(&mut buf, p);
+            assert_eq!(buf.len(), 1 + p.len().div_ceil(8) as usize);
+            let mut rd = &buf[..];
+            assert_eq!(get_prefix(&mut rd, "test").expect("roundtrip"), p);
+            assert_eq!(rd.len(), 0);
+        }
+    }
+
+    #[test]
+    fn truncated_and_malformed() {
+        let mut rd: &[u8] = &[];
+        assert_eq!(get_u8(&mut rd, "x"), Err(Error::Truncated("x")));
+        let mut rd: &[u8] = &[24, 10, 0]; // /24 needs 3 bytes, only 2 given
+        assert_eq!(get_prefix(&mut rd, "p"), Err(Error::Truncated("p")));
+        let mut rd: &[u8] = &[33, 0, 0, 0, 0];
+        assert_eq!(get_prefix(&mut rd, "p"), Err(Error::Malformed("p")));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(Error::Truncated("hdr").to_string(), "truncated hdr");
+        assert_eq!(Error::Unsupported("afi", 2).to_string(), "unsupported afi value 2");
+    }
+}

@@ -1,0 +1,112 @@
+//! A fixed table of world cities used to place ASes, facilities, and IXPs.
+
+use rrr_types::{CityId, GeoPoint};
+
+/// A city with a human-readable name and coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct City {
+    pub name: &'static str,
+    pub lat: f64,
+    pub lon: f64,
+}
+
+impl City {
+    pub fn point(&self) -> GeoPoint {
+        GeoPoint::new(self.lat, self.lon)
+    }
+}
+
+/// Sixty real interconnection hubs. The generator draws AS footprints from a
+/// prefix of this table (bigger deployments use more cities).
+pub const CITY_TABLE: &[City] = &[
+    City { name: "London", lat: 51.5074, lon: -0.1278 },
+    City { name: "Frankfurt", lat: 50.1109, lon: 8.6821 },
+    City { name: "Amsterdam", lat: 52.3676, lon: 4.9041 },
+    City { name: "Paris", lat: 48.8566, lon: 2.3522 },
+    City { name: "New York", lat: 40.7128, lon: -74.0060 },
+    City { name: "Ashburn", lat: 39.0438, lon: -77.4874 },
+    City { name: "San Jose", lat: 37.3382, lon: -121.8863 },
+    City { name: "Los Angeles", lat: 34.0522, lon: -118.2437 },
+    City { name: "Chicago", lat: 41.8781, lon: -87.6298 },
+    City { name: "Dallas", lat: 32.7767, lon: -96.7970 },
+    City { name: "Miami", lat: 25.7617, lon: -80.1918 },
+    City { name: "Seattle", lat: 47.6062, lon: -122.3321 },
+    City { name: "Toronto", lat: 43.6532, lon: -79.3832 },
+    City { name: "Sao Paulo", lat: -23.5505, lon: -46.6333 },
+    City { name: "Buenos Aires", lat: -34.6037, lon: -58.3816 },
+    City { name: "Tokyo", lat: 35.6762, lon: 139.6503 },
+    City { name: "Osaka", lat: 34.6937, lon: 135.5023 },
+    City { name: "Singapore", lat: 1.3521, lon: 103.8198 },
+    City { name: "Hong Kong", lat: 22.3193, lon: 114.1694 },
+    City { name: "Sydney", lat: -33.8688, lon: 151.2093 },
+    City { name: "Mumbai", lat: 19.0760, lon: 72.8777 },
+    City { name: "Chennai", lat: 13.0827, lon: 80.2707 },
+    City { name: "Dubai", lat: 25.2048, lon: 55.2708 },
+    City { name: "Johannesburg", lat: -26.2041, lon: 28.0473 },
+    City { name: "Nairobi", lat: -1.2921, lon: 36.8219 },
+    City { name: "Stockholm", lat: 59.3293, lon: 18.0686 },
+    City { name: "Copenhagen", lat: 55.6761, lon: 12.5683 },
+    City { name: "Oslo", lat: 59.9139, lon: 10.7522 },
+    City { name: "Helsinki", lat: 60.1699, lon: 24.9384 },
+    City { name: "Warsaw", lat: 52.2297, lon: 21.0122 },
+    City { name: "Prague", lat: 50.0755, lon: 14.4378 },
+    City { name: "Vienna", lat: 48.2082, lon: 16.3738 },
+    City { name: "Zurich", lat: 47.3769, lon: 8.5417 },
+    City { name: "Milan", lat: 45.4642, lon: 9.1900 },
+    City { name: "Madrid", lat: 40.4168, lon: -3.7038 },
+    City { name: "Lisbon", lat: 38.7223, lon: -9.1393 },
+    City { name: "Dublin", lat: 53.3498, lon: -6.2603 },
+    City { name: "Brussels", lat: 50.8503, lon: 4.3517 },
+    City { name: "Bucharest", lat: 44.4268, lon: 26.1025 },
+    City { name: "Sofia", lat: 42.6977, lon: 23.3219 },
+    City { name: "Istanbul", lat: 41.0082, lon: 28.9784 },
+    City { name: "Moscow", lat: 55.7558, lon: 37.6173 },
+    City { name: "Kyiv", lat: 50.4501, lon: 30.5234 },
+    City { name: "Seoul", lat: 37.5665, lon: 126.9780 },
+    City { name: "Taipei", lat: 25.0330, lon: 121.5654 },
+    City { name: "Jakarta", lat: -6.2088, lon: 106.8456 },
+    City { name: "Kuala Lumpur", lat: 3.1390, lon: 101.6869 },
+    City { name: "Bangkok", lat: 13.7563, lon: 100.5018 },
+    City { name: "Manila", lat: 14.5995, lon: 120.9842 },
+    City { name: "Auckland", lat: -36.8485, lon: 174.7633 },
+    City { name: "Perth", lat: -31.9505, lon: 115.8605 },
+    City { name: "Santiago", lat: -33.4489, lon: -70.6693 },
+    City { name: "Bogota", lat: 4.7110, lon: -74.0721 },
+    City { name: "Mexico City", lat: 19.4326, lon: -99.1332 },
+    City { name: "Atlanta", lat: 33.7490, lon: -84.3880 },
+    City { name: "Denver", lat: 39.7392, lon: -104.9903 },
+    City { name: "Phoenix", lat: 33.4484, lon: -112.0740 },
+    City { name: "Montreal", lat: 45.5019, lon: -73.5674 },
+    City { name: "Vancouver", lat: 49.2827, lon: -123.1207 },
+    City { name: "Cairo", lat: 30.0444, lon: 31.2357 },
+];
+
+/// Looks up a city by id.
+///
+/// # Panics
+/// Panics if `id` is out of range for the table.
+pub fn city(id: CityId) -> &'static City {
+    &CITY_TABLE[id.0 as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_nonempty_and_unique() {
+        assert!(CITY_TABLE.len() >= 40);
+        for (i, a) in CITY_TABLE.iter().enumerate() {
+            for b in &CITY_TABLE[i + 1..] {
+                assert_ne!(a.name, b.name);
+                assert!(a.point().distance_km(b.point()) > 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        assert_eq!(city(CityId(0)).name, "London");
+        assert_eq!(city(CityId(1)).name, "Frankfurt");
+    }
+}

@@ -1,0 +1,825 @@
+//! Seeded topology generation.
+
+use crate::config::TopologyConfig;
+use crate::model::{
+    plan, Adjacency, AdjacencyId, AsIdx, AsInfo, Ixp, NeighborRef, PeeringPoint, Relationship,
+    Router, Tier, Topology,
+};
+use crate::registry::{Facility, Registry};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rrr_types::{Asn, CityId, FacilityId, Ipv4, IxpId, PeeringPointId, Prefix, RouterId};
+use std::collections::{HashMap, HashSet};
+
+/// Generates a topology from a config. Deterministic in `cfg.seed`.
+///
+/// # Panics
+/// Panics if the config exceeds the address plan (more than 1024 ASes or
+/// 256 IXPs) or names more cities than the city table holds.
+pub fn generate(cfg: &TopologyConfig) -> Topology {
+    assert!(cfg.num_ases as u32 <= plan::MAX_ASES, "too many ASes for the address plan");
+    assert!(cfg.num_ixps <= 256, "too many IXPs for the address plan");
+    assert!(
+        cfg.num_cities <= crate::city::CITY_TABLE.len(),
+        "num_cities exceeds the city table"
+    );
+    assert!(cfg.num_tier1 >= 2 && cfg.num_tier1 <= cfg.num_ases);
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut g = Gen::new(cfg);
+
+    g.assign_tiers_and_cities(&mut rng);
+    g.build_edges(&mut rng);
+    g.build_ixps(&mut rng);
+    g.create_routers(&mut rng);
+    g.create_points(&mut rng);
+    g.create_intra_diamonds(&mut rng);
+    g.originate_prefixes(&mut rng);
+    g.build_registry(&mut rng);
+    g.finish()
+}
+
+/// Working state of the generator.
+struct Gen<'c> {
+    cfg: &'c TopologyConfig,
+    tiers: Vec<Tier>,
+    cities: Vec<Vec<CityId>>,
+    /// (a, b, rel_b, via ixp, latent)
+    edges: Vec<(AsIdx, AsIdx, Relationship, Option<IxpId>, bool)>,
+    edge_set: HashSet<(AsIdx, AsIdx)>,
+    ixps: Vec<Ixp>,
+    routers: Vec<Router>,
+    city_router: HashMap<(AsIdx, CityId), RouterId>,
+    /// per-AS counter of internal interface addresses handed out
+    iface_counter: Vec<u32>,
+    /// per-AS counter of link subnets handed out
+    link_counter: Vec<u32>,
+    /// per-IXP LAN address counter
+    ixp_lan_counter: Vec<u32>,
+    /// (AS, IXP) → that AS's LAN interface & router (assigned on first use)
+    ixp_iface: HashMap<(AsIdx, IxpId), (RouterId, Ipv4)>,
+    adjacencies: Vec<Adjacency>,
+    points: Vec<PeeringPoint>,
+    intra: HashMap<(AsIdx, CityId, CityId), Vec<Vec<Ipv4>>>,
+    originated: Vec<Vec<Prefix>>,
+    registry: Registry,
+    strips: Vec<bool>,
+}
+
+impl<'c> Gen<'c> {
+    fn new(cfg: &'c TopologyConfig) -> Self {
+        Gen {
+            cfg,
+            tiers: Vec::new(),
+            cities: Vec::new(),
+            edges: Vec::new(),
+            edge_set: HashSet::new(),
+            ixps: Vec::new(),
+            routers: Vec::new(),
+            city_router: HashMap::new(),
+            iface_counter: vec![0; cfg.num_ases],
+            link_counter: vec![0; cfg.num_ases],
+            ixp_lan_counter: Vec::new(),
+            ixp_iface: HashMap::new(),
+            adjacencies: Vec::new(),
+            points: Vec::new(),
+            intra: HashMap::new(),
+            originated: vec![Vec::new(); cfg.num_ases],
+            registry: Registry::default(),
+            strips: Vec::new(),
+        }
+    }
+
+    fn block(&self, a: AsIdx) -> u32 {
+        plan::AS_BASE + (a.0 << 16)
+    }
+
+    fn assign_tiers_and_cities(&mut self, rng: &mut StdRng) {
+        let n = self.cfg.num_ases;
+        let n_t1 = self.cfg.num_tier1;
+        let n_transit = ((n - n_t1) as f64 * self.cfg.frac_transit).round() as usize;
+        let n_regional = ((n - n_t1) as f64 * self.cfg.frac_regional).round() as usize;
+        for i in 0..n {
+            let tier = if i < n_t1 {
+                Tier::Tier1
+            } else if i < n_t1 + n_transit {
+                Tier::Transit
+            } else if i < n_t1 + n_transit + n_regional {
+                Tier::Regional
+            } else {
+                Tier::Stub
+            };
+            self.tiers.push(tier);
+            let all: Vec<CityId> = (0..self.cfg.num_cities as u16).map(CityId).collect();
+            let count = match tier {
+                Tier::Tier1 => (self.cfg.num_cities * 7 / 10).max(2),
+                Tier::Transit => rng.gen_range(6..=12.min(self.cfg.num_cities)).min(self.cfg.num_cities),
+                Tier::Regional => rng.gen_range(2..=5).min(self.cfg.num_cities),
+                Tier::Stub => rng.gen_range(1..=2).min(self.cfg.num_cities),
+            };
+            let mut footprint: Vec<CityId> =
+                all.choose_multiple(rng, count).copied().collect();
+            footprint.sort_unstable();
+            self.cities.push(footprint);
+            self.strips.push(rng.gen_bool(self.cfg.strip_communities_frac));
+        }
+    }
+
+    fn add_edge(
+        &mut self,
+        a: AsIdx,
+        b: AsIdx,
+        rel_b: Relationship,
+        ixp: Option<IxpId>,
+        latent: bool,
+    ) -> bool {
+        if a == b || self.edge_set.contains(&(a, b)) || self.edge_set.contains(&(b, a)) {
+            return false;
+        }
+        self.edge_set.insert((a, b));
+        self.edges.push((a, b, rel_b, ixp, latent));
+        true
+    }
+
+    fn shares_city(&self, a: AsIdx, b: AsIdx) -> bool {
+        self.cities[a.index()]
+            .iter()
+            .any(|c| self.cities[b.index()].contains(c))
+    }
+
+    /// Ensures two ASes share at least one city, extending the customer's
+    /// footprint if needed (models remote peering / backhaul to the
+    /// provider's PoP).
+    fn ensure_shared_city(&mut self, provider: AsIdx, customer: AsIdx, rng: &mut StdRng) {
+        if self.shares_city(provider, customer) {
+            return;
+        }
+        let pc = &self.cities[provider.index()];
+        let c = *pc.choose(rng).expect("provider has at least one city");
+        let fp = &mut self.cities[customer.index()];
+        fp.push(c);
+        fp.sort_unstable();
+        fp.dedup();
+    }
+
+    fn build_edges(&mut self, rng: &mut StdRng) {
+        let n = self.cfg.num_ases;
+        // Tier-1 clique.
+        for i in 0..self.cfg.num_tier1 {
+            for j in (i + 1)..self.cfg.num_tier1 {
+                self.add_edge(AsIdx(i as u32), AsIdx(j as u32), Relationship::Peer, None, false);
+            }
+        }
+        // Transit providers: customers of 2 tier-1s, peers among themselves
+        // when co-located.
+        let by_tier = |t: Tier, tiers: &[Tier]| -> Vec<AsIdx> {
+            tiers
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| **x == t)
+                .map(|(i, _)| AsIdx(i as u32))
+                .collect()
+        };
+        let t1 = by_tier(Tier::Tier1, &self.tiers);
+        let transit = by_tier(Tier::Transit, &self.tiers);
+        let regional = by_tier(Tier::Regional, &self.tiers);
+        let stubs = by_tier(Tier::Stub, &self.tiers);
+
+        for &t in &transit {
+            let provs: Vec<AsIdx> = t1.choose_multiple(rng, 2).copied().collect();
+            for p in provs {
+                self.ensure_shared_city(p, t, rng);
+                self.add_edge(p, t, Relationship::Customer, None, false);
+            }
+        }
+        for (i, &a) in transit.iter().enumerate() {
+            for &b in &transit[i + 1..] {
+                if self.shares_city(a, b) && rng.gen_bool(0.4) {
+                    self.add_edge(a, b, Relationship::Peer, None, false);
+                }
+            }
+        }
+        // Regionals: customers of 1-3 transits (co-located preferred).
+        for &r in &regional {
+            let mut cands: Vec<AsIdx> = transit
+                .iter()
+                .copied()
+                .filter(|&t| self.shares_city(t, r))
+                .collect();
+            if cands.is_empty() {
+                cands = transit.clone();
+            }
+            if cands.is_empty() {
+                cands = t1.clone();
+            }
+            cands.shuffle(rng);
+            let k = rng.gen_range(1..=3.min(cands.len()));
+            for &p in cands.iter().take(k) {
+                self.ensure_shared_city(p, r, rng);
+                self.add_edge(p, r, Relationship::Customer, None, false);
+            }
+            // occasional direct tier-1 transit
+            if rng.gen_bool(0.1) {
+                if let Some(&p) = t1.choose(rng) {
+                    self.ensure_shared_city(p, r, rng);
+                    self.add_edge(p, r, Relationship::Customer, None, false);
+                }
+            }
+        }
+        // Stubs: customers of 1-3 regionals/transits, co-located preferred.
+        let upstream: Vec<AsIdx> = regional.iter().chain(transit.iter()).copied().collect();
+        for &s in &stubs {
+            let mut cands: Vec<AsIdx> = upstream
+                .iter()
+                .copied()
+                .filter(|&u| self.shares_city(u, s))
+                .collect();
+            if cands.is_empty() {
+                cands = upstream.clone();
+            }
+            cands.shuffle(rng);
+            let k = rng.gen_range(1..=3.min(cands.len()));
+            for &p in cands.iter().take(k) {
+                self.ensure_shared_city(p, s, rng);
+                self.add_edge(p, s, Relationship::Customer, None, false);
+            }
+        }
+        let _ = n;
+    }
+
+    fn build_ixps(&mut self, rng: &mut StdRng) {
+        // Place IXPs in the busiest cities (by AS presence).
+        let mut presence = vec![0usize; self.cfg.num_cities];
+        for fp in &self.cities {
+            for c in fp {
+                presence[c.0 as usize] += 1;
+            }
+        }
+        let mut order: Vec<usize> = (0..self.cfg.num_cities).collect();
+        order.sort_by_key(|&c| std::cmp::Reverse(presence[c]));
+
+        for i in 0..self.cfg.num_ixps {
+            let city = CityId(order[i % order.len()] as u16);
+            let lan = Prefix::new(Ipv4(plan::IXP_BASE + ((i as u32) << 12)), 20);
+            let asn = Asn(59_000 + i as u32);
+            // Members: ASes present at the city join tier-dependently.
+            let mut members = Vec::new();
+            for (a, fp) in self.cities.iter().enumerate() {
+                if !fp.contains(&city) {
+                    continue;
+                }
+                let p = match self.tiers[a] {
+                    Tier::Tier1 => 0.8,
+                    Tier::Transit => 0.7,
+                    Tier::Regional => 0.5,
+                    Tier::Stub => 0.25,
+                };
+                if rng.gen_bool(p) {
+                    members.push(AsIdx(a as u32));
+                }
+            }
+            self.ixps.push(Ixp { id: IxpId(i as u16), asn, city, lan, members });
+            self.ixp_lan_counter.push(0);
+            self.registry.route_server_asns.push(asn);
+        }
+
+        // Peering edges over IXPs between members; also create the latent
+        // memberships + latent peerings used by IXP-join events.
+        for i in 0..self.ixps.len() {
+            let ixp_id = IxpId(i as u16);
+            let members = self.ixps[i].members.clone();
+            for (mi, &a) in members.iter().enumerate() {
+                for &b in &members[mi + 1..] {
+                    // avoid peering a provider with its own customer
+                    if self.edge_set.contains(&(a, b)) || self.edge_set.contains(&(b, a)) {
+                        continue;
+                    }
+                    let p = match (self.tiers[a.index()], self.tiers[b.index()]) {
+                        (Tier::Stub, Tier::Stub) => 0.25,
+                        (Tier::Tier1, Tier::Tier1) => 0.0, // already clique
+                        _ => 0.35,
+                    };
+                    if rng.gen_bool(p) {
+                        self.add_edge(a, b, Relationship::Peer, Some(ixp_id), false);
+                    }
+                }
+            }
+            // Latent members: present in the city but not a member yet.
+            let city = self.ixps[i].city;
+            let mut latents: Vec<AsIdx> = (0..self.cfg.num_ases)
+                .map(|x| AsIdx(x as u32))
+                .filter(|x| {
+                    self.cities[x.index()].contains(&city)
+                        && !members.contains(x)
+                })
+                .collect();
+            latents.shuffle(rng);
+            latents.truncate(self.cfg.latent_ixp_members);
+            for l in latents {
+                let mut peers: Vec<AsIdx> = members
+                    .iter()
+                    .copied()
+                    .filter(|&m| {
+                        !self.edge_set.contains(&(l, m)) && !self.edge_set.contains(&(m, l))
+                    })
+                    .collect();
+                peers.shuffle(rng);
+                let k = (peers.len() / 2).max(1).min(peers.len());
+                for &m in peers.iter().take(k) {
+                    self.add_edge(l, m, Relationship::Peer, Some(ixp_id), true);
+                }
+            }
+        }
+    }
+
+    fn create_routers(&mut self, rng: &mut StdRng) {
+        for (a, fp) in self.cities.iter().enumerate() {
+            for &c in fp {
+                let id = RouterId(self.routers.len() as u32);
+                let k = self.iface_counter[a];
+                self.iface_counter[a] += 1;
+                let iface = Ipv4(self.block(AsIdx(a as u32)) + plan::ROUTER_IFACE_OFF + k);
+                self.routers.push(Router {
+                    id,
+                    owner: AsIdx(a as u32),
+                    city: c,
+                    internal_iface: iface,
+                    ifaces: vec![iface],
+                    responsive: !rng.gen_bool(self.cfg.unresponsive_router_frac),
+                    is_city_router: true,
+                });
+                self.city_router.insert((AsIdx(a as u32), c), id);
+            }
+        }
+    }
+
+    /// The LAN interface of an AS at an IXP, creating it on first use. All
+    /// of the AS's sessions at the IXP share this interface — this is what
+    /// makes one border IP serve many AS pairs (Figure 14).
+    fn ixp_iface_for(&mut self, a: AsIdx, ixp: IxpId) -> (RouterId, Ipv4) {
+        if let Some(&v) = self.ixp_iface.get(&(a, ixp)) {
+            return v;
+        }
+        let city = self.ixps[ixp.index()].city;
+        let router = *self
+            .city_router
+            .get(&(a, city))
+            .expect("IXP member must have a router in the IXP city");
+        let n = self.ixp_lan_counter[ixp.index()];
+        self.ixp_lan_counter[ixp.index()] = n + 1;
+        let ip = Ipv4(self.ixps[ixp.index()].lan.network().value() + 1 + n);
+        self.routers[router.index()].ifaces.push(ip);
+        self.ixp_iface.insert((a, ixp), (router, ip));
+        (router, ip)
+    }
+
+    fn create_points(&mut self, rng: &mut StdRng) {
+        let edges = self.edges.clone();
+        for (a, b, rel_b, ixp, latent) in edges {
+            let adj_id = AdjacencyId(self.adjacencies.len() as u32);
+            let mut point_ids = Vec::new();
+
+            if let Some(ixp_id) = ixp {
+                // Single point over the IXP LAN.
+                let (ar, aip) = self.ixp_iface_for(a, ixp_id);
+                let (br, bip) = self.ixp_iface_for(b, ixp_id);
+                let pid = PeeringPointId(self.points.len() as u32);
+                self.points.push(PeeringPoint {
+                    id: pid,
+                    adj: adj_id,
+                    city: self.ixps[ixp_id.index()].city,
+                    ixp: Some(ixp_id),
+                    route_server: rng.gen_bool(self.cfg.route_server_frac),
+                    a_router: ar,
+                    b_router: br,
+                    a_iface: aip,
+                    b_iface: bip,
+                    bias_a: rng.gen_range(0..50),
+                    bias_b: rng.gen_range(0..50),
+                });
+                point_ids.push(pid);
+            } else {
+                // Private interconnects in common cities.
+                let mut common: Vec<CityId> = self.cities[a.index()]
+                    .iter()
+                    .copied()
+                    .filter(|c| self.cities[b.index()].contains(c))
+                    .collect();
+                common.shuffle(rng);
+                let mut n_points = 1;
+                while n_points < self.cfg.max_points
+                    && n_points < common.len()
+                    && rng.gen_bool(self.cfg.multi_point_prob)
+                {
+                    n_points += 1;
+                }
+                for &city in common.iter().take(n_points.max(1).min(common.len().max(1))) {
+                    let ar = self.city_router[&(a, city)];
+                    let br = self.city_router[&(b, city)];
+                    // Link subnet from a's space (a is the provider for
+                    // transit edges by construction order, or the lower
+                    // index for peers).
+                    let j = self.link_counter[a.index()];
+                    self.link_counter[a.index()] += 1;
+                    assert!(plan::LINK_SUBNET_OFF + 2 * j + 1 < plan::HOST_OFF,
+                        "link subnet space exhausted for AS index {}", a.0);
+                    let base = self.block(a) + plan::LINK_SUBNET_OFF + 2 * j;
+                    let aip = Ipv4(base);
+                    let bip = Ipv4(base + 1);
+                    self.routers[ar.index()].ifaces.push(aip);
+                    self.routers[br.index()].ifaces.push(bip);
+                    let pid = PeeringPointId(self.points.len() as u32);
+                    self.points.push(PeeringPoint {
+                        id: pid,
+                        adj: adj_id,
+                        city,
+                        ixp: None,
+                        route_server: false,
+                        a_router: ar,
+                        b_router: br,
+                        a_iface: aip,
+                        b_iface: bip,
+                        bias_a: rng.gen_range(0..50),
+                        bias_b: rng.gen_range(0..50),
+                    });
+                    point_ids.push(pid);
+                }
+            }
+
+            let ecmp = point_ids.len() > 1 && rng.gen_bool(self.cfg.ecmp_adjacency_frac);
+            self.adjacencies.push(Adjacency {
+                id: adj_id,
+                a,
+                b,
+                rel_b,
+                points: point_ids,
+                ecmp,
+                latent,
+            });
+        }
+    }
+
+    fn create_intra_diamonds(&mut self, rng: &mut StdRng) {
+        for a in 0..self.cfg.num_ases {
+            let fp = self.cities[a].clone();
+            if fp.len() < 2 {
+                continue;
+            }
+            for &c1 in &fp {
+                for &c2 in &fp {
+                    if c1 == c2 || !rng.gen_bool(self.cfg.intra_diamond_frac) {
+                        continue;
+                    }
+                    let branches = rng.gen_range(2..=3);
+                    let mut set = Vec::new();
+                    for _ in 0..branches {
+                        // one mid router per branch, placed at c1
+                        let id = RouterId(self.routers.len() as u32);
+                        let k = self.iface_counter[a];
+                        self.iface_counter[a] += 1;
+                        assert!(plan::ROUTER_IFACE_OFF + k < plan::LINK_SUBNET_OFF,
+                            "router iface space exhausted for AS index {a}");
+                        let iface =
+                            Ipv4(self.block(AsIdx(a as u32)) + plan::ROUTER_IFACE_OFF + k);
+                        self.routers.push(Router {
+                            id,
+                            owner: AsIdx(a as u32),
+                            city: c1,
+                            internal_iface: iface,
+                            ifaces: vec![iface],
+                            responsive: !rng.gen_bool(self.cfg.unresponsive_router_frac),
+                            is_city_router: false,
+                        });
+                        set.push(vec![iface]);
+                    }
+                    self.intra.insert((AsIdx(a as u32), c1, c2), set);
+                }
+            }
+        }
+    }
+
+    fn originate_prefixes(&mut self, rng: &mut StdRng) {
+        for a in 0..self.cfg.num_ases {
+            let base = self.block(AsIdx(a as u32));
+            // Every AS originates its covering /16.
+            self.originated[a].push(Prefix::new(Ipv4(base), 16));
+            // Stubs and regionals originate extra specifics in the low half.
+            let extra = match self.tiers[a] {
+                Tier::Stub | Tier::Regional => rng.gen_range(0..=self.cfg.max_extra_prefixes),
+                _ => 0,
+            };
+            for e in 0..extra {
+                let len = *[20u8, 22, 24].choose(rng).expect("non-empty");
+                let span = 1u32 << (32 - len);
+                // Carve from the low half (destination space) without overlap
+                // by striding: slot e gets offset e * span within 0..0x8000.
+                let off = (e as u32) * span;
+                if off + span > 0x8000 {
+                    break;
+                }
+                self.originated[a].push(Prefix::new(Ipv4(base + off), len));
+            }
+        }
+    }
+
+    fn build_registry(&mut self, rng: &mut StdRng) {
+        // Facilities: 1-3 per city.
+        let mut city_facs: Vec<Vec<FacilityId>> = Vec::new();
+        for c in 0..self.cfg.num_cities {
+            let k = rng.gen_range(1..=3);
+            let mut ids = Vec::new();
+            for f in 0..k {
+                let id = FacilityId(self.registry.facilities.len() as u16);
+                self.registry.facilities.push(Facility {
+                    id,
+                    city: CityId(c as u16),
+                    name: format!("{}-fac{}", crate::city::CITY_TABLE[c].name, f),
+                });
+                ids.push(id);
+            }
+            city_facs.push(ids);
+        }
+        // AS presence: register at one facility per city, with omissions.
+        for a in 0..self.cfg.num_ases {
+            let mut facs = Vec::new();
+            for &c in &self.cities[a] {
+                if rng.gen_bool(self.cfg.registry_omission_frac) {
+                    continue;
+                }
+                let f = *city_facs[c.0 as usize].choose(rng).expect("non-empty");
+                facs.push(f);
+            }
+            self.registry.as_facilities.insert(AsIdx(a as u32), facs);
+        }
+        // IXP membership (initial members only, with omissions).
+        for ixp in &self.ixps {
+            let mut set = HashSet::new();
+            for &m in &ixp.members {
+                if !rng.gen_bool(self.cfg.registry_omission_frac) {
+                    set.insert(m);
+                }
+            }
+            self.registry.ixp_members.insert(ixp.id, set);
+            self.registry.ixp_lans.insert(ixp.id, ixp.lan);
+        }
+        // Relationship database: ground truth for non-latent edges.
+        for &(a, b, rel_b, _, latent) in &self.edges {
+            if latent {
+                continue;
+            }
+            match rel_b {
+                Relationship::Customer => {
+                    self.registry.p2c_pairs.insert((a, b));
+                }
+                Relationship::Provider => {
+                    self.registry.p2c_pairs.insert((b, a));
+                }
+                Relationship::Peer => {
+                    self.registry.peer_pairs.insert((a, b));
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Topology {
+        let mut ases = Vec::with_capacity(self.cfg.num_ases);
+        let mut asn_index = HashMap::new();
+        for a in 0..self.cfg.num_ases {
+            let asn = Asn(100 + a as u32);
+            asn_index.insert(asn, AsIdx(a as u32));
+            ases.push(AsInfo {
+                asn,
+                tier: self.tiers[a],
+                cities: self.cities[a].clone(),
+                block: Prefix::new(Ipv4(plan::AS_BASE + ((a as u32) << 16)), 16),
+                originated: self.originated[a].clone(),
+                neighbors: Vec::new(),
+                strips_communities: self.strips[a],
+                hub_city: self.cities[a][0],
+            });
+        }
+        // Neighbor lists from adjacencies.
+        for adj in &self.adjacencies {
+            ases[adj.a.index()].neighbors.push(NeighborRef {
+                peer: adj.b,
+                adj: adj.id,
+                rel: adj.rel_b,
+            });
+            ases[adj.b.index()].neighbors.push(NeighborRef {
+                peer: adj.a,
+                adj: adj.id,
+                rel: adj.rel_b.inverse(),
+            });
+        }
+        let mut iface_owner = HashMap::new();
+        for r in &self.routers {
+            for &ip in &r.ifaces {
+                iface_owner.insert(ip, r.id);
+            }
+        }
+        let mut topo = Topology {
+            ases,
+            adjacencies: self.adjacencies,
+            points: self.points,
+            routers: self.routers,
+            ixps: self.ixps,
+            num_cities: self.cfg.num_cities,
+            asn_index,
+            iface_owner,
+            intra: self.intra,
+            registry: self.registry,
+            city_router_index: HashMap::new(),
+        };
+        topo.build_city_router_index();
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::IpOwner;
+
+    fn small() -> Topology {
+        generate(&TopologyConfig::small(42))
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.num_ases(), b.num_ases());
+        assert_eq!(a.adjacencies.len(), b.adjacencies.len());
+        assert_eq!(a.points.len(), b.points.len());
+        for (x, y) in a.points.iter().zip(b.points.iter()) {
+            assert_eq!(x.a_iface, y.a_iface);
+            assert_eq!(x.b_iface, y.b_iface);
+        }
+    }
+
+    #[test]
+    fn structure_sane() {
+        let t = small();
+        assert_eq!(t.num_ases(), 60);
+        assert!(!t.adjacencies.is_empty());
+        assert!(!t.points.is_empty());
+        assert!(t.ixps.len() == 3);
+        // Every non-tier1 AS has at least one provider (connectivity).
+        for (i, a) in t.ases.iter().enumerate() {
+            if a.tier != Tier::Tier1 {
+                assert!(
+                    a.neighbors.iter().any(|n| n.rel == Relationship::Provider),
+                    "AS idx {i} ({:?}) has no provider",
+                    a.tier
+                );
+            }
+            assert!(!a.cities.is_empty());
+            assert!(a.cities.contains(&a.hub_city));
+        }
+    }
+
+    #[test]
+    fn no_provider_cycles() {
+        // Tiers enforce a DAG: provider tier index must be <= customer's.
+        let t = small();
+        let rank = |x: Tier| match x {
+            Tier::Tier1 => 0,
+            Tier::Transit => 1,
+            Tier::Regional => 2,
+            Tier::Stub => 3,
+        };
+        for adj in &t.adjacencies {
+            if adj.rel_b == Relationship::Customer {
+                assert!(
+                    rank(t.as_info(adj.a).tier) <= rank(t.as_info(adj.b).tier),
+                    "provider {:?} below customer {:?}",
+                    t.as_info(adj.a).tier,
+                    t.as_info(adj.b).tier
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn address_plan_consistent() {
+        let t = small();
+        for (i, a) in t.ases.iter().enumerate() {
+            assert_eq!(t.owner_of_ip(a.block.network()), IpOwner::As(AsIdx(i as u32)));
+            for p in &a.originated {
+                assert!(a.block.covers(*p), "{p} outside block {}", a.block);
+                assert!(!p.more_specific_than_24());
+            }
+        }
+        for ixp in &t.ixps {
+            assert_eq!(t.owner_of_ip(ixp.lan.network()), IpOwner::Ixp(ixp.id));
+        }
+        // Interface ownership maps back to routers.
+        for r in &t.routers {
+            for &ip in &r.ifaces {
+                assert_eq!(t.router_of_iface(ip), Some(r.id));
+            }
+        }
+    }
+
+    #[test]
+    fn points_reference_real_routers_in_city() {
+        let t = small();
+        for p in &t.points {
+            let adj = t.adjacency(p.adj);
+            assert_eq!(t.router(p.a_router).owner, adj.a);
+            assert_eq!(t.router(p.b_router).owner, adj.b);
+            assert_eq!(t.router(p.a_router).city, p.city);
+            assert_eq!(t.router(p.b_router).city, p.city);
+            if let Some(ixp) = p.ixp {
+                assert_eq!(t.ixp(ixp).city, p.city);
+                assert!(t.ixp(ixp).lan.contains(p.a_iface));
+                assert!(t.ixp(ixp).lan.contains(p.b_iface));
+            }
+        }
+    }
+
+    #[test]
+    fn ixp_ifaces_shared_across_adjacencies() {
+        // The same (AS, IXP) interface must appear for every session that AS
+        // has at the IXP — the Figure 14 sharing property.
+        let t = small();
+        let mut by_as_ixp: HashMap<(AsIdx, IxpId), HashSet<Ipv4>> = HashMap::new();
+        for p in &t.points {
+            if let Some(ixp) = p.ixp {
+                let adj = t.adjacency(p.adj);
+                by_as_ixp.entry((adj.a, ixp)).or_default().insert(p.a_iface);
+                by_as_ixp.entry((adj.b, ixp)).or_default().insert(p.b_iface);
+            }
+        }
+        for ((a, ixp), set) in by_as_ixp {
+            assert_eq!(set.len(), 1, "{a:?} has {} LAN addrs at {ixp}", set.len());
+        }
+    }
+
+    #[test]
+    fn latent_adjacencies_exist_and_are_ixp_peerings() {
+        let t = small();
+        let latents: Vec<_> = t.adjacencies.iter().filter(|a| a.latent).collect();
+        assert!(!latents.is_empty(), "config requested latent members");
+        for adj in latents {
+            assert_eq!(adj.rel_b, Relationship::Peer);
+            assert!(t.point(adj.points[0]).ixp.is_some());
+            // Latent members are not in the initial IXP member list.
+            let ixp = t.point(adj.points[0]).ixp.expect("checked above");
+            let members = &t.ixp(ixp).members;
+            assert!(
+                !members.contains(&adj.a) || !members.contains(&adj.b),
+                "latent adjacency between two initial members"
+            );
+        }
+    }
+
+    #[test]
+    fn diamonds_generated() {
+        let t = small();
+        assert!(
+            t.intra.values().any(|b| b.len() >= 2),
+            "expected intradomain diamonds"
+        );
+        assert!(
+            t.adjacencies.iter().any(|a| a.ecmp),
+            "expected at least one interdomain ECMP adjacency"
+        );
+        // Branch routers exist and are distinct per diamond.
+        for branches in t.intra.values() {
+            let mut seen = HashSet::new();
+            for b in branches {
+                for ip in b {
+                    assert!(seen.insert(*ip), "shared mid router across branches");
+                    assert!(t.router_of_iface(*ip).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn registry_has_omissions_but_sane() {
+        let t = small();
+        // Every documented member is a true member.
+        for (ixp, doc) in &t.registry.ixp_members {
+            for m in doc {
+                assert!(t.ixp(*ixp).members.contains(m));
+            }
+        }
+        // Route server ASNs cover all IXPs.
+        assert_eq!(t.registry.route_server_asns.len(), t.ixps.len());
+    }
+
+    #[test]
+    fn evaluation_scale_generates() {
+        let t = generate(&TopologyConfig::evaluation(7));
+        assert_eq!(t.num_ases(), 400);
+        // A generous majority of ASes must be multi-homed or peered.
+        let multi = t.ases.iter().filter(|a| a.neighbors.len() >= 2).count();
+        assert!(multi * 2 > t.num_ases(), "graph too sparse: {multi}");
+        // Multi-point adjacencies exist (the substrate for border-level
+        // changes without AS-path changes).
+        assert!(t.adjacencies.iter().any(|a| a.points.len() >= 2));
+    }
+}

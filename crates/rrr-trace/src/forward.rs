@@ -1,0 +1,366 @@
+//! Data-plane path derivation.
+//!
+//! The forwarding walk mirrors real traceroute semantics: each router on the
+//! path contributes the interface *facing the previous hop*, so border
+//! crossings show the far side's address on the link medium (a private /31
+//! from the near AS's space, or the far member's IXP LAN address).
+
+use rrr_bgp::{egress_points, NetState, RouteTable};
+use rrr_topology::{AsIdx, IpOwner, Topology};
+use rrr_types::{CityId, Ipv4, PeeringPointId, RouterId};
+
+/// One data-plane hop: the router and the interface it would reply from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    pub router: RouterId,
+    pub iface: Ipv4,
+}
+
+/// A concrete forwarding path for one flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardPath {
+    /// Router-level steps from the first hop router to the last router
+    /// before the destination host.
+    pub steps: Vec<Step>,
+    /// AS-level chain (source AS … destination AS).
+    pub as_chain: Vec<AsIdx>,
+    /// Peering points crossed, in order.
+    pub crossings: Vec<PeeringPointId>,
+    /// Whether the destination AS was reached.
+    pub reached: bool,
+}
+
+/// Per-flow deterministic hash used by load balancers.
+fn flow_hash(flow: u64, salt: u64) -> u64 {
+    let mut z = (flow ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+/// Computes the forwarding path from a host in (`src_as`, `src_city`) to
+/// `dst`, for load-balancing flow id `flow`.
+///
+/// Returns `None` when `dst` is outside the address plan. An unreachable
+/// destination yields a partial path with `reached == false`.
+pub fn forward(
+    topo: &Topology,
+    state: &NetState,
+    routes: &RouteTable,
+    src_as: AsIdx,
+    src_city: CityId,
+    dst: Ipv4,
+    flow: u64,
+) -> Option<ForwardPath> {
+    let IpOwner::As(dst_as) = topo.owner_of_ip(dst) else {
+        return None;
+    };
+
+    let mut steps: Vec<Step> = Vec::new();
+    let mut as_chain = vec![src_as];
+    let mut crossings = Vec::new();
+
+    // First hop: the source AS's city router where the probe attaches.
+    let first = topo
+        .city_router(src_as, src_city)
+        .expect("probe city must be in the AS footprint");
+    steps.push(Step { router: first, iface: topo.router(first).internal_iface });
+
+    let mut cur_as = src_as;
+    let mut cur_city = src_city;
+
+    while cur_as != dst_as {
+        let Some(entry) = routes.route(dst_as, cur_as) else {
+            return Some(ForwardPath { steps, as_chain, crossings, reached: false });
+        };
+        let Some(next) = entry.next else {
+            return Some(ForwardPath { steps, as_chain, crossings, reached: false });
+        };
+        let Some(nref) = topo.as_info(cur_as).neighbor(next) else {
+            return Some(ForwardPath { steps, as_chain, crossings, reached: false });
+        };
+        let pts = egress_points(topo, state, cur_as, nref.adj, cur_city);
+        if pts.is_empty() {
+            return Some(ForwardPath { steps, as_chain, crossings, reached: false });
+        }
+        let point = pts[flow_hash(flow, nref.adj.index() as u64) as usize % pts.len()];
+        let pt = topo.point(point);
+
+        // Intra-AS walk from cur_city to the egress city.
+        walk_intra(topo, state, routes, cur_as, cur_city, pt.city, flow, &mut steps);
+
+        // Cross the border: the far side's interface on the link medium.
+        let adj = topo.adjacency(pt.adj);
+        let (far_router, far_iface) = pt.side(adj.a == next);
+        steps.push(Step { router: far_router, iface: far_iface });
+        crossings.push(point);
+        as_chain.push(next);
+        cur_as = next;
+        cur_city = pt.city;
+
+        if as_chain.len() > topo.num_ases() {
+            return Some(ForwardPath { steps, as_chain, crossings, reached: false });
+        }
+    }
+
+    // Inside the destination AS, traffic flows to the city hosting `dst`
+    // (the AS's hub city hosts anchors and originated space).
+    let dst_city = topo.as_info(dst_as).hub_city;
+    walk_intra(topo, state, routes, dst_as, cur_city, dst_city, flow, &mut steps);
+
+    Some(ForwardPath { steps, as_chain, crossings, reached: true })
+}
+
+/// Walks inside one AS from `from` to `to`, appending mid-router hops (a
+/// flow-selected diamond branch) and the destination city router.
+fn walk_intra(
+    topo: &Topology,
+    _state: &NetState,
+    _routes: &RouteTable,
+    asx: AsIdx,
+    from: CityId,
+    to: CityId,
+    flow: u64,
+    steps: &mut Vec<Step>,
+) {
+    if from == to {
+        return;
+    }
+    let branches = topo.intra_branches(asx, from, to);
+    let idx = flow_hash(flow, (asx.0 as u64) << 32 | (from.0 as u64) << 16 | to.0 as u64)
+        as usize
+        % branches.len();
+    for &mid in &branches[idx] {
+        let router = topo.router_of_iface(mid).expect("mid iface registered");
+        steps.push(Step { router, iface: mid });
+    }
+    let dest_router = topo
+        .city_router(asx, to)
+        .expect("egress city is in the AS footprint");
+    steps.push(Step { router: dest_router, iface: topo.router(dest_router).internal_iface });
+}
+
+/// A flow-independent description of the current path: the AS chain plus,
+/// per inter-AS crossing, the full set of points a flow might take (a
+/// singleton unless the adjacency ECMPs).
+///
+/// This is the ground truth used to decide whether a path has *changed*:
+/// flow-dependent wandering inside a load-balanced set is not a change,
+/// moving to a different set is (§5.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalPath {
+    pub as_chain: Vec<AsIdx>,
+    /// For each crossing, the sorted set of usable points.
+    pub crossings: Vec<Vec<PeeringPointId>>,
+    pub reached: bool,
+}
+
+impl CanonicalPath {
+    /// Border-level equality: same AS chain and same point sets.
+    pub fn same_border_path(&self, other: &CanonicalPath) -> bool {
+        self == other
+    }
+
+    /// AS-level equality.
+    pub fn same_as_path(&self, other: &CanonicalPath) -> bool {
+        self.as_chain == other.as_chain && self.reached == other.reached
+    }
+}
+
+/// Computes the canonical (flow-independent) path description.
+pub fn canonical_path(
+    topo: &Topology,
+    state: &NetState,
+    routes: &RouteTable,
+    src_as: AsIdx,
+    src_city: CityId,
+    dst: Ipv4,
+) -> Option<CanonicalPath> {
+    let IpOwner::As(dst_as) = topo.owner_of_ip(dst) else {
+        return None;
+    };
+    let mut as_chain = vec![src_as];
+    let mut crossings = Vec::new();
+    let mut cur_as = src_as;
+    let mut cur_city = src_city;
+    while cur_as != dst_as {
+        let Some(next) = routes.route(dst_as, cur_as).and_then(|e| e.next) else {
+            return Some(CanonicalPath { as_chain, crossings, reached: false });
+        };
+        let Some(nref) = topo.as_info(cur_as).neighbor(next) else {
+            return Some(CanonicalPath { as_chain, crossings, reached: false });
+        };
+        let pts = egress_points(topo, state, cur_as, nref.adj, cur_city);
+        if pts.is_empty() {
+            return Some(CanonicalPath { as_chain, crossings, reached: false });
+        }
+        // For ECMP adjacencies `egress_points` already returns the sorted
+        // set; the representative city for the onward walk is the first
+        // point's (deterministic).
+        cur_city = topo.point(pts[0]).city;
+        crossings.push(pts);
+        as_chain.push(next);
+        cur_as = next;
+        if as_chain.len() > topo.num_ases() {
+            return Some(CanonicalPath { as_chain, crossings, reached: false });
+        }
+    }
+    Some(CanonicalPath { as_chain, crossings, reached: true })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrr_bgp::compute_routes;
+    use rrr_topology::{generate, TopologyConfig};
+    use std::collections::HashSet;
+
+    fn setup() -> (rrr_topology::Topology, NetState, RouteTable) {
+        let topo = generate(&TopologyConfig::small(11));
+        let state = NetState::new(&topo);
+        let routes = compute_routes(&topo, &state);
+        (topo, state, routes)
+    }
+
+    #[test]
+    fn forward_reaches_all_destinations() {
+        let (topo, state, routes) = setup();
+        let src = AsIdx(10);
+        let city = topo.as_info(src).hub_city;
+        for d in 0..topo.num_ases() {
+            let dst = topo.host_addr(AsIdx(d as u32), 5);
+            let p = forward(&topo, &state, &routes, src, city, dst, 0).expect("in plan");
+            assert!(p.reached, "unreachable dst AS {d}");
+            assert_eq!(*p.as_chain.last().expect("non-empty"), AsIdx(d as u32));
+            assert_eq!(p.as_chain.len(), p.crossings.len() + 1);
+            assert!(!p.steps.is_empty());
+        }
+    }
+
+    #[test]
+    fn hops_follow_crossing_semantics() {
+        let (topo, state, routes) = setup();
+        let src = AsIdx(10);
+        let city = topo.as_info(src).hub_city;
+        let dst = topo.host_addr(AsIdx(0), 1);
+        let p = forward(&topo, &state, &routes, src, city, dst, 3).expect("path");
+        // Every crossing's far-side interface appears in the step list.
+        for (i, &cr) in p.crossings.iter().enumerate() {
+            let pt = topo.point(cr);
+            let far_as = p.as_chain[i + 1];
+            let adj = topo.adjacency(pt.adj);
+            let (fr, fi) = pt.side(adj.a == far_as);
+            assert!(
+                p.steps.iter().any(|s| s.router == fr && s.iface == fi),
+                "crossing {cr} far side missing from steps"
+            );
+        }
+        // Router owners along the path only belong to chain ASes.
+        let chain: HashSet<AsIdx> = p.as_chain.iter().copied().collect();
+        for s in &p.steps {
+            assert!(chain.contains(&topo.router(s.router).owner));
+        }
+    }
+
+    #[test]
+    fn flow_variation_only_inside_diamonds() {
+        let (topo, state, routes) = setup();
+        // For non-ECMP paths without intra diamonds, all flows take the same
+        // route; with diamonds, flows may differ but the canonical path is
+        // identical.
+        let src = AsIdx(12);
+        let city = topo.as_info(src).hub_city;
+        for d in 0..topo.num_ases() {
+            let dst = topo.host_addr(AsIdx(d as u32), 9);
+            let canon = canonical_path(&topo, &state, &routes, src, city, dst).expect("in plan");
+            for flow in 0..8u64 {
+                let p = forward(&topo, &state, &routes, src, city, dst, flow).expect("in plan");
+                assert_eq!(p.as_chain, canon.as_chain, "AS chain must be flow-invariant");
+                for (i, cr) in p.crossings.iter().enumerate() {
+                    assert!(
+                        canon.crossings[i].contains(cr),
+                        "flow crossing outside canonical set"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_detects_border_change_on_bias_shift() {
+        let (topo, mut state, routes) = setup();
+        // Find a src/dst whose first crossing uses a multi-point, non-ecmp
+        // adjacency; shift bias; canonical path must change at border level
+        // but not AS level.
+        for srci in 0..topo.num_ases() {
+            let src = AsIdx(srci as u32);
+            let city = topo.as_info(src).hub_city;
+            for d in 0..topo.num_ases() {
+                let dst = topo.host_addr(AsIdx(d as u32), 2);
+                let canon =
+                    canonical_path(&topo, &state, &routes, src, city, dst).expect("in plan");
+                if canon.crossings.is_empty() {
+                    continue;
+                }
+                let first = canon.crossings[0].clone();
+                if first.len() != 1 {
+                    continue;
+                }
+                let pt = topo.point(first[0]);
+                let adj = topo.adjacency(pt.adj);
+                if adj.points.len() < 2 || adj.ecmp {
+                    continue;
+                }
+                let side_a = adj.a == src;
+                if side_a {
+                    state.bias_a[first[0].index()] = 1_000_000;
+                } else {
+                    state.bias_b[first[0].index()] = 1_000_000;
+                }
+                let after =
+                    canonical_path(&topo, &state, &routes, src, city, dst).expect("in plan");
+                assert!(after.same_as_path(&canon));
+                assert!(!after.same_border_path(&canon));
+                return;
+            }
+        }
+        panic!("no suitable multi-point crossing found");
+    }
+
+    #[test]
+    fn unreachable_when_partitioned() {
+        let (topo, mut state, _) = setup();
+        // Take down every adjacency: nothing beyond the source AS.
+        for a in 0..state.adj_active.len() {
+            state.adj_active[a] = false;
+        }
+        let routes = compute_routes(&topo, &state);
+        let src = AsIdx(10);
+        let city = topo.as_info(src).hub_city;
+        let dst = topo.host_addr(AsIdx(0), 1);
+        let p = forward(&topo, &state, &routes, src, city, dst, 0).expect("in plan");
+        assert!(!p.reached);
+        assert_eq!(p.as_chain, vec![src]);
+        let c = canonical_path(&topo, &state, &routes, src, city, dst).expect("in plan");
+        assert!(!c.reached);
+    }
+
+    #[test]
+    fn forward_to_own_as() {
+        let (topo, state, routes) = setup();
+        let src = AsIdx(10);
+        let city = topo.as_info(src).hub_city;
+        let dst = topo.host_addr(src, 77);
+        let p = forward(&topo, &state, &routes, src, city, dst, 0).expect("in plan");
+        assert!(p.reached);
+        assert_eq!(p.as_chain, vec![src]);
+        assert!(p.crossings.is_empty());
+    }
+
+    #[test]
+    fn out_of_plan_destination_rejected() {
+        let (topo, state, routes) = setup();
+        let src = AsIdx(10);
+        let city = topo.as_info(src).hub_city;
+        assert!(forward(&topo, &state, &routes, src, city, Ipv4::new(8, 8, 8, 8), 0).is_none());
+    }
+}

@@ -1,0 +1,360 @@
+//! A RIPE-Atlas-like measurement platform: probes (some of which are
+//! anchors), the anchoring mesh campaign, a topology-discovery campaign,
+//! and ad-hoc measurements.
+//!
+//! Traceroutes synthesized here include the measurement noise the paper's
+//! pipeline must survive: unresponsive routers, transient per-hop loss, and
+//! Paris-style flow variation across rounds (load-balanced paths wander
+//! within their diamond).
+
+use crate::forward::forward;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rrr_bgp::Engine;
+use rrr_topology::{AsIdx, Tier, Topology};
+use rrr_types::{
+    AnchorId, CityId, Hop, Ipv4, ProbeId, Timestamp, Traceroute, TracerouteId,
+};
+
+/// Platform configuration.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    pub seed: u64,
+    /// Total probes, including anchors.
+    pub num_probes: usize,
+    /// The first `num_anchors` probes are anchors (well-known targets that
+    /// also measure).
+    pub num_anchors: usize,
+    /// Non-anchor probes assigned to each anchor's mesh measurement.
+    pub probes_per_anchor: usize,
+    /// Probability a responsive hop transiently fails to answer.
+    pub hop_loss_prob: f64,
+    /// Number of Paris traceroute flow variants cycled across measurements.
+    pub paris_ids: u64,
+}
+
+impl PlatformConfig {
+    pub fn small(seed: u64) -> Self {
+        PlatformConfig {
+            seed,
+            num_probes: 40,
+            num_anchors: 8,
+            probes_per_anchor: 6,
+            hop_loss_prob: 0.01,
+            paris_ids: 16,
+        }
+    }
+
+    pub fn evaluation(seed: u64) -> Self {
+        PlatformConfig {
+            seed,
+            num_probes: 220,
+            num_anchors: 40,
+            probes_per_anchor: 24,
+            hop_loss_prob: 0.01,
+            paris_ids: 16,
+        }
+    }
+}
+
+/// A measurement vantage point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    pub id: ProbeId,
+    pub asx: AsIdx,
+    pub city: CityId,
+    pub addr: Ipv4,
+    pub is_anchor: bool,
+}
+
+/// An anchor: a probe with a well-known target address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Anchor {
+    pub id: AnchorId,
+    pub probe: ProbeId,
+    pub addr: Ipv4,
+}
+
+/// The measurement platform.
+pub struct Platform {
+    pub probes: Vec<Probe>,
+    pub anchors: Vec<Anchor>,
+    /// Stable probe subset assigned to each anchor's mesh measurement.
+    mesh: Vec<Vec<ProbeId>>,
+    hop_loss_prob: f64,
+    paris_ids: u64,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl Platform {
+    /// Creates the platform: anchors are placed in distinct, well-connected
+    /// ASes; probes are weighted toward edge networks (like real Atlas).
+    pub fn new(topo: &Topology, cfg: &PlatformConfig) -> Self {
+        assert!(cfg.num_anchors <= cfg.num_probes);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Hosts per AS so several probes can share an AS without address
+        // collisions.
+        let mut host_counter = vec![0u32; topo.num_ases()];
+        let mut alloc = |topo: &Topology, asx: AsIdx| {
+            let k = host_counter[asx.index()];
+            host_counter[asx.index()] += 1;
+            topo.host_addr(asx, k)
+        };
+
+        let all: Vec<AsIdx> = (0..topo.num_ases()).map(|i| AsIdx(i as u32)).collect();
+        let stubs: Vec<AsIdx> = all
+            .iter()
+            .copied()
+            .filter(|&i| matches!(topo.as_info(i).tier, Tier::Stub | Tier::Regional))
+            .collect();
+
+        let mut probes = Vec::with_capacity(cfg.num_probes);
+        for i in 0..cfg.num_probes {
+            let is_anchor = i < cfg.num_anchors;
+            // Anchors anywhere; probes 80% in edge networks.
+            let asx = if is_anchor || stubs.is_empty() || rng.gen_bool(0.2) {
+                *all.choose(&mut rng).expect("non-empty")
+            } else {
+                *stubs.choose(&mut rng).expect("non-empty")
+            };
+            let info = topo.as_info(asx);
+            let city = *info.cities.choose(&mut rng).expect("AS has a city");
+            let addr = alloc(topo, asx);
+            probes.push(Probe { id: ProbeId(i as u32), asx, city, addr, is_anchor });
+        }
+
+        let anchors: Vec<Anchor> = probes
+            .iter()
+            .filter(|p| p.is_anchor)
+            .enumerate()
+            .map(|(i, p)| Anchor { id: AnchorId(i as u32), probe: p.id, addr: p.addr })
+            .collect();
+
+        // Mesh assignment: a stable random subset of non-anchor probes per
+        // anchor (the paper: the probe set per anchor is kept stable).
+        let non_anchor: Vec<ProbeId> = probes
+            .iter()
+            .filter(|p| !p.is_anchor)
+            .map(|p| p.id)
+            .collect();
+        let mesh = anchors
+            .iter()
+            .map(|_| {
+                non_anchor
+                    .choose_multiple(&mut rng, cfg.probes_per_anchor.min(non_anchor.len()))
+                    .copied()
+                    .collect()
+            })
+            .collect();
+
+        Platform {
+            probes,
+            anchors,
+            mesh,
+            hop_loss_prob: cfg.hop_loss_prob,
+            paris_ids: cfg.paris_ids,
+            rng,
+            next_id: 0,
+        }
+    }
+
+    pub fn probe(&self, id: ProbeId) -> &Probe {
+        &self.probes[id.index()]
+    }
+
+    /// Probes assigned to an anchor's mesh measurement.
+    pub fn mesh_probes(&self, anchor: AnchorId) -> &[ProbeId] {
+        &self.mesh[anchor.index()]
+    }
+
+    /// Issues one traceroute from `probe` to `dst` at time `t`.
+    pub fn measure(&mut self, eng: &Engine, probe: ProbeId, dst: Ipv4, t: Timestamp) -> Traceroute {
+        let p = self.probes[probe.index()];
+        let paris: u64 = self.rng.gen_range(0..self.paris_ids);
+        let flow = (probe.0 as u64) << 40 ^ (dst.value() as u64) << 8 ^ paris;
+        let id = TracerouteId(self.next_id);
+        self.next_id += 1;
+
+        let topo = eng.topo();
+        let Some(fwd) = forward(topo, eng.state(), eng.routes(), p.asx, p.city, dst, flow) else {
+            return Traceroute {
+                id,
+                probe,
+                src: p.addr,
+                dst,
+                time: t,
+                hops: Vec::new(),
+                reached: false,
+            };
+        };
+
+        let mut hops: Vec<Hop> = Vec::with_capacity(fwd.steps.len() + 1);
+        for s in &fwd.steps {
+            let responsive =
+                topo.router(s.router).responsive && !self.rng.gen_bool(self.hop_loss_prob);
+            hops.push(if responsive { Hop::responsive(s.iface) } else { Hop::star() });
+        }
+        if fwd.reached && dst != p.addr {
+            hops.push(Hop::responsive(dst));
+        }
+        Traceroute { id, probe, src: p.addr, dst, time: t, hops, reached: fwd.reached }
+    }
+
+    /// One anchoring-measurement round: every assigned probe traces to every
+    /// anchor, and all anchors trace to each other (§5.1.1).
+    pub fn anchoring_round(&mut self, eng: &Engine, t: Timestamp) -> Vec<Traceroute> {
+        let mut out = Vec::new();
+        let anchors = self.anchors.clone();
+        for a in &anchors {
+            for pid in self.mesh[a.id.index()].clone() {
+                out.push(self.measure(eng, pid, a.addr, t));
+            }
+            for b in &anchors {
+                if a.id != b.id {
+                    out.push(self.measure(eng, b.probe, a.addr, t));
+                }
+            }
+        }
+        out
+    }
+
+    /// One round of the topology-discovery campaign (built-in #5051
+    /// analogue): each destination prefix's `.1` address is probed from one
+    /// randomly allocated probe.
+    pub fn topology_round(&mut self, eng: &Engine, t: Timestamp) -> Vec<Traceroute> {
+        let targets: Vec<Ipv4> = eng
+            .topo()
+            .all_originations()
+            .map(|(p, _)| p.nth(1))
+            .collect();
+        let mut out = Vec::with_capacity(targets.len());
+        for dst in targets {
+            let pid = ProbeId(self.rng.gen_range(0..self.probes.len() as u32));
+            out.push(self.measure(eng, pid, dst, t));
+        }
+        out
+    }
+
+    /// Ad-hoc random public measurements: `n` traceroutes from random
+    /// probes. Destination popularity is skewed like real user-defined
+    /// measurements: half the traceroutes target a small "popular" subset
+    /// of networks, the rest are uniform.
+    pub fn random_round(&mut self, eng: &Engine, t: Timestamp, n: usize) -> Vec<Traceroute> {
+        let origin_count = eng.topo().num_ases();
+        let popular = (origin_count / 8).max(1);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pid = ProbeId(self.rng.gen_range(0..self.probes.len() as u32));
+            let asx = if self.rng.gen_bool(0.5) {
+                AsIdx(self.rng.gen_range(0..popular as u32))
+            } else {
+                AsIdx(self.rng.gen_range(0..origin_count as u32))
+            };
+            let prefixes = &eng.topo().as_info(asx).originated;
+            let pfx = prefixes[self.rng.gen_range(0..prefixes.len())];
+            let host = self.rng.gen_range(1..pfx.size().min(256));
+            out.push(self.measure(eng, pid, pfx.nth(host), t));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrr_bgp::{generate_events, EngineConfig, EventConfig};
+    use rrr_topology::{generate, TopologyConfig};
+    use rrr_types::Duration;
+    use std::sync::Arc;
+
+    fn setup() -> (Engine, Platform) {
+        let topo = Arc::new(generate(&TopologyConfig::small(11)));
+        let events = generate_events(&topo, &EventConfig::small(11, Duration::days(5)));
+        let eng = Engine::new(Arc::clone(&topo), &EngineConfig { seed: 11, num_vps: 6 }, events);
+        let plat = Platform::new(&topo, &PlatformConfig::small(11));
+        (eng, plat)
+    }
+
+    #[test]
+    fn platform_layout() {
+        let (_eng, plat) = setup();
+        assert_eq!(plat.probes.len(), 40);
+        assert_eq!(plat.anchors.len(), 8);
+        for a in &plat.anchors {
+            assert!(plat.probe(a.probe).is_anchor);
+            assert_eq!(plat.probe(a.probe).addr, a.addr);
+            assert_eq!(plat.mesh_probes(a.id).len(), 6);
+        }
+        // Probe addresses are unique.
+        let mut seen = std::collections::HashSet::new();
+        for p in &plat.probes {
+            assert!(seen.insert(p.addr), "duplicate probe address");
+        }
+    }
+
+    #[test]
+    fn measure_produces_valid_traceroute() {
+        let (eng, mut plat) = setup();
+        let a = plat.anchors[0];
+        let pid = plat.mesh_probes(a.id)[0];
+        let tr = plat.measure(&eng, pid, a.addr, Timestamp(0));
+        assert!(tr.reached);
+        assert_eq!(tr.dst, a.addr);
+        assert_eq!(tr.src, plat.probe(pid).addr);
+        // Last hop is the destination.
+        assert_eq!(tr.hops.last().and_then(|h| h.addr), Some(a.addr));
+        assert!(!tr.has_ip_loop(), "{tr}");
+    }
+
+    #[test]
+    fn anchoring_round_counts() {
+        let (eng, mut plat) = setup();
+        let round = plat.anchoring_round(&eng, Timestamp(0));
+        // 8 anchors × (6 probes + 7 other anchors)
+        assert_eq!(round.len(), 8 * (6 + 7));
+    }
+
+    #[test]
+    fn topology_round_covers_all_prefixes() {
+        let (eng, mut plat) = setup();
+        let round = plat.topology_round(&eng, Timestamp(0));
+        let total: usize = eng.topo().all_originations().count();
+        assert_eq!(round.len(), total);
+    }
+
+    #[test]
+    fn unresponsive_routers_yield_stars() {
+        // With hop loss forced high, stars must appear.
+        let topo = Arc::new(generate(&TopologyConfig::small(11)));
+        let eng = Engine::new(Arc::clone(&topo), &EngineConfig { seed: 1, num_vps: 2 }, vec![]);
+        let mut cfg = PlatformConfig::small(11);
+        cfg.hop_loss_prob = 0.9;
+        let mut plat = Platform::new(&topo, &cfg);
+        let a = plat.anchors[0].addr;
+        let pid = plat.probes.iter().find(|p| !p.is_anchor).expect("probe").id;
+        let tr = plat.measure(&eng, pid, a, Timestamp(0));
+        assert!(tr.has_stars());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (eng, mut plat1) = setup();
+        let (_, mut plat2) = setup();
+        let r1 = plat1.anchoring_round(&eng, Timestamp(0));
+        let r2 = plat2.anchoring_round(&eng, Timestamp(0));
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn random_round_in_plan() {
+        let (eng, mut plat) = setup();
+        let rs = plat.random_round(&eng, Timestamp(5), 50);
+        assert_eq!(rs.len(), 50);
+        for tr in &rs {
+            assert!(tr.reached, "all plan destinations reachable initially");
+        }
+    }
+}

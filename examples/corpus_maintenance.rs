@@ -1,0 +1,91 @@
+//! Corpus maintenance under a probing budget (the paper's live-evaluation
+//! workflow, §5.2 / §4.3.1): signals flag stale traceroutes; the
+//! calibration-driven planner decides which to re-measure within a daily
+//! budget; refreshes verify the signals and feed TPR/TNR learning.
+//!
+//! Run with: `cargo run --release --example corpus_maintenance`
+
+use rrr::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let seed = 11;
+    let days = 4u64;
+
+    let topo = Arc::new(rrr::topology::generate(&TopologyConfig::small(seed)));
+    let events = rrr::bgp::generate_events(
+        &topo,
+        &EventConfig::small(seed, Duration::days(days)),
+    );
+    let mut engine = Engine::new(
+        Arc::clone(&topo),
+        &EngineConfig { seed, num_vps: 10 },
+        events,
+    );
+    let mut platform = Platform::new(&topo, &PlatformConfig::small(seed));
+
+    let rib = engine.rib_snapshot();
+    let mut map = IpToAsMap::from_announcements(rib.iter());
+    for (ixp, lan) in &topo.registry.ixp_lans {
+        map.add_ixp_lan(*lan, *ixp);
+    }
+    let geo = Geolocator::new(GeoDb::noisy(&topo, 0.9, 0.95, seed), vec![]);
+    let alias = AliasResolver::from_topology(&topo, 0.1, seed);
+    let vps = engine.vps().iter().map(|v| v.id).collect();
+    let mut det = StalenessDetector::new(
+        Arc::clone(&topo),
+        map,
+        geo,
+        alias,
+        vps,
+        DetectorConfig::default(),
+    );
+    det.init_rib(&rib);
+
+    // Corpus: the full anchoring mesh at t0.
+    for tr in platform.anchoring_round(&engine, Timestamp::ZERO) {
+        let src_asn = topo.asn_of(platform.probe(tr.probe).asx);
+        det.add_corpus(tr, Some(src_asn));
+    }
+    println!("corpus: {} traceroutes", det.corpus().len());
+
+    // Daily budget: 10% of the corpus (the paper's RIPE quota analogue).
+    let budget = det.corpus().len() / 10;
+    println!("daily refresh budget: {budget} traceroutes\n");
+
+    for day in 0..days {
+        for r in 1..=96u64 {
+            let t = Timestamp(day * 86_400 + r * 900);
+            let updates = engine.advance_to(t);
+            let public = platform.random_round(&engine, t, 80);
+            let _ = det.step(t, &updates, &public);
+        }
+        let t = Timestamp((day + 1) * 86_400);
+        let (_, stale_before, _) = det.corpus().freshness_counts();
+
+        // Spend the budget where signals (weighted by calibration) say.
+        let plan = det.plan_refresh(budget);
+        let mut found = 0usize;
+        let planned = plan.refresh.len();
+        for id in plan.refresh {
+            let Some(e) = det.corpus().get(id) else { continue };
+            let (probe, dst) = (e.traceroute.probe, e.traceroute.dst);
+            let fresh = platform.measure(&engine, probe, dst, t);
+            let src_asn = topo.asn_of(platform.probe(probe).asx);
+            let (_, changed) = det.apply_refresh(id, fresh, Some(src_asn));
+            if changed {
+                found += 1;
+            }
+        }
+        let (fresh, stale, unknown) = det.corpus().freshness_counts();
+        println!(
+            "day {}: {stale_before} flagged stale; refreshed {planned} → {found} real changes; \
+             corpus now {fresh} fresh / {stale} stale / {unknown} unknown",
+            day + 1,
+        );
+    }
+    println!(
+        "\ncalibration pruned {} misleading (community, destination) combinations",
+        det.calibrator().pruned_communities()
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: build a small synthetic Internet, monitor a handful of
+//! traceroutes, stream two days of BGP updates and public traceroutes, and
+//! print every staleness prediction signal as it fires.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rrr::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let seed = 7;
+    let days = 2u64;
+
+    // --- the simulated world (stands in for the live Internet) ---
+    let topo = Arc::new(rrr::topology::generate(&TopologyConfig::small(seed)));
+    let events = rrr::bgp::generate_events(
+        &topo,
+        &EventConfig::small(seed, Duration::days(days)),
+    );
+    let mut engine = Engine::new(
+        Arc::clone(&topo),
+        &EngineConfig { seed, num_vps: 10 },
+        events,
+    );
+    let mut platform = Platform::new(&topo, &PlatformConfig::small(seed));
+    println!(
+        "world: {} ASes, {} peering points, {} probes, {} BGP vantage points",
+        topo.num_ases(),
+        topo.points.len(),
+        platform.probes.len(),
+        engine.vps().len()
+    );
+
+    // --- the detector, wired to measured (not ground-truth) inputs ---
+    let rib = engine.rib_snapshot();
+    let mut map = IpToAsMap::from_announcements(rib.iter());
+    for (ixp, lan) in &topo.registry.ixp_lans {
+        map.add_ixp_lan(*lan, *ixp);
+    }
+    let geo = Geolocator::new(GeoDb::noisy(&topo, 0.9, 0.95, seed), vec![]);
+    let alias = AliasResolver::from_topology(&topo, 0.1, seed);
+    let vps = engine.vps().iter().map(|v| v.id).collect();
+    let mut det = StalenessDetector::new(
+        Arc::clone(&topo),
+        map,
+        geo,
+        alias,
+        vps,
+        DetectorConfig::default(),
+    );
+    det.init_rib(&rib);
+
+    // --- the corpus we want to keep fresh: every probe → first anchor ---
+    let anchor = platform.anchors[0];
+    for pid in platform.mesh_probes(anchor.id).to_vec() {
+        let tr = platform.measure(&engine, pid, anchor.addr, Timestamp::ZERO);
+        println!("corpus += {tr}");
+        let src_asn = topo.asn_of(platform.probe(pid).asx);
+        det.add_corpus(tr, Some(src_asn));
+    }
+    println!("monitoring {} traceroutes\n", det.corpus().len());
+
+    // --- stream the campaign in 15-minute rounds ---
+    let rounds = days * 96;
+    let mut total = 0usize;
+    for r in 1..=rounds {
+        let t = Timestamp(r * 900);
+        let updates = engine.advance_to(t);
+        let public = platform.random_round(&engine, t, 80);
+        for s in det.step(t, &updates, &public) {
+            total += 1;
+            println!("signal: {s}");
+        }
+    }
+
+    let (fresh, stale, unknown) = det.corpus().freshness_counts();
+    println!(
+        "\nafter {days} days: {total} signals; corpus {fresh} fresh / {stale} stale / {unknown} unknown"
+    );
+}

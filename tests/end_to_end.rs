@@ -1,0 +1,270 @@
+//! Cross-crate integration tests: the full pipeline from topology through
+//! control plane, data plane, inference tools, and the staleness detector.
+
+use rrr::prelude::*;
+use rrr::topology::{AsIdx, IpOwner};
+use std::sync::Arc;
+
+struct TestWorld {
+    topo: Arc<Topology>,
+    engine: rrr::bgp::Engine,
+    platform: Platform,
+    det: StalenessDetector,
+}
+
+fn world(seed: u64, days: u64) -> TestWorld {
+    let topo = Arc::new(rrr::topology::generate(&TopologyConfig::small(seed)));
+    let events = rrr::bgp::generate_events(&topo, &EventConfig::small(seed, Duration::days(days)));
+    let engine = rrr::bgp::Engine::new(
+        Arc::clone(&topo),
+        &EngineConfig { seed, num_vps: 10 },
+        events,
+    );
+    let platform = Platform::new(&topo, &PlatformConfig::small(seed));
+    let rib = engine.rib_snapshot();
+    let mut map = IpToAsMap::from_announcements(rib.iter());
+    for (ixp, lan) in &topo.registry.ixp_lans {
+        map.add_ixp_lan(*lan, *ixp);
+    }
+    let geo = Geolocator::new(GeoDb::noisy(&topo, 0.9, 0.95, seed), vec![]);
+    let alias = AliasResolver::from_topology(&topo, 0.1, seed);
+    let vps = engine.vps().iter().map(|v| v.id).collect();
+    let mut det = StalenessDetector::new(
+        Arc::clone(&topo),
+        map,
+        geo,
+        alias,
+        vps,
+        DetectorConfig::default(),
+    );
+    det.init_rib(&rib);
+    TestWorld { topo, engine, platform, det }
+}
+
+/// Control plane and data plane must agree: the AS path a traceroute
+/// traverses equals the VP-style chain the route table yields.
+#[test]
+fn control_and_data_plane_agree() {
+    let mut w = world(3, 1);
+    let anchor = w.platform.anchors[0];
+    for pid in w.platform.mesh_probes(anchor.id).to_vec() {
+        let tr = w.platform.measure(&w.engine, pid, anchor.addr, Timestamp::ZERO);
+        assert!(tr.reached);
+        let probe = w.platform.probe(pid);
+        let dst_as = match w.topo.owner_of_ip(anchor.addr) {
+            IpOwner::As(a) => a,
+            other => panic!("anchor outside plan: {other:?}"),
+        };
+        let chain = w
+            .engine
+            .routes()
+            .as_chain(dst_as, probe.asx)
+            .expect("routable");
+        // Map the traceroute through the measured IP-to-AS map.
+        let at = rrr::ip2as::map_traceroute(&tr, w.det.map(), Some(w.topo.asn_of(probe.asx)))
+            .expect("no loops");
+        let chain_asns: Vec<Asn> = chain.iter().map(|a| w.topo.asn_of(*a)).collect();
+        assert_eq!(at.path, chain_asns, "trace {tr}");
+    }
+}
+
+/// The measured IP-to-AS map (built from collector announcements) must
+/// agree with the topology's address plan for originated space.
+#[test]
+fn measured_map_matches_plan() {
+    let w = world(5, 1);
+    for i in 0..w.topo.num_ases() {
+        let info = w.topo.as_info(AsIdx(i as u32));
+        for p in &info.originated {
+            let probe_addr = p.nth(1);
+            match w.det.map().lookup(probe_addr) {
+                Some(rrr::ip2as::IpOrigin::As(a)) => assert_eq!(a, info.asn),
+                other => panic!("unmapped originated space {probe_addr}: {other:?}"),
+            }
+        }
+    }
+}
+
+/// Full-loop staleness: force a decisive egress shift on a monitored
+/// adjacency and verify a signal eventually flags the corpus entry, with
+/// refresh verification confirming the change.
+#[test]
+fn forced_border_change_is_flagged() {
+    use rrr::bgp::{Event, EventKind};
+    let seed = 9;
+    let topo = Arc::new(rrr::topology::generate(&TopologyConfig::small(seed)));
+    // Hand-crafted schedule: day 2, demote the preferred point of every
+    // multi-point adjacency (guaranteeing border-level changes).
+    let mut events = Vec::new();
+    for adj in topo.adjacencies.iter().filter(|a| a.points.len() >= 2 && !a.ecmp && !a.latent) {
+        events.push(Event {
+            time: Timestamp(Duration::days(2).as_secs()),
+            kind: EventKind::BiasShift { point: adj.points[0], side_a: true, bias: 1000 },
+        });
+    }
+    assert!(!events.is_empty());
+    let mut engine = rrr::bgp::Engine::new(
+        Arc::clone(&topo),
+        &EngineConfig { seed, num_vps: 10 },
+        events,
+    );
+    let mut platform = Platform::new(&topo, &PlatformConfig::small(seed));
+    let rib = engine.rib_snapshot();
+    let mut map = IpToAsMap::from_announcements(rib.iter());
+    for (ixp, lan) in &topo.registry.ixp_lans {
+        map.add_ixp_lan(*lan, *ixp);
+    }
+    let geo = Geolocator::new(GeoDb::noisy(&topo, 0.95, 0.98, seed), vec![]);
+    let alias = AliasResolver::from_topology(&topo, 0.05, seed);
+    let vps = engine.vps().iter().map(|v| v.id).collect();
+    let mut det = StalenessDetector::new(
+        Arc::clone(&topo),
+        map,
+        geo,
+        alias,
+        vps,
+        DetectorConfig::default(),
+    );
+    det.init_rib(&rib);
+
+    let mut ids = Vec::new();
+    for tr in platform.anchoring_round(&engine, Timestamp::ZERO) {
+        let src_asn = topo.asn_of(platform.probe(tr.probe).asx);
+        if let Some(id) = det.add_corpus(tr, Some(src_asn)) {
+            ids.push(id);
+        }
+    }
+
+    let mut any_stale = false;
+    for r in 1..=(3 * 96u64) {
+        let t = Timestamp(r * 900);
+        let updates = engine.advance_to(t);
+        let public = platform.random_round(&engine, t, 80);
+        let _ = det.step(t, &updates, &public);
+        if det.corpus().entries().any(|e| e.freshness().is_stale()) {
+            any_stale = true;
+        }
+    }
+    assert!(any_stale, "mass egress demotion must flag some corpus entries");
+
+    // Refresh verification: at least one flagged entry's re-measurement
+    // confirms a changed monitored portion.
+    let stale_ids: Vec<_> = det
+        .corpus()
+        .entries()
+        .filter(|e| e.freshness().is_stale())
+        .map(|e| e.id)
+        .collect();
+    let t = Timestamp(3 * 86_400);
+    let mut confirmed = 0;
+    for id in stale_ids {
+        let e = det.corpus().get(id).expect("entry");
+        let (probe, dst) = (e.traceroute.probe, e.traceroute.dst);
+        let fresh = platform.measure(&engine, probe, dst, t);
+        if det.verify_signals(id, &fresh) {
+            confirmed += 1;
+        }
+    }
+    assert!(confirmed > 0, "no flagged change confirmed by refresh");
+}
+
+/// Revocation (§4.3.2): a change that reverts must eventually release the
+/// staleness assertion via monitor reversion, without any refresh.
+#[test]
+fn reverted_change_revokes_without_refresh() {
+    use rrr::bgp::{Event, EventKind};
+    let seed = 13;
+    let topo = Arc::new(rrr::topology::generate(&TopologyConfig::small(seed)));
+    let adjs: Vec<_> = topo
+        .adjacencies
+        .iter()
+        .filter(|a| a.points.len() >= 2 && !a.ecmp && !a.latent)
+        .collect();
+    let mut events = Vec::new();
+    for adj in &adjs {
+        // Demote on day 1, restore on day 2.
+        events.push(Event {
+            time: Timestamp(Duration::days(1).as_secs()),
+            kind: EventKind::BiasShift { point: adj.points[0], side_a: true, bias: 1000 },
+        });
+        events.push(Event {
+            time: Timestamp(Duration::days(2).as_secs()),
+            kind: EventKind::BiasShift {
+                point: adj.points[0],
+                side_a: true,
+                bias: topo.point(adj.points[0]).bias_a,
+            },
+        });
+    }
+    let mut engine = rrr::bgp::Engine::new(
+        Arc::clone(&topo),
+        &EngineConfig { seed, num_vps: 10 },
+        events,
+    );
+    let mut platform = Platform::new(&topo, &PlatformConfig::small(seed));
+    let rib = engine.rib_snapshot();
+    let mut map = IpToAsMap::from_announcements(rib.iter());
+    for (ixp, lan) in &topo.registry.ixp_lans {
+        map.add_ixp_lan(*lan, *ixp);
+    }
+    let geo = Geolocator::new(GeoDb::noisy(&topo, 0.95, 0.98, seed), vec![]);
+    let alias = AliasResolver::from_topology(&topo, 0.05, seed);
+    let vps = engine.vps().iter().map(|v| v.id).collect();
+    let mut det = StalenessDetector::new(
+        Arc::clone(&topo),
+        map,
+        geo,
+        alias,
+        vps,
+        DetectorConfig::default(),
+    );
+    det.init_rib(&rib);
+    for tr in platform.anchoring_round(&engine, Timestamp::ZERO) {
+        let src_asn = topo.asn_of(platform.probe(tr.probe).asx);
+        det.add_corpus(tr, Some(src_asn));
+    }
+
+    let mut peak_stale = 0usize;
+    for r in 1..=(4 * 96u64) {
+        let t = Timestamp(r * 900);
+        let updates = engine.advance_to(t);
+        let public = platform.random_round(&engine, t, 80);
+        let _ = det.step(t, &updates, &public);
+        let (_, stale, _) = det.corpus().freshness_counts();
+        peak_stale = peak_stale.max(stale);
+    }
+    let (_, stale_end, _) = det.corpus().freshness_counts();
+    assert!(peak_stale > 0, "the demotion must flag entries");
+    assert!(
+        stale_end < peak_stale,
+        "reversion must revoke some assertions: peak {peak_stale}, end {stale_end}"
+    );
+}
+
+/// Determinism: two identical runs produce identical signal logs.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let mut w = world(21, 1);
+        for tr in w.platform.anchoring_round(&w.engine, Timestamp::ZERO) {
+            let src_asn = w.topo.asn_of(w.platform.probe(tr.probe).asx);
+            w.det.add_corpus(tr, Some(src_asn));
+        }
+        let mut log = Vec::new();
+        for r in 1..=48u64 {
+            let t = Timestamp(r * 900);
+            let updates = w.engine.advance_to(t);
+            let public = w.platform.random_round(&w.engine, t, 60);
+            log.extend(w.det.step(t, &updates, &public));
+        }
+        log
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.key, y.key);
+        assert_eq!(x.time, y.time);
+        assert_eq!(x.traceroutes, y.traceroutes);
+    }
+}
