@@ -182,9 +182,8 @@ mod tests {
     fn noise_not_flagged_shift_flagged() {
         let d = detector();
         // alternating-ish but stationary noise
-        let hist: Vec<f64> = (0..60)
-            .map(|i| 0.5 + 0.05 * ((i * 7 % 11) as f64 / 11.0 - 0.5))
-            .collect();
+        let hist: Vec<f64> =
+            (0..60).map(|i| 0.5 + 0.05 * ((i * 7 % 11) as f64 / 11.0 - 0.5)).collect();
         assert!(!d.is_outlier(&hist, 0.52));
         let mut shifted = hist.clone();
         shifted.extend_from_slice(&[1.5, 1.5, 1.5]);
@@ -249,9 +248,7 @@ mod tests {
 /// pipeline uses [`crate::MonitoredSeries`] instead).
 impl BitmapDetector {
     pub fn score_series(&self, series: &[f64]) -> Vec<Option<f64>> {
-        (0..series.len())
-            .map(|i| self.lead_lag_score(&series[..=i]))
-            .collect()
+        (0..series.len()).map(|i| self.lead_lag_score(&series[..=i])).collect()
     }
 }
 

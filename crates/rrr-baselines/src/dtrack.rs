@@ -58,12 +58,8 @@ impl Dtrack {
     /// probability, remapping on notice.
     fn detection_pass(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now;
-        let mut order: Vec<(usize, f64)> = self
-            .estimates
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (i, e.p_change(now)))
-            .collect();
+        let mut order: Vec<(usize, f64)> =
+            self.estimates.iter().enumerate().map(|(i, e)| (i, e.p_change(now))).collect();
         order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
         for (pair, _) in order {
             let Some(noticed) = ctx.try_probe(pair) else { return };
@@ -114,8 +110,8 @@ impl Strategy for DtrackPlusSignals {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::emu::testutil::world;
     use crate::emu::run_emulation;
+    use crate::emu::testutil::world;
     use crate::simple::RoundRobin;
 
     #[test]
@@ -148,12 +144,7 @@ mod tests {
         let budget = 0.0008; // packets/sec/path — starves round-robin
         let rr = run_emulation(&w, &mut RoundRobin::default(), budget);
         let dt = run_emulation(&w, &mut Dtrack::new(w.pair_count()), budget);
-        assert!(
-            dt.detected >= rr.detected,
-            "dtrack {} < round robin {}",
-            dt.detected,
-            rr.detected
-        );
+        assert!(dt.detected >= rr.detected, "dtrack {} < round robin {}", dt.detected, rr.detected);
     }
 
     #[test]
@@ -164,16 +155,11 @@ mod tests {
         }
         let w = world(40, &events);
         // Perfect signals: fire at each change.
-        let sched = SignalSchedule::new(
-            events.iter().map(|&(p, t, _)| (Timestamp(t), p)).collect(),
-        );
+        let sched =
+            SignalSchedule::new(events.iter().map(|&(p, t, _)| (Timestamp(t), p)).collect());
         let budget = 0.0008;
         let dt = run_emulation(&w, &mut Dtrack::new(w.pair_count()), budget);
-        let dts = run_emulation(
-            &w,
-            &mut DtrackPlusSignals::new(w.pair_count(), sched),
-            budget,
-        );
+        let dts = run_emulation(&w, &mut DtrackPlusSignals::new(w.pair_count(), sched), budget);
         assert!(
             dts.detected >= dt.detected,
             "signals must not hurt: {} vs {}",

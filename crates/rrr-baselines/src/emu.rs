@@ -232,11 +232,7 @@ pub(crate) mod testutil {
             new.crossings[0] = vec![PeeringPointId(p)];
             timelines[pair].states.push((Timestamp(t), new));
         }
-        EmuWorld {
-            timelines,
-            round: Duration::minutes(15),
-            duration: Duration::days(2),
-        }
+        EmuWorld { timelines, round: Duration::minutes(15), duration: Duration::days(2) }
     }
 }
 
@@ -281,7 +277,7 @@ mod tests {
         struct Hourly;
         impl Strategy for Hourly {
             fn round(&mut self, ctx: &mut Ctx<'_>) {
-                if ctx.now.0 % 3600 == 0 {
+                if ctx.now.0.is_multiple_of(3600) {
                     let _ = ctx.try_traceroute(0);
                 }
             }

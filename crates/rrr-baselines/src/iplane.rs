@@ -132,19 +132,13 @@ mod tests {
 
     #[test]
     fn no_splice_for_same_destination() {
-        let corpus = vec![
-            seq(1, 10, &[(200, 1)]),
-            seq(2, 10, &[(200, 1)]),
-        ];
+        let corpus = vec![seq(1, 10, &[(200, 1)]), seq(2, 10, &[(200, 1)])];
         assert!(build_splices(&corpus, 8).is_empty());
     }
 
     #[test]
     fn validity_tracks_current_paths_and_pruning() {
-        let corpus = vec![
-            seq(1, 10, &[(100, 0), (200, 1)]),
-            seq(2, 20, &[(300, 2), (200, 1)]),
-        ];
+        let corpus = vec![seq(1, 10, &[(100, 0), (200, 1)]), seq(2, 20, &[(300, 2), (200, 1)])];
         let splices = build_splices(&corpus, 8);
         assert_eq!(splices.len(), 2);
         // Initially valid.
@@ -162,10 +156,7 @@ mod tests {
     #[test]
     fn per_pair_cap_respected() {
         // Two shared PoPs would give 2 splices per (src,dst) pair; cap 1.
-        let corpus = vec![
-            seq(1, 10, &[(200, 1), (201, 2)]),
-            seq(2, 20, &[(200, 1), (201, 2)]),
-        ];
+        let corpus = vec![seq(1, 10, &[(200, 1), (201, 2)]), seq(2, 20, &[(200, 1), (201, 2)])];
         let splices = build_splices(&corpus, 1);
         assert_eq!(splices.len(), 2); // one per direction
     }

@@ -81,8 +81,8 @@ pub fn optimal_schedule(emu: &EmuWorld) -> SignalSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::emu::testutil::world;
     use crate::emu::run_emulation;
+    use crate::emu::testutil::world;
     use crate::simple::RoundRobin;
 
     #[test]
@@ -114,11 +114,7 @@ mod tests {
         let w = world(200, &[(0, 1000, 99), (77, 50_000, 88), (150, 100_000, 77)]);
         let budget = 0.00002;
         let rr = run_emulation(&w, &mut RoundRobin::default(), budget);
-        let sg = run_emulation(
-            &w,
-            &mut SignalDriven::new(optimal_schedule(&w)),
-            budget,
-        );
+        let sg = run_emulation(&w, &mut SignalDriven::new(optimal_schedule(&w)), budget);
         assert!(sg.detected > rr.detected, "signals {} <= rr {}", sg.detected, rr.detected);
         assert_eq!(sg.detected, 3);
     }
@@ -128,9 +124,8 @@ mod tests {
         // One real change on pair 0; a storm of false signals on pair 1
         // scheduled earlier eats the budget first.
         let w = world(2, &[(0, 80_000, 99)]);
-        let mut events: Vec<(Timestamp, usize)> = (0..50u64)
-            .map(|k| (Timestamp(1000 + k), 1usize))
-            .collect();
+        let mut events: Vec<(Timestamp, usize)> =
+            (0..50u64).map(|k| (Timestamp(1000 + k), 1usize)).collect();
         events.push((Timestamp(80_000), 0));
         let mut s = SignalDriven::new(SignalSchedule::new(events));
         // Budget for ~1 traceroute every 4 rounds: the backlog of false

@@ -116,9 +116,7 @@ mod tests {
             PathTimeline {
                 states: vec![(Timestamp(0), shared.clone()), (Timestamp(100), changed.clone())],
             },
-            PathTimeline {
-                states: vec![(Timestamp(0), shared), (Timestamp(100), changed)],
-            },
+            PathTimeline { states: vec![(Timestamp(0), shared), (Timestamp(100), changed)] },
         ];
         let w = EmuWorld { timelines, round: Duration::minutes(15), duration: Duration::hours(4) };
         // Budget for ~one traceroute per round: round-robin alone would

@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rrr_anomaly::{BitmapDetector, ModifiedZScore, OutlierDetector};
+use rrr_bench::pipeline::{synth_bgp_monitors, synth_round};
 use rrr_bench::{World, WorldConfig};
 use rrr_bgp::{compute_routes, NetState};
 use rrr_core::DetectorConfig;
@@ -12,7 +13,7 @@ use rrr_ip2as::{IpToAsMap, PrefixTrie};
 use rrr_mrt::{MrtReader, MrtRecord, MrtWriter, VpDirectory};
 use rrr_topology::{generate, AsIdx, TopologyConfig};
 use rrr_trace::forward;
-use rrr_types::{Ipv4, Prefix, Timestamp};
+use rrr_types::{Ipv4, Prefix, Timestamp, Window};
 
 fn bench_trie(c: &mut Criterion) {
     let mut trie = PrefixTrie::new();
@@ -135,6 +136,37 @@ fn bench_detector_step(c: &mut Criterion) {
     });
 }
 
+/// §4.1 window close over the synthetic monitor corpus at several corpus
+/// scales: one observe round plus one close per iteration. The serial
+/// variant pins one worker; the parallel one uses every host core (on a
+/// single-core host the two collapse to the same code path).
+fn bench_close_bgp_window(c: &mut Criterion) {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for &scale in &[1usize, 4, 16] {
+        for &(tag, threads) in &[("serial", 1), ("parallel", host)] {
+            if threads == 1 && tag == "parallel" {
+                continue;
+            }
+            let mut m = synth_bgp_monitors(scale);
+            m.set_threads(threads);
+            let mut round = 0u64;
+            c.bench_function(&format!("close_bgp_window/{scale}x/{tag}"), |b| {
+                b.iter(|| {
+                    round += 1;
+                    for u in synth_round(scale, round) {
+                        m.observe(&u);
+                    }
+                    std::hint::black_box(m.close_window(
+                        Window(round),
+                        Timestamp(round * 900),
+                        &|_, _| true,
+                    ))
+                })
+            });
+        }
+    }
+}
+
 criterion_group!(
     benches,
     bench_trie,
@@ -143,6 +175,7 @@ criterion_group!(
     bench_detectors,
     bench_mrt,
     bench_ip2as_build,
-    bench_detector_step
+    bench_detector_step,
+    bench_close_bgp_window
 );
 criterion_main!(benches);

@@ -9,11 +9,7 @@ use rrr_core::DetectorConfig;
 
 fn main() {
     let cfg = WorldConfig::from_env(10);
-    eprintln!(
-        "[ablate_stationarity] {} days, seed {}",
-        cfg.duration.as_secs() / 86_400,
-        cfg.seed
-    );
+    eprintln!("[ablate_stationarity] {} days, seed {}", cfg.duration.as_secs() / 86_400, cfg.seed);
 
     let mut rows = Vec::new();
     let mut json = Vec::new();

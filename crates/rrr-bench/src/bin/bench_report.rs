@@ -1,0 +1,167 @@
+//! Benchmark-trajectory harness: runs the detector hot-path suite with
+//! serial-vs-parallel toggles and writes `BENCH_pipeline.json` so the perf
+//! trajectory has machine-readable data points.
+//!
+//! Ops:
+//! - `close_bgp_window` at 1×/4×/16× corpus scale (synthetic ⟨prefix, AS
+//!   path⟩ groups; one observe round + one window close per iteration),
+//!   serial (1 thread) vs all host cores;
+//! - `detector_step_one_round` — the full pipeline round on the small
+//!   simulated world, serial vs parallel;
+//! - `plan_refresh` — §4.3.1 refresh planning over an accumulated signal
+//!   log (single-threaded by design).
+//!
+//! Speedups are relative to the serial run of the same op/scale. On a
+//! single-core host every speedup is ≈ 1×; the interesting numbers come
+//! from multi-core CI hardware.
+
+use criterion::Criterion;
+use rrr_bench::pipeline::{synth_bgp_monitors, synth_round};
+use rrr_bench::{World, WorldConfig};
+use rrr_core::DetectorConfig;
+use rrr_types::{Timestamp, Window};
+use std::time::Duration;
+
+struct Row {
+    op: &'static str,
+    scale: usize,
+    threads: usize,
+    ns_per_iter: f64,
+    speedup: f64,
+}
+
+fn measure_close(c: &mut Criterion, scale: usize, threads: usize) -> f64 {
+    let mut m = synth_bgp_monitors(scale);
+    m.set_threads(threads);
+    let mut round = 0u64;
+    c.measure(|b| {
+        b.iter(|| {
+            round += 1;
+            for u in synth_round(scale, round) {
+                m.observe(&u);
+            }
+            std::hint::black_box(
+                m.close_window(Window(round), Timestamp(round * 900), &|_, _| true),
+            )
+        })
+    })
+}
+
+fn measure_step(c: &mut Criterion, threads: usize) -> f64 {
+    c.measure(|b| {
+        b.iter_batched(
+            || {
+                let mut world = World::new(WorldConfig::small(5));
+                let mut det =
+                    world.build_detector(DetectorConfig { threads, ..DetectorConfig::default() });
+                for tr in world.platform.anchoring_round(&world.engine, Timestamp::ZERO) {
+                    let src_asn = world.topo.asn_of(world.platform.probe(tr.probe).asx);
+                    det.add_corpus(tr, Some(src_asn));
+                }
+                let t = Timestamp(900);
+                let updates = world.engine.advance_to(t);
+                let public = world.platform.random_round(&world.engine, t, 80);
+                (det, updates, public)
+            },
+            |(mut det, updates, public)| {
+                std::hint::black_box(det.step(Timestamp(900), &updates, &public))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    })
+}
+
+fn measure_plan_refresh(c: &mut Criterion) -> f64 {
+    let mut world = World::new(WorldConfig::small(5));
+    let mut det = world.build_detector(DetectorConfig::default());
+    for tr in world.platform.anchoring_round(&world.engine, Timestamp::ZERO) {
+        let src_asn = world.topo.asn_of(world.platform.probe(tr.probe).asx);
+        det.add_corpus(tr, Some(src_asn));
+    }
+    for r in 1..=96u64 {
+        let t = Timestamp(r * 900);
+        let updates = world.engine.advance_to(t);
+        let public = world.platform.random_round(&world.engine, t, 80);
+        let _ = det.step(t, &updates, &public);
+    }
+    c.measure(|b| b.iter(|| std::hint::black_box(det.plan_refresh(32))))
+}
+
+fn main() {
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut c = Criterion::default().measurement_time(Duration::from_millis(400));
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &scale in &[1usize, 4, 16] {
+        let serial = measure_close(&mut c, scale, 1);
+        rows.push(Row {
+            op: "close_bgp_window",
+            scale,
+            threads: 1,
+            ns_per_iter: serial,
+            speedup: 1.0,
+        });
+        if host_threads > 1 {
+            let par = measure_close(&mut c, scale, host_threads);
+            rows.push(Row {
+                op: "close_bgp_window",
+                scale,
+                threads: host_threads,
+                ns_per_iter: par,
+                speedup: serial / par,
+            });
+        }
+        eprintln!("close_bgp_window {scale}x done");
+    }
+
+    let step_serial = measure_step(&mut c, 1);
+    rows.push(Row {
+        op: "detector_step_one_round",
+        scale: 1,
+        threads: 1,
+        ns_per_iter: step_serial,
+        speedup: 1.0,
+    });
+    if host_threads > 1 {
+        let step_par = measure_step(&mut c, host_threads);
+        rows.push(Row {
+            op: "detector_step_one_round",
+            scale: 1,
+            threads: host_threads,
+            ns_per_iter: step_par,
+            speedup: step_serial / step_par,
+        });
+    }
+    eprintln!("detector_step_one_round done");
+
+    let plan = measure_plan_refresh(&mut c);
+    rows.push(Row { op: "plan_refresh", scale: 1, threads: 1, ns_per_iter: plan, speedup: 1.0 });
+    eprintln!("plan_refresh done");
+
+    let entries: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "op": r.op,
+                "scale": r.scale,
+                "threads": r.threads,
+                "ns_per_iter": r.ns_per_iter,
+                "speedup": r.speedup,
+            })
+        })
+        .collect();
+    let report = serde_json::json!({
+        "host_threads": host_threads,
+        "results": entries,
+    });
+    let body = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write("BENCH_pipeline.json", &body).expect("write BENCH_pipeline.json");
+
+    for r in &rows {
+        println!(
+            "{:<28} scale {:>2}x  threads {:>2}  {:>14.0} ns/iter  speedup {:.2}x",
+            r.op, r.scale, r.threads, r.ns_per_iter, r.speedup
+        );
+    }
+    println!("\n[report saved to BENCH_pipeline.json]");
+}

@@ -31,7 +31,8 @@ fn main() {
     }
     println!("per technique: {per_tech:?}");
     println!("records with no mapped pairs: {empty_pairs}");
-    let mut sig_pairs: Vec<u32> = res.signals.iter().flat_map(|s| s.pairs.iter().map(|p| p.0)).collect();
+    let mut sig_pairs: Vec<u32> =
+        res.signals.iter().flat_map(|s| s.pairs.iter().map(|p| p.0)).collect();
     sig_pairs.sort_unstable();
     sig_pairs.dedup();
     println!("distinct signaled pairs: {}", sig_pairs.len());

@@ -11,11 +11,8 @@ fn main() {
     let cfg = WorldConfig::from_env(30);
     eprintln!("[fig01] {} days, seed {}", cfg.duration.as_secs() / 86_400, cfg.seed);
     let res = run_retrospective(cfg, DetectorConfig::default());
-    let points: Vec<(u64, Vec<f64>)> = res
-        .divergence
-        .iter()
-        .map(|&(day, a, b)| (day, vec![a, b]))
-        .collect();
+    let points: Vec<(u64, Vec<f64>)> =
+        res.divergence.iter().map(|&(day, a, b)| (day, vec![a, b])).collect();
     print_series(
         "Figure 1: fraction of paths differing from the initial traceroute",
         "day",

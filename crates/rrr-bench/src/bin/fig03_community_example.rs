@@ -19,7 +19,11 @@ fn main() {
         let t = Timestamp(r * cfg.round.as_secs());
         for u in world.engine.advance_to(t) {
             if let (
-                Some(BgpUpdate { elem: BgpElem::Announce { path: p0, communities: c0 }, time: t0, .. }),
+                Some(BgpUpdate {
+                    elem: BgpElem::Announce { path: p0, communities: c0 },
+                    time: t0,
+                    ..
+                }),
                 BgpElem::Announce { path, communities },
             ) = (last.get(&(u.vp, u.prefix)), &u.elem)
             {
@@ -43,8 +47,10 @@ fn main() {
             last.insert((u.vp, u.prefix), u);
         }
     }
-    println!("no community-only change found in {} days — increase RRR_DAYS",
-        Duration::days(cfg.duration.as_secs() / 86_400).as_secs() / 86_400);
+    println!(
+        "no community-only change found in {} days — increase RRR_DAYS",
+        Duration::days(cfg.duration.as_secs() / 86_400).as_secs() / 86_400
+    );
 }
 
 fn print_update(

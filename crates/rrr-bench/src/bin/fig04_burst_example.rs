@@ -2,9 +2,11 @@
 //! `U` (suffix-sharing VPs sending duplicates) spikes twice; only the spike
 //! *not* mirrored by a confounder series `U'` yields a staleness signal.
 
-use rrr_core::bgp_monitors::BgpMonitors;
 use rrr_anomaly::BitmapDetector;
-use rrr_types::{AsPath, Asn, BgpElem, BgpUpdate, Community, Prefix, Timestamp, TracerouteId, VpId, Window};
+use rrr_core::bgp_monitors::BgpMonitors;
+use rrr_types::{
+    AsPath, Asn, BgpElem, BgpUpdate, Community, Prefix, Timestamp, TracerouteId, VpId, Window,
+};
 
 const P: &str = "10.9.0.0/16";
 
@@ -30,7 +32,12 @@ fn main() {
         announce(2, &[97, 55, 30], 0),
     ]);
     let tau = [Asn(10), Asn(20), Asn(30)];
-    m.register(TracerouteId(1), P.parse::<Prefix>().expect("prefix"), &tau, &[VpId(0), VpId(1), VpId(2)]);
+    m.register(
+        TracerouteId(1),
+        P.parse::<Prefix>().expect("prefix"),
+        &tau,
+        &[VpId(0), VpId(1), VpId(2)],
+    );
 
     println!("== Figure 4: correlating update bursts with confounder series ==\n");
     println!("corpus traceroute AS path: 10 20 30; V0(suffix [20 30]) = {{vp0, vp1}}");
@@ -72,7 +79,10 @@ fn main() {
     m.observe(&announce(2, &[97, 77, 30], 85 * 900 + 3)); // confounder bursts too
     let (s, _) = m.close_window(Window(85), Timestamp(86 * 900), &|_, _| true);
     let burst = s.iter().any(|x| x.key.technique == rrr_core::Technique::BgpBurst);
-    println!("t_b\t2\t1\t{}", if burst { "STALENESS SIGNAL" } else { "suppressed (confounder bursting)" });
+    println!(
+        "t_b\t2\t1\t{}",
+        if burst { "STALENESS SIGNAL" } else { "suppressed (confounder bursting)" }
+    );
     println!(
         "\nAt t_a the burst is confined to the overlapping suffix → traceroute flagged stale.\n\
          At t_b the confounder series bursts contemporaneously → the root cause lies outside\n\

@@ -22,8 +22,10 @@ fn main() {
     // (near AS, far AS) — then pick the AS pair observed through the most
     // distinct border routers.
     let traces = world.platform.random_round(&world.engine, Timestamp(0), 4000);
-    let mut by_pair: HashMap<(rrr_types::Asn, rrr_types::Asn), HashMap<rrr_ip2as::AliasKey, usize>> =
-        HashMap::new();
+    let mut by_pair: HashMap<
+        (rrr_types::Asn, rrr_types::Asn),
+        HashMap<rrr_ip2as::AliasKey, usize>,
+    > = HashMap::new();
     for tr in &traces {
         for b in find_borders(tr, &map) {
             // Only crossings into resolvable router interfaces qualify —
@@ -32,16 +34,11 @@ fn main() {
             if matches!(key, rrr_ip2as::AliasKey::Singleton(_)) {
                 continue;
             }
-            *by_pair
-                .entry((b.near_as, b.far_as))
-                .or_default()
-                .entry(key)
-                .or_insert(0) += 1;
+            *by_pair.entry((b.near_as, b.far_as)).or_default().entry(key).or_insert(0) += 1;
         }
     }
-    let Some(((near, far), routers)) = by_pair
-        .iter()
-        .max_by_key(|(_, rs)| (rs.len(), rs.values().sum::<usize>()))
+    let Some(((near, far), routers)) =
+        by_pair.iter().max_by_key(|(_, rs)| (rs.len(), rs.values().sum::<usize>()))
     else {
         println!("no borders observed — increase the feed");
         return;
@@ -52,10 +49,7 @@ fn main() {
     let mut rows: Vec<_> = routers.iter().collect();
     rows.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
     for (r, n) in rows {
-        println!(
-            "  border router {r:?}: T_match = {n} ({:.0}%)",
-            100.0 * *n as f64 / total as f64
-        );
+        println!("  border router {r:?}: T_match = {n} ({:.0}%)", 100.0 * *n as f64 / total as f64);
     }
     println!(
         "\nA monitor pinned to the top router tracks T_ratio(r) = |T_match(r)| / |T_intersect|;\n\

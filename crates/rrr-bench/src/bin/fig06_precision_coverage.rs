@@ -20,20 +20,12 @@ fn main() {
         // 6a: precision of the signals generated this day (against the full
         // change record — late-confirmed truths count, as the paper's
         // remeasurement-based verification would find).
-        let day_signals: Vec<_> = res
-            .signals
-            .iter()
-            .filter(|s| s.time.0 >= lo && s.time.0 < hi)
-            .cloned()
-            .collect();
+        let day_signals: Vec<_> =
+            res.signals.iter().filter(|s| s.time.0 >= lo && s.time.0 < hi).cloned().collect();
         let p_eval = matcher.evaluate(&day_signals, &res.changes);
         // 6b: coverage of the changes that occurred this day, by any signal.
-        let day_changes: Vec<_> = res
-            .changes
-            .iter()
-            .filter(|c| c.time.0 >= lo && c.time.0 < hi)
-            .copied()
-            .collect();
+        let day_changes: Vec<_> =
+            res.changes.iter().filter(|c| c.time.0 >= lo && c.time.0 < hi).copied().collect();
         let c_eval = matcher.evaluate(&res.signals, &day_changes);
         points.push((
             day,

@@ -8,8 +8,8 @@
 //! emulated over the same timelines at every budget (§5.3's methodology).
 
 use rrr_baselines::{
-    optimal_schedule, run_emulation, Dtrack, DtrackPlusSignals, EmuWorld, PathTimeline,
-    RoundRobin, Sibyl, SignalDriven, SignalSchedule,
+    optimal_schedule, run_emulation, Dtrack, DtrackPlusSignals, EmuWorld, PathTimeline, RoundRobin,
+    Sibyl, SignalDriven, SignalSchedule,
 };
 use rrr_bench::eval::PairId;
 use rrr_bench::table::{print_series, save_json};
@@ -46,10 +46,7 @@ fn main() {
     let mut timelines: Vec<PathTimeline> = pairs
         .iter()
         .map(|&(p, d)| PathTimeline {
-            states: vec![(
-                Timestamp(0),
-                world.ground_truth(p, d).expect("initial path exists"),
-            )],
+            states: vec![(Timestamp(0), world.ground_truth(p, d).expect("initial path exists"))],
         })
         .collect();
     let mut schedule_events: Vec<(Timestamp, usize)> = Vec::new();

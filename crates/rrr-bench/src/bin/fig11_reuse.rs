@@ -42,11 +42,8 @@ fn main() {
         // Archive a sample of this round's public traceroutes (they also
         // feed the signal techniques, like the paper's "use all public
         // RIPE traceroutes" setting).
-        let dead_now: HashSet<ProbeId> = dead_at
-            .iter()
-            .filter(|(_, dt)| *dt <= t)
-            .map(|(p, _)| *p)
-            .collect();
+        let dead_now: HashSet<ProbeId> =
+            dead_at.iter().filter(|(_, dt)| *dt <= t).map(|(p, _)| *p).collect();
         for tr in public.iter().take(intake) {
             if dead_now.contains(&tr.probe) {
                 continue; // dead probes stop measuring

@@ -14,12 +14,8 @@ fn main() {
     let world = World::new(cfg.clone());
     let topo = &world.topo;
 
-    let vantages: Vec<PingVantage> = world
-        .platform
-        .probes
-        .iter()
-        .map(|p| PingVantage { asx: p.asx, city: p.city })
-        .collect();
+    let vantages: Vec<PingVantage> =
+        world.platform.probes.iter().map(|p| PingVantage { asx: p.asx, city: p.city }).collect();
 
     // Locate every border interface with shortest-ping.
     let mut stats = rrr_geo::ping::PingStats::default();
@@ -53,8 +49,10 @@ fn main() {
         unresponsive,
         no_vantage
     );
-    println!("average vantage points probed per target: {:.1}",
-        stats.vantages_probed as f64 / total.max(1) as f64);
+    println!(
+        "average vantage points probed per target: {:.1}",
+        stats.vantages_probed as f64 / total.max(1) as f64
+    );
 
     // The three reference databases (coverage, accuracy) per the paper.
     let dbs = [

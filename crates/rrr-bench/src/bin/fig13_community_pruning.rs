@@ -22,8 +22,5 @@ fn main() {
         &["pruned_combinations", "distinct_communities_firing"],
         &points,
     );
-    save_json(
-        "fig13_community_pruning",
-        &serde_json::json!({ "daily": res.community_daily }),
-    );
+    save_json("fig13_community_pruning", &serde_json::json!({ "daily": res.community_daily }));
 }

@@ -36,16 +36,9 @@ fn main() {
     counts.sort_unstable();
     let n = counts.len().max(1);
     let cdf_at = |k: usize| counts.iter().filter(|&&c| c <= k).count() as f64 / n as f64;
-    let points: Vec<(u64, Vec<f64>)> = [1usize, 2, 3, 5, 10, 20, 30, 50]
-        .iter()
-        .map(|&k| (k as u64, vec![cdf_at(k)]))
-        .collect();
-    print_series(
-        "Figure 14: CDF of AS pairs sharing a border IP",
-        "as_pairs<=",
-        &["cdf"],
-        &points,
-    );
+    let points: Vec<(u64, Vec<f64>)> =
+        [1usize, 2, 3, 5, 10, 20, 30, 50].iter().map(|&k| (k as u64, vec![cdf_at(k)])).collect();
+    print_series("Figure 14: CDF of AS pairs sharing a border IP", "as_pairs<=", &["cdf"], &points);
     let over10 = counts.iter().filter(|&&c| c > 10).count() as f64 / n as f64;
     println!("\nborder IPs observed: {n}; used by >10 AS pairs: {:.0}%", over10 * 100.0);
     save_json(

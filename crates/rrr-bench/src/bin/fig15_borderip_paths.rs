@@ -39,7 +39,14 @@ fn main() {
         .points
         .iter()
         .enumerate()
-        .map(|(i, p)| (p.b_iface, world.engine.state().bias_a[i], world.engine.state().bias_b[i], world.engine.state().point_up[i]))
+        .map(|(i, p)| {
+            (
+                p.b_iface,
+                world.engine.state().bias_a[i],
+                world.engine.state().bias_b[i],
+                world.engine.state().point_up[i],
+            )
+        })
         .collect();
     world.engine.advance_to(Timestamp(cfg.duration.as_secs()));
     let changed_ips: HashSet<Ipv4> = world
@@ -57,11 +64,8 @@ fn main() {
         .collect();
 
     let all: Vec<usize> = paths_per_ip.values().copied().collect();
-    let changed: Vec<usize> = paths_per_ip
-        .iter()
-        .filter(|(ip, _)| changed_ips.contains(ip))
-        .map(|(_, n)| *n)
-        .collect();
+    let changed: Vec<usize> =
+        paths_per_ip.iter().filter(|(ip, _)| changed_ips.contains(ip)).map(|(_, n)| *n).collect();
     let cdf = |v: &[usize], k: usize| {
         if v.is_empty() {
             0.0

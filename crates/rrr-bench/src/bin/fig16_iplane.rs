@@ -17,9 +17,7 @@ fn pops(world: &World, c: &CanonicalPath) -> Vec<(rrr_types::Asn, rrr_types::Cit
     c.crossings
         .iter()
         .zip(c.as_chain.iter().skip(1))
-        .map(|(points, asx)| {
-            (world.topo.asn_of(*asx), world.topo.point(points[0]).city)
-        })
+        .map(|(points, asx)| (world.topo.asn_of(*asx), world.topo.point(points[0]).city))
         .collect()
 }
 
@@ -43,11 +41,7 @@ fn main() {
         let Some(gt) = world.ground_truth(probe, dst) else { continue };
         let src_asn = world.topo.asn_of(world.platform.probe(probe).asx);
         let Some(id) = det.add_corpus(tr, Some(src_asn)) else { continue };
-        corpus_pops.push(PopSequence {
-            src: probe,
-            dst_key: dst.value(),
-            pops: pops(&world, &gt),
-        });
+        corpus_pops.push(PopSequence { src: probe, dst_key: dst.value(), pops: pops(&world, &gt) });
         pairs.push((probe, dst));
         ids.push(id);
     }
@@ -75,21 +69,13 @@ fn main() {
                 .map(|(&(p, d), orig)| PopSequence {
                     src: orig.src,
                     dst_key: orig.dst_key,
-                    pops: world
-                        .ground_truth(p, d)
-                        .map(|gt| pops(&world, &gt))
-                        .unwrap_or_default(),
+                    pops: world.ground_truth(p, d).map(|gt| pops(&world, &gt)).unwrap_or_default(),
                 })
                 .collect();
             let usable_all = vec![true; corpus_pops.len()];
             let usable_pruned: Vec<bool> = ids
                 .iter()
-                .map(|id| {
-                    det.corpus()
-                        .get(*id)
-                        .map(|e| !e.freshness().is_stale())
-                        .unwrap_or(false)
-                })
+                .map(|id| det.corpus().get(*id).map(|e| !e.freshness().is_stale()).unwrap_or(false))
                 .collect();
             let (valid_np, total_np) = valid_splices(&splices, &current, &usable_all);
             let (valid_pr, total_pr) = valid_splices(&splices, &current, &usable_pruned);

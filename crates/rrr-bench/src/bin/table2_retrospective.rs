@@ -82,7 +82,21 @@ fn main() {
     let per_tech: serde_json::Value = eval
         .per_technique
         .iter()
-        .map(|(t, st)| (format!("{t}"), serde_json::to_value(st).expect("serializable")))
+        .map(|(t, st)| {
+            (
+                format!("{t}"),
+                serde_json::json!({
+                    "signals": st.signals,
+                    "true_signals": st.true_signals,
+                    "covered_any": st.covered_any,
+                    "covered_any_unique": st.covered_any_unique,
+                    "covered_as": st.covered_as,
+                    "covered_as_unique": st.covered_as_unique,
+                    "covered_border": st.covered_border,
+                    "covered_border_unique": st.covered_border_unique,
+                }),
+            )
+        })
         .collect::<serde_json::Map<String, serde_json::Value>>()
         .into();
     save_json(

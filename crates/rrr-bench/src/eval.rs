@@ -43,15 +43,9 @@ pub struct GroundTruthTracker {
 impl GroundTruthTracker {
     /// Captures the initial paths of the monitored pairs.
     pub fn new(world: &World, pairs: Vec<(ProbeId, Ipv4)>) -> Self {
-        let initial: Vec<Option<CanonicalPath>> = pairs
-            .iter()
-            .map(|&(p, d)| world.ground_truth(p, d))
-            .collect();
-        let pair_index = pairs
-            .iter()
-            .enumerate()
-            .map(|(i, k)| (*k, PairId(i as u32)))
-            .collect();
+        let initial: Vec<Option<CanonicalPath>> =
+            pairs.iter().map(|&(p, d)| world.ground_truth(p, d)).collect();
+        let pair_index = pairs.iter().enumerate().map(|(i, k)| (*k, PairId(i as u32))).collect();
         GroundTruthTracker {
             last: initial.clone(),
             initial,
@@ -154,11 +148,8 @@ impl SignalRecord {
         s: &StalenessSignal,
         id_to_pair: &HashMap<TracerouteId, PairId>,
     ) -> SignalRecord {
-        let mut pairs: Vec<PairId> = s
-            .traceroutes
-            .iter()
-            .filter_map(|t| id_to_pair.get(t).copied())
-            .collect();
+        let mut pairs: Vec<PairId> =
+            s.traceroutes.iter().filter_map(|t| id_to_pair.get(t).copied()).collect();
         pairs.sort_unstable();
         pairs.dedup();
         SignalRecord { technique: s.key.technique, time: s.time, pairs }
@@ -281,10 +272,7 @@ impl Matcher {
                 return true;
             }
             // In changed state at t (vs issuance)?
-            v.iter()
-                .rev()
-                .find(|c| c.time <= t)
-                .is_some_and(|c| !c.matches_initial_after)
+            v.iter().rev().find(|c| c.time <= t).is_some_and(|c| !c.matches_initial_after)
         };
 
         let mut eval = Evaluation {
@@ -381,12 +369,7 @@ mod tests {
     }
 
     fn revert(pair: u32, time: u64, kind: ChangeKind) -> ChangeEvent {
-        ChangeEvent {
-            pair: PairId(pair),
-            time: Timestamp(time),
-            kind,
-            matches_initial_after: true,
-        }
+        ChangeEvent { pair: PairId(pair), time: Timestamp(time), kind, matches_initial_after: true }
     }
 
     #[test]
@@ -415,10 +398,8 @@ mod tests {
             sig(Technique::TraceSubpath, 1100, &[0]),
             sig(Technique::TraceSubpath, 1100, &[1]),
         ];
-        let changes = vec![
-            chg(0, 1000, ChangeKind::BorderLevel),
-            chg(1, 1100, ChangeKind::BorderLevel),
-        ];
+        let changes =
+            vec![chg(0, 1000, ChangeKind::BorderLevel), chg(1, 1100, ChangeKind::BorderLevel)];
         let e = m.evaluate(&signals, &changes);
         let asp = &e.per_technique[&Technique::BgpAsPath];
         let sub = &e.per_technique[&Technique::TraceSubpath];

@@ -3,6 +3,7 @@
 //! and result printing/serialization.
 
 pub mod eval;
+pub mod pipeline;
 pub mod retro;
 pub mod table;
 pub mod world;

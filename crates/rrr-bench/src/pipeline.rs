@@ -1,0 +1,129 @@
+//! Synthetic hot-path workloads shared by the criterion benches and the
+//! `bench_report` binary.
+//!
+//! The window-close benchmark needs a [`BgpMonitors`] instance whose group
+//! count scales linearly with a corpus-size factor, plus a per-round update
+//! batch that keeps every group's series populated — without paying for a
+//! full simulated world at 16× scale. Groups here are ⟨destination prefix,
+//! AS path⟩ shards exactly as the detector builds them, so the serial and
+//! sharded close paths exercise the same code as production.
+
+use rrr_anomaly::BitmapDetector;
+use rrr_core::bgp_monitors::BgpMonitors;
+use rrr_types::{
+    AsPath, Asn, BgpElem, BgpUpdate, Community, Ipv4, Prefix, Timestamp, TracerouteId, VpId,
+};
+
+/// Monitor-group count at 1× scale (roughly the small-world corpus size).
+pub const BASE_GROUPS: usize = 96;
+/// Collector peers feeding the synthetic RIB.
+pub const NUM_VPS: u32 = 12;
+
+fn prefix_of(i: usize) -> Prefix {
+    Prefix::new(Ipv4(0x0A00_0000 + ((i as u32) << 12)), 20)
+}
+
+fn origin_of(i: usize) -> u32 {
+    3000 + (i as u32 % 7)
+}
+
+fn transit_of(i: usize) -> u32 {
+    20 + (i as u32 % 5)
+}
+
+fn announce(vp: u32, prefix: Prefix, path: &[u32], t: u64) -> BgpUpdate {
+    BgpUpdate {
+        time: Timestamp(t),
+        vp: VpId(vp),
+        prefix,
+        elem: BgpElem::Announce {
+            path: AsPath::from_asns(path.iter().copied()),
+            communities: vec![Community::new(transit_of(path.len()), 50_000 + vp)],
+        },
+    }
+}
+
+/// Builds a [`BgpMonitors`] with `BASE_GROUPS * scale` registered groups:
+/// every VP holds a path sharing the monitored suffix, so each group gets
+/// AS-path, burst, and community monitors — the full §4.1 set.
+pub fn synth_bgp_monitors(scale: usize) -> BgpMonitors {
+    let groups = BASE_GROUPS * scale;
+    let vps: Vec<VpId> = (0..NUM_VPS).map(VpId).collect();
+    let mut m = BgpMonitors::new(vec![], BitmapDetector::spike());
+
+    let mut rib = Vec::with_capacity(groups * NUM_VPS as usize);
+    for i in 0..groups {
+        let p = prefix_of(i);
+        for vp in 0..NUM_VPS {
+            rib.push(announce(vp, p, &[100 + vp, transit_of(i), origin_of(i)], 0));
+        }
+    }
+    m.init_rib(&rib);
+
+    for i in 0..groups {
+        let tau: Vec<Asn> = [10, transit_of(i), origin_of(i)].map(Asn).to_vec();
+        m.register(TracerouteId(i as u64), prefix_of(i), &tau, &vps);
+    }
+    m
+}
+
+/// One round's BGP update batch for the synthetic corpus: three VPs per
+/// group re-announce, most repeating their path (duplicate-update load for
+/// the burst monitors), a rotating minority deviating (sample load for the
+/// AS-path ratio monitors).
+pub fn synth_round(scale: usize, round: u64) -> Vec<BgpUpdate> {
+    let groups = BASE_GROUPS * scale;
+    let mut out = Vec::with_capacity(groups * 3);
+    for i in 0..groups {
+        let p = prefix_of(i);
+        for k in 0..3u32 {
+            let vp = (k + round as u32 + i as u32) % NUM_VPS;
+            let path = if (i as u64 + round + k as u64).is_multiple_of(9) {
+                vec![100 + vp, 7777, origin_of(i)]
+            } else {
+                vec![100 + vp, transit_of(i), origin_of(i)]
+            };
+            out.push(announce(vp, p, &path, round * 900 + (i as u64 % 900)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrr_types::Window;
+
+    #[test]
+    fn synth_corpus_scales_linearly() {
+        let m1 = synth_bgp_monitors(1);
+        let m4 = synth_bgp_monitors(4);
+        assert_eq!(m1.group_count(), BASE_GROUPS);
+        assert_eq!(m4.group_count(), 4 * BASE_GROUPS);
+        assert!(m1.interned_keys() > 0);
+    }
+
+    #[test]
+    fn synth_rounds_drive_identical_serial_and_parallel_closes() {
+        let run = |threads: usize| {
+            let mut m = synth_bgp_monitors(1);
+            m.set_threads(threads);
+            let mut all = Vec::new();
+            for w in 1..=40u64 {
+                for u in synth_round(1, w) {
+                    m.observe(&u);
+                }
+                let (s, _) = m.close_window(Window(w), Timestamp(w * 900), &|_, _| true);
+                all.extend(s);
+            }
+            all
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.traceroutes, b.traceroutes);
+        }
+    }
+}

@@ -77,9 +77,7 @@ pub fn run_retrospective(cfg: WorldConfig, det_cfg: DetectorConfig) -> RetroResu
         // destinations themselves are excluded from the public feed
         // (§5.1.2's anti-bias rule) — random_round never targets host-range
         // anchor addresses.
-        let mut public = world
-            .platform
-            .random_round(&world.engine, t, cfg.public_per_round);
+        let mut public = world.platform.random_round(&world.engine, t, cfg.public_per_round);
         public.retain(|tr| p_public.contains(&tr.probe));
 
         for s in det.step(t, &updates, &public) {
@@ -110,11 +108,7 @@ pub fn run_retrospective(cfg: WorldConfig, det_cfg: DetectorConfig) -> RetroResu
         if day != last_day {
             let (a, b) = tracker.divergence_from_initial();
             divergence.push((day, a, b));
-            community_daily.push((
-                day,
-                det.calibrator().pruned_communities(),
-                comms_today.len(),
-            ));
+            community_daily.push((day, det.calibrator().pruned_communities(), comms_today.len()));
             comms_today.clear();
             last_day = day;
         }

@@ -24,19 +24,19 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", s.trim_end());
     };
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }
 }
 
 /// Prints an (x, series...) block suitable for plotting.
-pub fn print_series<X: Display>(title: &str, x_label: &str, labels: &[&str], points: &[(X, Vec<f64>)]) {
+pub fn print_series<X: Display>(
+    title: &str,
+    x_label: &str,
+    labels: &[&str],
+    points: &[(X, Vec<f64>)],
+) {
     println!("\n== {title} ==");
     print!("{x_label}");
     for l in labels {
@@ -59,8 +59,7 @@ pub fn r2(v: f64) -> String {
 
 /// Writes a JSON result document under `target/experiments/`.
 pub fn save_json(name: &str, value: &serde_json::Value) -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     fs::create_dir_all(&dir).expect("create experiments dir");
     let path = dir.join(format!("{name}.json"));
     fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))

@@ -105,12 +105,8 @@ impl World {
             self.cfg.geo_exact,
             self.cfg.seed.wrapping_add(7),
         );
-        let vantages: Vec<PingVantage> = self
-            .platform
-            .probes
-            .iter()
-            .map(|p| PingVantage { asx: p.asx, city: p.city })
-            .collect();
+        let vantages: Vec<PingVantage> =
+            self.platform.probes.iter().map(|p| PingVantage { asx: p.asx, city: p.city }).collect();
         let geo = Geolocator::new(db, vantages);
         let alias = AliasResolver::from_topology(
             &self.topo,
@@ -118,14 +114,7 @@ impl World {
             self.cfg.seed.wrapping_add(8),
         );
         let vps: Vec<VpId> = self.engine.vps().iter().map(|v| v.id).collect();
-        let mut det = StalenessDetector::new(
-            Arc::clone(&self.topo),
-            map,
-            geo,
-            alias,
-            vps,
-            det_cfg,
-        );
+        let mut det = StalenessDetector::new(Arc::clone(&self.topo), map, geo, alias, vps, det_cfg);
         det.init_rib(&rib);
         det
     }
@@ -134,14 +123,7 @@ impl World {
     /// current network state (flow-independent; §5.4 semantics).
     pub fn ground_truth(&self, probe: ProbeId, dst: Ipv4) -> Option<CanonicalPath> {
         let p = self.platform.probe(probe);
-        canonical_path(
-            &self.topo,
-            self.engine.state(),
-            self.engine.routes(),
-            p.asx,
-            p.city,
-            dst,
-        )
+        canonical_path(&self.topo, self.engine.state(), self.engine.routes(), p.asx, p.city, dst)
     }
 }
 
@@ -150,9 +132,7 @@ impl WorldConfig {
     /// experiment binary: `RRR_SCALE=small|eval` (default eval),
     /// `RRR_DAYS=N` (default `default_days`), `RRR_SEED=N` (default 42).
     pub fn from_env(default_days: u64) -> WorldConfig {
-        let get = |k: &str, d: u64| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
-        };
+        let get = |k: &str, d: u64| std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d);
         let seed = get("RRR_SEED", 42);
         let days = get("RRR_DAYS", default_days);
         match std::env::var("RRR_SCALE").as_deref() {

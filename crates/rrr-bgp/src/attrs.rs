@@ -147,8 +147,7 @@ mod tests {
         let vp = AsIdx(5);
         let city = topo.as_info(vp).hub_city;
         let origin = AsIdx(0);
-        let before =
-            route_attrs(&topo, &state, &routes, vp, city, origin).expect("reachable");
+        let before = route_attrs(&topo, &state, &routes, vp, city, origin).expect("reachable");
         // Wobble an AS on the path.
         let on_path = routes.as_chain(origin, vp).expect("chain")[1];
         state.wobble_epoch[on_path.index()] += 1;

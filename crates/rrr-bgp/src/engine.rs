@@ -240,14 +240,8 @@ impl Engine {
         for vp in &self.vps {
             for o in 0..self.topo.num_ases() {
                 let origin = AsIdx(o as u32);
-                let new = route_attrs(
-                    &self.topo,
-                    &self.state,
-                    &self.routes,
-                    vp.asx,
-                    vp.city,
-                    origin,
-                );
+                let new =
+                    route_attrs(&self.topo, &self.state, &self.routes, vp.asx, vp.city, origin);
                 let old = &self.last_attrs[vp.id.index()][o];
                 if *old == new {
                     continue;
@@ -362,10 +356,7 @@ mod tests {
             }
             last.insert((u.vp, u.prefix), u.elem);
         }
-        assert!(
-            comm_only > 0,
-            "expected community-only changes from hot-potato shifts"
-        );
+        assert!(comm_only > 0, "expected community-only changes from hot-potato shifts");
     }
 
     #[test]

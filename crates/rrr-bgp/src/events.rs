@@ -31,11 +31,7 @@ pub enum EventKind {
     /// Hot-potato shift: one side changes the IGP bias of a point, possibly
     /// moving the selected egress to another city — a border-level change
     /// invisible in AS paths.
-    BiasShift {
-        point: PeeringPointId,
-        side_a: bool,
-        bias: u32,
-    },
+    BiasShift { point: PeeringPointId, side_a: bool, bias: u32 },
     /// Internal IGP churn in one AS that does not move any egress: produces
     /// duplicate updates only.
     IgpWobble { asx: AsIdx },
@@ -164,18 +160,10 @@ pub fn generate_events(topo: &Topology, cfg: &EventConfig) -> Vec<Event> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut out: Vec<Event> = Vec::new();
 
-    let active_points: Vec<PeeringPointId> = topo
-        .points
-        .iter()
-        .filter(|p| !topo.adjacency(p.adj).latent)
-        .map(|p| p.id)
-        .collect();
-    let active_adjs: Vec<AdjacencyId> = topo
-        .adjacencies
-        .iter()
-        .filter(|a| !a.latent)
-        .map(|a| a.id)
-        .collect();
+    let active_points: Vec<PeeringPointId> =
+        topo.points.iter().filter(|p| !topo.adjacency(p.adj).latent).map(|p| p.id).collect();
+    let active_adjs: Vec<AdjacencyId> =
+        topo.adjacencies.iter().filter(|a| !a.latent).map(|a| a.id).collect();
 
     // Point failures with reverts. Only fail points whose adjacency has >1
     // point half the time, so some failures cause egress shifts and some
@@ -211,7 +199,10 @@ pub fn generate_events(topo: &Topology, cfg: &EventConfig) -> Vec<Event> {
         } else {
             rng.gen_range(1..50)
         };
-        out.push(Event { time: t, kind: EventKind::BiasShift { point: p, side_a, bias: new_bias } });
+        out.push(Event {
+            time: t,
+            kind: EventKind::BiasShift { point: p, side_a, bias: new_bias },
+        });
         if rng.gen_bool(cfg.bias_revert_prob) {
             let hold = exp_hold(&mut rng, cfg.bias_mean_hold);
             out.push(Event {
@@ -300,14 +291,8 @@ mod tests {
         let topo = generate(&TopologyConfig::small(5));
         let cfg = EventConfig::small(10, Duration::days(20));
         let ev = generate_events(&topo, &cfg);
-        let downs = ev
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::PointDown(_)))
-            .count();
-        let ups = ev
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::PointUp(_)))
-            .count();
+        let downs = ev.iter().filter(|e| matches!(e.kind, EventKind::PointDown(_))).count();
+        let ups = ev.iter().filter(|e| matches!(e.kind, EventKind::PointUp(_))).count();
         assert_eq!(downs, ups);
     }
 

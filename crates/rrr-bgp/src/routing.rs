@@ -95,7 +95,11 @@ pub fn compute_routes(topo: &Topology, state: &NetState) -> RouteTable {
 }
 
 /// Computes routes toward a single origin.
-pub fn routes_for_origin(topo: &Topology, state: &NetState, origin: AsIdx) -> Vec<Option<RouteEntry>> {
+pub fn routes_for_origin(
+    topo: &Topology,
+    state: &NetState,
+    origin: AsIdx,
+) -> Vec<Option<RouteEntry>> {
     let n = topo.num_ases();
     let mut entry: Vec<Option<RouteEntry>> = vec![None; n];
     entry[origin.index()] = Some(RouteEntry { next: None, class: RouteClass::Origin, len: 0 });
@@ -123,11 +127,8 @@ pub fn routes_for_origin(topo: &Topology, state: &NetState, origin: AsIdx) -> Ve
         });
         for &(p, via, len) in &candidates {
             if entry[p.index()].is_none() {
-                entry[p.index()] = Some(RouteEntry {
-                    next: Some(via),
-                    class: RouteClass::Customer,
-                    len,
-                });
+                entry[p.index()] =
+                    Some(RouteEntry { next: Some(via), class: RouteClass::Customer, len });
                 next_frontier.push(p);
             }
         }
@@ -172,11 +173,8 @@ pub fn routes_for_origin(topo: &Topology, state: &NetState, origin: AsIdx) -> Ve
         if entry[node.index()].is_some() {
             continue;
         }
-        entry[node.index()] = Some(RouteEntry {
-            next: Some(AsIdx(via)),
-            class: RouteClass::Provider,
-            len,
-        });
+        entry[node.index()] =
+            Some(RouteEntry { next: Some(AsIdx(via)), class: RouteClass::Provider, len });
         push_customer_edges(topo, state, origin, node, len, &entry, &mut heap);
     }
 
@@ -235,11 +233,7 @@ pub fn egress_points(
         .copied()
         .min_by_key(|&p| {
             let pt = topo.point(p);
-            (
-                state.bias_for(topo, p, from),
-                topo.igp_base_cost(ingress_city, pt.city),
-                p,
-            )
+            (state.bias_for(topo, p, from), topo.igp_base_cost(ingress_city, pt.city), p)
         })
         .expect("non-empty");
     vec![best]
@@ -262,10 +256,7 @@ mod tests {
         let (topo, _state, routes) = setup();
         for o in 0..topo.num_ases() {
             for x in 0..topo.num_ases() {
-                assert!(
-                    routes.per_origin[o][x].is_some(),
-                    "AS idx {x} has no route to origin {o}"
-                );
+                assert!(routes.per_origin[o][x].is_some(), "AS idx {x} has no route to origin {o}");
             }
         }
     }
@@ -384,9 +375,7 @@ mod tests {
         // valley-free and loop-free, and at least one route must change.
         for x in 0..topo.num_ases() {
             for o in 0..topo.num_ases() {
-                state
-                    .tiebreak_salt
-                    .insert((AsIdx(x as u32), AsIdx(o as u32)), 0xDEADBEEF);
+                state.tiebreak_salt.insert((AsIdx(x as u32), AsIdx(o as u32)), 0xDEADBEEF);
             }
         }
         let after = compute_routes(&topo, &state);
@@ -452,8 +441,9 @@ mod tests {
         for p in &adj.points {
             state.point_up[p.index()] = false;
         }
-        assert!(egress_points(&topo, &state, adj.a, adj.id, topo.point(adj.points[0]).city)
-            .is_empty());
+        assert!(
+            egress_points(&topo, &state, adj.a, adj.id, topo.point(adj.points[0]).city).is_empty()
+        );
     }
 
     #[test]

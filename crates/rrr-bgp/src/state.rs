@@ -1,8 +1,8 @@
 //! Mutable overlay on the immutable topology: link availability, IGP cost
 //! biases, policy salts, TE communities, and IXP membership activation.
 
-use rrr_types::{Community, IxpId, PeeringPointId};
 use rrr_topology::{AdjacencyId, AsIdx, Topology};
+use rrr_types::{Community, IxpId, PeeringPointId};
 use std::collections::{HashMap, HashSet};
 
 /// Dynamic network state. Owned by the engine; read by routing, attribute
@@ -66,11 +66,7 @@ impl NetState {
         topo: &'a Topology,
         adj: AdjacencyId,
     ) -> impl Iterator<Item = PeeringPointId> + 'a {
-        topo.adjacency(adj)
-            .points
-            .iter()
-            .copied()
-            .filter(move |p| self.point_up[p.index()])
+        topo.adjacency(adj).points.iter().copied().filter(move |p| self.point_up[p.index()])
     }
 
     /// Current bias of a point as seen from AS `side_of` (must be one of the

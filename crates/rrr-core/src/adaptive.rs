@@ -117,7 +117,11 @@ impl AdaptiveSeries {
 
     /// Processes everything up to `now`, returning outliers detected in
     /// windows that closed. Call once per pipeline round.
-    pub fn flush_until<D: OutlierDetector>(&mut self, now: Timestamp, det: &D) -> Vec<RatioOutlier> {
+    pub fn flush_until<D: OutlierDetector>(
+        &mut self,
+        now: Timestamp,
+        det: &D,
+    ) -> Vec<RatioOutlier> {
         let mut out = Vec::new();
         if self.gave_up {
             self.buffer.clear();
@@ -126,10 +130,7 @@ impl AdaptiveSeries {
 
         // Phase 1: choose a window duration once enough data accumulated.
         if self.cfg.is_none() {
-            let span_elapsed = self
-                .first_obs
-                .map(|f| now - f)
-                .unwrap_or(Duration(0));
+            let span_elapsed = self.first_obs.map(|f| now - f).unwrap_or(Duration(0));
             if self.buffer.len() >= DECIDE_AFTER_OBS || span_elapsed >= GIVE_UP_AFTER {
                 let ts: Vec<Timestamp> = self.buffer.iter().map(|o| o.time).collect();
                 match choose_window_duration(&ts) {
@@ -225,7 +226,12 @@ mod tests {
     use super::*;
     use rrr_anomaly::ModifiedZScore;
 
-    fn fill(series: &mut AdaptiveSeries, det: &ModifiedZScore, rounds: u64, matched: bool) -> Vec<RatioOutlier> {
+    fn fill(
+        series: &mut AdaptiveSeries,
+        det: &ModifiedZScore,
+        rounds: u64,
+        matched: bool,
+    ) -> Vec<RatioOutlier> {
         let mut out = Vec::new();
         let base = 0u64;
         for r in 0..rounds {

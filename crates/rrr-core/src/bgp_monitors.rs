@@ -7,13 +7,14 @@
 //! 15-minute window ([`BgpMonitors::close_window`]) the time series advance
 //! and signals fire.
 
-use crate::signal::{SignalKey, SignalScope, StalenessSignal, Technique};
+use crate::signal::{KeyInterner, SignalKey, SignalScope, StalenessSignal, Technique};
 use rrr_anomaly::{BitmapDetector, MonitoredSeries, SeriesVerdict};
 use rrr_types::{
-    community, AsPath, Asn, BgpElem, BgpUpdate, Community, Prefix, Timestamp, TracerouteId,
-    VpId, Window,
+    community, AsPath, Asn, BgpElem, BgpUpdate, Community, Prefix, Timestamp, TracerouteId, VpId,
+    Window,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 /// A monitor group key: one destination prefix and one traceroute AS path.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -27,6 +28,8 @@ struct GroupKey {
 struct AsPathJ {
     /// Index of `a_j` in the traceroute AS path.
     j: usize,
+    /// Interned signal identity, fixed at registration.
+    key: Arc<SignalKey>,
     /// VPs whose BGP path first intersected the traceroute at `a_j` when
     /// the monitor was registered — the fixed population that keeps VP
     /// churn out of the series (§4.1.2).
@@ -40,7 +43,9 @@ struct AsPathJ {
 /// §4.1.4 per-suffix state.
 #[derive(Debug, Clone)]
 struct BurstJ {
-    j: usize,
+    /// Interned signal identity, fixed at registration; its scope carries
+    /// the monitored suffix `tau[j..]`.
+    key: Arc<SignalKey>,
     /// VPs sharing the suffix at registration.
     v0: BTreeSet<VpId>,
     /// Confounder ASes: on ≥2 member VPs' paths but not on the traceroute,
@@ -51,11 +56,14 @@ struct BurstJ {
     member_confounders: BTreeMap<VpId, BTreeSet<Asn>>,
     u_series: MonitoredSeries,
     u_prime: BTreeMap<Asn, MonitoredSeries>,
+    asserting: bool,
 }
 
 /// §4.1.3 state (per group).
 #[derive(Debug, Clone)]
 struct CommState {
+    /// Interned signal identity, fixed at registration.
+    key: Arc<SignalKey>,
     /// VPs whose path overlapped some suffix of the traceroute at
     /// registration.
     vps: BTreeSet<VpId>,
@@ -87,7 +95,7 @@ struct WindowSamples {
 /// A request to revoke previous assertions of a monitor (§4.3.2).
 #[derive(Debug, Clone)]
 pub struct RevokeEvent {
-    pub key: SignalKey,
+    pub key: Arc<SignalKey>,
     pub traceroutes: Vec<TracerouteId>,
 }
 
@@ -106,6 +114,15 @@ pub struct BgpMonitors {
     strip_asns: Vec<Asn>,
     detector: BitmapDetector,
     absorb_outliers: bool,
+    /// Canonical shared handles for every monitor's signal identity.
+    interner: KeyInterner,
+    /// Reverse index: the groups each corpus traceroute registered into,
+    /// so `unregister` touches only those groups.
+    groups_of: HashMap<TracerouteId, Vec<GroupKey>>,
+    /// Worker threads for `close_window` (≤ 1 selects the serial path).
+    threads: usize,
+    /// Reusable stripping buffer for `observe`.
+    strip_scratch: AsPath,
 }
 
 impl BgpMonitors {
@@ -123,7 +140,18 @@ impl BgpMonitors {
             strip_asns,
             detector,
             absorb_outliers,
+            interner: KeyInterner::new(),
+            groups_of: HashMap::new(),
+            threads: 1,
+            strip_scratch: AsPath(Vec::new()),
         }
+    }
+
+    /// Sets the worker count for [`BgpMonitors::close_window`]. Values
+    /// ≤ 1 select the serial path; the emitted signal stream is identical
+    /// at any thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     fn new_series(&self) -> MonitoredSeries {
@@ -159,11 +187,12 @@ impl BgpMonitors {
         dst_prefix: Prefix,
         as_path: &[Asn],
         vps: &[VpId],
-    ) -> Vec<SignalKey> {
+    ) -> Vec<Arc<SignalKey>> {
         let key = GroupKey { dst_prefix, as_path: as_path.to_vec() };
         if let Some(g) = self.groups.get_mut(&key) {
             if !g.traceroutes.contains(&id) {
                 g.traceroutes.push(id);
+                self.groups_of.entry(id).or_default().push(key.clone());
             }
             return Self::group_keys(g);
         }
@@ -192,14 +221,15 @@ impl BgpMonitors {
         for (&j, vps0) in &first_int {
             let matched = vps0
                 .iter()
-                .filter(|vp| {
-                    vp_paths
-                        .get(vp)
-                        .is_some_and(|p| p.suffix_matches(as_path, j))
-                })
+                .filter(|vp| vp_paths.get(vp).is_some_and(|p| p.suffix_matches(as_path, j)))
                 .count();
+            let skey = self.interner.intern(SignalKey {
+                technique: Technique::BgpAsPath,
+                scope: SignalScope::AsSuffix { dst_prefix, suffix: as_path[j..].to_vec() },
+            });
             aspath.push(AsPathJ {
                 j,
+                key: skey,
                 vps0: vps0.clone(),
                 series: self.new_series(),
                 ref_ratio: matched as f64 / vps0.len() as f64,
@@ -223,11 +253,8 @@ impl BgpMonitors {
                     }
                 }
             }
-            let confounder_asns: BTreeSet<Asn> = counts
-                .iter()
-                .filter(|(_, s)| s.len() >= 2)
-                .map(|(a, _)| *a)
-                .collect();
+            let confounder_asns: BTreeSet<Asn> =
+                counts.iter().filter(|(_, s)| s.len() >= 2).map(|(a, _)| *a).collect();
             // W^{k,d}: all VPs traversing a_k toward d but not sharing the
             // full suffix.
             let mut confounders = BTreeMap::new();
@@ -258,17 +285,19 @@ impl BgpMonitors {
                     (*vp, set)
                 })
                 .collect();
-            let u_prime = confounders
-                .keys()
-                .map(|a| (*a, self.new_series()))
-                .collect();
+            let u_prime = confounders.keys().map(|a| (*a, self.new_series())).collect();
+            let skey = self.interner.intern(SignalKey {
+                technique: Technique::BgpBurst,
+                scope: SignalScope::AsSuffix { dst_prefix, suffix: as_path[j..].to_vec() },
+            });
             bursts.push(BurstJ {
-                j,
+                key: skey,
                 v0: v0.clone(),
                 confounders,
                 member_confounders,
                 u_series: self.new_series(),
                 u_prime,
+                asserting: false,
             });
         }
 
@@ -277,9 +306,14 @@ impl BgpMonitors {
         for &vp in &overlapping {
             reference.insert(vp, self.tau_communities(vp, dst_prefix, as_path));
         }
-        let comm = CommState { vps: overlapping, reference, asserting: false };
+        let comm_key = self.interner.intern(SignalKey {
+            technique: Technique::BgpCommunity,
+            scope: SignalScope::AsSuffix { dst_prefix, suffix: as_path.to_vec() },
+        });
+        let comm = CommState { key: comm_key, vps: overlapping, reference, asserting: false };
 
         self.by_prefix.entry(dst_prefix).or_default().push(key.clone());
+        self.groups_of.entry(id).or_default().push(key.clone());
         let group = Group {
             key: key.clone(),
             traceroutes: vec![id],
@@ -293,37 +327,27 @@ impl BgpMonitors {
         keys
     }
 
-    /// The potential-signal keys of one monitor group.
-    fn group_keys(g: &Group) -> Vec<SignalKey> {
-        let dst = g.key.dst_prefix;
-        let tau = &g.key.as_path;
+    /// The potential-signal keys of one monitor group — `Arc` clones of
+    /// the interned keys fixed at registration.
+    fn group_keys(g: &Group) -> Vec<Arc<SignalKey>> {
         let mut keys = Vec::with_capacity(g.aspath.len() + g.bursts.len() + 1);
-        for m in &g.aspath {
-            keys.push(SignalKey {
-                technique: Technique::BgpAsPath,
-                scope: SignalScope::AsSuffix { dst_prefix: dst, suffix: tau[m.j..].to_vec() },
-            });
-        }
-        for b in &g.bursts {
-            keys.push(SignalKey {
-                technique: Technique::BgpBurst,
-                scope: SignalScope::AsSuffix { dst_prefix: dst, suffix: tau[b.j..].to_vec() },
-            });
-        }
-        keys.push(SignalKey {
-            technique: Technique::BgpCommunity,
-            scope: SignalScope::AsSuffix { dst_prefix: dst, suffix: tau.clone() },
-        });
+        keys.extend(g.aspath.iter().map(|m| Arc::clone(&m.key)));
+        keys.extend(g.bursts.iter().map(|b| Arc::clone(&b.key)));
+        keys.push(Arc::clone(&g.comm.key));
         keys
     }
 
-    /// Removes a traceroute from all groups. Groups left with no
-    /// traceroutes are kept alive: their time series stay warm, so a
-    /// refresh that re-measures the same path re-attaches to calibrated
-    /// monitors instead of restarting the 20-window eligibility clock.
+    /// Removes a traceroute from the groups it registered into — O(that
+    /// traceroute's groups) via the reverse index, not O(all groups).
+    /// Groups left with no traceroutes are kept alive: their time series
+    /// stay warm, so a refresh that re-measures the same path re-attaches
+    /// to calibrated monitors instead of restarting the 20-window
+    /// eligibility clock.
     pub fn unregister(&mut self, id: TracerouteId) {
-        for g in self.groups.values_mut() {
-            g.traceroutes.retain(|t| *t != id);
+        for gk in self.groups_of.remove(&id).unwrap_or_default() {
+            if let Some(g) = self.groups.get_mut(&gk) {
+                g.traceroutes.retain(|t| *t != id);
+            }
         }
     }
 
@@ -331,11 +355,9 @@ impl BgpMonitors {
     /// defined by ASes on the traceroute path.
     fn tau_communities(&self, vp: VpId, prefix: Prefix, as_path: &[Asn]) -> BTreeSet<Community> {
         match self.rib.get(&(vp, prefix)) {
-            Some((_, comms)) => comms
-                .iter()
-                .filter(|c| as_path.contains(&c.asn()))
-                .copied()
-                .collect(),
+            Some((_, comms)) => {
+                comms.iter().filter(|c| as_path.contains(&c.asn())).copied().collect()
+            }
             None => BTreeSet::new(),
         }
     }
@@ -343,51 +365,61 @@ impl BgpMonitors {
     /// Feeds one update into the open window.
     pub fn observe(&mut self, u: &BgpUpdate) {
         // Only monitored prefixes matter.
-        let group_keys = match self.by_prefix.get(&u.prefix) {
-            Some(ks) if !ks.is_empty() => ks.clone(),
-            _ => {
-                // Still mirror the RIB so later registrations see fresh state.
-                self.apply_to_rib(u);
-                return;
-            }
-        };
+        if self.by_prefix.get(&u.prefix).is_none_or(|ks| ks.is_empty()) {
+            // Still mirror the RIB so later registrations see fresh state.
+            self.apply_to_rib(u);
+            return;
+        }
 
         let old = self.rib.get(&(u.vp, u.prefix)).cloned();
 
-        // Record the window sample (standing path first).
-        {
-            let entry = self
-                .window
-                .entry((u.vp, u.prefix))
-                .or_insert_with(|| WindowSamples {
+        match &u.elem {
+            BgpElem::Announce { path, communities } => {
+                // Strip once per update into the reusable scratch buffer;
+                // owned copies are made only where the path is stored.
+                let mut stripped = std::mem::take(&mut self.strip_scratch);
+                path.stripped_into(&self.strip_asns, &mut stripped);
+
+                let entry = self.window.entry((u.vp, u.prefix)).or_insert_with(|| WindowSamples {
                     paths: vec![old.as_ref().map(|(p, _)| p.clone())],
                     duplicates: 0,
                 });
-            match &u.elem {
-                BgpElem::Announce { path, communities } => {
-                    let stripped = path.stripped(&self.strip_asns);
-                    entry.paths.push(Some(stripped.clone()));
-                    if let Some((op, oc)) = &old {
-                        if *op == stripped && *oc == *communities {
-                            entry.duplicates += 1;
-                        }
+                entry.paths.push(Some(stripped.clone()));
+                if let Some((op, oc)) = &old {
+                    if *op == stripped && *oc == *communities {
+                        entry.duplicates += 1;
                     }
                 }
-                BgpElem::Withdraw => {
-                    entry.paths.push(None);
+
+                // §4.1.3: community change detection per group. Routing
+                // through disjoint field borrows avoids cloning the
+                // per-prefix group-key list on every update.
+                if let Some(gks) = self.by_prefix.get(&u.prefix) {
+                    for gk in gks {
+                        detect_comm_change(
+                            &mut self.groups,
+                            &self.rib,
+                            gk,
+                            u.vp,
+                            old.as_ref(),
+                            &stripped,
+                            communities,
+                        );
+                    }
                 }
+
+                self.rib.insert((u.vp, u.prefix), (stripped.clone(), communities.clone()));
+                self.strip_scratch = stripped; // hand the buffer back
+            }
+            BgpElem::Withdraw => {
+                let entry = self.window.entry((u.vp, u.prefix)).or_insert_with(|| WindowSamples {
+                    paths: vec![old.as_ref().map(|(p, _)| p.clone())],
+                    duplicates: 0,
+                });
+                entry.paths.push(None);
+                self.rib.remove(&(u.vp, u.prefix));
             }
         }
-
-        // §4.1.3: community change detection per group.
-        if let BgpElem::Announce { path, communities } = &u.elem {
-            let stripped = path.stripped(&self.strip_asns);
-            for gk in &group_keys {
-                self.detect_comm_change(gk, u.vp, old.as_ref(), &stripped, communities);
-            }
-        }
-
-        self.apply_to_rib(u);
     }
 
     fn apply_to_rib(&mut self, u: &BgpUpdate) {
@@ -404,243 +436,67 @@ impl BgpMonitors {
         }
     }
 
-    /// §4.1.3 edge detection for one update against one group.
-    fn detect_comm_change(
-        &mut self,
-        gk: &GroupKey,
-        vp: VpId,
-        old: Option<&(AsPath, Vec<Community>)>,
-        new_path: &AsPath,
-        new_comms: &[Community],
-    ) {
-        // Gather cross-VP community view before mutating the group (guard 2).
-        let others_have: HashSet<Community> = {
-            let g = &self.groups[gk];
-            let mut set = HashSet::new();
-            for &ovp in &g.comm.vps {
-                if ovp == vp {
-                    continue;
-                }
-                if let Some((_, oc)) = self.rib.get(&(ovp, gk.dst_prefix)) {
-                    set.extend(oc.iter().copied());
-                }
-            }
-            set
-        };
-
-        let g = self.groups.get_mut(gk).expect("group exists");
-        if !g.comm.vps.contains(&vp) {
-            return;
-        }
-        let Some((old_path, old_comms)) = old else { return };
-        // The VP must still overlap a suffix of the traceroute.
-        let Some(j) = new_path.first_intersection(&g.key.as_path) else { return };
-        if !new_path.suffix_matches(&g.key.as_path, j) {
-            return;
-        }
-
-        // Guard 1: all-or-nothing community transitions only count when the
-        // AS path is unchanged (stripping artifacts, §4.1.3).
-        let had = !old_comms.is_empty();
-        let has = !new_comms.is_empty();
-        if had != has && old_path != new_path {
-            return;
-        }
-
-        let mut changed: Vec<Community> = Vec::new();
-        for &a_j in &g.key.as_path {
-            let (added, removed) = community::diff_for_asn(old_comms, new_comms, a_j);
-            // Guard 2: an "added" community already visible on another
-            // overlapping VP's path is not a new signal.
-            changed.extend(added.into_iter().filter(|c| !others_have.contains(c)));
-            changed.extend(removed);
-        }
-        if !changed.is_empty() {
-            g.pending_comm.push((changed, 0));
-        }
+    /// Number of distinct interned signal keys (for tests/stats).
+    pub fn interned_keys(&self) -> usize {
+        self.interner.len()
     }
 
     /// Closes the current window: advances all series, emits signals and
-    /// revocations. `comm_allowed` filters communities through the
-    /// calibration pruning of Appendix B.
+    /// revocations in deterministic group order. `comm_allowed` filters
+    /// communities through the calibration pruning of Appendix B.
+    ///
+    /// With [`BgpMonitors::set_threads`] > 1 the monitor groups — each one
+    /// ⟨destination prefix, AS path⟩ shard — are split across scoped worker
+    /// threads, and per-shard outputs are concatenated in shard order.
+    /// `BTreeMap` iteration is sorted, so the emitted stream is
+    /// bit-identical to the serial path.
     pub fn close_window(
         &mut self,
         window: Window,
         time: Timestamp,
-        comm_allowed: &dyn Fn(Community, Prefix) -> bool,
+        comm_allowed: &(dyn Fn(Community, Prefix) -> bool + Sync),
     ) -> (Vec<StalenessSignal>, Vec<RevokeEvent>) {
+        let window_samples = std::mem::take(&mut self.window);
+        let ctx = CloseCtx {
+            window,
+            time,
+            det: self.detector,
+            rib: &self.rib,
+            samples: &window_samples,
+            comm_allowed,
+        };
+
         let mut signals = Vec::new();
         let mut revokes = Vec::new();
-        let window_samples = std::mem::take(&mut self.window);
-        let det = self.detector;
-
-        for g in self.groups.values_mut() {
-            let dormant = g.traceroutes.is_empty();
-            let dst = g.key.dst_prefix;
-            let tau = &g.key.as_path;
-
-            // --- §4.1.2 AS-path ratio ---
-            for m in &mut g.aspath {
-                let mut intersect = 0u32;
-                let mut matched = 0u32;
-                for &vp in &m.vps0 {
-                    let samples: Vec<Option<AsPath>> = match window_samples.get(&(vp, dst)) {
-                        Some(ws) => ws.paths.clone(),
-                        None => vec![self.rib.get(&(vp, dst)).map(|(p, _)| p.clone())],
-                    };
-                    for s in samples.iter().flatten() {
-                        if s.first_intersection(tau) == Some(m.j) {
-                            intersect += 1;
-                            if s.suffix_matches(tau, m.j) {
-                                matched += 1;
+        if self.threads <= 1 || self.groups.len() < 2 {
+            for g in self.groups.values_mut() {
+                close_group(g, &ctx, &mut signals, &mut revokes);
+            }
+        } else {
+            let mut shards: Vec<&mut Group> = self.groups.values_mut().collect();
+            let per = shards.len().div_ceil(self.threads);
+            let ctx = &ctx;
+            let outs: Vec<(Vec<StalenessSignal>, Vec<RevokeEvent>)> = std::thread::scope(|s| {
+                let handles: Vec<_> = shards
+                    .chunks_mut(per)
+                    .map(|chunk| {
+                        s.spawn(move || {
+                            let mut sig = Vec::new();
+                            let mut rev = Vec::new();
+                            for g in chunk.iter_mut() {
+                                close_group(g, ctx, &mut sig, &mut rev);
                             }
-                        }
-                    }
-                }
-                let value = (intersect > 0).then(|| matched as f64 / intersect as f64);
-                let verdict = m.series.push(value, &det);
-                let key = SignalKey {
-                    technique: Technique::BgpAsPath,
-                    scope: SignalScope::AsSuffix { dst_prefix: dst, suffix: tau[m.j..].to_vec() },
-                };
-                if let SeriesVerdict::Outlier { score } = verdict {
-                    if !dormant {
-                        signals.push(StalenessSignal {
-                            key: key.clone(),
-                            time,
-                            window,
-                            score,
-                            traceroutes: g.traceroutes.clone(),
-                            trigger_communities: Vec::new(),
-                        });
-                        m.asserting = true;
-                    }
-                } else if m.asserting {
-                    // §4.3.2: revoke when the ratio returns to its issuance
-                    // value.
-                    if let Some(v) = value {
-                        if (v - m.ref_ratio).abs() < 0.05 {
-                            m.asserting = false;
-                            revokes.push(RevokeEvent { key, traceroutes: g.traceroutes.clone() });
-                        }
-                    }
-                }
-            }
-
-            // --- §4.1.4 duplicate bursts ---
-            for b in &mut g.bursts {
-                let dups_of = |vp: VpId| -> u32 {
-                    window_samples.get(&(vp, dst)).map(|w| w.duplicates).unwrap_or(0)
-                };
-                let u_val = b.v0.iter().filter(|vp| dups_of(**vp) > 0).count() as f64;
-                let u_verdict = b.u_series.push(Some(u_val), &det);
-
-                // Advance confounder series regardless, so they stay aligned.
-                let mut outlier_confounders: BTreeSet<Asn> = BTreeSet::new();
-                for (a_k, w_set) in &b.confounders {
-                    let u2 = w_set.iter().filter(|vp| dups_of(**vp) > 0).count() as f64;
-                    let series = b.u_prime.get_mut(a_k).expect("series registered");
-                    if series.push(Some(u2), &det).is_outlier() {
-                        outlier_confounders.insert(*a_k);
-                    }
-                }
-
-                if let SeriesVerdict::Outlier { score } = u_verdict {
-                    if dormant {
-                        continue;
-                    }
-                    // The technique keys on *contemporaneous* duplicates
-                    // from multiple peers sharing the suffix (§4.1.4) — a
-                    // single chatty peer is not a correlated burst.
-                    let multi_peer = u_val >= 2.0;
-                    // At least one duplicate-sending member VP must traverse
-                    // no confounder that is itself bursting (Figure 4).
-                    let clean_member = b.v0.iter().any(|vp| {
-                        dups_of(*vp) > 0
-                            && b.member_confounders[vp]
-                                .iter()
-                                .all(|a_k| !outlier_confounders.contains(a_k))
-                    });
-                    if multi_peer && clean_member {
-                        signals.push(StalenessSignal {
-                            key: SignalKey {
-                                technique: Technique::BgpBurst,
-                                scope: SignalScope::AsSuffix {
-                                    dst_prefix: dst,
-                                    suffix: tau[b.j..].to_vec(),
-                                },
-                            },
-                            time,
-                            window,
-                            score,
-                            traceroutes: g.traceroutes.clone(),
-                            trigger_communities: Vec::new(),
-                        });
-                    }
-                }
-            }
-
-            // --- §4.1.3 community changes ---
-            let pending = std::mem::take(&mut g.pending_comm);
-            let mut fired_comms: Vec<Community> = Vec::new();
-            for (comms, _) in pending {
-                let allowed: Vec<Community> =
-                    comms.into_iter().filter(|c| comm_allowed(*c, dst)).collect();
-                fired_comms.extend(allowed);
-            }
-            if !fired_comms.is_empty() && !dormant {
-                fired_comms.sort_unstable();
-                fired_comms.dedup();
-                let j0 = 0;
-                signals.push(StalenessSignal {
-                    key: SignalKey {
-                        technique: Technique::BgpCommunity,
-                        scope: SignalScope::AsSuffix {
-                            dst_prefix: dst,
-                            suffix: tau[j0..].to_vec(),
-                        },
-                    },
-                    time,
-                    window,
-                    score: fired_comms.len() as f64,
-                    traceroutes: g.traceroutes.clone(),
-                    trigger_communities: fired_comms.clone(),
-                });
-                g.comm.asserting = true;
-            } else if g.comm.asserting {
-                // Revocation: every overlapping VP's τ-scoped community set
-                // matches the reference again.
-                let reverted = {
-                    let mut ok = true;
-                    for (&vp, reference) in &g.comm.reference {
-                        let now: BTreeSet<Community> = match self.rib.get(&(vp, dst)) {
-                            Some((_, comms)) => comms
-                                .iter()
-                                .filter(|c| tau.contains(&c.asn()))
-                                .copied()
-                                .collect(),
-                            None => BTreeSet::new(),
-                        };
-                        if now != *reference {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    ok
-                };
-                if reverted {
-                    g.comm.asserting = false;
-                    revokes.push(RevokeEvent {
-                        key: SignalKey {
-                            technique: Technique::BgpCommunity,
-                            scope: SignalScope::AsSuffix { dst_prefix: dst, suffix: tau.clone() },
-                        },
-                        traceroutes: g.traceroutes.clone(),
-                    });
-                }
+                            (sig, rev)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("window shard worker")).collect()
+            });
+            for (s, r) in outs {
+                signals.extend(s);
+                revokes.extend(r);
             }
         }
-
         (signals, revokes)
     }
 
@@ -656,6 +512,236 @@ impl BgpMonitors {
             .get(&GroupKey { dst_prefix, as_path: as_path.to_vec() })
             .map(|g| g.comm.asserting)
             .unwrap_or(false)
+    }
+}
+
+/// §4.1.3 edge detection for one update against one group. A free function
+/// over split-out fields so `observe` can route one update to many groups
+/// without cloning the per-prefix group-key list.
+fn detect_comm_change(
+    groups: &mut BTreeMap<GroupKey, Group>,
+    rib: &HashMap<(VpId, Prefix), (AsPath, Vec<Community>)>,
+    gk: &GroupKey,
+    vp: VpId,
+    old: Option<&(AsPath, Vec<Community>)>,
+    new_path: &AsPath,
+    new_comms: &[Community],
+) {
+    // Gather cross-VP community view before mutating the group (guard 2).
+    let others_have: HashSet<Community> = {
+        let g = &groups[gk];
+        let mut set = HashSet::new();
+        for &ovp in &g.comm.vps {
+            if ovp == vp {
+                continue;
+            }
+            if let Some((_, oc)) = rib.get(&(ovp, gk.dst_prefix)) {
+                set.extend(oc.iter().copied());
+            }
+        }
+        set
+    };
+
+    let g = groups.get_mut(gk).expect("group exists");
+    if !g.comm.vps.contains(&vp) {
+        return;
+    }
+    let Some((old_path, old_comms)) = old else { return };
+    // The VP must still overlap a suffix of the traceroute.
+    let Some(j) = new_path.first_intersection(&g.key.as_path) else { return };
+    if !new_path.suffix_matches(&g.key.as_path, j) {
+        return;
+    }
+
+    // Guard 1: all-or-nothing community transitions only count when the
+    // AS path is unchanged (stripping artifacts, §4.1.3).
+    let had = !old_comms.is_empty();
+    let has = !new_comms.is_empty();
+    if had != has && old_path != new_path {
+        return;
+    }
+
+    let mut changed: Vec<Community> = Vec::new();
+    for &a_j in &g.key.as_path {
+        let (added, removed) = community::diff_for_asn(old_comms, new_comms, a_j);
+        // Guard 2: an "added" community already visible on another
+        // overlapping VP's path is not a new signal.
+        changed.extend(added.into_iter().filter(|c| !others_have.contains(c)));
+        changed.extend(removed);
+    }
+    if !changed.is_empty() {
+        g.pending_comm.push((changed, 0));
+    }
+}
+
+/// Read-only context shared by every shard while one window closes.
+struct CloseCtx<'a> {
+    window: Window,
+    time: Timestamp,
+    det: BitmapDetector,
+    rib: &'a HashMap<(VpId, Prefix), (AsPath, Vec<Community>)>,
+    samples: &'a HashMap<(VpId, Prefix), WindowSamples>,
+    comm_allowed: &'a (dyn Fn(Community, Prefix) -> bool + Sync),
+}
+
+/// Advances every series of one monitor group for the closing window,
+/// appending signals and revocations in deterministic monitor order. The
+/// serial and sharded paths of [`BgpMonitors::close_window`] both funnel
+/// through this function, so the emitted stream is identical at any
+/// thread count.
+fn close_group(
+    g: &mut Group,
+    ctx: &CloseCtx<'_>,
+    signals: &mut Vec<StalenessSignal>,
+    revokes: &mut Vec<RevokeEvent>,
+) {
+    let dormant = g.traceroutes.is_empty();
+    let dst = g.key.dst_prefix;
+    let tau = &g.key.as_path;
+
+    // --- §4.1.2 AS-path ratio ---
+    for m in &mut g.aspath {
+        let mut intersect = 0u32;
+        let mut matched = 0u32;
+        {
+            let mut scan = |p: &AsPath| {
+                if p.first_intersection(tau) == Some(m.j) {
+                    intersect += 1;
+                    if p.suffix_matches(tau, m.j) {
+                        matched += 1;
+                    }
+                }
+            };
+            for &vp in &m.vps0 {
+                match ctx.samples.get(&(vp, dst)) {
+                    Some(ws) => ws.paths.iter().flatten().for_each(&mut scan),
+                    None => {
+                        if let Some((p, _)) = ctx.rib.get(&(vp, dst)) {
+                            scan(p);
+                        }
+                    }
+                }
+            }
+        }
+        let value = (intersect > 0).then(|| matched as f64 / intersect as f64);
+        let verdict = m.series.push(value, &ctx.det);
+        if let SeriesVerdict::Outlier { score } = verdict {
+            if !dormant {
+                signals.push(StalenessSignal {
+                    key: Arc::clone(&m.key),
+                    time: ctx.time,
+                    window: ctx.window,
+                    score,
+                    traceroutes: g.traceroutes.clone(),
+                    trigger_communities: Vec::new(),
+                });
+                m.asserting = true;
+            }
+        } else if m.asserting {
+            // §4.3.2: revoke when the ratio returns to its issuance value.
+            if let Some(v) = value {
+                if (v - m.ref_ratio).abs() < 0.05 {
+                    m.asserting = false;
+                    revokes.push(RevokeEvent {
+                        key: Arc::clone(&m.key),
+                        traceroutes: g.traceroutes.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // --- §4.1.4 duplicate bursts ---
+    for b in &mut g.bursts {
+        let dups_of =
+            |vp: VpId| -> u32 { ctx.samples.get(&(vp, dst)).map(|w| w.duplicates).unwrap_or(0) };
+        let u_val = b.v0.iter().filter(|vp| dups_of(**vp) > 0).count() as f64;
+        let u_verdict = b.u_series.push(Some(u_val), &ctx.det);
+
+        // Advance confounder series regardless, so they stay aligned.
+        let mut outlier_confounders: BTreeSet<Asn> = BTreeSet::new();
+        for (a_k, w_set) in &b.confounders {
+            let u2 = w_set.iter().filter(|vp| dups_of(**vp) > 0).count() as f64;
+            let series = b.u_prime.get_mut(a_k).expect("series registered");
+            if series.push(Some(u2), &ctx.det).is_outlier() {
+                outlier_confounders.insert(*a_k);
+            }
+        }
+
+        if let SeriesVerdict::Outlier { score } = u_verdict {
+            if dormant {
+                continue;
+            }
+            // The technique keys on *contemporaneous* duplicates from
+            // multiple peers sharing the suffix (§4.1.4) — a single chatty
+            // peer is not a correlated burst.
+            let multi_peer = u_val >= 2.0;
+            // At least one duplicate-sending member VP must traverse no
+            // confounder that is itself bursting (Figure 4).
+            let clean_member = b.v0.iter().any(|vp| {
+                dups_of(*vp) > 0
+                    && b.member_confounders[vp].iter().all(|a_k| !outlier_confounders.contains(a_k))
+            });
+            if multi_peer && clean_member {
+                signals.push(StalenessSignal {
+                    key: Arc::clone(&b.key),
+                    time: ctx.time,
+                    window: ctx.window,
+                    score,
+                    traceroutes: g.traceroutes.clone(),
+                    trigger_communities: Vec::new(),
+                });
+                b.asserting = true;
+            }
+        } else if b.asserting {
+            // §4.3.2: a burst is transient evidence — once the duplicate
+            // count returns in-distribution, the signal that backed the
+            // assertion has reverted.
+            b.asserting = false;
+            revokes
+                .push(RevokeEvent { key: Arc::clone(&b.key), traceroutes: g.traceroutes.clone() });
+        }
+    }
+
+    // --- §4.1.3 community changes ---
+    let pending = std::mem::take(&mut g.pending_comm);
+    let mut fired_comms: Vec<Community> = Vec::new();
+    for (comms, _) in pending {
+        let allowed: Vec<Community> =
+            comms.into_iter().filter(|c| (ctx.comm_allowed)(*c, dst)).collect();
+        fired_comms.extend(allowed);
+    }
+    if !fired_comms.is_empty() && !dormant {
+        fired_comms.sort_unstable();
+        fired_comms.dedup();
+        signals.push(StalenessSignal {
+            key: Arc::clone(&g.comm.key),
+            time: ctx.time,
+            window: ctx.window,
+            score: fired_comms.len() as f64,
+            traceroutes: g.traceroutes.clone(),
+            trigger_communities: fired_comms.clone(),
+        });
+        g.comm.asserting = true;
+    } else if g.comm.asserting {
+        // Revocation: every overlapping VP's τ-scoped community set matches
+        // the reference again.
+        let reverted = g.comm.reference.iter().all(|(&vp, reference)| {
+            let now: BTreeSet<Community> = match ctx.rib.get(&(vp, dst)) {
+                Some((_, comms)) => {
+                    comms.iter().filter(|c| tau.contains(&c.asn())).copied().collect()
+                }
+                None => BTreeSet::new(),
+            };
+            now == *reference
+        });
+        if reverted {
+            g.comm.asserting = false;
+            revokes.push(RevokeEvent {
+                key: Arc::clone(&g.comm.key),
+                traceroutes: g.traceroutes.clone(),
+            });
+        }
     }
 }
 
@@ -695,12 +781,7 @@ mod tests {
             announce(1, P, &[98, 20, 30], &[(20, 50_001)], 0),
             announce(2, P, &[97, 55, 30], &[], 0),
         ]);
-        let n = m.register(
-            TracerouteId(1),
-            pfx(P),
-            &asns(TAU),
-            &[VpId(0), VpId(1), VpId(2)],
-        );
+        let n = m.register(TracerouteId(1), pfx(P), &asns(TAU), &[VpId(0), VpId(1), VpId(2)]);
         assert!(n.len() >= 2, "expected multiple potential monitors, got {}", n.len());
         m
     }
@@ -772,10 +853,8 @@ mod tests {
         // Same AS path, community 20:50001 → 20:50009 (geo move).
         m.observe(&announce(0, P, &[99, 20, 30], &[(20, 50_009)], 10));
         let (signals, _) = m.close_window(Window(0), Timestamp(900), &|_, _| true);
-        let comm: Vec<_> = signals
-            .iter()
-            .filter(|s| s.key.technique == Technique::BgpCommunity)
-            .collect();
+        let comm: Vec<_> =
+            signals.iter().filter(|s| s.key.technique == Technique::BgpCommunity).collect();
         assert_eq!(comm.len(), 1, "{signals:?}");
         assert!(m.comm_asserting(pfx(P), &asns(TAU)));
     }
@@ -800,10 +879,7 @@ mod tests {
         // VP0 gains a community from off-path AS 99... 99 not in τ either.
         m.observe(&announce(0, P, &[99, 20, 30], &[(20, 50_001), (99, 7)], 11));
         let (signals, _) = m.close_window(Window(0), Timestamp(900), &|_, _| true);
-        assert!(
-            !signals.iter().any(|s| s.key.technique == Technique::BgpCommunity),
-            "{signals:?}"
-        );
+        assert!(!signals.iter().any(|s| s.key.technique == Technique::BgpCommunity), "{signals:?}");
     }
 
     #[test]
@@ -813,10 +889,7 @@ mod tests {
         // artifact, not a signal.
         m.observe(&announce(0, P, &[96, 20, 30], &[], 10));
         let (signals, _) = m.close_window(Window(0), Timestamp(900), &|_, _| true);
-        assert!(
-            !signals.iter().any(|s| s.key.technique == Technique::BgpCommunity),
-            "{signals:?}"
-        );
+        assert!(!signals.iter().any(|s| s.key.technique == Technique::BgpCommunity), "{signals:?}");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rrr_types::{Community, Prefix, ProbeId, TracerouteId};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Outcome of verifying one potential signal against a refresh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,7 +104,7 @@ pub struct AssertingSignal {
 /// Calibration state.
 pub struct Calibrator {
     l: usize,
-    stats: HashMap<(ProbeId, SignalKey), SignalStats>,
+    stats: HashMap<(ProbeId, Arc<SignalKey>), SignalStats>,
     /// Appendix B: verification tallies per (community, destination
     /// prefix). A community that reliably flags changes for some
     /// destinations but misleads for others is pruned only where it
@@ -129,11 +130,8 @@ impl Calibrator {
     }
 
     /// Records a verification outcome for one (vantage point, signal).
-    pub fn record(&mut self, probe: ProbeId, key: &SignalKey, outcome: Outcome) {
-        self.stats
-            .entry((probe, key.clone()))
-            .or_default()
-            .record(outcome);
+    pub fn record(&mut self, probe: ProbeId, key: &Arc<SignalKey>, outcome: Outcome) {
+        self.stats.entry((probe, Arc::clone(key))).or_default().record(outcome);
     }
 
     /// Closes a signal-generation window (advances all sliding tallies).
@@ -177,20 +175,20 @@ impl Calibrator {
     }
 
     /// Observed stats for one (vantage point, signal), if any.
-    pub fn stats(&self, probe: ProbeId, key: &SignalKey) -> Option<&SignalStats> {
-        self.stats.get(&(probe, key.clone()))
+    pub fn stats(&self, probe: ProbeId, key: &Arc<SignalKey>) -> Option<&SignalStats> {
+        self.stats.get(&(probe, Arc::clone(key)))
     }
 
-    fn tpr_of(&self, probe: ProbeId, key: &SignalKey) -> Option<f64> {
-        let s = self.stats.get(&(probe, key.clone()))?;
+    fn tpr_of(&self, probe: ProbeId, key: &Arc<SignalKey>) -> Option<f64> {
+        let s = self.stats.get(&(probe, Arc::clone(key)))?;
         if !s.initialized(self.l) {
             return None;
         }
         s.tpr()
     }
 
-    fn tnr_of(&self, probe: ProbeId, key: &SignalKey) -> Option<f64> {
-        let s = self.stats.get(&(probe, key.clone()))?;
+    fn tnr_of(&self, probe: ProbeId, key: &Arc<SignalKey>) -> Option<f64> {
+        let s = self.stats.get(&(probe, Arc::clone(key)))?;
         if !s.initialized(self.l) {
             return None;
         }
@@ -207,7 +205,7 @@ impl Calibrator {
         &mut self,
         budget: usize,
         asserting: &[AssertingSignal],
-        quiet: &HashMap<ProbeId, Vec<SignalKey>>,
+        quiet: &HashMap<ProbeId, Vec<Arc<SignalKey>>>,
     ) -> RefreshPlan {
         let mut plan = RefreshPlan::default();
         let mut chosen: HashSet<TracerouteId> = HashSet::new();
@@ -220,10 +218,8 @@ impl Calibrator {
 
         let mut calibrated: Vec<(ProbeId, f64)> = Vec::new();
         for (&probe, sigs) in &per_probe {
-            let tprs: Vec<f64> = sigs
-                .iter()
-                .filter_map(|a| self.tpr_of(probe, &a.signal.key))
-                .collect();
+            let tprs: Vec<f64> =
+                sigs.iter().filter_map(|a| self.tpr_of(probe, &a.signal.key)).collect();
             if !tprs.is_empty() {
                 calibrated.push((probe, tprs.iter().sum()));
             }
@@ -239,17 +235,9 @@ impl Calibrator {
             // Step 2: one refresh probability for the probe.
             let tnr_mass: f64 = quiet
                 .get(&probe)
-                .map(|keys| {
-                    keys.iter()
-                        .filter_map(|k| self.tnr_of(probe, k))
-                        .sum()
-                })
+                .map(|keys| keys.iter().filter_map(|k| self.tnr_of(probe, k)).sum())
                 .unwrap_or(0.0);
-            let p = if tpr_mass + tnr_mass > 0.0 {
-                tpr_mass / (tpr_mass + tnr_mass)
-            } else {
-                1.0
-            };
+            let p = if tpr_mass + tnr_mass > 0.0 { tpr_mass / (tpr_mass + tnr_mass) } else { 1.0 };
             // Step 3: walk the probe's asserting signals' traceroutes.
             for a in &per_probe[&probe] {
                 for &tr in &a.signal.traceroutes {
@@ -271,9 +259,7 @@ impl Calibrator {
         // the Table 1 attributes.
         let mut rest: Vec<&AssertingSignal> = asserting.iter().collect();
         rest.sort_by(|a, b| {
-            bootstrap_rank(&b.signal)
-                .partial_cmp(&bootstrap_rank(&a.signal))
-                .expect("finite rank")
+            bootstrap_rank(&b.signal).partial_cmp(&bootstrap_rank(&a.signal)).expect("finite rank")
         });
         for a in rest {
             for &tr in &a.signal.traceroutes {
@@ -313,14 +299,14 @@ mod tests {
     use super::*;
     use rrr_types::{Asn, Timestamp, Window};
 
-    fn key(technique: Technique, n: u32) -> SignalKey {
-        SignalKey {
+    fn key(technique: Technique, n: u32) -> Arc<SignalKey> {
+        Arc::new(SignalKey {
             technique,
             scope: SignalScope::AsSuffix {
                 dst_prefix: "10.0.0.0/16".parse().expect("p"),
                 suffix: vec![Asn(n)],
             },
-        }
+        })
     }
 
     fn sig(probe: u32, technique: Technique, n: u32, trs: &[u64], score: f64) -> AssertingSignal {
@@ -397,9 +383,10 @@ mod tests {
         // IpSubpath has no hops in this helper, so fall to class: BgpAsPath
         // (class 2) over TraceSubpath-as-AsSuffix... construct explicitly:
         let mut ip_sig = sig(0, Technique::TraceSubpath, 1, &[4], 0.5);
-        ip_sig.signal.key.scope = SignalScope::IpSubpath {
-            hops: vec!["10.0.0.1".parse().expect("ip"); 4],
-        };
+        ip_sig.signal.key = Arc::new(SignalKey {
+            technique: Technique::TraceSubpath,
+            scope: SignalScope::IpSubpath { hops: vec!["10.0.0.1".parse().expect("ip"); 4] },
+        });
         assert!(bootstrap_rank(&ip_sig.signal) > bootstrap_rank(&b.signal));
         assert!(bootstrap_rank(&b.signal) > bootstrap_rank(&a.signal));
         assert!(bootstrap_rank(&b.signal) > bootstrap_rank(&c.signal));
@@ -466,7 +453,8 @@ mod tests {
         for _ in 0..5 {
             c.record(ProbeId(0), &k, Outcome::TruePositive);
         }
-        let quiet_keys: Vec<SignalKey> = (10..200).map(|n| key(Technique::BgpBurst, n)).collect();
+        let quiet_keys: Vec<Arc<SignalKey>> =
+            (10..200).map(|n| key(Technique::BgpBurst, n)).collect();
         for q in &quiet_keys {
             for _ in 0..5 {
                 c.record(ProbeId(0), q, Outcome::TrueNegative);

@@ -126,7 +126,10 @@ impl Corpus {
             self.remove(old);
         }
 
-        self.by_dst_prefix.entry(dst_prefix.unwrap_or(Prefix::new(tr.dst, 32))).or_default().push(id);
+        self.by_dst_prefix
+            .entry(dst_prefix.unwrap_or(Prefix::new(tr.dst, 32)))
+            .or_default()
+            .push(id);
         for &a in &as_trace.path {
             self.by_asn.entry(a).or_default().push(id);
         }
@@ -150,9 +153,8 @@ impl Corpus {
     /// Removes an entry and cleans indices.
     pub fn remove(&mut self, id: TracerouteId) -> Option<CorpusEntry> {
         let e = self.entries.remove(&id)?;
-        if let Some(v) = self
-            .by_dst_prefix
-            .get_mut(&e.dst_prefix.unwrap_or(Prefix::new(e.traceroute.dst, 32)))
+        if let Some(v) =
+            self.by_dst_prefix.get_mut(&e.dst_prefix.unwrap_or(Prefix::new(e.traceroute.dst, 32)))
         {
             v.retain(|x| *x != id);
         }
@@ -235,9 +237,8 @@ mod tests {
     fn insert_builds_views() {
         let mut c = Corpus::new();
         let m = map();
-        let id = c
-            .insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None)
-            .expect("valid trace");
+        let id =
+            c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("valid trace");
         let e = c.get(id).expect("inserted");
         assert_eq!(e.as_path, vec![Asn(100), Asn(101), Asn(102)]);
         assert_eq!(e.borders.len(), 2);
@@ -250,9 +251,7 @@ mod tests {
     fn looped_trace_rejected() {
         let mut c = Corpus::new();
         let m = map();
-        assert!(c
-            .insert(tr(1, &["10.1.0.1", "10.2.0.1", "10.1.0.3"]), &m, None)
-            .is_none());
+        assert!(c.insert(tr(1, &["10.1.0.1", "10.2.0.1", "10.1.0.3"]), &m, None).is_none());
         assert!(c.is_empty());
     }
 

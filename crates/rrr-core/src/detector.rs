@@ -36,6 +36,10 @@ pub struct DetectorConfig {
     /// Ablation: absorb outliers into series histories instead of removing
     /// them (disables §4.1.2's stationarity preservation).
     pub absorb_outliers: bool,
+    /// Worker threads for the per-window monitor evaluation (BGP window
+    /// close and traceroute-series flush). `0` = one per available core;
+    /// `1` = serial. The signal stream is identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for DetectorConfig {
@@ -48,6 +52,7 @@ impl Default for DetectorConfig {
             bgp_detector: BitmapDetector::spike(),
             trace_detector: ModifiedZScore::default(),
             absorb_outliers: false,
+            threads: 0,
         }
     }
 }
@@ -65,11 +70,12 @@ pub struct StalenessDetector {
     trace: TraceMonitors,
     ixp: IxpMonitor,
     cal: Calibrator,
-    /// Potential signals per corpus traceroute.
-    potential: HashMap<TracerouteId, Vec<SignalKey>>,
-    /// Active staleness assertions: (traceroute, signal) → trigger
-    /// communities (empty for non-community signals).
-    active: HashMap<(TracerouteId, SignalKey), Vec<Community>>,
+    /// Potential signals per corpus traceroute (interned handles).
+    potential: HashMap<TracerouteId, Vec<Arc<SignalKey>>>,
+    /// Active staleness assertions per corpus traceroute: signal → trigger
+    /// communities (empty for non-community signals). Nesting by
+    /// traceroute makes `remove_corpus` O(that traceroute's assertions).
+    active: HashMap<TracerouteId, HashMap<Arc<SignalKey>, Vec<Community>>>,
     /// Next BGP window to close.
     next_bgp_window: Window,
     /// All signals ever emitted (experiment log).
@@ -87,10 +93,19 @@ impl StalenessDetector {
     ) -> Self {
         let strip = topo.registry.route_server_asns.clone();
         let ixp = IxpMonitor::new(&topo);
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            cfg.threads
+        };
+        let mut bgp = BgpMonitors::new_with(strip, cfg.bgp_detector, cfg.absorb_outliers);
+        bgp.set_threads(threads);
+        let mut trace = TraceMonitors::new_with(cfg.trace_detector, cfg.absorb_outliers);
+        trace.set_threads(threads);
         StalenessDetector {
             cal: Calibrator::new(cfg.calibration_l, cfg.seed),
-            bgp: BgpMonitors::new_with(strip, cfg.bgp_detector, cfg.absorb_outliers),
-            trace: TraceMonitors::new_with(cfg.trace_detector, cfg.absorb_outliers),
+            bgp,
+            trace,
             ixp,
             corpus: Corpus::new(),
             potential: HashMap::new(),
@@ -120,6 +135,13 @@ impl StalenessDetector {
 
     pub fn signal_log(&self) -> &[StalenessSignal] {
         &self.log
+    }
+
+    /// Overrides the per-window worker count on both monitor families
+    /// (bench/test toggle). The signal stream is identical at any setting.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.bgp.set_threads(threads);
+        self.trace.set_threads(threads);
     }
 
     fn enabled(&self, t: Technique) -> bool {
@@ -164,12 +186,14 @@ impl StalenessDetector {
         Some(id)
     }
 
-    /// Removes a traceroute from the corpus and all monitors.
+    /// Removes a traceroute from the corpus and all monitors. Runs in
+    /// O(this traceroute's monitors + assertions) — every map involved is
+    /// indexed by traceroute.
     pub fn remove_corpus(&mut self, id: TracerouteId) {
         self.bgp.unregister(id);
         self.trace.unregister(id);
         self.potential.remove(&id);
-        self.active.retain(|(tr, _), _| *tr != id);
+        self.active.remove(&id);
         self.corpus.remove(id);
     }
 
@@ -200,8 +224,7 @@ impl StalenessDetector {
         // --- public traceroutes ---
         for tr in public {
             if self.enabled(Technique::TraceSubpath) || self.enabled(Technique::TraceBorder) {
-                self.trace
-                    .observe_trace(tr, &self.map, &self.topo, &mut self.geo, &self.alias);
+                self.trace.observe_trace(tr, &self.map, &self.topo, &mut self.geo, &self.alias);
             }
             if self.enabled(Technique::IxpColocation) {
                 let joins = self.ixp.observe_trace(tr, &self.map);
@@ -226,17 +249,23 @@ impl StalenessDetector {
         signals.retain(|s| self.enabled(s.key.technique));
         for s in &signals {
             for &tr in &s.traceroutes {
-                let k = (tr, s.key.clone());
-                if !self.active.contains_key(&k) {
-                    self.active.insert(k, s.trigger_communities.clone());
+                let per = self.active.entry(tr).or_default();
+                if !per.contains_key(&s.key) {
+                    per.insert(Arc::clone(&s.key), s.trigger_communities.clone());
                     self.corpus.assert_stale(tr, s.time);
                 }
             }
         }
         for r in &revokes {
             for &tr in &r.traceroutes {
-                if self.active.remove(&(tr, r.key.clone())).is_some() {
+                let Some(per) = self.active.get_mut(&tr) else { continue };
+                let removed = per.remove(&r.key).is_some();
+                let empty = per.is_empty();
+                if removed {
                     self.corpus.revoke_stale(tr);
+                }
+                if empty {
+                    self.active.remove(&tr);
                 }
             }
         }
@@ -253,8 +282,7 @@ impl StalenessDetector {
         let w = self.next_bgp_window;
         let (_, end) = self.cfg.bgp_window.bounds(w);
         let cal = &self.cal;
-        let allowed =
-            |c: Community, dst: rrr_types::Prefix| cal.comm_allowed(c, dst);
+        let allowed = |c: Community, dst: rrr_types::Prefix| cal.comm_allowed(c, dst);
         let (mut s, r) = self.bgp.close_window(w, end, &allowed);
         s.retain(|sig| self.enabled(sig.key.technique));
         signals.extend(s);
@@ -266,17 +294,19 @@ impl StalenessDetector {
     /// Plans which traceroutes to refresh under a probing budget (§4.3.1).
     pub fn plan_refresh(&mut self, budget: usize) -> RefreshPlan {
         // Group active assertions back into per-key signals (ordered for
-        // deterministic planning).
-        let mut by_key: std::collections::BTreeMap<SignalKey, Vec<TracerouteId>> =
+        // deterministic planning). Only `Arc` handles move around here.
+        let mut by_key: std::collections::BTreeMap<Arc<SignalKey>, Vec<TracerouteId>> =
             std::collections::BTreeMap::new();
-        for (tr, key) in self.active.keys() {
-            by_key.entry(key.clone()).or_default().push(*tr);
+        for (tr, per) in &self.active {
+            for key in per.keys() {
+                by_key.entry(Arc::clone(key)).or_default().push(*tr);
+            }
         }
         for v in by_key.values_mut() {
             v.sort_unstable();
         }
         let mut asserting = Vec::new();
-        let mut stale_keys_per_probe: HashMap<rrr_types::ProbeId, HashSet<SignalKey>> =
+        let mut stale_keys_per_probe: HashMap<rrr_types::ProbeId, HashSet<Arc<SignalKey>>> =
             HashMap::new();
         for (key, trs) in by_key {
             // Split by probe so calibration is per vantage point.
@@ -302,7 +332,7 @@ impl StalenessDetector {
             }
         }
         // Quiet potential signals per probe (ordered iteration).
-        let mut quiet: HashMap<rrr_types::ProbeId, Vec<SignalKey>> = HashMap::new();
+        let mut quiet: HashMap<rrr_types::ProbeId, Vec<Arc<SignalKey>>> = HashMap::new();
         let mut potential_sorted: Vec<_> = self.potential.iter().collect();
         potential_sorted.sort_by_key(|(id, _)| **id);
         for (id, keys) in potential_sorted {
@@ -323,28 +353,22 @@ impl StalenessDetector {
     /// corpus entry and a fresh traceroute of the same pair.
     pub fn portion_changed(&self, key: &SignalKey, new_tr: &Traceroute) -> bool {
         match &key.scope {
-            SignalScope::AsSuffix { suffix, .. } => {
-                match map_traceroute(new_tr, &self.map, None) {
-                    Some(at) => {
-                        match at.path.iter().position(|a| *a == suffix[0]) {
-                            Some(p) => at.path[p..] != suffix[..],
-                            None => true,
-                        }
-                    }
+            SignalScope::AsSuffix { suffix, .. } => match map_traceroute(new_tr, &self.map, None) {
+                Some(at) => match at.path.iter().position(|a| *a == suffix[0]) {
+                    Some(p) => at.path[p..] != suffix[..],
                     None => true,
-                }
-            }
+                },
+                None => true,
+            },
             SignalScope::IpSubpath { hops } => {
                 let new_hops: Vec<Option<rrr_types::Ipv4>> =
                     new_tr.hops.iter().map(|h| h.addr).collect();
                 if new_hops.len() < hops.len() {
                     return true;
                 }
-                !new_hops.windows(hops.len()).any(|w| {
-                    w.iter()
-                        .zip(hops)
-                        .all(|(o, e)| o.map_or(true, |o| o == *e))
-                })
+                !new_hops
+                    .windows(hops.len())
+                    .any(|w| w.iter().zip(hops).all(|(o, e)| o.is_none_or(|o| o == *e)))
             }
             SignalScope::CityBorder { near_as, far_as, border_ip, .. } => {
                 let borders = rrr_ip2as::find_borders(new_tr, &self.map);
@@ -356,10 +380,7 @@ impl StalenessDetector {
             }
             SignalScope::IxpJoin { joined, member, .. } => {
                 match map_traceroute(new_tr, &self.map, None) {
-                    Some(at) => at
-                        .path
-                        .windows(2)
-                        .any(|w| w[0] == *joined && w[1] == *member),
+                    Some(at) => at.path.windows(2).any(|w| w[0] == *joined && w[1] == *member),
                     None => false,
                 }
             }
@@ -378,7 +399,7 @@ impl StalenessDetector {
         for key in &keys {
             let changed = self.portion_changed(key, new_tr);
             any_changed |= changed;
-            let asserted = self.active.contains_key(&(old_id, key.clone()));
+            let asserted = self.active.get(&old_id).is_some_and(|per| per.contains_key(key));
             let outcome = match (asserted, changed) {
                 (true, true) => Outcome::TruePositive,
                 (true, false) => Outcome::FalsePositive,
@@ -388,7 +409,7 @@ impl StalenessDetector {
             self.cal.record(probe, key, outcome);
             if asserted && key.technique == Technique::BgpCommunity {
                 if let SignalScope::AsSuffix { dst_prefix, .. } = &key.scope {
-                    let comms = self.active[&(old_id, key.clone())].clone();
+                    let comms = self.active[&old_id][key].clone();
                     for c in comms {
                         self.cal.record_community(c, *dst_prefix, changed);
                     }
@@ -465,10 +486,7 @@ mod tests {
         let topo = Arc::new(rrr_topology::generate(&rrr_topology::TopologyConfig::small(3)));
         let mut map = IpToAsMap::new();
         for i in 0..4u32 {
-            map.add_origin(
-                format!("10.{i}.0.0/16").parse::<Prefix>().expect("p"),
-                Asn(100 + i),
-            );
+            map.add_origin(format!("10.{i}.0.0/16").parse::<Prefix>().expect("p"), Asn(100 + i));
         }
         let mut db = GeoDb::default();
         for third in 0..4u8 {
@@ -496,9 +514,8 @@ mod tests {
     #[test]
     fn corpus_registration_counts_monitors() {
         let mut d = detector();
-        let id = d
-            .add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
-            .expect("valid");
+        let id =
+            d.add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None).expect("valid");
         let e = d.corpus().get(id).expect("inserted");
         assert!(e.monitors > 0, "monitors registered");
         assert!(d.potential[&id].len() == e.monitors);
@@ -507,19 +524,12 @@ mod tests {
     #[test]
     fn community_change_asserts_and_plan_refresh_returns_it() {
         let mut d = detector();
-        let id = d
-            .add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
-            .expect("valid");
+        let id =
+            d.add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None).expect("valid");
         // Community flip with identical AS path.
-        let sigs = d.step(
-            Timestamp(900),
-            &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)],
-            &[],
-        );
-        assert!(
-            sigs.iter().any(|s| s.key.technique == Technique::BgpCommunity),
-            "{sigs:?}"
-        );
+        let sigs =
+            d.step(Timestamp(900), &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)], &[]);
+        assert!(sigs.iter().any(|s| s.key.technique == Technique::BgpCommunity), "{sigs:?}");
         assert!(d.corpus().get(id).expect("entry").freshness().is_stale());
         let plan = d.plan_refresh(10);
         assert_eq!(plan.refresh, vec![id]);
@@ -528,14 +538,9 @@ mod tests {
     #[test]
     fn apply_refresh_scores_fp_when_nothing_changed() {
         let mut d = detector();
-        let id = d
-            .add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
-            .expect("valid");
-        let _ = d.step(
-            Timestamp(900),
-            &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)],
-            &[],
-        );
+        let id =
+            d.add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None).expect("valid");
+        let _ = d.step(Timestamp(900), &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)], &[]);
         assert!(d.corpus().get(id).expect("entry").freshness().is_stale());
         // Refresh measures the *same* path: community signal was an FP.
         let (new_id, changed) =
@@ -555,12 +560,8 @@ mod tests {
                 ],
                 &[],
             );
-            let stale: Vec<TracerouteId> = d
-                .corpus()
-                .entries()
-                .filter(|e| e.freshness().is_stale())
-                .map(|e| e.id)
-                .collect();
+            let stale: Vec<TracerouteId> =
+                d.corpus().entries().filter(|e| e.freshness().is_stale()).map(|e| e.id).collect();
             for sid in stale {
                 let _ = d.apply_refresh(
                     sid,
@@ -575,14 +576,9 @@ mod tests {
     #[test]
     fn apply_refresh_scores_tp_when_changed() {
         let mut d = detector();
-        let id = d
-            .add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
-            .expect("valid");
-        let _ = d.step(
-            Timestamp(900),
-            &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)],
-            &[],
-        );
+        let id =
+            d.add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None).expect("valid");
+        let _ = d.step(Timestamp(900), &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)], &[]);
         // Refresh shows the path now avoids AS 101: the suffix changed.
         let (_, changed) = d.apply_refresh(id, trace(2, 1000, &["10.0.0.2", "10.2.0.1"]), None);
         assert!(changed);
@@ -593,10 +589,7 @@ mod tests {
         let topo = Arc::new(rrr_topology::generate(&rrr_topology::TopologyConfig::small(3)));
         let mut map = IpToAsMap::new();
         for i in 0..4u32 {
-            map.add_origin(
-                format!("10.{i}.0.0/16").parse::<Prefix>().expect("p"),
-                Asn(100 + i),
-            );
+            map.add_origin(format!("10.{i}.0.0/16").parse::<Prefix>().expect("p"), Asn(100 + i));
         }
         let geo = Geolocator::new(GeoDb::default(), vec![]);
         let alias = AliasResolver::from_topology(&topo, 1.0, 0);
@@ -606,21 +599,16 @@ mod tests {
         };
         let mut d = StalenessDetector::new(topo, map, geo, alias, vec![VpId(0)], cfg);
         d.init_rib(&[announce(0, &[99, 101, 102], &[(101, 50_001)], 0)]);
-        d.add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
-            .expect("valid");
-        let sigs = d.step(
-            Timestamp(900),
-            &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)],
-            &[],
-        );
+        d.add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None).expect("valid");
+        let sigs =
+            d.step(Timestamp(900), &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)], &[]);
         assert!(sigs.is_empty(), "{sigs:?}");
     }
 
     #[test]
     fn portion_changed_semantics() {
         let mut d = detector();
-        d.add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
-            .expect("valid");
+        d.add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None).expect("valid");
         let suffix_key = SignalKey {
             technique: Technique::BgpAsPath,
             scope: SignalScope::AsSuffix {
@@ -629,7 +617,9 @@ mod tests {
             },
         };
         // Same AS path → unchanged.
-        assert!(!d.portion_changed(&suffix_key, &trace(5, 1, &["10.0.0.2", "10.1.0.9", "10.2.0.4"])));
+        assert!(
+            !d.portion_changed(&suffix_key, &trace(5, 1, &["10.0.0.2", "10.1.0.9", "10.2.0.4"]))
+        );
         // Path skips AS 101 → changed.
         assert!(d.portion_changed(&suffix_key, &trace(5, 1, &["10.0.0.2", "10.2.0.1"])));
 
@@ -651,14 +641,9 @@ mod tests {
     #[test]
     fn remove_corpus_clears_state() {
         let mut d = detector();
-        let id = d
-            .add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None)
-            .expect("valid");
-        let _ = d.step(
-            Timestamp(900),
-            &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)],
-            &[],
-        );
+        let id =
+            d.add_corpus(trace(1, 0, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), None).expect("valid");
+        let _ = d.step(Timestamp(900), &[announce(0, &[99, 101, 102], &[(101, 50_009)], 100)], &[]);
         d.remove_corpus(id);
         assert!(d.corpus().get(id).is_none());
         assert!(d.plan_refresh(10).refresh.is_empty());

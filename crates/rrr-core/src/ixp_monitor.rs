@@ -36,10 +36,7 @@ impl IxpMonitor {
     pub fn new(topo: &Topology) -> Self {
         let mut members: HashMap<IxpId, HashSet<Asn>> = HashMap::new();
         for (ixp, set) in &topo.registry.ixp_members {
-            members.insert(
-                *ixp,
-                set.iter().map(|a| topo.asn_of(*a)).collect(),
-            );
+            members.insert(*ixp, set.iter().map(|a| topo.asn_of(*a)).collect());
         }
         IxpMonitor { members, learned_private: HashSet::new() }
     }
@@ -101,9 +98,8 @@ impl IxpMonitor {
             let Some(pos_i) = entry.as_path.iter().position(|a| *a == joined) else { continue };
             let Some(&a_k) = entry.as_path.get(pos_i + 1) else { continue };
             // Is some established member reached after AS_i?
-            let Some(&a_j) = entry.as_path[pos_i + 1..]
-                .iter()
-                .find(|a| members.contains(a) && **a != joined)
+            let Some(&a_j) =
+                entry.as_path[pos_i + 1..].iter().find(|a| members.contains(a) && **a != joined)
             else {
                 continue;
             };
@@ -119,9 +115,11 @@ impl IxpMonitor {
                     // Public peer (both at some common IXP): equal local
                     // preference, and the direct IXP path is shorter.
                     // Private peer: only if learned.
-                    let public = topo.registry.ixp_members.iter().any(|(_, set)| {
-                        set.contains(&joined_idx) && set.contains(&k_idx)
-                    });
+                    let public = topo
+                        .registry
+                        .ixp_members
+                        .iter()
+                        .any(|(_, set)| set.contains(&joined_idx) && set.contains(&k_idx));
                     public || self.learned_private.contains(&joined)
                 }
                 _ => false,
@@ -134,10 +132,11 @@ impl IxpMonitor {
         per_member
             .into_iter()
             .map(|(member, traceroutes)| StalenessSignal {
-                key: SignalKey {
+                // Join events are rare; no interner needed on this path.
+                key: std::sync::Arc::new(SignalKey {
                     technique: Technique::IxpColocation,
                     scope: SignalScope::IxpJoin { joined, member, ixp },
-                },
+                }),
                 time,
                 window,
                 score: traceroutes.len() as f64,
@@ -175,10 +174,7 @@ mod tests {
     fn map() -> IpToAsMap {
         let mut m = IpToAsMap::new();
         for i in 0..4u32 {
-            m.add_origin(
-                format!("10.{i}.0.0/16").parse::<Prefix>().expect("p"),
-                Asn(100 + i),
-            );
+            m.add_origin(format!("10.{i}.0.0/16").parse::<Prefix>().expect("p"), Asn(100 + i));
         }
         m.add_ixp_lan("11.0.0.0/20".parse::<Prefix>().expect("p"), IxpId(0));
         m
@@ -256,9 +252,7 @@ mod tests {
         let mut mon = IxpMonitor::new(&topo);
         let m = map();
         let mut corpus = Corpus::new();
-        corpus
-            .insert(trace(7, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), &m, None)
-            .expect("valid");
+        corpus.insert(trace(7, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), &m, None).expect("valid");
         let signals =
             mon.signals_for_join(Asn(100), IxpId(0), &corpus, &topo, Timestamp(50), Window(1));
         assert!(signals.is_empty(), "private peer must not signal: {signals:?}");
@@ -277,9 +271,7 @@ mod tests {
         let mon = IxpMonitor::new(&topo);
         let m = map();
         let mut corpus = Corpus::new();
-        corpus
-            .insert(trace(7, &["10.0.0.2", "10.2.0.1"]), &m, None)
-            .expect("valid");
+        corpus.insert(trace(7, &["10.0.0.2", "10.2.0.1"]), &m, None).expect("valid");
         let signals =
             mon.signals_for_join(Asn(100), IxpId(0), &corpus, &topo, Timestamp(50), Window(1));
         assert!(signals.is_empty());

@@ -2,7 +2,9 @@
 
 use rrr_types::{Asn, CityId, Ipv4, IxpId, Prefix, Timestamp, TracerouteId, Window};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// The six staleness prediction techniques.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -63,13 +65,7 @@ pub enum SignalScope {
     IpSubpath { hops: Vec<Ipv4> },
     /// A border router between two ⟨AS, city⟩ locations (§4.2.2); the
     /// router is represented by its observed border interface.
-    CityBorder {
-        near_as: Asn,
-        near_city: CityId,
-        far_as: Asn,
-        far_city: CityId,
-        border_ip: Ipv4,
-    },
+    CityBorder { near_as: Asn, near_city: CityId, far_as: Asn, far_city: CityId, border_ip: Ipv4 },
     /// A pair of ASes expected to re-route via a newly joined IXP (§4.2.3).
     IxpJoin { joined: Asn, member: Asn, ixp: IxpId },
 }
@@ -82,10 +78,46 @@ pub struct SignalKey {
     pub scope: SignalScope,
 }
 
+/// Interns [`SignalKey`]s so the hot paths share one allocation per
+/// distinct monitor identity instead of deep-cloning composite keys
+/// (suffix vectors, hop lists) on every window close, assertion-map
+/// insert, and calibration record. Monitors intern their key once at
+/// registration and hand out `Arc` clones thereafter.
+#[derive(Debug, Default)]
+pub struct KeyInterner {
+    keys: HashSet<Arc<SignalKey>>,
+}
+
+impl KeyInterner {
+    pub fn new() -> Self {
+        KeyInterner::default()
+    }
+
+    /// The canonical shared handle for `key`.
+    pub fn intern(&mut self, key: SignalKey) -> Arc<SignalKey> {
+        // `Arc<SignalKey>: Borrow<SignalKey>`, so lookup needs no allocation.
+        if let Some(existing) = self.keys.get(&key) {
+            return Arc::clone(existing);
+        }
+        let arc = Arc::new(key);
+        self.keys.insert(Arc::clone(&arc));
+        arc
+    }
+
+    /// Number of distinct interned keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
 /// One staleness prediction signal: a monitor fired in a window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StalenessSignal {
-    pub key: SignalKey,
+    pub key: Arc<SignalKey>,
     /// When the anomaly was detected.
     pub time: Timestamp,
     /// The detection window index (in the monitor's own window grid).
@@ -130,10 +162,10 @@ mod tests {
     fn display_strings() {
         assert_eq!(Technique::BgpCommunity.to_string(), "BGP communities");
         let s = StalenessSignal {
-            key: SignalKey {
+            key: Arc::new(SignalKey {
                 technique: Technique::TraceSubpath,
                 scope: SignalScope::IpSubpath { hops: vec![] },
-            },
+            }),
             time: Timestamp(0),
             window: Window(3),
             score: 4.5,

@@ -11,13 +11,14 @@
 use crate::adaptive::{AdaptiveSeries, Obs};
 use crate::bgp_monitors::RevokeEvent;
 use crate::corpus::CorpusEntry;
-use crate::signal::{SignalKey, SignalScope, StalenessSignal, Technique};
+use crate::signal::{KeyInterner, SignalKey, SignalScope, StalenessSignal, Technique};
 use rrr_anomaly::ModifiedZScore;
 use rrr_geo::Geolocator;
 use rrr_ip2as::{find_borders, AliasKey, AliasResolver, IpToAsMap, StarPatcher};
 use rrr_topology::Topology;
 use rrr_types::{Asn, CityId, Ipv4, Timestamp, Traceroute, TracerouteId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How far ahead of the segment start we search for its end hop in a public
 /// traceroute. Bounds matching cost; real segments are short.
@@ -28,6 +29,8 @@ const SEARCH_HORIZON: usize = 12;
 struct SubpathMonitor {
     /// Expected hop sequence, `expected[0]` = ι_m, last = ι_n.
     expected: Vec<Ipv4>,
+    /// Interned signal identity, fixed at registration.
+    key: Arc<SignalKey>,
     traceroutes: Vec<TracerouteId>,
     series: AdaptiveSeries,
     asserting: bool,
@@ -36,14 +39,13 @@ struct SubpathMonitor {
 /// §4.2.2 monitor: which border router two ⟨AS, city⟩ locations use.
 #[derive(Debug, Clone)]
 struct BorderMonitor {
-    near_as: Asn,
-    near_city: CityId,
-    far_as: Asn,
-    far_city: CityId,
     /// The border router observed by the corpus traceroute (alias identity
     /// of the far-side border interface).
     router: AliasKey,
-    border_ip: Ipv4,
+    /// Interned signal identity, fixed at registration; its
+    /// [`SignalScope::CityBorder`] carries the ⟨AS, city⟩ endpoints and
+    /// border interface.
+    key: Arc<SignalKey>,
     traceroutes: Vec<TracerouteId>,
     series: AdaptiveSeries,
     asserting: bool,
@@ -103,6 +105,13 @@ pub struct TraceMonitors {
     /// Learns responsive hop triples and patches single stars before border
     /// extraction (Appendix A).
     patcher: StarPatcher,
+    /// Canonical shared handles for every monitor's signal identity.
+    interner: KeyInterner,
+    /// Reverse index: (subpath, border) monitor indices each corpus
+    /// traceroute registered into, so `unregister` touches only those.
+    monitors_of: HashMap<TracerouteId, (Vec<usize>, Vec<usize>)>,
+    /// Worker threads for `flush` (≤ 1 selects the serial path).
+    threads: usize,
 }
 
 impl TraceMonitors {
@@ -122,7 +131,17 @@ impl TraceMonitors {
             detector,
             absorb_outliers,
             patcher: StarPatcher::new(),
+            interner: KeyInterner::new(),
+            monitors_of: HashMap::new(),
+            threads: 1,
         }
+    }
+
+    /// Sets the worker count for [`TraceMonitors::flush`]. Values ≤ 1
+    /// select the serial path; the emitted signal stream is identical at
+    /// any thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Registers monitors for one corpus entry: per border crossing, an
@@ -136,7 +155,7 @@ impl TraceMonitors {
         topo: &Topology,
         geo: &mut Geolocator,
         alias: &AliasResolver,
-    ) -> Vec<SignalKey> {
+    ) -> Vec<Arc<SignalKey>> {
         let hops = &entry.traceroute.hops;
         let mut created = Vec::new();
 
@@ -159,83 +178,86 @@ impl TraceMonitors {
             let expected: Option<Vec<Ipv4>> = hops[m..=n].iter().map(|h| h.addr).collect();
             if let Some(expected) = expected {
                 if expected.len() >= 2 {
-                    match self.subpath_index.get(&expected) {
-                        Some(&idx) => {
-                            if !self.subpaths[idx].traceroutes.contains(&entry.id) {
-                                self.subpaths[idx].traceroutes.push(entry.id);
-                            }
-                        }
+                    let idx = match self.subpath_index.get(&expected) {
+                        Some(&idx) => idx,
                         None => {
                             let idx = self.subpaths.len();
+                            let skey = self.interner.intern(SignalKey {
+                                technique: Technique::TraceSubpath,
+                                scope: SignalScope::IpSubpath { hops: expected.clone() },
+                            });
                             self.by_start.entry(expected[0]).or_default().push(idx);
                             self.subpath_index.insert(expected.clone(), idx);
                             self.subpaths.push(SubpathMonitor {
-                                expected: expected.clone(),
-                                traceroutes: vec![entry.id],
+                                expected,
+                                key: skey,
+                                traceroutes: Vec::new(),
                                 series: AdaptiveSeries::with_absorb_outliers(self.absorb_outliers),
                                 asserting: false,
                             });
+                            idx
                         }
+                    };
+                    let mon = &mut self.subpaths[idx];
+                    if !mon.traceroutes.contains(&entry.id) {
+                        mon.traceroutes.push(entry.id);
+                        self.monitors_of.entry(entry.id).or_default().0.push(idx);
                     }
-                    created.push(SignalKey {
-                        technique: Technique::TraceSubpath,
-                        scope: SignalScope::IpSubpath { hops: expected },
-                    });
+                    created.push(Arc::clone(&mon.key));
                 }
             }
 
             // --- border monitor ---
-            if let Some((nc, fc)) =
-                segment_cities(&entry.traceroute, map, topo, geo, b)
-            {
+            if let Some((nc, fc)) = segment_cities(&entry.traceroute, map, topo, geo, b) {
                 let key = (b.near_as, nc, b.far_as, fc);
                 let router = alias.key(b.far_ip);
-                match self.border_index.get(&(key, router)) {
-                    Some(&idx) => {
-                        if !self.borders[idx].traceroutes.contains(&entry.id) {
-                            self.borders[idx].traceroutes.push(entry.id);
-                        }
-                    }
+                let idx = match self.border_index.get(&(key, router)) {
+                    Some(&idx) => idx,
                     None => {
                         let idx = self.borders.len();
+                        let skey = self.interner.intern(SignalKey {
+                            technique: Technique::TraceBorder,
+                            scope: SignalScope::CityBorder {
+                                near_as: b.near_as,
+                                near_city: nc,
+                                far_as: b.far_as,
+                                far_city: fc,
+                                border_ip: b.far_ip,
+                            },
+                        });
                         self.by_border_key.entry(key).or_default().push(idx);
                         self.border_index.insert((key, router), idx);
                         self.borders.push(BorderMonitor {
-                            near_as: b.near_as,
-                            near_city: nc,
-                            far_as: b.far_as,
-                            far_city: fc,
                             router,
-                            border_ip: b.far_ip,
-                            traceroutes: vec![entry.id],
+                            key: skey,
+                            traceroutes: Vec::new(),
                             series: AdaptiveSeries::with_absorb_outliers(self.absorb_outliers),
                             asserting: false,
                         });
+                        idx
                     }
+                };
+                let mon = &mut self.borders[idx];
+                if !mon.traceroutes.contains(&entry.id) {
+                    mon.traceroutes.push(entry.id);
+                    self.monitors_of.entry(entry.id).or_default().1.push(idx);
                 }
-                created.push(SignalKey {
-                    technique: Technique::TraceBorder,
-                    scope: SignalScope::CityBorder {
-                        near_as: b.near_as,
-                        near_city: nc,
-                        far_as: b.far_as,
-                        far_city: fc,
-                        border_ip: b.far_ip,
-                    },
-                });
+                created.push(Arc::clone(&mon.key));
             }
         }
         created
     }
 
-    /// Removes a traceroute from all monitors (empty monitors are retired
-    /// from firing but keep their series state for reuse).
+    /// Removes a traceroute from the monitors it registered into — O(that
+    /// traceroute's monitors) via the reverse index (empty monitors are
+    /// retired from firing but keep their series state for reuse).
     pub fn unregister(&mut self, id: TracerouteId) {
-        for m in &mut self.subpaths {
-            m.traceroutes.retain(|t| *t != id);
+        let Some((subs, bors)) = self.monitors_of.remove(&id) else { return };
+        for i in subs {
+            self.subpaths[i].traceroutes.retain(|t| *t != id);
         }
-        for m in &mut self.borders {
-            m.traceroutes.retain(|t| *t != id);
+        for i in bors {
+            self.borders[i].traceroutes.retain(|t| *t != id);
         }
     }
 
@@ -264,9 +286,7 @@ impl TraceMonitors {
                 let end = *m.expected.last().expect("subpaths have >= 2 hops");
                 // Does this trace reach ι_n after ι_m?
                 let horizon = (i + 1 + SEARCH_HORIZON).min(hops.len());
-                let Some(j) =
-                    hops[i + 1..horizon].iter().position(|h| *h == Some(end))
-                else {
+                let Some(j) = hops[i + 1..horizon].iter().position(|h| *h == Some(end)) else {
                     continue;
                 };
                 let j = i + 1 + j;
@@ -277,7 +297,7 @@ impl TraceMonitors {
                         .zip(&m.expected)
                         // unresponsive hops are wildcards, never evidence of
                         // change (Appendix A)
-                        .all(|(o, e)| o.map_or(true, |o| o == *e));
+                        .all(|(o, e)| o.is_none_or(|o| o == *e));
                 m.series.push(Obs { time: tr.time, matched });
             }
         }
@@ -300,72 +320,53 @@ impl TraceMonitors {
     /// Advances all adaptive series to `now`, emitting signals for outliers
     /// and revocations for monitors whose ratio returned to its normal
     /// distribution (§4.3.2).
+    ///
+    /// With [`TraceMonitors::set_threads`] > 1 each monitor family is
+    /// sharded across scoped worker threads in index order; per-shard
+    /// outputs are concatenated in shard order, so the emitted stream is
+    /// bit-identical to the serial path.
     pub fn flush(&mut self, now: Timestamp) -> (Vec<StalenessSignal>, Vec<RevokeEvent>) {
         let mut signals = Vec::new();
         let mut revokes = Vec::new();
         let det = self.detector;
+        let threads = self.threads;
 
-        for m in &mut self.subpaths {
-            if m.traceroutes.is_empty() {
-                let _ = m.series.flush_until(now, &det);
-                continue;
-            }
-            let normals_before = m.series.normal_count();
-            let outliers = m.series.flush_until(now, &det);
-            let key = SignalKey {
-                technique: Technique::TraceSubpath,
-                scope: SignalScope::IpSubpath { hops: m.expected.clone() },
-            };
-            if let Some(o) = outliers.last() {
-                signals.push(StalenessSignal {
-                    key,
-                    time: o.time,
-                    window: o.window,
-                    score: o.score,
-                    traceroutes: m.traceroutes.clone(),
-                    trigger_communities: Vec::new(),
-                });
-                m.asserting = true;
-            } else if m.asserting && m.series.normal_count() > normals_before {
-                // A new window closed in-distribution: the segment behaves
-                // as it did at issuance again.
-                m.asserting = false;
-                revokes.push(RevokeEvent { key, traceroutes: m.traceroutes.clone() });
-            }
-        }
-
-        for m in &mut self.borders {
-            if m.traceroutes.is_empty() {
-                let _ = m.series.flush_until(now, &det);
-                continue;
-            }
-            let normals_before = m.series.normal_count();
-            let outliers = m.series.flush_until(now, &det);
-            let key = SignalKey {
-                technique: Technique::TraceBorder,
-                scope: SignalScope::CityBorder {
-                    near_as: m.near_as,
-                    near_city: m.near_city,
-                    far_as: m.far_as,
-                    far_city: m.far_city,
-                    border_ip: m.border_ip,
-                },
-            };
-            if let Some(o) = outliers.last() {
-                signals.push(StalenessSignal {
-                    key,
-                    time: o.time,
-                    window: o.window,
-                    score: o.score,
-                    traceroutes: m.traceroutes.clone(),
-                    trigger_communities: Vec::new(),
-                });
-                m.asserting = true;
-            } else if m.asserting && m.series.normal_count() > normals_before {
-                m.asserting = false;
-                revokes.push(RevokeEvent { key, traceroutes: m.traceroutes.clone() });
-            }
-        }
+        flush_shards(
+            &mut self.subpaths,
+            threads,
+            |m, sig, rev| {
+                flush_monitor(
+                    &m.key,
+                    &m.traceroutes,
+                    &mut m.series,
+                    &mut m.asserting,
+                    now,
+                    &det,
+                    sig,
+                    rev,
+                )
+            },
+            &mut signals,
+            &mut revokes,
+        );
+        flush_shards(
+            &mut self.borders,
+            threads,
+            |m, sig, rev| {
+                flush_monitor(
+                    &m.key,
+                    &m.traceroutes,
+                    &mut m.series,
+                    &mut m.asserting,
+                    now,
+                    &det,
+                    sig,
+                    rev,
+                )
+            },
+            &mut signals,
+            &mut revokes,
+        );
 
         (signals, revokes)
     }
@@ -391,6 +392,88 @@ impl TraceMonitors {
 
     pub fn border_count(&self) -> usize {
         self.borders.len()
+    }
+
+    /// Number of distinct interned signal keys (for tests/stats).
+    pub fn interned_keys(&self) -> usize {
+        self.interner.len()
+    }
+}
+
+/// One monitor's flush step — shared by both monitor families and by the
+/// serial and sharded paths, so every path emits the same stream.
+#[allow(clippy::too_many_arguments)]
+fn flush_monitor(
+    key: &Arc<SignalKey>,
+    traceroutes: &[TracerouteId],
+    series: &mut AdaptiveSeries,
+    asserting: &mut bool,
+    now: Timestamp,
+    det: &ModifiedZScore,
+    signals: &mut Vec<StalenessSignal>,
+    revokes: &mut Vec<RevokeEvent>,
+) {
+    if traceroutes.is_empty() {
+        let _ = series.flush_until(now, det);
+        return;
+    }
+    let normals_before = series.normal_count();
+    let outliers = series.flush_until(now, det);
+    if let Some(o) = outliers.last() {
+        signals.push(StalenessSignal {
+            key: Arc::clone(key),
+            time: o.time,
+            window: o.window,
+            score: o.score,
+            traceroutes: traceroutes.to_vec(),
+            trigger_communities: Vec::new(),
+        });
+        *asserting = true;
+    } else if *asserting && series.normal_count() > normals_before {
+        // A new window closed in-distribution: the monitored quantity
+        // behaves as it did at issuance again (§4.3.2).
+        *asserting = false;
+        revokes.push(RevokeEvent { key: Arc::clone(key), traceroutes: traceroutes.to_vec() });
+    }
+}
+
+/// Runs `step` over `monitors`, either serially or sharded across scoped
+/// worker threads. Shards are contiguous index ranges and their outputs
+/// are concatenated in shard order, preserving the serial emission order.
+fn flush_shards<M: Send>(
+    monitors: &mut [M],
+    threads: usize,
+    step: impl Fn(&mut M, &mut Vec<StalenessSignal>, &mut Vec<RevokeEvent>) + Sync,
+    signals: &mut Vec<StalenessSignal>,
+    revokes: &mut Vec<RevokeEvent>,
+) {
+    if threads <= 1 || monitors.len() < 2 {
+        for m in monitors {
+            step(m, signals, revokes);
+        }
+        return;
+    }
+    let per = monitors.len().div_ceil(threads);
+    let step = &step;
+    let outs: Vec<(Vec<StalenessSignal>, Vec<RevokeEvent>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = monitors
+            .chunks_mut(per)
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut sig = Vec::new();
+                    let mut rev = Vec::new();
+                    for m in chunk {
+                        step(m, &mut sig, &mut rev);
+                    }
+                    (sig, rev)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("flush shard worker")).collect()
+    });
+    for (s, r) in outs {
+        signals.extend(s);
+        revokes.extend(r);
     }
 }
 
@@ -510,10 +593,8 @@ mod tests {
         assert!(pre.is_empty(), "stable feed fired: {pre:?}");
 
         let (post, _) = feed_rounds(&mut tm, &mut e, 40..50, false);
-        let sub: Vec<_> = post
-            .iter()
-            .filter(|s| s.key.technique == Technique::TraceSubpath)
-            .collect();
+        let sub: Vec<_> =
+            post.iter().filter(|s| s.key.technique == Technique::TraceSubpath).collect();
         assert!(!sub.is_empty(), "subpath shift missed");
         assert!(sub[0].traceroutes.contains(&TracerouteId(1)));
         // Border monitor fires too: the crossing router changed (10.1.0.1 →

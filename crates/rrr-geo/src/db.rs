@@ -106,10 +106,7 @@ mod tests {
         let db = GeoDb::noisy(&topo, 0.5, 0.8, 7);
         let total = truth.len();
         assert!(db.len() > total / 4 && db.len() < 3 * total / 4, "coverage off: {}", db.len());
-        let correct = db
-            .iter()
-            .filter(|(ip, c)| truth.lookup(*ip) == Some(*c))
-            .count();
+        let correct = db.iter().filter(|(ip, c)| truth.lookup(*ip) == Some(*c)).count();
         let frac = correct as f64 / db.len() as f64;
         assert!((0.65..0.95).contains(&frac), "accuracy off: {frac}");
     }

@@ -30,9 +30,7 @@ pub struct PingStats {
 
 fn city_distance_km(topo: &Topology, a: CityId, b: CityId) -> f64 {
     let _ = topo;
-    rrr_topology::city::city(a)
-        .point()
-        .distance_km(rrr_topology::city::city(b).point())
+    rrr_topology::city::city(a).point().distance_km(rrr_topology::city::city(b).point())
 }
 
 /// Preference rank of a vantage point for a target AS (lower = better):
@@ -168,10 +166,7 @@ mod tests {
         let topo = generate(&TopologyConfig::small(5));
         let vps = vantages_everywhere(&topo);
         let mut stats = PingStats::default();
-        assert_eq!(
-            shortest_ping(&topo, Ipv4::new(8, 8, 8, 8), &vps, &mut stats),
-            None
-        );
+        assert_eq!(shortest_ping(&topo, Ipv4::new(8, 8, 8, 8), &vps, &mut stats), None);
     }
 
     #[test]

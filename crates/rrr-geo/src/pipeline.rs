@@ -90,10 +90,7 @@ mod tests {
         let truth = GeoDb::ground_truth(&topo);
         let mut g = Geolocator::new(truth, vec![]);
         let r = &topo.routers[0];
-        assert_eq!(
-            g.locate_with_method(&topo, r.ifaces[0]),
-            Some((r.city, Method::Database))
-        );
+        assert_eq!(g.locate_with_method(&topo, r.ifaces[0]), Some((r.city, Method::Database)));
         assert_eq!(g.ping_stats.vantages_probed, 0);
     }
 
@@ -112,16 +109,14 @@ mod tests {
     fn constrained_search_for_single_city_ases() {
         let topo = generate(&TopologyConfig::small(5));
         // Find an unresponsive router (ping fails) owned by a single-city AS.
-        let candidate = topo.routers.iter().find(|r| {
-            !r.responsive && topo.registry.cities_of(r.owner).len() == 1
-        });
+        let candidate = topo
+            .routers
+            .iter()
+            .find(|r| !r.responsive && topo.registry.cities_of(r.owner).len() == 1);
         if let Some(r) = candidate {
             let mut g = Geolocator::new(GeoDb::default(), vantages(&topo));
             let res = g.locate_with_method(&topo, r.internal_iface);
-            assert_eq!(
-                res,
-                Some((topo.registry.cities_of(r.owner)[0], Method::ConstrainedSearch))
-            );
+            assert_eq!(res, Some((topo.registry.cities_of(r.owner)[0], Method::ConstrainedSearch)));
         }
     }
 

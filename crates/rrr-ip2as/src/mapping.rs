@@ -112,10 +112,8 @@ mod tests {
 
     #[test]
     fn builds_from_announcements() {
-        let updates = vec![
-            announce("10.0.0.0/16", &[1, 2, 3]),
-            announce("10.0.4.0/22", &[1, 2, 4]),
-        ];
+        let updates =
+            vec![announce("10.0.0.0/16", &[1, 2, 3]), announce("10.0.4.0/22", &[1, 2, 4])];
         let m = IpToAsMap::from_announcements(&updates);
         assert_eq!(m.lookup("10.0.4.1".parse().expect("ip")), Some(IpOrigin::As(Asn(4))));
         assert_eq!(m.lookup("10.0.100.1".parse().expect("ip")), Some(IpOrigin::As(Asn(3))));
@@ -135,10 +133,8 @@ mod tests {
 
     #[test]
     fn moas_keeps_all_origins() {
-        let updates = vec![
-            announce("10.0.0.0/16", &[1, 2, 3]),
-            announce("10.0.0.0/16", &[7, 8, 9]),
-        ];
+        let updates =
+            vec![announce("10.0.0.0/16", &[1, 2, 3]), announce("10.0.0.0/16", &[7, 8, 9])];
         let m = IpToAsMap::from_announcements(&updates);
         let set = m.origins("10.0.0.1".parse().expect("ip")).expect("mapped");
         assert_eq!(set.len(), 2);

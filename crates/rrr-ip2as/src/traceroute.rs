@@ -38,7 +38,7 @@ pub fn map_traceroute(tr: &Traceroute, map: &IpToAsMap, src_asn: Option<Asn>) ->
     let mut path: Vec<Asn> = Vec::new();
     let mut spans: Vec<(usize, usize)> = Vec::new();
 
-    let mut push = |asn: Asn, idx: usize, path: &mut Vec<Asn>, spans: &mut Vec<(usize, usize)>| {
+    let push = |asn: Asn, idx: usize, path: &mut Vec<Asn>, spans: &mut Vec<(usize, usize)>| {
         if path.last() == Some(&asn) {
             spans.last_mut().expect("span exists for last AS").1 = idx;
         } else {

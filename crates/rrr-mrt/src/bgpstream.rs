@@ -6,7 +6,7 @@
 
 use crate::mrt::MrtRecord;
 use crate::stream::{record_to_updates, VpDirectory};
-use crate::wire::{Error, Result};
+use crate::wire::Error;
 use rrr_types::{BgpUpdate, Ipv4, Prefix, Timestamp};
 use std::io::{self, Read, Write};
 
@@ -90,9 +90,7 @@ impl<R: Read> MrtFileReader<R> {
         match self.inner.read(&mut header) {
             Ok(0) => return Ok(None),
             Ok(n) => {
-                self.inner
-                    .read_exact(&mut header[n..])
-                    .map_err(StreamError::Io)?;
+                self.inner.read_exact(&mut header[n..]).map_err(StreamError::Io)?;
             }
             Err(e) => return Err(StreamError::Io(e)),
         }
@@ -100,9 +98,7 @@ impl<R: Read> MrtFileReader<R> {
         self.scratch.clear();
         self.scratch.extend_from_slice(&header);
         self.scratch.resize(12 + len, 0);
-        self.inner
-            .read_exact(&mut self.scratch[12..])
-            .map_err(StreamError::Io)?;
+        self.inner.read_exact(&mut self.scratch[12..]).map_err(StreamError::Io)?;
         let mut slice = &self.scratch[..];
         MrtRecord::parse(&mut slice).map(Some).map_err(StreamError::Parse)
     }
@@ -273,10 +269,7 @@ mod tests {
 
     #[test]
     fn destination_filter_uses_prefix_containment() {
-        let updates = vec![
-            update(0, "10.0.0.0/16", 100),
-            update(0, "10.1.0.0/16", 100),
-        ];
+        let updates = vec![update(0, "10.0.0.0/16", 100), update(0, "10.1.0.0/16", 100)];
         let bytes = dump(&updates);
         let filter = StreamFilter {
             destinations: vec!["10.1.2.3".parse().expect("ip")],

@@ -40,17 +40,9 @@ pub enum MrtRecord {
         msg: BgpMessage,
     },
     /// TABLE_DUMP_V2 / PEER_INDEX_TABLE.
-    PeerIndexTable {
-        collector_id: u32,
-        peers: Vec<(Ipv4, Asn)>,
-    },
+    PeerIndexTable { collector_id: u32, peers: Vec<(Ipv4, Asn)> },
     /// TABLE_DUMP_V2 / RIB_IPV4_UNICAST.
-    RibIpv4 {
-        time: u32,
-        seq: u32,
-        prefix: Prefix,
-        entries: Vec<RibEntry>,
-    },
+    RibIpv4 { time: u32, seq: u32, prefix: Prefix, entries: Vec<RibEntry> },
 }
 
 impl MrtRecord {
@@ -98,8 +90,7 @@ impl MrtRecord {
                     let mut whole = Vec::new();
                     msg.encode(&mut whole);
                     // header(19) + withdrawn_len(2) + attrs_len(2)
-                    let pa_len =
-                        u16::from_be_bytes([whole[21], whole[22]]) as usize;
+                    let pa_len = u16::from_be_bytes([whole[21], whole[22]]) as usize;
                     attrs.extend_from_slice(&whole[23..23 + pa_len]);
                     body.put_u16(attrs.len() as u16);
                     body.put_slice(&attrs);
@@ -218,10 +209,7 @@ mod tests {
     fn peer_index_roundtrip() {
         let r = MrtRecord::PeerIndexTable {
             collector_id: 7,
-            peers: vec![
-                (Ipv4::new(10, 0, 0, 1), Asn(100)),
-                (Ipv4::new(10, 0, 0, 2), Asn(200)),
-            ],
+            peers: vec![(Ipv4::new(10, 0, 0, 1), Asn(100)), (Ipv4::new(10, 0, 0, 2), Asn(200))],
         };
         assert_eq!(roundtrip(&r), r);
     }

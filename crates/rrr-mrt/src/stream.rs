@@ -67,12 +67,9 @@ impl MrtWriter {
     pub fn write_update(&mut self, dir: &VpDirectory, u: &BgpUpdate) {
         let (peer_ip, peer_as) = dir.peer_of(u.vp);
         let msg = match &u.elem {
-            BgpElem::Announce { path, communities } => BgpMessage::announce(
-                vec![u.prefix],
-                path.clone(),
-                peer_ip,
-                communities.clone(),
-            ),
+            BgpElem::Announce { path, communities } => {
+                BgpMessage::announce(vec![u.prefix], path.clone(), peer_ip, communities.clone())
+            }
             BgpElem::Withdraw => BgpMessage::withdraw(vec![u.prefix]),
         };
         self.write_record(&MrtRecord::Bgp4mp {

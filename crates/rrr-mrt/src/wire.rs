@@ -84,7 +84,9 @@ mod tests {
 
     #[test]
     fn prefix_roundtrip_various_lengths() {
-        for s in ["0.0.0.0/0", "10.0.0.0/7", "10.0.0.0/8", "10.128.0.0/9", "192.0.2.0/24", "1.2.3.4/32"] {
+        for s in
+            ["0.0.0.0/0", "10.0.0.0/7", "10.0.0.0/8", "10.128.0.0/9", "192.0.2.0/24", "1.2.3.4/32"]
+        {
             let p: Prefix = s.parse().expect("valid prefix literal");
             let mut buf = Vec::new();
             put_prefix(&mut buf, p);

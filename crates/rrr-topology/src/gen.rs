@@ -20,10 +20,7 @@ use std::collections::{HashMap, HashSet};
 pub fn generate(cfg: &TopologyConfig) -> Topology {
     assert!(cfg.num_ases as u32 <= plan::MAX_ASES, "too many ASes for the address plan");
     assert!(cfg.num_ixps <= 256, "too many IXPs for the address plan");
-    assert!(
-        cfg.num_cities <= crate::city::CITY_TABLE.len(),
-        "num_cities exceeds the city table"
-    );
+    assert!(cfg.num_cities <= crate::city::CITY_TABLE.len(), "num_cities exceeds the city table");
     assert!(cfg.num_tier1 >= 2 && cfg.num_tier1 <= cfg.num_ases);
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -114,12 +111,13 @@ impl<'c> Gen<'c> {
             let all: Vec<CityId> = (0..self.cfg.num_cities as u16).map(CityId).collect();
             let count = match tier {
                 Tier::Tier1 => (self.cfg.num_cities * 7 / 10).max(2),
-                Tier::Transit => rng.gen_range(6..=12.min(self.cfg.num_cities)).min(self.cfg.num_cities),
+                Tier::Transit => {
+                    rng.gen_range(6..=12.min(self.cfg.num_cities)).min(self.cfg.num_cities)
+                }
                 Tier::Regional => rng.gen_range(2..=5).min(self.cfg.num_cities),
                 Tier::Stub => rng.gen_range(1..=2).min(self.cfg.num_cities),
             };
-            let mut footprint: Vec<CityId> =
-                all.choose_multiple(rng, count).copied().collect();
+            let mut footprint: Vec<CityId> = all.choose_multiple(rng, count).copied().collect();
             footprint.sort_unstable();
             self.cities.push(footprint);
             self.strips.push(rng.gen_bool(self.cfg.strip_communities_frac));
@@ -143,9 +141,7 @@ impl<'c> Gen<'c> {
     }
 
     fn shares_city(&self, a: AsIdx, b: AsIdx) -> bool {
-        self.cities[a.index()]
-            .iter()
-            .any(|c| self.cities[b.index()].contains(c))
+        self.cities[a.index()].iter().any(|c| self.cities[b.index()].contains(c))
     }
 
     /// Ensures two ASes share at least one city, extending the customer's
@@ -202,11 +198,8 @@ impl<'c> Gen<'c> {
         }
         // Regionals: customers of 1-3 transits (co-located preferred).
         for &r in &regional {
-            let mut cands: Vec<AsIdx> = transit
-                .iter()
-                .copied()
-                .filter(|&t| self.shares_city(t, r))
-                .collect();
+            let mut cands: Vec<AsIdx> =
+                transit.iter().copied().filter(|&t| self.shares_city(t, r)).collect();
             if cands.is_empty() {
                 cands = transit.clone();
             }
@@ -230,11 +223,8 @@ impl<'c> Gen<'c> {
         // Stubs: customers of 1-3 regionals/transits, co-located preferred.
         let upstream: Vec<AsIdx> = regional.iter().chain(transit.iter()).copied().collect();
         for &s in &stubs {
-            let mut cands: Vec<AsIdx> = upstream
-                .iter()
-                .copied()
-                .filter(|&u| self.shares_city(u, s))
-                .collect();
+            let mut cands: Vec<AsIdx> =
+                upstream.iter().copied().filter(|&u| self.shares_city(u, s)).collect();
             if cands.is_empty() {
                 cands = upstream.clone();
             }
@@ -309,10 +299,7 @@ impl<'c> Gen<'c> {
             let city = self.ixps[i].city;
             let mut latents: Vec<AsIdx> = (0..self.cfg.num_ases)
                 .map(|x| AsIdx(x as u32))
-                .filter(|x| {
-                    self.cities[x.index()].contains(&city)
-                        && !members.contains(x)
-                })
+                .filter(|x| self.cities[x.index()].contains(&city) && !members.contains(x))
                 .collect();
             latents.shuffle(rng);
             latents.truncate(self.cfg.latent_ixp_members);
@@ -422,8 +409,11 @@ impl<'c> Gen<'c> {
                     // index for peers).
                     let j = self.link_counter[a.index()];
                     self.link_counter[a.index()] += 1;
-                    assert!(plan::LINK_SUBNET_OFF + 2 * j + 1 < plan::HOST_OFF,
-                        "link subnet space exhausted for AS index {}", a.0);
+                    assert!(
+                        plan::LINK_SUBNET_OFF + 2 * j + 1 < plan::HOST_OFF,
+                        "link subnet space exhausted for AS index {}",
+                        a.0
+                    );
                     let base = self.block(a) + plan::LINK_SUBNET_OFF + 2 * j;
                     let aip = Ipv4(base);
                     let bip = Ipv4(base + 1);
@@ -478,10 +468,11 @@ impl<'c> Gen<'c> {
                         let id = RouterId(self.routers.len() as u32);
                         let k = self.iface_counter[a];
                         self.iface_counter[a] += 1;
-                        assert!(plan::ROUTER_IFACE_OFF + k < plan::LINK_SUBNET_OFF,
-                            "router iface space exhausted for AS index {a}");
-                        let iface =
-                            Ipv4(self.block(AsIdx(a as u32)) + plan::ROUTER_IFACE_OFF + k);
+                        assert!(
+                            plan::ROUTER_IFACE_OFF + k < plan::LINK_SUBNET_OFF,
+                            "router iface space exhausted for AS index {a}"
+                        );
+                        let iface = Ipv4(self.block(AsIdx(a as u32)) + plan::ROUTER_IFACE_OFF + k);
                         self.routers.push(Router {
                             id,
                             owner: AsIdx(a as u32),
@@ -778,10 +769,7 @@ mod tests {
     #[test]
     fn diamonds_generated() {
         let t = small();
-        assert!(
-            t.intra.values().any(|b| b.len() >= 2),
-            "expected intradomain diamonds"
-        );
+        assert!(t.intra.values().any(|b| b.len() >= 2), "expected intradomain diamonds");
         assert!(
             t.adjacencies.iter().any(|a| a.ecmp),
             "expected at least one interdomain ECMP adjacency"

@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Dense index of an AS inside a [`Topology`] (not the ASN itself).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct AsIdx(pub u32);
 
@@ -22,9 +20,7 @@ impl AsIdx {
 
 /// Dense index of an adjacency (an AS-AS edge, possibly with several
 /// peering points).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct AdjacencyId(pub u32);
 
@@ -295,9 +291,7 @@ impl Topology {
 
     /// The adjacency between two ASes, if any.
     pub fn adjacency_between(&self, x: AsIdx, y: AsIdx) -> Option<&Adjacency> {
-        self.as_info(x)
-            .neighbor(y)
-            .map(|n| self.adjacency(n.adj))
+        self.as_info(x).neighbor(y).map(|n| self.adjacency(n.adj))
     }
 
     /// Relationship of `y` relative to `x`, if adjacent.
@@ -357,11 +351,10 @@ impl Topology {
 
     /// All destination prefixes with their origin AS.
     pub fn all_originations(&self) -> impl Iterator<Item = (Prefix, AsIdx)> + '_ {
-        self.ases.iter().enumerate().flat_map(|(i, info)| {
-            info.originated
-                .iter()
-                .map(move |p| (*p, AsIdx(i as u32)))
-        })
+        self.ases
+            .iter()
+            .enumerate()
+            .flat_map(|(i, info)| info.originated.iter().map(move |p| (*p, AsIdx(i as u32))))
     }
 
     /// Intra-AS branch set between two cities (empty-branch singleton when
@@ -400,6 +393,8 @@ mod tests {
     }
 
     #[test]
+    // The point of this test is exactly to assert relations on constants.
+    #[allow(clippy::assertions_on_constants)]
     fn plan_constants_disjoint() {
         // IXP space must end below AS space for owner_of_ip dispatch.
         let max_ixp = plan::IXP_BASE + (0xFF << 12);

@@ -46,10 +46,7 @@ impl Registry {
         self.as_facilities
             .get(&asx)
             .map(|fs| {
-                fs.iter()
-                    .filter(|f| self.facilities[f.index()].city == city)
-                    .copied()
-                    .collect()
+                fs.iter().filter(|f| self.facilities[f.index()].city == city).copied().collect()
             })
             .unwrap_or_default()
     }
@@ -68,9 +65,7 @@ impl Registry {
 
     /// Documented membership check.
     pub fn is_ixp_member(&self, ixp: IxpId, asx: AsIdx) -> bool {
-        self.ixp_members
-            .get(&ixp)
-            .is_some_and(|m| m.contains(&asx))
+        self.ixp_members.get(&ixp).is_some_and(|m| m.contains(&asx))
     }
 
     /// CAIDA-relationship lookup: relationship of `b` relative to `a`

@@ -60,9 +60,7 @@ pub fn forward(
     let mut crossings = Vec::new();
 
     // First hop: the source AS's city router where the probe attaches.
-    let first = topo
-        .city_router(src_as, src_city)
-        .expect("probe city must be in the AS footprint");
+    let first = topo.city_router(src_as, src_city).expect("probe city must be in the AS footprint");
     steps.push(Step { router: first, iface: topo.router(first).internal_iface });
 
     let mut cur_as = src_as;
@@ -112,6 +110,7 @@ pub fn forward(
 
 /// Walks inside one AS from `from` to `to`, appending mid-router hops (a
 /// flow-selected diamond branch) and the destination city router.
+#[allow(clippy::too_many_arguments)]
 fn walk_intra(
     topo: &Topology,
     _state: &NetState,
@@ -126,16 +125,13 @@ fn walk_intra(
         return;
     }
     let branches = topo.intra_branches(asx, from, to);
-    let idx = flow_hash(flow, (asx.0 as u64) << 32 | (from.0 as u64) << 16 | to.0 as u64)
-        as usize
+    let idx = flow_hash(flow, (asx.0 as u64) << 32 | (from.0 as u64) << 16 | to.0 as u64) as usize
         % branches.len();
     for &mid in &branches[idx] {
         let router = topo.router_of_iface(mid).expect("mid iface registered");
         steps.push(Step { router, iface: mid });
     }
-    let dest_router = topo
-        .city_router(asx, to)
-        .expect("egress city is in the AS footprint");
+    let dest_router = topo.city_router(asx, to).expect("egress city is in the AS footprint");
     steps.push(Step { router: dest_router, iface: topo.router(dest_router).internal_iface });
 }
 
@@ -276,10 +272,7 @@ mod tests {
                 let p = forward(&topo, &state, &routes, src, city, dst, flow).expect("in plan");
                 assert_eq!(p.as_chain, canon.as_chain, "AS chain must be flow-invariant");
                 for (i, cr) in p.crossings.iter().enumerate() {
-                    assert!(
-                        canon.crossings[i].contains(cr),
-                        "flow crossing outside canonical set"
-                    );
+                    assert!(canon.crossings[i].contains(cr), "flow crossing outside canonical set");
                 }
             }
         }

@@ -13,9 +13,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rrr_bgp::Engine;
 use rrr_topology::{AsIdx, Tier, Topology};
-use rrr_types::{
-    AnchorId, CityId, Hop, Ipv4, ProbeId, Timestamp, Traceroute, TracerouteId,
-};
+use rrr_types::{AnchorId, CityId, Hop, Ipv4, ProbeId, Timestamp, Traceroute, TracerouteId};
 
 /// Platform configuration.
 #[derive(Debug, Clone)]
@@ -135,11 +133,8 @@ impl Platform {
 
         // Mesh assignment: a stable random subset of non-anchor probes per
         // anchor (the paper: the probe set per anchor is kept stable).
-        let non_anchor: Vec<ProbeId> = probes
-            .iter()
-            .filter(|p| !p.is_anchor)
-            .map(|p| p.id)
-            .collect();
+        let non_anchor: Vec<ProbeId> =
+            probes.iter().filter(|p| !p.is_anchor).map(|p| p.id).collect();
         let mesh = anchors
             .iter()
             .map(|_| {
@@ -225,11 +220,7 @@ impl Platform {
     /// analogue): each destination prefix's `.1` address is probed from one
     /// randomly allocated probe.
     pub fn topology_round(&mut self, eng: &Engine, t: Timestamp) -> Vec<Traceroute> {
-        let targets: Vec<Ipv4> = eng
-            .topo()
-            .all_originations()
-            .map(|(p, _)| p.nth(1))
-            .collect();
+        let targets: Vec<Ipv4> = eng.topo().all_originations().map(|(p, _)| p.nth(1)).collect();
         let mut out = Vec::with_capacity(targets.len());
         for dst in targets {
             let pid = ProbeId(self.rng.gen_range(0..self.probes.len() as u32));

@@ -78,16 +78,8 @@ pub fn diff_for_asn(
     after: &[Community],
     asn: Asn,
 ) -> (Vec<Community>, Vec<Community>) {
-    let added = after
-        .iter()
-        .filter(|c| c.asn() == asn && !before.contains(c))
-        .copied()
-        .collect();
-    let removed = before
-        .iter()
-        .filter(|c| c.asn() == asn && !after.contains(c))
-        .copied()
-        .collect();
+    let added = after.iter().filter(|c| c.asn() == asn && !before.contains(c)).copied().collect();
+    let removed = before.iter().filter(|c| c.asn() == asn && !after.contains(c)).copied().collect();
     (added, removed)
 }
 
@@ -123,11 +115,7 @@ mod tests {
     #[test]
     fn diff_scoped_to_asn() {
         let a = Asn(10);
-        let before = vec![
-            Community::new(10, 1),
-            Community::new(10, 2),
-            Community::new(20, 9),
-        ];
+        let before = vec![Community::new(10, 1), Community::new(10, 2), Community::new(20, 9)];
         let after = vec![
             Community::new(10, 2),
             Community::new(10, 3),

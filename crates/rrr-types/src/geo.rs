@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a city in the topology's city table.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct CityId(pub u16);
 

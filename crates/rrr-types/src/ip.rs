@@ -94,10 +94,7 @@ impl Prefix {
     /// Panics if `len > 32`.
     pub fn new(addr: Ipv4, len: u8) -> Self {
         assert!(len <= 32, "prefix length {len} > 32");
-        Prefix {
-            addr: Ipv4(addr.0 & Self::mask(len)),
-            len,
-        }
+        Prefix { addr: Ipv4(addr.0 & Self::mask(len)), len }
     }
 
     /// The network mask for a given length.
@@ -117,6 +114,8 @@ impl Prefix {
     }
 
     /// Prefix length in bits.
+    // A prefix length is not a container length; `is_empty` has no meaning.
+    #[allow(clippy::len_without_is_empty)]
     #[inline]
     pub fn len(self) -> u8 {
         self.len

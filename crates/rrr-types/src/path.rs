@@ -73,6 +73,14 @@ impl AsPath {
         AsPath(self.0.iter().copied().filter(|a| !strip.contains(a)).collect())
     }
 
+    /// Like [`AsPath::stripped`], but writes into `out`, reusing its
+    /// allocation. Hot loops that strip every incoming update can hold one
+    /// scratch path instead of allocating per call.
+    pub fn stripped_into(&self, strip: &[Asn], out: &mut AsPath) {
+        out.0.clear();
+        out.0.extend(self.0.iter().copied().filter(|a| !strip.contains(a)));
+    }
+
     /// Whether the path contains `a` at all.
     pub fn contains(&self, a: Asn) -> bool {
         self.0.contains(&a)
@@ -174,6 +182,17 @@ mod tests {
     fn strip_ixp_asns() {
         let stripped = p(&[13030, 59900, 1299, 18747]).stripped(&[Asn(59900)]);
         assert_eq!(stripped, p(&[13030, 1299, 18747]));
+    }
+
+    #[test]
+    fn stripped_into_reuses_buffer() {
+        let mut out = p(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let cap = out.0.capacity();
+        p(&[13030, 59900, 1299, 18747]).stripped_into(&[Asn(59900)], &mut out);
+        assert_eq!(out, p(&[13030, 1299, 18747]));
+        assert_eq!(out.0.capacity(), cap, "buffer must be reused, not reallocated");
+        p(&[10, 20]).stripped_into(&[], &mut out);
+        assert_eq!(out, p(&[10, 20]));
     }
 
     #[test]

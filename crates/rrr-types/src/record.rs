@@ -12,10 +12,7 @@ pub enum BgpElem {
     /// `Announce` whose path and communities equal the previously announced
     /// ones — routers emit these when non-transitive attributes (MED, IGP
     /// cost) change (§4.1.4).
-    Announce {
-        path: AsPath,
-        communities: Vec<Community>,
-    },
+    Announce { path: AsPath, communities: Vec<Community> },
     /// A withdrawal of the prefix.
     Withdraw,
 }
@@ -81,9 +78,7 @@ impl fmt::Display for BgpUpdate {
 }
 
 /// Unique identifier of a traceroute measurement.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct TracerouteId(pub u64);
 

@@ -80,9 +80,7 @@ impl fmt::Display for Timestamp {
 
 /// A window index under a given [`WindowConfig`] — the unit at which the
 /// paper's time series are computed.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Window(pub u64);
 
 impl Window {
@@ -130,10 +128,7 @@ impl WindowConfig {
 
     /// The half-open interval `[start, end)` of a window.
     pub fn bounds(self, w: Window) -> (Timestamp, Timestamp) {
-        (
-            Timestamp(w.0 * self.duration.0),
-            Timestamp((w.0 + 1) * self.duration.0),
-        )
+        (Timestamp(w.0 * self.duration.0), Timestamp((w.0 + 1) * self.duration.0))
     }
 
     /// Number of whole windows in a campaign of length `total`.

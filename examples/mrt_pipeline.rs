@@ -13,15 +13,8 @@ use std::sync::Arc;
 fn main() {
     let seed = 31;
     let topo = Arc::new(rrr::topology::generate(&TopologyConfig::small(seed)));
-    let events = rrr::bgp::generate_events(
-        &topo,
-        &EventConfig::small(seed, Duration::days(1)),
-    );
-    let mut engine = Engine::new(
-        Arc::clone(&topo),
-        &EngineConfig { seed, num_vps: 8 },
-        events,
-    );
+    let events = rrr::bgp::generate_events(&topo, &EventConfig::small(seed, Duration::days(1)));
+    let mut engine = Engine::new(Arc::clone(&topo), &EngineConfig { seed, num_vps: 8 }, events);
     let mut platform = Platform::new(&topo, &PlatformConfig::small(seed));
 
     // --- producer side: dump the day as an MRT file ---
@@ -64,14 +57,8 @@ fn main() {
     let geo = Geolocator::new(GeoDb::noisy(&topo, 0.9, 0.95, seed), vec![]);
     let alias = AliasResolver::from_topology(&topo, 0.1, seed);
     let vps = engine.vps().iter().map(|v| v.id).collect();
-    let mut det = StalenessDetector::new(
-        Arc::clone(&topo),
-        map,
-        geo,
-        alias,
-        vps,
-        DetectorConfig::default(),
-    );
+    let mut det =
+        StalenessDetector::new(Arc::clone(&topo), map, geo, alias, vps, DetectorConfig::default());
     // The RIB portion seeds the mirror; the rest replays as the live feed.
     let (rib_part, live_part) = decoded.split_at(rib.len());
     det.init_rib(rib_part);

@@ -13,15 +13,8 @@ fn main() {
 
     // --- the simulated world (stands in for the live Internet) ---
     let topo = Arc::new(rrr::topology::generate(&TopologyConfig::small(seed)));
-    let events = rrr::bgp::generate_events(
-        &topo,
-        &EventConfig::small(seed, Duration::days(days)),
-    );
-    let mut engine = Engine::new(
-        Arc::clone(&topo),
-        &EngineConfig { seed, num_vps: 10 },
-        events,
-    );
+    let events = rrr::bgp::generate_events(&topo, &EventConfig::small(seed, Duration::days(days)));
+    let mut engine = Engine::new(Arc::clone(&topo), &EngineConfig { seed, num_vps: 10 }, events);
     let mut platform = Platform::new(&topo, &PlatformConfig::small(seed));
     println!(
         "world: {} ASes, {} peering points, {} probes, {} BGP vantage points",
@@ -40,14 +33,8 @@ fn main() {
     let geo = Geolocator::new(GeoDb::noisy(&topo, 0.9, 0.95, seed), vec![]);
     let alias = AliasResolver::from_topology(&topo, 0.1, seed);
     let vps = engine.vps().iter().map(|v| v.id).collect();
-    let mut det = StalenessDetector::new(
-        Arc::clone(&topo),
-        map,
-        geo,
-        alias,
-        vps,
-        DetectorConfig::default(),
-    );
+    let mut det =
+        StalenessDetector::new(Arc::clone(&topo), map, geo, alias, vps, DetectorConfig::default());
     det.init_rib(&rib);
 
     // --- the corpus we want to keep fresh: every probe → first anchor ---

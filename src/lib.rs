@@ -83,7 +83,8 @@ pub mod prelude {
     pub use rrr_anomaly::{BitmapDetector, ModifiedZScore};
     pub use rrr_bgp::{Engine, EngineConfig, EventConfig};
     pub use rrr_core::{
-        DetectorConfig, Freshness, SignalScope, StalenessDetector, StalenessSignal, Technique,
+        DetectorConfig, Freshness, RefreshPlan, SignalScope, StalenessDetector, StalenessSignal,
+        Technique,
     };
     pub use rrr_geo::{GeoDb, Geolocator};
     pub use rrr_ip2as::{AliasResolver, IpToAsMap};

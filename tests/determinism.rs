@@ -1,0 +1,81 @@
+//! Serial-vs-parallel equivalence: the sharded window-close / flush
+//! pipeline must produce bit-identical output to the serial path.
+//!
+//! The shards are deterministic — groups are split in sorted-key order and
+//! each worker's output is concatenated in chunk order — so the signal log
+//! and the refresh plan must not depend on the worker count at all.
+
+use rrr::prelude::*;
+use std::sync::Arc;
+
+fn run_with_threads(threads: usize) -> (Vec<StalenessSignal>, RefreshPlan) {
+    let seed = 17;
+    let topo = Arc::new(rrr::topology::generate(&TopologyConfig::small(seed)));
+    let events = rrr::bgp::generate_events(&topo, &EventConfig::small(seed, Duration::days(2)));
+    let mut engine =
+        rrr::bgp::Engine::new(Arc::clone(&topo), &EngineConfig { seed, num_vps: 10 }, events);
+    let mut platform = Platform::new(&topo, &PlatformConfig::small(seed));
+    let rib = engine.rib_snapshot();
+    let mut map = IpToAsMap::from_announcements(rib.iter());
+    for (ixp, lan) in &topo.registry.ixp_lans {
+        map.add_ixp_lan(*lan, *ixp);
+    }
+    let geo = Geolocator::new(GeoDb::noisy(&topo, 0.9, 0.95, seed), vec![]);
+    let alias = AliasResolver::from_topology(&topo, 0.1, seed);
+    let vps = engine.vps().iter().map(|v| v.id).collect();
+    let mut det = StalenessDetector::new(
+        Arc::clone(&topo),
+        map,
+        geo,
+        alias,
+        vps,
+        DetectorConfig { threads, ..DetectorConfig::default() },
+    );
+    det.init_rib(&rib);
+    for tr in platform.anchoring_round(&engine, Timestamp::ZERO) {
+        let src_asn = topo.asn_of(platform.probe(tr.probe).asx);
+        det.add_corpus(tr, Some(src_asn));
+    }
+    for r in 1..=(2 * 96u64) {
+        let t = Timestamp(r * 900);
+        let updates = engine.advance_to(t);
+        let public = platform.random_round(&engine, t, 60);
+        let _ = det.step(t, &updates, &public);
+    }
+    let plan = det.plan_refresh(16);
+    (det.signal_log().to_vec(), plan)
+}
+
+/// Thread count must be invisible in the output: same signals, same order,
+/// same refresh plan.
+#[test]
+fn parallel_pipeline_matches_serial() {
+    let (serial_log, serial_plan) = run_with_threads(1);
+    let (par_log, par_plan) = run_with_threads(4);
+    assert!(
+        !serial_log.is_empty(),
+        "the scenario must generate signals for the comparison to mean anything"
+    );
+    assert_eq!(serial_log.len(), par_log.len(), "signal counts diverged");
+    for (i, (s, p)) in serial_log.iter().zip(&par_log).enumerate() {
+        assert_eq!(s.key, p.key, "signal {i} key diverged");
+        assert_eq!(s.time, p.time, "signal {i} time diverged");
+        assert_eq!(s.window, p.window, "signal {i} window diverged");
+        assert_eq!(s.traceroutes, p.traceroutes, "signal {i} traceroutes diverged");
+        assert!((s.score - p.score).abs() < 1e-12, "signal {i} score diverged");
+    }
+    assert_eq!(serial_plan, par_plan, "refresh plans diverged");
+}
+
+/// An odd worker count that doesn't divide the shard count evenly must
+/// still match (exercises the ragged last chunk).
+#[test]
+fn ragged_shard_split_matches_serial() {
+    let (serial_log, _) = run_with_threads(1);
+    let (par_log, _) = run_with_threads(3);
+    assert_eq!(serial_log.len(), par_log.len());
+    for (s, p) in serial_log.iter().zip(&par_log) {
+        assert_eq!(s.key, p.key);
+        assert_eq!(s.traceroutes, p.traceroutes);
+    }
+}

@@ -15,11 +15,8 @@ struct TestWorld {
 fn world(seed: u64, days: u64) -> TestWorld {
     let topo = Arc::new(rrr::topology::generate(&TopologyConfig::small(seed)));
     let events = rrr::bgp::generate_events(&topo, &EventConfig::small(seed, Duration::days(days)));
-    let engine = rrr::bgp::Engine::new(
-        Arc::clone(&topo),
-        &EngineConfig { seed, num_vps: 10 },
-        events,
-    );
+    let engine =
+        rrr::bgp::Engine::new(Arc::clone(&topo), &EngineConfig { seed, num_vps: 10 }, events);
     let platform = Platform::new(&topo, &PlatformConfig::small(seed));
     let rib = engine.rib_snapshot();
     let mut map = IpToAsMap::from_announcements(rib.iter());
@@ -29,14 +26,8 @@ fn world(seed: u64, days: u64) -> TestWorld {
     let geo = Geolocator::new(GeoDb::noisy(&topo, 0.9, 0.95, seed), vec![]);
     let alias = AliasResolver::from_topology(&topo, 0.1, seed);
     let vps = engine.vps().iter().map(|v| v.id).collect();
-    let mut det = StalenessDetector::new(
-        Arc::clone(&topo),
-        map,
-        geo,
-        alias,
-        vps,
-        DetectorConfig::default(),
-    );
+    let mut det =
+        StalenessDetector::new(Arc::clone(&topo), map, geo, alias, vps, DetectorConfig::default());
     det.init_rib(&rib);
     TestWorld { topo, engine, platform, det }
 }
@@ -55,11 +46,7 @@ fn control_and_data_plane_agree() {
             IpOwner::As(a) => a,
             other => panic!("anchor outside plan: {other:?}"),
         };
-        let chain = w
-            .engine
-            .routes()
-            .as_chain(dst_as, probe.asx)
-            .expect("routable");
+        let chain = w.engine.routes().as_chain(dst_as, probe.asx).expect("routable");
         // Map the traceroute through the measured IP-to-AS map.
         let at = rrr::ip2as::map_traceroute(&tr, w.det.map(), Some(w.topo.asn_of(probe.asx)))
             .expect("no loops");
@@ -103,11 +90,8 @@ fn forced_border_change_is_flagged() {
         });
     }
     assert!(!events.is_empty());
-    let mut engine = rrr::bgp::Engine::new(
-        Arc::clone(&topo),
-        &EngineConfig { seed, num_vps: 10 },
-        events,
-    );
+    let mut engine =
+        rrr::bgp::Engine::new(Arc::clone(&topo), &EngineConfig { seed, num_vps: 10 }, events);
     let mut platform = Platform::new(&topo, &PlatformConfig::small(seed));
     let rib = engine.rib_snapshot();
     let mut map = IpToAsMap::from_announcements(rib.iter());
@@ -117,14 +101,8 @@ fn forced_border_change_is_flagged() {
     let geo = Geolocator::new(GeoDb::noisy(&topo, 0.95, 0.98, seed), vec![]);
     let alias = AliasResolver::from_topology(&topo, 0.05, seed);
     let vps = engine.vps().iter().map(|v| v.id).collect();
-    let mut det = StalenessDetector::new(
-        Arc::clone(&topo),
-        map,
-        geo,
-        alias,
-        vps,
-        DetectorConfig::default(),
-    );
+    let mut det =
+        StalenessDetector::new(Arc::clone(&topo), map, geo, alias, vps, DetectorConfig::default());
     det.init_rib(&rib);
 
     let mut ids = Vec::new();
@@ -149,12 +127,8 @@ fn forced_border_change_is_flagged() {
 
     // Refresh verification: at least one flagged entry's re-measurement
     // confirms a changed monitored portion.
-    let stale_ids: Vec<_> = det
-        .corpus()
-        .entries()
-        .filter(|e| e.freshness().is_stale())
-        .map(|e| e.id)
-        .collect();
+    let stale_ids: Vec<_> =
+        det.corpus().entries().filter(|e| e.freshness().is_stale()).map(|e| e.id).collect();
     let t = Timestamp(3 * 86_400);
     let mut confirmed = 0;
     for id in stale_ids {
@@ -175,11 +149,8 @@ fn reverted_change_revokes_without_refresh() {
     use rrr::bgp::{Event, EventKind};
     let seed = 13;
     let topo = Arc::new(rrr::topology::generate(&TopologyConfig::small(seed)));
-    let adjs: Vec<_> = topo
-        .adjacencies
-        .iter()
-        .filter(|a| a.points.len() >= 2 && !a.ecmp && !a.latent)
-        .collect();
+    let adjs: Vec<_> =
+        topo.adjacencies.iter().filter(|a| a.points.len() >= 2 && !a.ecmp && !a.latent).collect();
     let mut events = Vec::new();
     for adj in &adjs {
         // Demote on day 1, restore on day 2.
@@ -196,11 +167,8 @@ fn reverted_change_revokes_without_refresh() {
             },
         });
     }
-    let mut engine = rrr::bgp::Engine::new(
-        Arc::clone(&topo),
-        &EngineConfig { seed, num_vps: 10 },
-        events,
-    );
+    let mut engine =
+        rrr::bgp::Engine::new(Arc::clone(&topo), &EngineConfig { seed, num_vps: 10 }, events);
     let mut platform = Platform::new(&topo, &PlatformConfig::small(seed));
     let rib = engine.rib_snapshot();
     let mut map = IpToAsMap::from_announcements(rib.iter());
@@ -210,14 +178,8 @@ fn reverted_change_revokes_without_refresh() {
     let geo = Geolocator::new(GeoDb::noisy(&topo, 0.95, 0.98, seed), vec![]);
     let alias = AliasResolver::from_topology(&topo, 0.05, seed);
     let vps = engine.vps().iter().map(|v| v.id).collect();
-    let mut det = StalenessDetector::new(
-        Arc::clone(&topo),
-        map,
-        geo,
-        alias,
-        vps,
-        DetectorConfig::default(),
-    );
+    let mut det =
+        StalenessDetector::new(Arc::clone(&topo), map, geo, alias, vps, DetectorConfig::default());
     det.init_rib(&rib);
     for tr in platform.anchoring_round(&engine, Timestamp::ZERO) {
         let src_asn = topo.asn_of(platform.probe(tr.probe).asx);

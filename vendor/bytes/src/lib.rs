@@ -1,0 +1,189 @@
+//! Local stand-in for the `bytes` crate used because this build environment
+//! has no access to crates.io. Provides big-endian [`Buf`] readers over
+//! `&[u8]` and an owned [`Bytes`] cursor, plus [`BufMut`] writers over
+//! `Vec<u8>` — the surface `rrr-mrt`'s wire codecs use. Like upstream,
+//! reading past `remaining()` panics; the codecs bounds-check first.
+
+/// An owned, consumable byte buffer (upstream `Bytes` without the
+/// zero-copy refcounting — `rrr-mrt` only ever consumes it linearly).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: data.to_vec(), pos: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Sequential big-endian reader.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes as a contiguous slice (this shim is always
+    /// contiguous).
+    fn chunk(&self) -> &[u8];
+
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.pos += cnt;
+    }
+}
+
+/// Sequential big-endian writer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut w: Vec<u8> = Vec::new();
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_slice(&[1, 2, 3]);
+        let mut rd: &[u8] = &w;
+        assert_eq!(rd.remaining(), 10);
+        assert_eq!(rd.get_u8(), 0xAB);
+        assert_eq!(rd.get_u16(), 0x1234);
+        assert_eq!(rd.get_u32(), 0xDEAD_BEEF);
+        let mut tail = [0u8; 3];
+        rd.copy_to_slice(&mut tail);
+        assert_eq!(tail, [1, 2, 3]);
+        assert!(!rd.has_remaining());
+    }
+
+    #[test]
+    fn bytes_cursor_and_copy_to_bytes() {
+        let mut rd: &[u8] = &[9, 8, 7, 6, 5];
+        let mut body = rd.copy_to_bytes(4);
+        assert_eq!(rd, &[5]);
+        assert_eq!(body.remaining(), 4);
+        assert_eq!(body.get_u16(), 0x0908);
+        body.advance(1);
+        assert_eq!(body.get_u8(), 6);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn advance_past_end_panics() {
+        let mut b = Bytes::from(vec![1, 2]);
+        b.advance(3);
+    }
+}

@@ -1,0 +1,324 @@
+//! Local stand-in for the `rand` crate used because this build environment
+//! has no access to crates.io. Implements the workspace's API surface —
+//! `Rng::{gen, gen_bool, gen_range}`, `SeedableRng::seed_from_u64`,
+//! `rngs::StdRng`, and `seq::SliceRandom::{choose, choose_multiple,
+//! shuffle}` — on top of a deterministic xoshiro256++ generator seeded via
+//! SplitMix64. Streams differ from upstream `StdRng` (which is ChaCha12),
+//! but every consumer in this workspace only needs determinism per seed,
+//! not a specific stream.
+
+pub mod rngs {
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Seeding by `u64`, as used throughout the workspace.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the recommended seeding for xoshiro.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        rngs::StdRng { s }
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+/// Element types `gen_range` can draw. Keeping the `SampleRange` impls
+/// generic over this trait (rather than one impl per concrete type)
+/// preserves upstream's type inference: `rng.gen_range(2..=5).min(n)`
+/// resolves the integer literal from `n`.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut rngs::StdRng) -> Self;
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut rngs::StdRng) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        assert!(self.start < self.end, "empty range in gen_range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range in gen_range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// A type producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn standard(rng: &mut rngs::StdRng) -> Self;
+}
+
+macro_rules! impl_int_sampling {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(lo: $t, hi: $t, rng: &mut rngs::StdRng) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+            #[inline]
+            fn sample_inclusive(lo: $t, hi: $t, rng: &mut rngs::StdRng) -> $t {
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+        impl Standard for $t {
+            #[inline]
+            fn standard(rng: &mut rngs::StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_int_sampling!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sampling {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(lo: $t, hi: $t, rng: &mut rngs::StdRng) -> $t {
+                let unit = <$t>::standard(rng);
+                lo + unit * (hi - lo)
+            }
+            #[inline]
+            fn sample_inclusive(lo: $t, hi: $t, rng: &mut rngs::StdRng) -> $t {
+                let unit = <$t>::standard(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_sampling!(f32, f64);
+
+impl Standard for f64 {
+    #[inline]
+    fn standard(rng: &mut rngs::StdRng) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn standard(rng: &mut rngs::StdRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn standard(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    fn rng_mut(&mut self) -> &mut rngs::StdRng;
+
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self.rng_mut())
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        f64::standard(self.rng_mut()) < p
+    }
+
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.rng_mut())
+    }
+}
+
+impl Rng for rngs::StdRng {
+    #[inline]
+    fn rng_mut(&mut self) -> &mut rngs::StdRng {
+        self
+    }
+}
+
+pub mod seq {
+    use super::{rngs::StdRng, Rng, SampleRange};
+
+    /// Iterator over the elements picked by
+    /// [`SliceRandom::choose_multiple`].
+    pub struct SliceChooseIter<'a, T> {
+        slice: &'a [T],
+        picked: std::vec::IntoIter<usize>,
+    }
+
+    impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+        type Item = &'a T;
+
+        fn next(&mut self) -> Option<&'a T> {
+            self.picked.next().map(|i| &self.slice[i])
+        }
+
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.picked.size_hint()
+        }
+    }
+
+    impl<'a, T> ExactSizeIterator for SliceChooseIter<'a, T> {
+        fn len(&self) -> usize {
+            self.picked.len()
+        }
+    }
+
+    /// The subset of `rand::seq::SliceRandom` the workspace uses.
+    pub trait SliceRandom {
+        type Item;
+
+        fn choose<'a, R: Rng>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+        fn choose_multiple<'a, R: Rng>(
+            &'a self,
+            rng: &mut R,
+            amount: usize,
+        ) -> SliceChooseIter<'a, Self::Item>;
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<'a, R: Rng>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (0..self.len()).sample(rng.rng_mut());
+                Some(&self[i])
+            }
+        }
+
+        fn choose_multiple<'a, R: Rng>(
+            &'a self,
+            rng: &mut R,
+            amount: usize,
+        ) -> SliceChooseIter<'a, T> {
+            let amount = amount.min(self.len());
+            // Partial Fisher–Yates over an index table: first `amount`
+            // positions end up uniformly sampled without replacement.
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            partial_shuffle(&mut idx, amount, rng.rng_mut());
+            idx.truncate(amount);
+            SliceChooseIter { slice: self, picked: idx.into_iter() }
+        }
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            let rng = rng.rng_mut();
+            for i in (1..self.len()).rev() {
+                let j = (0..=i).sample(rng);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    fn partial_shuffle(idx: &mut [usize], amount: usize, rng: &mut StdRng) {
+        for i in 0..amount.min(idx.len().saturating_sub(1)) {
+            let j = (i..idx.len()).sample(rng);
+            idx.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i = rng.gen_range(0u8..=32);
+            assert!(i <= 32);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = rngs::StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let items: Vec<u32> = (0..50).collect();
+        assert!(items.choose(&mut rng).is_some());
+        let picked: Vec<u32> = items.choose_multiple(&mut rng, 10).copied().collect();
+        assert_eq!(picked.len(), 10);
+        let unique: std::collections::HashSet<u32> = picked.iter().copied().collect();
+        assert_eq!(unique.len(), 10, "sampling without replacement");
+        let mut shuffled = items.clone();
+        shuffled.shuffle(&mut rng);
+        let mut sorted = shuffled.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, items);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,8 @@
+//! Local stand-in for `serde` used because this build environment has no
+//! access to crates.io. It provides the `Serialize` / `Deserialize` derive
+//! names (as no-op derives) so `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Serialize, Deserialize}` compile unchanged. Runtime JSON
+//! output in this workspace goes through the `serde_json` shim's `Value`
+//! type and `json!` macro, which do not require these traits.
+
+pub use serde_derive::{Deserialize, Serialize};

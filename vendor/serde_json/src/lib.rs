@@ -1,0 +1,285 @@
+//! Local stand-in for `serde_json` used because this build environment has
+//! no access to crates.io. Implements the subset this workspace relies on:
+//! an owned [`Value`] tree, the [`json!`] constructor macro (flat objects /
+//! arrays with expression values), [`to_string_pretty`], and a [`Map`]
+//! alias. Values convert into the tree through `Into<Value>` rather than a
+//! `Serialize` trait; `From` impls cover the primitive, tuple, and
+//! collection shapes the experiment binaries emit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Key-value storage behind [`Value::Object`]. The real crate preserves
+/// insertion order; a `BTreeMap` gives deterministic (sorted) output, which
+/// is what the experiment artifacts need.
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// An owned JSON document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+/// Serialization error. The shim never fails, but call sites expect a
+/// `Result` they can `.expect()` on.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Pretty-prints a [`Value`] with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Compact single-line rendering.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(to_string_pretty(value)?.lines().map(str::trim_start).collect::<Vec<_>>().join(""))
+}
+
+/// Converts anything with an `Into<Value>` impl into a [`Value`].
+pub fn to_value<T: Into<Value>>(value: T) -> Result<Value, Error> {
+    Ok(value.into())
+}
+
+macro_rules! from_number {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(v as f64)
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::Number(*v as f64)
+            }
+        })*
+    };
+}
+from_number!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&bool> for Value {
+    fn from(v: &bool) -> Value {
+        Value::Bool(*v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Value {
+        Value::String((*v).to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl<A: Into<Value>, B: Into<Value>> From<(A, B)> for Value {
+    fn from((a, b): (A, B)) -> Value {
+        Value::Array(vec![a.into(), b.into()])
+    }
+}
+
+impl<A: Into<Value>, B: Into<Value>, C: Into<Value>> From<(A, B, C)> for Value {
+    fn from((a, b, c): (A, B, C)) -> Value {
+        Value::Array(vec![a.into(), b.into(), c.into()])
+    }
+}
+
+impl<A: Into<Value>, B: Into<Value>, C: Into<Value>, D: Into<Value>> From<(A, B, C, D)> for Value {
+    fn from((a, b, c, d): (A, B, C, D)) -> Value {
+        Value::Array(vec![a.into(), b.into(), c.into(), d.into()])
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(m: Map<String, Value>) -> Value {
+        Value::Object(m)
+    }
+}
+
+/// Builds a [`Value`] from a flat object / array literal. Values are
+/// arbitrary expressions convertible into `Value`; nest by passing another
+/// `json!(...)` invocation as the value expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map: $crate::Map<String, $crate::Value> = $crate::Map::new();
+        $(map.insert($key.to_string(), $crate::Value::from($val));)*
+        $crate::Value::Object(map)
+    }};
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::Value::from($val)),*])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_sorted_objects() {
+        let v = json!({ "b": 2, "a": json!([1, 2.5, true]), "s": "x\"y" });
+        let s = to_string_pretty(&v).expect("infallible");
+        assert!(s.starts_with("{\n  \"a\""), "{s}");
+        assert!(s.contains("2.5"));
+        assert!(s.contains("\\\""));
+    }
+
+    #[test]
+    fn integers_render_without_decimal_point() {
+        let s = to_string_pretty(&json!({ "n": 3u64 })).expect("infallible");
+        assert!(s.contains(": 3"), "{s}");
+        assert!(!s.contains("3.0"), "{s}");
+    }
+
+    #[test]
+    fn tuples_and_vecs_nest() {
+        let daily: Vec<(u64, usize)> = vec![(1, 10), (2, 20)];
+        let v = json!({ "daily": daily });
+        let s = to_string(&v).expect("infallible");
+        assert_eq!(s, r#"{"daily": [[1,10],[2,20]]}"#);
+    }
+}
