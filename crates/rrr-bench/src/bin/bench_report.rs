@@ -3,6 +3,9 @@
 //! trajectory has machine-readable data points.
 //!
 //! Ops:
+//! - `observe` / `observe_batch` at 1×/4×/16× update volume (one synthetic
+//!   round ingested per iteration, window drained between iterations so
+//!   only ingestion is timed), batch serial vs all host cores;
 //! - `close_bgp_window` at 1×/4×/16× corpus scale (synthetic ⟨prefix, AS
 //!   path⟩ groups; one observe round + one window close per iteration),
 //!   serial (1 thread) vs all host cores;
@@ -11,16 +14,27 @@
 //! - `plan_refresh` — §4.3.1 refresh planning over an accumulated signal
 //!   log (single-threaded by design).
 //!
-//! Speedups are relative to the serial run of the same op/scale. On a
-//! single-core host every speedup is ≈ 1×; the interesting numbers come
-//! from multi-core CI hardware.
+//! Speedups are relative to the serial run of the same op/scale
+//! (`observe_batch` is relative to per-update `observe`). On a single-core
+//! host every speedup is ≈ 1×; the interesting numbers come from
+//! multi-core CI hardware.
+//!
+//! `--quick` runs a short-measurement, scale-1 smoke pass. Both modes
+//! verify the written report covers every expected op and exit nonzero
+//! otherwise, so CI catches a silently dropped benchmark.
 
-use criterion::Criterion;
+use criterion::{BatchSize, Criterion};
 use rrr_bench::pipeline::{synth_bgp_monitors, synth_round};
 use rrr_bench::{World, WorldConfig};
 use rrr_core::DetectorConfig;
 use rrr_types::{Timestamp, Window};
+use std::cell::RefCell;
 use std::time::Duration;
+
+/// Every op a complete report must contain; the post-write check fails the
+/// run if any is absent from `BENCH_pipeline.json`.
+const EXPECTED_OPS: &[&str] =
+    &["observe", "observe_batch", "close_bgp_window", "detector_step_one_round", "plan_refresh"];
 
 struct Row {
     op: &'static str,
@@ -28,6 +42,38 @@ struct Row {
     threads: usize,
     ns_per_iter: f64,
     speedup: f64,
+}
+
+/// Times ingestion of one synthetic round. Between iterations (untimed)
+/// the open window is closed so window-sample state doesn't accumulate
+/// across samples; `batch` selects [`rrr_core::bgp_monitors::BgpMonitors::observe_batch`]
+/// over the per-update serial loop.
+fn measure_observe(c: &mut Criterion, scale: usize, threads: usize, batch: bool) -> f64 {
+    let mut m = synth_bgp_monitors(scale);
+    m.set_threads(threads);
+    let m = RefCell::new(m);
+    let round = RefCell::new(0u64);
+    c.measure(|b| {
+        b.iter_batched(
+            || {
+                let mut r = round.borrow_mut();
+                *r += 1;
+                let _ = m.borrow_mut().close_window(Window(*r), Timestamp(*r * 900), &|_, _| true);
+                synth_round(scale, *r)
+            },
+            |updates| {
+                let mut m = m.borrow_mut();
+                if batch {
+                    m.observe_batch(&updates);
+                } else {
+                    for u in &updates {
+                        m.observe(u);
+                    }
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    })
 }
 
 fn measure_close(c: &mut Criterion, scale: usize, threads: usize) -> f64 {
@@ -88,11 +134,38 @@ fn measure_plan_refresh(c: &mut Criterion) -> f64 {
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let mut c = Criterion::default().measurement_time(Duration::from_millis(400));
+    let measurement = Duration::from_millis(if quick { 60 } else { 400 });
+    let mut c = Criterion::default().measurement_time(measurement);
     let mut rows: Vec<Row> = Vec::new();
+    let scales: &[usize] = if quick { &[1] } else { &[1, 4, 16] };
 
-    for &scale in &[1usize, 4, 16] {
+    for &scale in scales {
+        let serial = measure_observe(&mut c, scale, 1, false);
+        rows.push(Row { op: "observe", scale, threads: 1, ns_per_iter: serial, speedup: 1.0 });
+        let batch1 = measure_observe(&mut c, scale, 1, true);
+        rows.push(Row {
+            op: "observe_batch",
+            scale,
+            threads: 1,
+            ns_per_iter: batch1,
+            speedup: serial / batch1,
+        });
+        if host_threads > 1 {
+            let par = measure_observe(&mut c, scale, host_threads, true);
+            rows.push(Row {
+                op: "observe_batch",
+                scale,
+                threads: host_threads,
+                ns_per_iter: par,
+                speedup: serial / par,
+            });
+        }
+        eprintln!("observe/observe_batch {scale}x done");
+    }
+
+    for &scale in scales {
         let serial = measure_close(&mut c, scale, 1);
         rows.push(Row {
             op: "close_bgp_window",
@@ -164,4 +237,14 @@ fn main() {
         );
     }
     println!("\n[report saved to BENCH_pipeline.json]");
+
+    // Self-check against the file as written, not the in-memory rows (the
+    // vendored serde_json has no parser, so match the serialized op keys).
+    let written = std::fs::read_to_string("BENCH_pipeline.json").expect("read report back");
+    let missing: Vec<&&str> =
+        EXPECTED_OPS.iter().filter(|op| !written.contains(&format!("\"op\": \"{op}\""))).collect();
+    if !missing.is_empty() {
+        eprintln!("BENCH_pipeline.json is missing expected ops: {missing:?}");
+        std::process::exit(1);
+    }
 }

@@ -3,18 +3,52 @@
 //!
 //! All three share a per-(destination prefix, traceroute AS path) monitor
 //! group, registered when a corpus traceroute is inserted. The engine feeds
-//! updates one at a time ([`BgpMonitors::observe`]); at the end of each
-//! 15-minute window ([`BgpMonitors::close_window`]) the time series advance
-//! and signals fire.
+//! updates either one at a time ([`BgpMonitors::observe`]) or in batches
+//! ([`BgpMonitors::observe_batch`]); at the end of each 15-minute window
+//! ([`BgpMonitors::close_window`]) the time series advance and signals fire.
+//!
+//! Ingestion state is partitioned into [`NUM_SHARDS`] prefix shards, each
+//! owning its slice of the RIB mirror, the open-window sample log, and the
+//! intern arenas for AS paths and community sets. A shard is fully
+//! determined by an update's prefix, and monitor groups are read-only while
+//! updates flow, so [`BgpMonitors::observe_batch`] can fan shards across
+//! scoped worker threads without locks and still produce bit-identical
+//! state to the serial loop.
 
 use crate::signal::{KeyInterner, SignalKey, SignalScope, StalenessSignal, Technique};
 use rrr_anomaly::{BitmapDetector, MonitoredSeries, SeriesVerdict};
 use rrr_types::{
-    community, AsPath, Asn, BgpElem, BgpUpdate, Community, Prefix, Timestamp, TracerouteId, VpId,
-    Window,
+    community, Arena, ArenaId, AsPath, Asn, BgpElem, BgpUpdate, Community, Prefix, Timestamp,
+    TracerouteId, VpId, Window,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
+
+/// Interned handle for a (stripped) AS path within one shard's arena.
+type PathId = ArenaId<AsPath>;
+/// Interned handle for a community set within one shard's arena.
+type CommsId = ArenaId<Vec<Community>>;
+
+/// Number of ingestion shards. Fixed (not tied to the worker count) so the
+/// sharded state layout — and therefore every id comparison — is identical
+/// at any thread count.
+const NUM_SHARDS: usize = 32;
+
+/// Batches smaller than this are fed serially even when workers are
+/// configured: thread spawn overhead would dominate.
+const MIN_PAR_UPDATES: usize = 256;
+
+/// The shard owning a prefix: a fixed multiplicative hash, deterministic
+/// across runs (unlike `HashMap`'s seeded hasher).
+#[inline]
+fn shard_of(prefix: Prefix) -> usize {
+    let h = prefix
+        .network()
+        .value()
+        .wrapping_mul(0x9E37_79B1)
+        .wrapping_add(u32::from(prefix.len()).wrapping_mul(0x85EB_CA77));
+    (h >> 27) as usize % NUM_SHARDS
+}
 
 /// A monitor group key: one destination prefix and one traceroute AS path.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -79,17 +113,63 @@ struct Group {
     aspath: Vec<AsPathJ>,
     bursts: Vec<BurstJ>,
     comm: CommState,
-    /// Pending community-change signals collected during the open window.
-    pending_comm: Vec<(Vec<Community>, usize)>,
+    /// Pending community-change signals for the open window, folded in from
+    /// the owning shard when the window closes.
+    pending_comm: Vec<Vec<Community>>,
 }
 
-/// Per-(vp, prefix) samples observed in the open window.
+/// Per-(vp, prefix) samples observed in the open window: the standing path
+/// at window start plus each update's path, run-length encoded over
+/// interned path ids (`None` = withdrawn/absent). Identical consecutive
+/// announcements — the dominant §4.1.4 duplicate load — collapse into one
+/// run, so window memory stays proportional to path *changes*, and the
+/// window-close scan evaluates each distinct run once.
 #[derive(Debug, Default, Clone)]
 struct WindowSamples {
-    /// AS paths: the standing path at window start plus each update's path.
-    paths: Vec<Option<AsPath>>,
+    runs: Vec<(Option<PathId>, u32)>,
     /// Number of duplicate announcements.
     duplicates: u32,
+}
+
+impl WindowSamples {
+    fn starting(path: Option<PathId>) -> Self {
+        WindowSamples { runs: vec![(path, 1)], duplicates: 0 }
+    }
+
+    fn push(&mut self, path: Option<PathId>) {
+        match self.runs.last_mut() {
+            Some((p, n)) if *p == path => *n += 1,
+            _ => self.runs.push((path, 1)),
+        }
+    }
+}
+
+/// One ingestion shard: the slice of mutable per-update state owned by the
+/// prefixes hashing to it. Everything [`BgpMonitors::observe`] writes lives
+/// here, and every cross-vantage-point read during ingestion (§4.1.3's
+/// guard 2, duplicate detection) stays within the update's own prefix —
+/// hence within one shard — so shards never contend.
+#[derive(Debug, Default)]
+struct IngestShard {
+    /// RIB mirror partition: interned (path, communities) per (vp, prefix).
+    rib: HashMap<(VpId, Prefix), (PathId, CommsId)>,
+    /// Open-window sample partition.
+    window: HashMap<(VpId, Prefix), WindowSamples>,
+    /// Arena for stripped AS paths announced toward this shard's prefixes.
+    paths: Arena<AsPath>,
+    /// Arena for community sets.
+    comms: Arena<Vec<Community>>,
+    /// §4.1.3 changes detected during the open window, per group, in
+    /// arrival order; drained into `Group::pending_comm` at window close.
+    pending_comm: HashMap<GroupKey, Vec<Vec<Community>>>,
+    /// Reusable stripping buffer.
+    strip_scratch: AsPath,
+}
+
+impl IngestShard {
+    fn rib_resolved(&self, vp: VpId, prefix: Prefix) -> Option<(&AsPath, &Vec<Community>)> {
+        self.rib.get(&(vp, prefix)).map(|&(p, c)| (self.paths.get(p), self.comms.get(c)))
+    }
 }
 
 /// A request to revoke previous assertions of a monitor (§4.3.2).
@@ -105,10 +185,8 @@ pub struct BgpMonitors {
     groups: BTreeMap<GroupKey, Group>,
     /// Groups indexed by destination prefix for update routing.
     by_prefix: HashMap<Prefix, Vec<GroupKey>>,
-    /// Current RIB mirror per (vp, prefix).
-    rib: HashMap<(VpId, Prefix), (AsPath, Vec<Community>)>,
-    /// Samples accumulated in the open window.
-    window: HashMap<(VpId, Prefix), WindowSamples>,
+    /// Sharded per-update state: RIB mirror, window samples, intern arenas.
+    shards: Vec<IngestShard>,
     /// ASNs to strip from AS paths before any comparison (IXP route
     /// servers, §4.1.1).
     strip_asns: Vec<Asn>,
@@ -119,10 +197,9 @@ pub struct BgpMonitors {
     /// Reverse index: the groups each corpus traceroute registered into,
     /// so `unregister` touches only those groups.
     groups_of: HashMap<TracerouteId, Vec<GroupKey>>,
-    /// Worker threads for `close_window` (≤ 1 selects the serial path).
+    /// Worker threads for `observe_batch` / `close_window` (≤ 1 selects
+    /// the serial path).
     threads: usize,
-    /// Reusable stripping buffer for `observe`.
-    strip_scratch: AsPath,
 }
 
 impl BgpMonitors {
@@ -135,21 +212,20 @@ impl BgpMonitors {
         BgpMonitors {
             groups: BTreeMap::new(),
             by_prefix: HashMap::new(),
-            rib: HashMap::new(),
-            window: HashMap::new(),
+            shards: (0..NUM_SHARDS).map(|_| IngestShard::default()).collect(),
             strip_asns,
             detector,
             absorb_outliers,
             interner: KeyInterner::new(),
             groups_of: HashMap::new(),
             threads: 1,
-            strip_scratch: AsPath(Vec::new()),
         }
     }
 
-    /// Sets the worker count for [`BgpMonitors::close_window`]. Values
-    /// ≤ 1 select the serial path; the emitted signal stream is identical
-    /// at any thread count.
+    /// Sets the worker count for [`BgpMonitors::observe_batch`] and
+    /// [`BgpMonitors::close_window`]. Values ≤ 1 select the serial paths;
+    /// the emitted signal stream and all internal state are identical at
+    /// any thread count.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
     }
@@ -163,16 +239,20 @@ impl BgpMonitors {
     pub fn init_rib(&mut self, rib: &[BgpUpdate]) {
         for u in rib {
             if let BgpElem::Announce { path, communities } = &u.elem {
-                self.rib.insert(
-                    (u.vp, u.prefix),
-                    (path.stripped(&self.strip_asns), communities.clone()),
-                );
+                let shard = &mut self.shards[shard_of(u.prefix)];
+                let mut stripped = std::mem::take(&mut shard.strip_scratch);
+                path.stripped_into(&self.strip_asns, &mut stripped);
+                let pid = shard.paths.intern(&stripped);
+                shard.strip_scratch = stripped;
+                let cid = shard.comms.intern(communities);
+                shard.rib.insert((u.vp, u.prefix), (pid, cid));
             }
         }
     }
 
     fn current_path(&self, vp: VpId, prefix: Prefix) -> Option<&AsPath> {
-        self.rib.get(&(vp, prefix)).map(|(p, _)| p)
+        let shard = &self.shards[shard_of(prefix)];
+        shard.rib.get(&(vp, prefix)).map(|&(p, _)| shard.paths.get(p))
     }
 
     /// Registers monitors for one corpus traceroute, returning the keys of
@@ -354,91 +434,109 @@ impl BgpMonitors {
     /// Communities relevant to a traceroute on a VP's current route: those
     /// defined by ASes on the traceroute path.
     fn tau_communities(&self, vp: VpId, prefix: Prefix, as_path: &[Asn]) -> BTreeSet<Community> {
-        match self.rib.get(&(vp, prefix)) {
-            Some((_, comms)) => {
-                comms.iter().filter(|c| as_path.contains(&c.asn())).copied().collect()
-            }
+        let shard = &self.shards[shard_of(prefix)];
+        match shard.rib.get(&(vp, prefix)) {
+            Some(&(_, cid)) => shard
+                .comms
+                .get(cid)
+                .iter()
+                .filter(|c| as_path.contains(&c.asn()))
+                .copied()
+                .collect(),
             None => BTreeSet::new(),
         }
     }
 
     /// Feeds one update into the open window.
     pub fn observe(&mut self, u: &BgpUpdate) {
-        // Only monitored prefixes matter.
-        if self.by_prefix.get(&u.prefix).is_none_or(|ks| ks.is_empty()) {
-            // Still mirror the RIB so later registrations see fresh state.
-            self.apply_to_rib(u);
-            return;
-        }
-
-        let old = self.rib.get(&(u.vp, u.prefix)).cloned();
-
-        match &u.elem {
-            BgpElem::Announce { path, communities } => {
-                // Strip once per update into the reusable scratch buffer;
-                // owned copies are made only where the path is stored.
-                let mut stripped = std::mem::take(&mut self.strip_scratch);
-                path.stripped_into(&self.strip_asns, &mut stripped);
-
-                let entry = self.window.entry((u.vp, u.prefix)).or_insert_with(|| WindowSamples {
-                    paths: vec![old.as_ref().map(|(p, _)| p.clone())],
-                    duplicates: 0,
-                });
-                entry.paths.push(Some(stripped.clone()));
-                if let Some((op, oc)) = &old {
-                    if *op == stripped && *oc == *communities {
-                        entry.duplicates += 1;
-                    }
-                }
-
-                // §4.1.3: community change detection per group. Routing
-                // through disjoint field borrows avoids cloning the
-                // per-prefix group-key list on every update.
-                if let Some(gks) = self.by_prefix.get(&u.prefix) {
-                    for gk in gks {
-                        detect_comm_change(
-                            &mut self.groups,
-                            &self.rib,
-                            gk,
-                            u.vp,
-                            old.as_ref(),
-                            &stripped,
-                            communities,
-                        );
-                    }
-                }
-
-                self.rib.insert((u.vp, u.prefix), (stripped.clone(), communities.clone()));
-                self.strip_scratch = stripped; // hand the buffer back
-            }
-            BgpElem::Withdraw => {
-                let entry = self.window.entry((u.vp, u.prefix)).or_insert_with(|| WindowSamples {
-                    paths: vec![old.as_ref().map(|(p, _)| p.clone())],
-                    duplicates: 0,
-                });
-                entry.paths.push(None);
-                self.rib.remove(&(u.vp, u.prefix));
-            }
-        }
+        shard_observe(
+            &mut self.shards[shard_of(u.prefix)],
+            &self.groups,
+            &self.by_prefix,
+            &self.strip_asns,
+            u,
+        );
     }
 
-    fn apply_to_rib(&mut self, u: &BgpUpdate) {
-        match &u.elem {
-            BgpElem::Announce { path, communities } => {
-                self.rib.insert(
-                    (u.vp, u.prefix),
-                    (path.stripped(&self.strip_asns), communities.clone()),
-                );
+    /// Feeds a batch of updates, partitioned by prefix shard across the
+    /// configured worker threads. Per-shard update order follows batch
+    /// order, all state an update touches lives in its prefix's shard, and
+    /// monitor groups are read-only during ingestion — so the resulting
+    /// RIB mirror, window samples, and pending signals are bit-identical
+    /// to feeding the same slice through [`BgpMonitors::observe`] one
+    /// update at a time, at any thread count.
+    pub fn observe_batch(&mut self, updates: &[BgpUpdate]) {
+        if self.threads <= 1 || updates.len() < MIN_PAR_UPDATES {
+            for u in updates {
+                self.observe(u);
             }
-            BgpElem::Withdraw => {
-                self.rib.remove(&(u.vp, u.prefix));
-            }
+            return;
         }
+        let mut buckets: Vec<Vec<&BgpUpdate>> = (0..NUM_SHARDS).map(|_| Vec::new()).collect();
+        for u in updates {
+            buckets[shard_of(u.prefix)].push(u);
+        }
+        let groups = &self.groups;
+        let by_prefix = &self.by_prefix;
+        let strip_asns = &self.strip_asns;
+        let per = NUM_SHARDS.div_ceil(self.threads.min(NUM_SHARDS));
+        std::thread::scope(|s| {
+            for (shard_chunk, bucket_chunk) in self.shards.chunks_mut(per).zip(buckets.chunks(per))
+            {
+                if bucket_chunk.iter().all(|b| b.is_empty()) {
+                    continue;
+                }
+                s.spawn(move || {
+                    for (shard, bucket) in shard_chunk.iter_mut().zip(bucket_chunk) {
+                        for u in bucket {
+                            shard_observe(shard, groups, by_prefix, strip_asns, u);
+                        }
+                    }
+                });
+            }
+        });
     }
 
     /// Number of distinct interned signal keys (for tests/stats).
     pub fn interned_keys(&self) -> usize {
         self.interner.len()
+    }
+
+    /// Number of distinct interned AS paths across all shard arenas
+    /// (for tests/stats).
+    pub fn interned_paths(&self) -> usize {
+        self.shards.iter().map(|s| s.paths.len()).sum()
+    }
+
+    /// Test/diagnostic view of the RIB mirror with interned handles
+    /// resolved to owned values.
+    pub fn rib_snapshot(&self) -> BTreeMap<(VpId, Prefix), (AsPath, Vec<Community>)> {
+        let mut out = BTreeMap::new();
+        for shard in &self.shards {
+            for (&k, &(pid, cid)) in &shard.rib {
+                out.insert(k, (shard.paths.get(pid).clone(), shard.comms.get(cid).clone()));
+            }
+        }
+        out
+    }
+
+    /// Test/diagnostic view of the open window: run-length-expanded sample
+    /// paths and duplicate counts per (vp, prefix).
+    #[allow(clippy::type_complexity)]
+    pub fn window_snapshot(&self) -> BTreeMap<(VpId, Prefix), (Vec<Option<AsPath>>, u32)> {
+        let mut out = BTreeMap::new();
+        for shard in &self.shards {
+            for (&k, ws) in &shard.window {
+                let mut paths = Vec::new();
+                for &(pid, n) in &ws.runs {
+                    for _ in 0..n {
+                        paths.push(pid.map(|p| shard.paths.get(p).clone()));
+                    }
+                }
+                out.insert(k, (paths, ws.duplicates));
+            }
+        }
+        out
     }
 
     /// Closes the current window: advances all series, emits signals and
@@ -456,12 +554,24 @@ impl BgpMonitors {
         time: Timestamp,
         comm_allowed: &(dyn Fn(Community, Prefix) -> bool + Sync),
     ) -> (Vec<StalenessSignal>, Vec<RevokeEvent>) {
-        let window_samples = std::mem::take(&mut self.window);
+        // Fold the shards' pending §4.1.3 changes into their groups. Each
+        // group is owned by exactly one shard (its prefix's), so per-group
+        // ordering is the shard's arrival order regardless of how the
+        // shard maps iterate.
+        for shard in &mut self.shards {
+            for (gk, items) in shard.pending_comm.drain() {
+                if let Some(g) = self.groups.get_mut(&gk) {
+                    g.pending_comm.extend(items);
+                }
+            }
+        }
+        let window_samples: Vec<HashMap<(VpId, Prefix), WindowSamples>> =
+            self.shards.iter_mut().map(|s| std::mem::take(&mut s.window)).collect();
         let ctx = CloseCtx {
             window,
             time,
             det: self.detector,
-            rib: &self.rib,
+            shards: &self.shards,
             samples: &window_samples,
             comm_allowed,
         };
@@ -515,73 +625,162 @@ impl BgpMonitors {
     }
 }
 
-/// §4.1.3 edge detection for one update against one group. A free function
-/// over split-out fields so `observe` can route one update to many groups
-/// without cloning the per-prefix group-key list.
+/// Per-update ingestion core, operating on the update's prefix shard. The
+/// serial [`BgpMonitors::observe`] and sharded [`BgpMonitors::observe_batch`]
+/// paths both funnel through this function; it only writes shard-owned
+/// state and only reads the (frozen-during-ingestion) monitor groups, which
+/// is what makes the batch path embarrassingly parallel.
+fn shard_observe(
+    shard: &mut IngestShard,
+    groups: &BTreeMap<GroupKey, Group>,
+    by_prefix: &HashMap<Prefix, Vec<GroupKey>>,
+    strip_asns: &[Asn],
+    u: &BgpUpdate,
+) {
+    let gks = by_prefix.get(&u.prefix).map(Vec::as_slice).unwrap_or(&[]);
+    let monitored = !gks.is_empty();
+    let old = shard.rib.get(&(u.vp, u.prefix)).copied();
+
+    match &u.elem {
+        BgpElem::Announce { path, communities } => {
+            // Strip once per update into the shard's reusable scratch
+            // buffer; interning clones only the first occurrence of a
+            // distinct path or community set.
+            let mut stripped = std::mem::take(&mut shard.strip_scratch);
+            path.stripped_into(strip_asns, &mut stripped);
+            let pid = shard.paths.intern(&stripped);
+            shard.strip_scratch = stripped; // hand the buffer back
+            let cid = shard.comms.intern(communities);
+
+            if monitored {
+                let entry = shard
+                    .window
+                    .entry((u.vp, u.prefix))
+                    .or_insert_with(|| WindowSamples::starting(old.map(|(p, _)| p)));
+                entry.push(Some(pid));
+                // Duplicate announcement (§4.1.4): same interned path and
+                // community-set ids as the standing route — two integer
+                // comparisons instead of deep vector equality.
+                if old == Some((pid, cid)) {
+                    entry.duplicates += 1;
+                }
+
+                // §4.1.3: community change detection per group.
+                for gk in gks {
+                    detect_comm_change(shard, groups, gk, u.vp, old, pid, cid);
+                }
+            }
+            shard.rib.insert((u.vp, u.prefix), (pid, cid));
+        }
+        BgpElem::Withdraw => {
+            if monitored {
+                let entry = shard
+                    .window
+                    .entry((u.vp, u.prefix))
+                    .or_insert_with(|| WindowSamples::starting(old.map(|(p, _)| p)));
+                entry.push(None);
+            }
+            shard.rib.remove(&(u.vp, u.prefix));
+        }
+    }
+}
+
+/// §4.1.3 edge detection for one update against one group. Reads the
+/// shard's pre-update RIB partition and the group's registration-time
+/// state, and records changes into the shard's pending buffer — the group
+/// itself is untouched, keeping ingestion lock-free across shards.
 fn detect_comm_change(
-    groups: &mut BTreeMap<GroupKey, Group>,
-    rib: &HashMap<(VpId, Prefix), (AsPath, Vec<Community>)>,
+    shard: &mut IngestShard,
+    groups: &BTreeMap<GroupKey, Group>,
     gk: &GroupKey,
     vp: VpId,
-    old: Option<&(AsPath, Vec<Community>)>,
-    new_path: &AsPath,
-    new_comms: &[Community],
+    old: Option<(PathId, CommsId)>,
+    new_path: PathId,
+    new_comms: CommsId,
 ) {
-    // Gather cross-VP community view before mutating the group (guard 2).
-    let others_have: HashSet<Community> = {
-        let g = &groups[gk];
-        let mut set = HashSet::new();
-        for &ovp in &g.comm.vps {
-            if ovp == vp {
-                continue;
-            }
-            if let Some((_, oc)) = rib.get(&(ovp, gk.dst_prefix)) {
-                set.extend(oc.iter().copied());
-            }
-        }
-        set
-    };
-
-    let g = groups.get_mut(gk).expect("group exists");
+    let g = &groups[gk];
     if !g.comm.vps.contains(&vp) {
         return;
     }
     let Some((old_path, old_comms)) = old else { return };
+    let old_comms = shard.comms.get(old_comms);
+    let new_comms = shard.comms.get(new_comms);
     // The VP must still overlap a suffix of the traceroute.
-    let Some(j) = new_path.first_intersection(&g.key.as_path) else { return };
-    if !new_path.suffix_matches(&g.key.as_path, j) {
+    let resolved = shard.paths.get(new_path);
+    let Some(j) = resolved.first_intersection(&g.key.as_path) else { return };
+    if !resolved.suffix_matches(&g.key.as_path, j) {
         return;
     }
 
     // Guard 1: all-or-nothing community transitions only count when the
-    // AS path is unchanged (stripping artifacts, §4.1.3).
+    // AS path is unchanged (stripping artifacts, §4.1.3). Interned ids
+    // make the path comparison an integer equality.
     let had = !old_comms.is_empty();
     let has = !new_comms.is_empty();
     if had != has && old_path != new_path {
         return;
     }
 
-    let mut changed: Vec<Community> = Vec::new();
+    let mut added_all: Vec<Community> = Vec::new();
+    let mut removed_all: Vec<Community> = Vec::new();
     for &a_j in &g.key.as_path {
         let (added, removed) = community::diff_for_asn(old_comms, new_comms, a_j);
-        // Guard 2: an "added" community already visible on another
-        // overlapping VP's path is not a new signal.
-        changed.extend(added.into_iter().filter(|c| !others_have.contains(c)));
-        changed.extend(removed);
+        added_all.extend(added);
+        removed_all.extend(removed);
     }
+    if added_all.is_empty() && removed_all.is_empty() {
+        return;
+    }
+
+    // Guard 2: an "added" community already visible on another overlapping
+    // VP's path is not a new signal. The cross-VP view only consults this
+    // prefix's RIB entries — all shard-local — and is built only once a
+    // candidate change exists, not on every update.
+    if !added_all.is_empty() {
+        let mut others_have: HashSet<Community> = HashSet::new();
+        for &ovp in &g.comm.vps {
+            if ovp == vp {
+                continue;
+            }
+            if let Some(&(_, oc)) = shard.rib.get(&(ovp, gk.dst_prefix)) {
+                others_have.extend(shard.comms.get(oc).iter().copied());
+            }
+        }
+        added_all.retain(|c| !others_have.contains(c));
+    }
+
+    let mut changed = added_all;
+    changed.extend(removed_all);
     if !changed.is_empty() {
-        g.pending_comm.push((changed, 0));
+        shard.pending_comm.entry(gk.clone()).or_default().push(changed);
     }
 }
 
-/// Read-only context shared by every shard while one window closes.
+/// Read-only context shared by every worker while one window closes.
+/// Lookups route through the prefix-shard layout: the RIB mirror and the
+/// taken window samples are both per-shard, and interned path ids resolve
+/// against the owning shard's arena.
 struct CloseCtx<'a> {
     window: Window,
     time: Timestamp,
     det: BitmapDetector,
-    rib: &'a HashMap<(VpId, Prefix), (AsPath, Vec<Community>)>,
-    samples: &'a HashMap<(VpId, Prefix), WindowSamples>,
+    shards: &'a [IngestShard],
+    samples: &'a [HashMap<(VpId, Prefix), WindowSamples>],
     comm_allowed: &'a (dyn Fn(Community, Prefix) -> bool + Sync),
+}
+
+impl CloseCtx<'_> {
+    fn rib(&self, vp: VpId, prefix: Prefix) -> Option<(&AsPath, &Vec<Community>)> {
+        self.shards[shard_of(prefix)].rib_resolved(vp, prefix)
+    }
+
+    fn samples(&self, vp: VpId, prefix: Prefix) -> Option<&WindowSamples> {
+        self.samples[shard_of(prefix)].get(&(vp, prefix))
+    }
+
+    fn path(&self, prefix: Prefix, id: PathId) -> &AsPath {
+        self.shards[shard_of(prefix)].paths.get(id)
+    }
 }
 
 /// Advances every series of one monitor group for the closing window,
@@ -604,20 +803,28 @@ fn close_group(
         let mut intersect = 0u32;
         let mut matched = 0u32;
         {
-            let mut scan = |p: &AsPath| {
+            // One evaluation per RLE run: identical consecutive samples
+            // contribute their run length without re-walking the path.
+            let mut scan = |p: &AsPath, n: u32| {
                 if p.first_intersection(tau) == Some(m.j) {
-                    intersect += 1;
+                    intersect += n;
                     if p.suffix_matches(tau, m.j) {
-                        matched += 1;
+                        matched += n;
                     }
                 }
             };
             for &vp in &m.vps0 {
-                match ctx.samples.get(&(vp, dst)) {
-                    Some(ws) => ws.paths.iter().flatten().for_each(&mut scan),
+                match ctx.samples(vp, dst) {
+                    Some(ws) => {
+                        for &(pid, n) in &ws.runs {
+                            if let Some(pid) = pid {
+                                scan(ctx.path(dst, pid), n);
+                            }
+                        }
+                    }
                     None => {
-                        if let Some((p, _)) = ctx.rib.get(&(vp, dst)) {
-                            scan(p);
+                        if let Some((p, _)) = ctx.rib(vp, dst) {
+                            scan(p, 1);
                         }
                     }
                 }
@@ -653,8 +860,7 @@ fn close_group(
 
     // --- §4.1.4 duplicate bursts ---
     for b in &mut g.bursts {
-        let dups_of =
-            |vp: VpId| -> u32 { ctx.samples.get(&(vp, dst)).map(|w| w.duplicates).unwrap_or(0) };
+        let dups_of = |vp: VpId| -> u32 { ctx.samples(vp, dst).map(|w| w.duplicates).unwrap_or(0) };
         let u_val = b.v0.iter().filter(|vp| dups_of(**vp) > 0).count() as f64;
         let u_verdict = b.u_series.push(Some(u_val), &ctx.det);
 
@@ -706,7 +912,7 @@ fn close_group(
     // --- §4.1.3 community changes ---
     let pending = std::mem::take(&mut g.pending_comm);
     let mut fired_comms: Vec<Community> = Vec::new();
-    for (comms, _) in pending {
+    for comms in pending {
         let allowed: Vec<Community> =
             comms.into_iter().filter(|c| (ctx.comm_allowed)(*c, dst)).collect();
         fired_comms.extend(allowed);
@@ -727,7 +933,7 @@ fn close_group(
         // Revocation: every overlapping VP's τ-scoped community set matches
         // the reference again.
         let reverted = g.comm.reference.iter().all(|(&vp, reference)| {
-            let now: BTreeSet<Community> = match ctx.rib.get(&(vp, dst)) {
+            let now: BTreeSet<Community> = match ctx.rib(vp, dst) {
                 Some((_, comms)) => {
                     comms.iter().filter(|c| tau.contains(&c.asn())).copied().collect()
                 }

@@ -150,17 +150,24 @@ impl Corpus {
         Some(id)
     }
 
-    /// Removes an entry and cleans indices.
+    /// Removes an entry and cleans indices. Index entries whose vectors
+    /// drain are removed outright, so long-running corpus churn doesn't
+    /// leak dead prefix/ASN keys.
     pub fn remove(&mut self, id: TracerouteId) -> Option<CorpusEntry> {
         let e = self.entries.remove(&id)?;
-        if let Some(v) =
-            self.by_dst_prefix.get_mut(&e.dst_prefix.unwrap_or(Prefix::new(e.traceroute.dst, 32)))
-        {
+        let pfx = e.dst_prefix.unwrap_or(Prefix::new(e.traceroute.dst, 32));
+        if let Some(v) = self.by_dst_prefix.get_mut(&pfx) {
             v.retain(|x| *x != id);
+            if v.is_empty() {
+                self.by_dst_prefix.remove(&pfx);
+            }
         }
         for a in &e.as_path {
             if let Some(v) = self.by_asn.get_mut(a) {
                 v.retain(|x| *x != id);
+                if v.is_empty() {
+                    self.by_asn.remove(a);
+                }
             }
         }
         if self.by_pair.get(&(e.traceroute.src, e.traceroute.dst)) == Some(&id) {
@@ -266,6 +273,19 @@ mod tests {
         assert!(c.get(id2).is_some());
         // Index hygiene: AS 101 no longer references the removed entry.
         assert!(!c.by_asn.get(&Asn(101)).map(|v| v.contains(&id1)).unwrap_or(false));
+    }
+
+    #[test]
+    fn remove_drains_empty_index_entries() {
+        let mut c = Corpus::new();
+        let m = map();
+        let id = c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("ok");
+        assert!(!c.by_dst_prefix.is_empty());
+        assert!(!c.by_asn.is_empty());
+        c.remove(id);
+        // No dead keys left behind: churn must not leak index entries.
+        assert!(c.by_dst_prefix.is_empty(), "{:?}", c.by_dst_prefix);
+        assert!(c.by_asn.is_empty(), "{:?}", c.by_asn);
     }
 
     #[test]

@@ -210,12 +210,21 @@ impl StalenessDetector {
         let mut revokes: Vec<RevokeEvent> = Vec::new();
 
         // --- BGP stream, window by window ---
-        for u in bgp_updates {
-            let w = self.cfg.bgp_window.window_of(u.time);
+        // Updates are chunked into maximal same-window runs and fed through
+        // the sharded batch path; windows close between chunks exactly
+        // where the serial per-update loop would close them.
+        let mut i = 0;
+        while i < bgp_updates.len() {
+            let w = self.cfg.bgp_window.window_of(bgp_updates[i].time);
             while self.next_bgp_window < w {
                 self.close_bgp_window(&mut signals, &mut revokes);
             }
-            self.bgp.observe(u);
+            let mut j = i + 1;
+            while j < bgp_updates.len() && self.cfg.bgp_window.window_of(bgp_updates[j].time) == w {
+                j += 1;
+            }
+            self.bgp.observe_batch(&bgp_updates[i..j]);
+            i = j;
         }
         while self.cfg.bgp_window.bounds(self.next_bgp_window).1 <= now {
             self.close_bgp_window(&mut signals, &mut revokes);

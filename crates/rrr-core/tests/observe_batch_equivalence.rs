@@ -1,0 +1,232 @@
+//! Property-style equivalence: feeding an update stream through the
+//! sharded [`BgpMonitors::observe_batch`] at any thread count must leave
+//! the monitors in bit-identical state — RIB mirror, window samples, and
+//! emitted signal/revocation streams — to feeding the same stream through
+//! serial [`BgpMonitors::observe`] one update at a time.
+//!
+//! Streams mix announces (duplicate, path-deviating, origin-shifting, and
+//! community-shifting variants), withdraws, re-announces after withdraw,
+//! and updates for prefixes no monitor watches. Each window's batch is kept
+//! above the parallel cutoff so threads > 1 genuinely exercises the scoped
+//! worker path.
+
+use rrr_anomaly::BitmapDetector;
+use rrr_core::bgp_monitors::{BgpMonitors, RevokeEvent};
+use rrr_core::signal::StalenessSignal;
+use rrr_types::{
+    AsPath, Asn, BgpElem, BgpUpdate, Community, Ipv4, Prefix, Timestamp, TracerouteId, VpId, Window,
+};
+
+use proptest::prelude::*;
+
+const NUM_VPS: u32 = 4;
+const MONITORED: usize = 12;
+const TOTAL_PREFIXES: usize = 16; // indices >= MONITORED have no monitors
+const WINDOWS: usize = 6;
+/// Per-window batch size floor; must exceed the `observe_batch` serial
+/// cutoff (256) so threads > 1 takes the parallel path.
+const PER_WINDOW: usize = 260;
+
+fn prefix_of(i: usize) -> Prefix {
+    Prefix::new(Ipv4(0x0A00_0000 + ((i as u32) << 12)), 20)
+}
+
+fn origin_of(i: usize) -> u32 {
+    3000 + (i as u32 % 7)
+}
+
+fn transit_of(i: usize) -> u32 {
+    20 + (i as u32 % 5)
+}
+
+/// One generated update, in index form so the strategy stays cheap.
+#[derive(Debug, Clone, Copy)]
+struct Spec {
+    vp: u32,
+    prefix_idx: usize,
+    /// 0 = withdraw, otherwise announce with the path/community variants.
+    action: u8,
+    path_variant: usize,
+    comm_variant: usize,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (0..NUM_VPS, 0..TOTAL_PREFIXES, 0..6u8, 0..4usize, 0..3usize).prop_map(
+        |(vp, prefix_idx, action, path_variant, comm_variant)| Spec {
+            vp,
+            prefix_idx,
+            action,
+            path_variant,
+            comm_variant,
+        },
+    )
+}
+
+fn materialize(specs: &[Spec]) -> Vec<BgpUpdate> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(n, s)| {
+            let i = s.prefix_idx;
+            let elem = if s.action == 0 {
+                BgpElem::Withdraw
+            } else {
+                let path = match s.path_variant {
+                    // Matches the RIB seed → duplicate-update load.
+                    0 => vec![100 + s.vp, transit_of(i), origin_of(i)],
+                    // Deviates mid-path → AS-path ratio load.
+                    1 => vec![100 + s.vp, 7777, origin_of(i)],
+                    // Different origin.
+                    2 => vec![100 + s.vp, transit_of(i), 9999],
+                    // Prepended origin.
+                    _ => vec![100 + s.vp, transit_of(i), origin_of(i), origin_of(i)],
+                };
+                let communities = match s.comm_variant {
+                    0 => vec![Community::new(transit_of(i), 50_000 + s.vp)],
+                    1 => vec![Community::new(transit_of(i), 60_000)],
+                    _ => vec![],
+                };
+                BgpElem::Announce { path: AsPath::from_asns(path), communities }
+            };
+            BgpUpdate {
+                time: Timestamp(1000 + n as u64),
+                vp: VpId(s.vp),
+                prefix: prefix_of(i),
+                elem,
+            }
+        })
+        .collect()
+}
+
+/// Fresh monitors with a seeded RIB and one registered group per monitored
+/// prefix — every VP shares the monitored suffix, so each group carries the
+/// full §4.1 monitor set.
+fn build_monitors() -> BgpMonitors {
+    let vps: Vec<VpId> = (0..NUM_VPS).map(VpId).collect();
+    let mut m = BgpMonitors::new(vec![], BitmapDetector::spike());
+    let mut rib = Vec::new();
+    for i in 0..MONITORED {
+        for vp in 0..NUM_VPS {
+            rib.push(BgpUpdate {
+                time: Timestamp(0),
+                vp: VpId(vp),
+                prefix: prefix_of(i),
+                elem: BgpElem::Announce {
+                    path: AsPath::from_asns([100 + vp, transit_of(i), origin_of(i)]),
+                    communities: vec![Community::new(transit_of(i), 50_000 + vp)],
+                },
+            });
+        }
+    }
+    m.init_rib(&rib);
+    for i in 0..MONITORED {
+        let tau: Vec<Asn> = [10, transit_of(i), origin_of(i)].map(Asn).to_vec();
+        m.register(TracerouteId(i as u64), prefix_of(i), &tau, &vps);
+    }
+    m
+}
+
+/// Comparable projections — `score` via bit pattern so the claim stays
+/// "bit-identical", not "approximately equal".
+#[allow(clippy::type_complexity)]
+fn signal_repr(
+    s: &StalenessSignal,
+) -> (String, Timestamp, Window, u64, Vec<TracerouteId>, Vec<Community>) {
+    (
+        format!("{:?}", s.key),
+        s.time,
+        s.window,
+        s.score.to_bits(),
+        s.traceroutes.clone(),
+        s.trigger_communities.clone(),
+    )
+}
+
+fn revoke_repr(r: &RevokeEvent) -> (String, Vec<TracerouteId>) {
+    (format!("{:?}", r.key), r.traceroutes.clone())
+}
+
+/// Runs the windowed stream through one monitor instance; `batch: false`
+/// is the serial reference. Snapshots the RIB and open window after every
+/// window's ingest (pre-close), and accumulates the emitted streams.
+#[allow(clippy::type_complexity)]
+fn run(
+    updates: &[BgpUpdate],
+    threads: usize,
+    batch: bool,
+) -> (
+    Vec<String>,
+    Vec<(String, Timestamp, Window, u64, Vec<TracerouteId>, Vec<Community>)>,
+    Vec<(String, Vec<TracerouteId>)>,
+) {
+    let mut m = build_monitors();
+    m.set_threads(threads);
+    let mut snapshots = Vec::new();
+    let mut signals = Vec::new();
+    let mut revokes = Vec::new();
+    for (w, chunk) in updates.chunks(updates.len().div_ceil(WINDOWS)).enumerate() {
+        if batch {
+            m.observe_batch(chunk);
+        } else {
+            for u in chunk {
+                m.observe(u);
+            }
+        }
+        snapshots.push(format!("{:?} {:?}", m.rib_snapshot(), m.window_snapshot()));
+        let (s, r) =
+            m.close_window(Window(w as u64 + 1), Timestamp((w as u64 + 1) * 900), &|_, _| true);
+        signals.extend(s.iter().map(signal_repr));
+        revokes.extend(r.iter().map(revoke_repr));
+    }
+    (snapshots, signals, revokes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_ingestion_matches_serial(
+        specs in proptest::collection::vec(spec(), WINDOWS * PER_WINDOW..WINDOWS * PER_WINDOW + 240),
+    ) {
+        let updates = materialize(&specs);
+        let reference = run(&updates, 1, false);
+        for threads in [1usize, 2, 8] {
+            let got = run(&updates, threads, true);
+            prop_assert_eq!(&reference.0, &got.0, "snapshots diverged at threads={}", threads);
+            prop_assert_eq!(&reference.1, &got.1, "signals diverged at threads={}", threads);
+            prop_assert_eq!(&reference.2, &got.2, "revokes diverged at threads={}", threads);
+        }
+    }
+}
+
+/// Deterministic spot-check of the interleavings the property test covers
+/// statistically: withdraw → re-announce → duplicate → deviation on one
+/// monitored prefix, plus traffic on an unmonitored prefix, all above the
+/// parallel cutoff.
+#[test]
+fn withdraw_reannounce_duplicates_and_unmonitored() {
+    let mut specs = Vec::new();
+    for n in 0..WINDOWS * PER_WINDOW {
+        let vp = (n % NUM_VPS as usize) as u32;
+        specs.push(match n % 6 {
+            0 => Spec { vp, prefix_idx: 0, action: 0, path_variant: 0, comm_variant: 0 },
+            1 => Spec { vp, prefix_idx: 0, action: 1, path_variant: 0, comm_variant: 0 },
+            2 => Spec { vp, prefix_idx: 0, action: 1, path_variant: 0, comm_variant: 0 },
+            3 => Spec { vp, prefix_idx: 1, action: 1, path_variant: 1, comm_variant: 1 },
+            4 => {
+                Spec { vp, prefix_idx: MONITORED + 1, action: 1, path_variant: 2, comm_variant: 2 }
+            }
+            _ => Spec { vp, prefix_idx: 2, action: 1, path_variant: 3, comm_variant: 0 },
+        });
+    }
+    let updates = materialize(&specs);
+    let reference = run(&updates, 1, false);
+    assert!(
+        reference.1.iter().any(|s| !s.4.is_empty()),
+        "stream should fire at least one signal so the comparison is not vacuous"
+    );
+    for threads in [2usize, 8] {
+        let got = run(&updates, threads, true);
+        assert_eq!(reference, got, "diverged at threads={threads}");
+    }
+}

@@ -5,29 +5,34 @@ use crate::bgp::BgpMessage;
 use crate::mrt::MrtRecord;
 use crate::wire::Result;
 use rrr_types::{BgpElem, BgpUpdate, Ipv4, Timestamp, VpId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Maps the simulator's vantage points to (peer IP, peer AS) pairs, as a
 /// collector's peer table would.
 #[derive(Debug, Clone, Default)]
 pub struct VpDirectory {
-    peers: Vec<(Ipv4, rrr_types::Asn)>,
+    /// Indexed by VP id, so registration order is irrelevant.
+    peers: BTreeMap<u32, (Ipv4, rrr_types::Asn)>,
     by_ip: HashMap<Ipv4, VpId>,
 }
 
 impl VpDirectory {
     /// Registers a vantage point; peer addresses are synthesized in
-    /// 172.16.0.0/12 (collector-LAN style).
+    /// 172.16.0.0/12 (collector-LAN style) from the VP id itself, so VPs
+    /// may arrive in any order — out-of-order registration used to corrupt
+    /// `peer_of` silently in release builds.
     pub fn register(&mut self, vp: VpId, asn: rrr_types::Asn) {
-        let idx = self.peers.len() as u32;
-        debug_assert_eq!(vp.0, idx, "VPs must be registered in id order");
-        let ip = Ipv4::new(172, 16, (idx >> 8) as u8, (idx & 0xFF) as u8);
-        self.peers.push((ip, asn));
+        let ip = Ipv4::new(172, 16, (vp.0 >> 8) as u8, (vp.0 & 0xFF) as u8);
+        self.peers.insert(vp.0, (ip, asn));
         self.by_ip.insert(ip, vp);
     }
 
+    /// The (peer IP, peer AS) of a registered VP.
+    ///
+    /// # Panics
+    /// Panics if `vp` was never registered.
     pub fn peer_of(&self, vp: VpId) -> (Ipv4, rrr_types::Asn) {
-        self.peers[vp.index()]
+        self.peers[&vp.0]
     }
 
     pub fn vp_of(&self, peer_ip: Ipv4) -> Option<VpId> {
@@ -42,9 +47,10 @@ impl VpDirectory {
         self.peers.is_empty()
     }
 
-    /// The PEER_INDEX_TABLE record for this directory.
+    /// The PEER_INDEX_TABLE record for this directory, peers in VP-id
+    /// order.
     pub fn peer_index_record(&self) -> MrtRecord {
-        MrtRecord::PeerIndexTable { collector_id: 0, peers: self.peers.clone() }
+        MrtRecord::PeerIndexTable { collector_id: 0, peers: self.peers.values().copied().collect() }
     }
 }
 
@@ -233,6 +239,23 @@ mod tests {
         assert_eq!(dir.vp_of(Ipv4::new(1, 2, 3, 4)), None);
         // 259 = 0x103 → 172.16.1.3
         assert_eq!(ip, Ipv4::new(172, 16, 1, 3));
+    }
+
+    #[test]
+    fn directory_out_of_order_registration() {
+        let mut shuffled = VpDirectory::default();
+        for i in [3u32, 0, 2, 1] {
+            shuffled.register(VpId(i), Asn(100 + i));
+        }
+        let ordered = directory(4);
+        assert_eq!(shuffled.len(), 4);
+        for i in 0..4u32 {
+            assert_eq!(shuffled.peer_of(VpId(i)), ordered.peer_of(VpId(i)));
+            let (ip, _) = shuffled.peer_of(VpId(i));
+            assert_eq!(shuffled.vp_of(ip), Some(VpId(i)));
+        }
+        // The peer index table is emitted in VP-id order either way.
+        assert_eq!(shuffled.peer_index_record(), ordered.peer_index_record());
     }
 
     #[test]

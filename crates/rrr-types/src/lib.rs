@@ -13,6 +13,7 @@ pub mod asn;
 pub mod community;
 pub mod geo;
 pub mod ids;
+pub mod intern;
 pub mod ip;
 pub mod path;
 pub mod record;
@@ -22,6 +23,7 @@ pub use asn::Asn;
 pub use community::Community;
 pub use geo::{CityId, GeoPoint};
 pub use ids::{AnchorId, CollectorId, FacilityId, IxpId, PeeringPointId, ProbeId, RouterId, VpId};
+pub use intern::{Arena, ArenaId};
 pub use ip::{Ipv4, Prefix, PrefixParseError};
 pub use path::AsPath;
 pub use record::{BgpElem, BgpUpdate, Hop, Traceroute, TracerouteId};

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example mrt_pipeline`
 
-use rrr::mrt::{record_to_updates, MrtReader, MrtWriter, VpDirectory};
+use rrr::mrt::{MrtWriter, StreamFilter, UpdateStream, VpDirectory};
 use rrr::prelude::*;
 use std::sync::Arc;
 
@@ -41,13 +41,18 @@ fn main() {
         dir.len()
     );
 
-    // --- consumer side: parse the dump and feed the detector ---
+    // --- consumer side: stream the dump in batches and feed the detector.
+    // `next_batch` is the bridge into the sharded `observe_batch` ingestion:
+    // chunks arrive sized for the fan-out instead of one update per
+    // iterator step. ---
+    let mut stream = UpdateStream::new(&dump[..], dir, StreamFilter::default());
     let mut decoded = Vec::new();
-    for rec in MrtReader::new(&dump) {
-        let rec = rec.expect("well-formed dump");
-        decoded.extend(record_to_updates(&dir, &rec));
+    let mut batches = 0;
+    while stream.next_batch(4096, &mut decoded) > 0 {
+        batches += 1;
     }
-    println!("decoded {} updates from the dump", decoded.len());
+    assert!(stream.finished_with.is_none(), "clean stream");
+    println!("decoded {} updates from the dump in {batches} batches", decoded.len());
     assert_eq!(decoded.len(), rib.len() + live.len(), "lossless round-trip");
 
     let mut map = IpToAsMap::from_announcements(decoded.iter());
