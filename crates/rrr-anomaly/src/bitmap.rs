@@ -47,6 +47,30 @@ impl BitmapDetector {
     }
 }
 
+impl rrr_store::Persist for BitmapDetector {
+    fn store<W: std::io::Write>(
+        &self,
+        e: &mut rrr_store::Encoder<W>,
+    ) -> Result<(), rrr_store::StoreError> {
+        self.alphabet.store(e)?;
+        self.word_len.store(e)?;
+        self.lag.store(e)?;
+        self.lead.store(e)?;
+        self.threshold.store(e)
+    }
+    fn load<R: std::io::Read>(
+        d: &mut rrr_store::Decoder<R>,
+    ) -> Result<Self, rrr_store::StoreError> {
+        Ok(BitmapDetector {
+            alphabet: rrr_store::Persist::load(d)?,
+            word_len: rrr_store::Persist::load(d)?,
+            lag: rrr_store::Persist::load(d)?,
+            lead: rrr_store::Persist::load(d)?,
+            threshold: rrr_store::Persist::load(d)?,
+        })
+    }
+}
+
 /// Breakpoints dividing N(0,1) into equiprobable regions, for alphabet
 /// sizes 2..=6 (standard SAX tables).
 fn sax_breakpoints(alphabet: usize) -> &'static [f64] {

@@ -127,6 +127,33 @@ impl MonitoredSeries {
     }
 }
 
+// Checkpoint serialization lives next to the fields it captures: the
+// history buffer *is* the detector's memory, so a restored series must
+// carry every accepted value plus the eligibility counters bit-for-bit.
+impl rrr_store::Persist for MonitoredSeries {
+    fn store<W: std::io::Write>(
+        &self,
+        e: &mut rrr_store::Encoder<W>,
+    ) -> Result<(), rrr_store::StoreError> {
+        self.history.store(e)?;
+        self.consecutive.store(e)?;
+        self.ready.store(e)?;
+        self.max_history.store(e)?;
+        self.absorb_outliers.store(e)
+    }
+    fn load<R: std::io::Read>(
+        d: &mut rrr_store::Decoder<R>,
+    ) -> Result<Self, rrr_store::StoreError> {
+        Ok(MonitoredSeries {
+            history: rrr_store::Persist::load(d)?,
+            consecutive: rrr_store::Persist::load(d)?,
+            ready: rrr_store::Persist::load(d)?,
+            max_history: rrr_store::Persist::load(d)?,
+            absorb_outliers: rrr_store::Persist::load(d)?,
+        })
+    }
+}
+
 /// Candidate window durations for traceroute-derived series (§4.2.1):
 /// 15 minutes up to 24 hours.
 pub const WINDOW_CANDIDATES: &[Duration] = &[

@@ -26,6 +26,26 @@ impl Default for ModifiedZScore {
     }
 }
 
+impl rrr_store::Persist for ModifiedZScore {
+    fn store<W: std::io::Write>(
+        &self,
+        e: &mut rrr_store::Encoder<W>,
+    ) -> Result<(), rrr_store::StoreError> {
+        self.threshold.store(e)?;
+        self.min_history.store(e)?;
+        self.min_deviation.store(e)
+    }
+    fn load<R: std::io::Read>(
+        d: &mut rrr_store::Decoder<R>,
+    ) -> Result<Self, rrr_store::StoreError> {
+        Ok(ModifiedZScore {
+            threshold: rrr_store::Persist::load(d)?,
+            min_history: rrr_store::Persist::load(d)?,
+            min_deviation: rrr_store::Persist::load(d)?,
+        })
+    }
+}
+
 fn median(sorted: &[f64]) -> f64 {
     let n = sorted.len();
     if n % 2 == 1 {

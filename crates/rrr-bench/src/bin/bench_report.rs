@@ -12,7 +12,10 @@
 //! - `detector_step_one_round` — the full pipeline round on the small
 //!   simulated world, serial vs parallel;
 //! - `plan_refresh` — §4.3.1 refresh planning over an accumulated signal
-//!   log (single-threaded by design).
+//!   log (single-threaded by design);
+//! - `checkpoint` / `restore` — full-state serialization and recovery
+//!   (`rrr-store` format) on world states grown over 6×/24×/96× rounds,
+//!   with bytes-on-disk reported per row.
 //!
 //! Speedups are relative to the serial run of the same op/scale
 //! (`observe_batch` is relative to per-update `observe`). On a single-core
@@ -33,8 +36,15 @@ use std::time::Duration;
 
 /// Every op a complete report must contain; the post-write check fails the
 /// run if any is absent from `BENCH_pipeline.json`.
-const EXPECTED_OPS: &[&str] =
-    &["observe", "observe_batch", "close_bgp_window", "detector_step_one_round", "plan_refresh"];
+const EXPECTED_OPS: &[&str] = &[
+    "observe",
+    "observe_batch",
+    "close_bgp_window",
+    "detector_step_one_round",
+    "plan_refresh",
+    "checkpoint",
+    "restore",
+];
 
 struct Row {
     op: &'static str,
@@ -42,6 +52,8 @@ struct Row {
     threads: usize,
     ns_per_iter: f64,
     speedup: f64,
+    /// Checkpoint size on disk for the persistence ops; 0 = not applicable.
+    bytes_on_disk: u64,
 }
 
 /// Times ingestion of one synthetic round. Between iterations (untimed)
@@ -133,6 +145,62 @@ fn measure_plan_refresh(c: &mut Criterion) -> f64 {
     c.measure(|b| b.iter(|| std::hint::black_box(det.plan_refresh(32))))
 }
 
+/// Builds a world-backed detector whose state grew over `6 × scale` rounds,
+/// then times a full-state checkpoint and a restore from the resulting
+/// bytes. The restore environment (IP-to-AS map, geo, alias) is rebuilt
+/// per iteration (untimed) from a same-seed world, which is deterministic
+/// and therefore identical to the environment the checkpoint came from.
+/// Returns (checkpoint ns, restore ns, checkpoint size in bytes).
+fn measure_checkpoint_restore(c: &mut Criterion, scale: usize) -> (f64, f64, u64) {
+    let mut world = World::new(WorldConfig::small(5));
+    let mut det = world.build_detector(DetectorConfig::default());
+    for tr in world.platform.anchoring_round(&world.engine, Timestamp::ZERO) {
+        let src_asn = world.topo.asn_of(world.platform.probe(tr.probe).asx);
+        det.add_corpus(tr, Some(src_asn));
+    }
+    for r in 1..=(6 * scale as u64) {
+        let t = Timestamp(r * 900);
+        let updates = world.engine.advance_to(t);
+        let public = world.platform.random_round(&world.engine, t, 80);
+        let _ = det.step(t, &updates, &public);
+    }
+
+    let ckpt_ns = c.measure(|b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            det.checkpoint(&mut buf).expect("checkpoint to memory");
+            std::hint::black_box(buf.len())
+        })
+    });
+    let mut bytes = Vec::new();
+    det.checkpoint(&mut bytes).expect("checkpoint to memory");
+    let size = bytes.len() as u64;
+
+    // Fresh same-seed world: its pre-advance RIB snapshot matches the one
+    // the checkpointed detector was built against.
+    let env_world = World::new(WorldConfig::small(5));
+    let restore_ns = c.measure(|b| {
+        b.iter_batched(
+            || env_world.detector_env(),
+            |(map, geo, alias)| {
+                std::hint::black_box(
+                    rrr_core::StalenessDetector::restore(
+                        &bytes[..],
+                        std::sync::Arc::clone(&env_world.topo),
+                        map,
+                        geo,
+                        alias,
+                        DetectorConfig::default(),
+                    )
+                    .expect("restore"),
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    (ckpt_ns, restore_ns, size)
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -143,7 +211,14 @@ fn main() {
 
     for &scale in scales {
         let serial = measure_observe(&mut c, scale, 1, false);
-        rows.push(Row { op: "observe", scale, threads: 1, ns_per_iter: serial, speedup: 1.0 });
+        rows.push(Row {
+            op: "observe",
+            scale,
+            threads: 1,
+            ns_per_iter: serial,
+            speedup: 1.0,
+            bytes_on_disk: 0,
+        });
         let batch1 = measure_observe(&mut c, scale, 1, true);
         rows.push(Row {
             op: "observe_batch",
@@ -151,6 +226,7 @@ fn main() {
             threads: 1,
             ns_per_iter: batch1,
             speedup: serial / batch1,
+            bytes_on_disk: 0,
         });
         if host_threads > 1 {
             let par = measure_observe(&mut c, scale, host_threads, true);
@@ -160,6 +236,7 @@ fn main() {
                 threads: host_threads,
                 ns_per_iter: par,
                 speedup: serial / par,
+                bytes_on_disk: 0,
             });
         }
         eprintln!("observe/observe_batch {scale}x done");
@@ -173,6 +250,7 @@ fn main() {
             threads: 1,
             ns_per_iter: serial,
             speedup: 1.0,
+            bytes_on_disk: 0,
         });
         if host_threads > 1 {
             let par = measure_close(&mut c, scale, host_threads);
@@ -182,6 +260,7 @@ fn main() {
                 threads: host_threads,
                 ns_per_iter: par,
                 speedup: serial / par,
+                bytes_on_disk: 0,
             });
         }
         eprintln!("close_bgp_window {scale}x done");
@@ -194,6 +273,7 @@ fn main() {
         threads: 1,
         ns_per_iter: step_serial,
         speedup: 1.0,
+        bytes_on_disk: 0,
     });
     if host_threads > 1 {
         let step_par = measure_step(&mut c, host_threads);
@@ -203,13 +283,42 @@ fn main() {
             threads: host_threads,
             ns_per_iter: step_par,
             speedup: step_serial / step_par,
+            bytes_on_disk: 0,
         });
     }
     eprintln!("detector_step_one_round done");
 
     let plan = measure_plan_refresh(&mut c);
-    rows.push(Row { op: "plan_refresh", scale: 1, threads: 1, ns_per_iter: plan, speedup: 1.0 });
+    rows.push(Row {
+        op: "plan_refresh",
+        scale: 1,
+        threads: 1,
+        ns_per_iter: plan,
+        speedup: 1.0,
+        bytes_on_disk: 0,
+    });
     eprintln!("plan_refresh done");
+
+    for &scale in scales {
+        let (ckpt, restore, bytes) = measure_checkpoint_restore(&mut c, scale);
+        rows.push(Row {
+            op: "checkpoint",
+            scale,
+            threads: 1,
+            ns_per_iter: ckpt,
+            speedup: 1.0,
+            bytes_on_disk: bytes,
+        });
+        rows.push(Row {
+            op: "restore",
+            scale,
+            threads: 1,
+            ns_per_iter: restore,
+            speedup: 1.0,
+            bytes_on_disk: bytes,
+        });
+        eprintln!("checkpoint/restore {scale}x done ({bytes} bytes on disk)");
+    }
 
     let entries: Vec<serde_json::Value> = rows
         .iter()
@@ -220,6 +329,7 @@ fn main() {
                 "threads": r.threads,
                 "ns_per_iter": r.ns_per_iter,
                 "speedup": r.speedup,
+                "bytes_on_disk": r.bytes_on_disk,
             })
         })
         .collect();

@@ -95,6 +95,21 @@ impl World {
     /// is initialized from the same snapshot.
     pub fn build_detector(&self, det_cfg: DetectorConfig) -> StalenessDetector {
         let rib = self.engine.rib_snapshot();
+        let (map, geo, alias) = self.detector_env();
+        let vps: Vec<VpId> = self.engine.vps().iter().map(|v| v.id).collect();
+        let mut det = StalenessDetector::new(Arc::clone(&self.topo), map, geo, alias, vps, det_cfg);
+        det.init_rib(&rib);
+        det
+    }
+
+    /// The detector's measured environment — IP-to-AS map (from the current
+    /// collector RIB snapshot plus registry IXP LANs), geolocation, and
+    /// alias resolution. Deterministic per world seed, so a detector
+    /// restored from a checkpoint (see `StalenessDetector::restore`) can be
+    /// re-wired with an identical environment built from a same-config
+    /// world.
+    pub fn detector_env(&self) -> (IpToAsMap, Geolocator, AliasResolver) {
+        let rib = self.engine.rib_snapshot();
         let mut map = IpToAsMap::from_announcements(rib.iter());
         for (ixp, lan) in &self.topo.registry.ixp_lans {
             map.add_ixp_lan(*lan, *ixp);
@@ -113,10 +128,7 @@ impl World {
             self.cfg.alias_miss,
             self.cfg.seed.wrapping_add(8),
         );
-        let vps: Vec<VpId> = self.engine.vps().iter().map(|v| v.id).collect();
-        let mut det = StalenessDetector::new(Arc::clone(&self.topo), map, geo, alias, vps, det_cfg);
-        det.init_rib(&rib);
-        det
+        (map, geo, alias)
     }
 
     /// Ground-truth canonical path for a probe→destination pair under the

@@ -4,6 +4,7 @@
 //! per window and feeds the ratio series to an outlier detector.
 
 use rrr_anomaly::{choose_window_duration, MonitoredSeries, OutlierDetector, SeriesVerdict};
+use rrr_store::{Decoder, Encoder, Persist, StoreError};
 use rrr_types::{Duration, Timestamp, Window, WindowConfig};
 
 /// How many buffered observations trigger a window-duration decision.
@@ -57,6 +58,47 @@ pub struct AdaptiveSeries {
 impl Default for AdaptiveSeries {
     fn default() -> Self {
         AdaptiveSeries::new()
+    }
+}
+
+impl Persist for Obs {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.time.store(e)?;
+        self.matched.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(Obs { time: Persist::load(d)?, matched: Persist::load(d)? })
+    }
+}
+
+// The buffer order matters until the next flush sorts it, so it is kept
+// verbatim; everything else is plain counters and the underlying series.
+impl Persist for AdaptiveSeries {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.cfg.store(e)?;
+        self.buffer.store(e)?;
+        self.first_obs.store(e)?;
+        self.gave_up.store(e)?;
+        self.cur.store(e)?;
+        self.matched.store(e)?;
+        self.total.store(e)?;
+        self.series.store(e)?;
+        self.last_normal_ratio.store(e)?;
+        self.normal_count.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(AdaptiveSeries {
+            cfg: Persist::load(d)?,
+            buffer: Persist::load(d)?,
+            first_obs: Persist::load(d)?,
+            gave_up: Persist::load(d)?,
+            cur: Persist::load(d)?,
+            matched: Persist::load(d)?,
+            total: Persist::load(d)?,
+            series: Persist::load(d)?,
+            last_normal_ratio: Persist::load(d)?,
+            normal_count: Persist::load(d)?,
+        })
     }
 }
 

@@ -17,6 +17,7 @@
 
 use crate::signal::{KeyInterner, SignalKey, SignalScope, StalenessSignal, Technique};
 use rrr_anomaly::{BitmapDetector, MonitoredSeries, SeriesVerdict};
+use rrr_store::{Decoder, Encoder, Persist, StoreError};
 use rrr_types::{
     community, Arena, ArenaId, AsPath, Asn, BgpElem, BgpUpdate, Community, Prefix, Timestamp,
     TracerouteId, VpId, Window,
@@ -948,6 +949,177 @@ fn close_group(
                 traceroutes: g.traceroutes.clone(),
             });
         }
+    }
+}
+
+impl Persist for GroupKey {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.dst_prefix.store(e)?;
+        self.as_path.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(GroupKey { dst_prefix: Persist::load(d)?, as_path: Persist::load(d)? })
+    }
+}
+
+impl Persist for AsPathJ {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.j.store(e)?;
+        self.key.store(e)?;
+        self.vps0.store(e)?;
+        self.series.store(e)?;
+        self.ref_ratio.store(e)?;
+        self.asserting.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(AsPathJ {
+            j: Persist::load(d)?,
+            key: Persist::load(d)?,
+            vps0: Persist::load(d)?,
+            series: Persist::load(d)?,
+            ref_ratio: Persist::load(d)?,
+            asserting: Persist::load(d)?,
+        })
+    }
+}
+
+impl Persist for BurstJ {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.key.store(e)?;
+        self.v0.store(e)?;
+        self.confounders.store(e)?;
+        self.member_confounders.store(e)?;
+        self.u_series.store(e)?;
+        self.u_prime.store(e)?;
+        self.asserting.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(BurstJ {
+            key: Persist::load(d)?,
+            v0: Persist::load(d)?,
+            confounders: Persist::load(d)?,
+            member_confounders: Persist::load(d)?,
+            u_series: Persist::load(d)?,
+            u_prime: Persist::load(d)?,
+            asserting: Persist::load(d)?,
+        })
+    }
+}
+
+impl Persist for CommState {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.key.store(e)?;
+        self.vps.store(e)?;
+        self.reference.store(e)?;
+        self.asserting.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(CommState {
+            key: Persist::load(d)?,
+            vps: Persist::load(d)?,
+            reference: Persist::load(d)?,
+            asserting: Persist::load(d)?,
+        })
+    }
+}
+
+impl Persist for Group {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.key.store(e)?;
+        self.traceroutes.store(e)?;
+        self.aspath.store(e)?;
+        self.bursts.store(e)?;
+        self.comm.store(e)?;
+        self.pending_comm.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(Group {
+            key: Persist::load(d)?,
+            traceroutes: Persist::load(d)?,
+            aspath: Persist::load(d)?,
+            bursts: Persist::load(d)?,
+            comm: Persist::load(d)?,
+            pending_comm: Persist::load(d)?,
+        })
+    }
+}
+
+impl Persist for WindowSamples {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.runs.store(e)?;
+        self.duplicates.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(WindowSamples { runs: Persist::load(d)?, duplicates: Persist::load(d)? })
+    }
+}
+
+// `strip_scratch` is a reusable buffer with no information content; a fresh
+// one is equivalent. The arenas serialize in insertion order, so re-interning
+// on load reproduces the exact same dense ids the rib/window maps reference.
+impl Persist for IngestShard {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.rib.store(e)?;
+        self.window.store(e)?;
+        self.paths.store(e)?;
+        self.comms.store(e)?;
+        self.pending_comm.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(IngestShard {
+            rib: Persist::load(d)?,
+            window: Persist::load(d)?,
+            paths: Persist::load(d)?,
+            comms: Persist::load(d)?,
+            pending_comm: Persist::load(d)?,
+            strip_scratch: AsPath::default(),
+        })
+    }
+}
+
+// The worker count is runtime configuration, not state: it is re-applied via
+// [`BgpMonitors::set_threads`] after load. Monitor keys are re-interned
+// through the restored interner so every monitor shares the canonical `Arc`
+// again instead of holding a private deserialized copy.
+impl Persist for BgpMonitors {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.groups.store(e)?;
+        self.by_prefix.store(e)?;
+        self.shards.store(e)?;
+        self.strip_asns.store(e)?;
+        self.detector.store(e)?;
+        self.absorb_outliers.store(e)?;
+        self.interner.store(e)?;
+        self.groups_of.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        let groups = Persist::load(d)?;
+        let by_prefix = Persist::load(d)?;
+        let shards: Vec<IngestShard> = Persist::load(d)?;
+        if shards.len() != NUM_SHARDS {
+            return Err(d.corrupt("ingest shard count"));
+        }
+        let mut monitors = BgpMonitors {
+            groups,
+            by_prefix,
+            shards,
+            strip_asns: Persist::load(d)?,
+            detector: Persist::load(d)?,
+            absorb_outliers: Persist::load(d)?,
+            interner: Persist::load(d)?,
+            groups_of: Persist::load(d)?,
+            threads: 1,
+        };
+        for g in monitors.groups.values_mut() {
+            for m in &mut g.aspath {
+                m.key = monitors.interner.intern((*m.key).clone());
+            }
+            for b in &mut g.bursts {
+                b.key = monitors.interner.intern((*b.key).clone());
+            }
+            g.comm.key = monitors.interner.intern((*g.comm.key).clone());
+        }
+        Ok(monitors)
     }
 }
 

@@ -15,6 +15,7 @@
 use crate::signal::{SignalKey, SignalScope, StalenessSignal, Technique};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rrr_store::{Decoder, Encoder, Persist, StoreError};
 use rrr_types::{Community, Prefix, ProbeId, TracerouteId};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -117,6 +118,38 @@ pub struct Calibrator {
 /// A community is pruned once it has generated at least this many verified
 /// false positives with sub-coin-flip precision.
 const COMM_PRUNE_MIN_WRONG: u32 = 3;
+
+impl Persist for SignalStats {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.window.store(e)?;
+        self.cur.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(SignalStats { window: Persist::load(d)?, cur: Persist::load(d)? })
+    }
+}
+
+// Includes the raw RNG state: refresh planning draws from this generator,
+// so a restored calibrator must continue the exact same random stream for
+// plans to match an uninterrupted run.
+impl Persist for Calibrator {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.l.store(e)?;
+        self.stats.store(e)?;
+        self.comm.store(e)?;
+        self.pruned.store(e)?;
+        self.rng.state().store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(Calibrator {
+            l: Persist::load(d)?,
+            stats: Persist::load(d)?,
+            comm: Persist::load(d)?,
+            pruned: Persist::load(d)?,
+            rng: StdRng::from_state(Persist::load(d)?),
+        })
+    }
+}
 
 impl Calibrator {
     pub fn new(l: usize, seed: u64) -> Self {

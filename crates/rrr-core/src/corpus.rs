@@ -1,6 +1,7 @@
 //! The monitored corpus of traceroutes and their freshness state.
 
 use rrr_ip2as::{find_borders, map_traceroute, Border, IpToAsMap};
+use rrr_store::{Decoder, Encoder, Persist, StoreError};
 use rrr_types::{Asn, Ipv4, Prefix, Timestamp, Traceroute, TracerouteId};
 use std::collections::HashMap;
 
@@ -64,6 +65,52 @@ impl CorpusEntry {
     }
 }
 
+impl Persist for CorpusEntry {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.id.store(e)?;
+        self.traceroute.store(e)?;
+        self.issued.store(e)?;
+        self.as_path.store(e)?;
+        self.borders.store(e)?;
+        self.dst_prefix.store(e)?;
+        self.monitors.store(e)?;
+        self.asserting.store(e)?;
+        self.stale_since.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(CorpusEntry {
+            id: Persist::load(d)?,
+            traceroute: Persist::load(d)?,
+            issued: Persist::load(d)?,
+            as_path: Persist::load(d)?,
+            borders: Persist::load(d)?,
+            dst_prefix: Persist::load(d)?,
+            monitors: Persist::load(d)?,
+            asserting: Persist::load(d)?,
+            stale_since: Persist::load(d)?,
+        })
+    }
+}
+
+// The index vectors keep insertion order (monitor registration iterates
+// them), so they are persisted verbatim rather than rebuilt from entries.
+impl Persist for Corpus {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.entries.store(e)?;
+        self.by_dst_prefix.store(e)?;
+        self.by_asn.store(e)?;
+        self.by_pair.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(Corpus {
+            entries: Persist::load(d)?,
+            by_dst_prefix: Persist::load(d)?,
+            by_asn: Persist::load(d)?,
+            by_pair: Persist::load(d)?,
+        })
+    }
+}
+
 /// The corpus: entries plus lookup indices used by monitor registration.
 #[derive(Debug, Default)]
 pub struct Corpus {
@@ -107,13 +154,15 @@ impl Corpus {
 
     /// Inserts a traceroute, computing its derived views. Returns `None`
     /// (and does not insert) when the AS mapping is disqualified (loops) or
-    /// empty. A previous entry for the same (src, dst) pair is replaced.
+    /// empty; otherwise returns the freshly inserted entry, so callers that
+    /// register monitors can read and annotate it without re-looking it up.
+    /// A previous entry for the same (src, dst) pair is replaced.
     pub fn insert(
         &mut self,
         tr: Traceroute,
         map: &IpToAsMap,
         src_asn: Option<Asn>,
-    ) -> Option<TracerouteId> {
+    ) -> Option<&mut CorpusEntry> {
         let as_trace = map_traceroute(&tr, map, src_asn)?;
         if as_trace.path.is_empty() {
             return None;
@@ -133,21 +182,24 @@ impl Corpus {
         for &a in &as_trace.path {
             self.by_asn.entry(a).or_default().push(id);
         }
-        self.entries.insert(
+        let entry = CorpusEntry {
             id,
-            CorpusEntry {
-                id,
-                issued: tr.time,
-                traceroute: tr,
-                as_path: as_trace.path,
-                borders,
-                dst_prefix,
-                monitors: 0,
-                asserting: 0,
-                stale_since: None,
-            },
-        );
-        Some(id)
+            issued: tr.time,
+            traceroute: tr,
+            as_path: as_trace.path,
+            borders,
+            dst_prefix,
+            monitors: 0,
+            asserting: 0,
+            stale_since: None,
+        };
+        Some(match self.entries.entry(id) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                o.insert(entry);
+                o.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => v.insert(entry),
+        })
     }
 
     /// Removes an entry and cleans indices. Index entries whose vectors
@@ -244,8 +296,10 @@ mod tests {
     fn insert_builds_views() {
         let mut c = Corpus::new();
         let m = map();
-        let id =
-            c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("valid trace");
+        let id = c
+            .insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None)
+            .expect("valid trace")
+            .id;
         let e = c.get(id).expect("inserted");
         assert_eq!(e.as_path, vec![Asn(100), Asn(101), Asn(102)]);
         assert_eq!(e.borders.len(), 2);
@@ -266,8 +320,8 @@ mod tests {
     fn refresh_replaces_pair() {
         let mut c = Corpus::new();
         let m = map();
-        let id1 = c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("ok");
-        let id2 = c.insert(tr(2, &["10.0.0.9", "10.2.0.1"]), &m, None).expect("ok");
+        let id1 = c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("ok").id;
+        let id2 = c.insert(tr(2, &["10.0.0.9", "10.2.0.1"]), &m, None).expect("ok").id;
         assert_eq!(c.len(), 1);
         assert!(c.get(id1).is_none());
         assert!(c.get(id2).is_some());
@@ -279,7 +333,7 @@ mod tests {
     fn remove_drains_empty_index_entries() {
         let mut c = Corpus::new();
         let m = map();
-        let id = c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("ok");
+        let id = c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("ok").id;
         assert!(!c.by_dst_prefix.is_empty());
         assert!(!c.by_asn.is_empty());
         c.remove(id);
@@ -292,7 +346,7 @@ mod tests {
     fn staleness_lifecycle() {
         let mut c = Corpus::new();
         let m = map();
-        let id = c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("ok");
+        let id = c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("ok").id;
         // Unknown until monitors registered (2 borders, 0 monitors).
         assert_eq!(c.get(id).expect("entry").freshness(), Freshness::Unknown);
         c.get_mut(id).expect("entry").monitors = 2;

@@ -11,6 +11,7 @@ use crate::trace_monitors::TraceMonitors;
 use rrr_anomaly::{BitmapDetector, ModifiedZScore};
 use rrr_geo::Geolocator;
 use rrr_ip2as::{map_traceroute, AliasResolver, IpToAsMap};
+use rrr_store::{read_checkpoint, write_checkpoint, Decoder, Encoder, Persist, StoreError};
 use rrr_topology::Topology;
 use rrr_types::{
     Asn, BgpUpdate, Community, Timestamp, Traceroute, TracerouteId, VpId, Window, WindowConfig,
@@ -93,11 +94,7 @@ impl StalenessDetector {
     ) -> Self {
         let strip = topo.registry.route_server_asns.clone();
         let ixp = IxpMonitor::new(&topo);
-        let threads = if cfg.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            cfg.threads
-        };
+        let threads = resolve_threads(&cfg);
         let mut bgp = BgpMonitors::new_with(strip, cfg.bgp_detector, cfg.absorb_outliers);
         bgp.set_threads(threads);
         let mut trace = TraceMonitors::new_with(cfg.trace_detector, cfg.absorb_outliers);
@@ -137,6 +134,13 @@ impl StalenessDetector {
         &self.log
     }
 
+    /// Number of BGP windows closed so far (equivalently, the index of the
+    /// next window to close). Drives the checkpoint cadence of
+    /// [`crate::persist::DurableDetector`].
+    pub fn closed_bgp_windows(&self) -> u64 {
+        self.next_bgp_window.index()
+    }
+
     /// Overrides the per-window worker count on both monitor families
     /// (bench/test toggle). The signal stream is identical at any setting.
     pub fn set_threads(&mut self, threads: usize) {
@@ -165,22 +169,13 @@ impl StalenessDetector {
     /// monitors. Returns `None` when the traceroute is disqualified
     /// (AS-mapping loop / empty path).
     pub fn add_corpus(&mut self, tr: Traceroute, src_asn: Option<Asn>) -> Option<TracerouteId> {
-        let id = self.corpus.insert(tr, &self.map, src_asn)?;
+        let entry = self.corpus.insert(tr, &self.map, src_asn)?;
+        let id = entry.id;
         let mut keys = Vec::new();
-        {
-            let entry = self.corpus.get(id).expect("just inserted");
-            if let Some(dst_prefix) = entry.dst_prefix {
-                keys.extend(self.bgp.register(id, dst_prefix, &entry.as_path, &self.vps));
-            }
-            keys.extend(self.trace.register(
-                entry,
-                &self.map,
-                &self.topo,
-                &mut self.geo,
-                &self.alias,
-            ));
+        if let Some(dst_prefix) = entry.dst_prefix {
+            keys.extend(self.bgp.register(id, dst_prefix, &entry.as_path, &self.vps));
         }
-        let entry = self.corpus.get_mut(id).expect("just inserted");
+        keys.extend(self.trace.register(entry, &self.map, &self.topo, &mut self.geo, &self.alias));
         entry.monitors = keys.len();
         self.potential.insert(id, keys);
         Some(id)
@@ -318,8 +313,12 @@ impl StalenessDetector {
         let mut stale_keys_per_probe: HashMap<rrr_types::ProbeId, HashSet<Arc<SignalKey>>> =
             HashMap::new();
         for (key, trs) in by_key {
-            // Split by probe so calibration is per vantage point.
-            let mut per_probe: HashMap<rrr_types::ProbeId, Vec<TracerouteId>> = HashMap::new();
+            // Split by probe so calibration is per vantage point. Ordered:
+            // the push order into `asserting` decides the order calibration
+            // draws from its RNG, which must be stable across processes for
+            // checkpoint/restore equivalence.
+            let mut per_probe: std::collections::BTreeMap<rrr_types::ProbeId, Vec<TracerouteId>> =
+                std::collections::BTreeMap::new();
             for tr in trs {
                 if let Some(e) = self.corpus.get(tr) {
                     per_probe.entry(e.traceroute.probe).or_default().push(tr);
@@ -453,6 +452,113 @@ impl StalenessDetector {
     pub fn trace_monitor_stats(&self) -> ((usize, usize, usize), (usize, usize, usize)) {
         self.trace.stats()
     }
+
+    /// Serializes the full detector state — corpus and indexes, RIB mirror
+    /// and intern arenas, per-series windows, calibration, assertions, and
+    /// the signal log — as one framed [`rrr_store`] checkpoint.
+    ///
+    /// [`StalenessDetector::restore`] rebuilds a detector from it that
+    /// continues the exact same signal stream as the original, at any
+    /// worker-thread count.
+    pub fn checkpoint<W: std::io::Write>(&self, w: W) -> Result<(), StoreError> {
+        let mut payload = Vec::new();
+        let mut e = Encoder::new(&mut payload);
+        cfg_fingerprint(&self.cfg)?.store(&mut e)?;
+        self.vps.store(&mut e)?;
+        self.corpus.store(&mut e)?;
+        self.bgp.store(&mut e)?;
+        self.trace.store(&mut e)?;
+        self.ixp.store(&mut e)?;
+        self.cal.store(&mut e)?;
+        self.potential.store(&mut e)?;
+        self.active.store(&mut e)?;
+        self.next_bgp_window.store(&mut e)?;
+        self.log.store(&mut e)?;
+        write_checkpoint(w, &payload)
+    }
+
+    /// Rebuilds a detector from a [`StalenessDetector::checkpoint`] frame.
+    ///
+    /// The environment (topology, IP-to-AS map, geolocation, alias
+    /// resolution) is supplied by the caller — it is input data, not
+    /// detector state — and `cfg` must describe the same pipeline the
+    /// checkpoint was taken from: a mismatch in any behavioral knob returns
+    /// [`StoreError::ConfigMismatch`] rather than silently continuing with
+    /// different semantics. The worker-thread count is the one exception
+    /// (runtime tuning, not state): it is taken from `cfg` as-is.
+    pub fn restore<R: std::io::Read>(
+        r: R,
+        topo: Arc<Topology>,
+        map: IpToAsMap,
+        geo: Geolocator,
+        alias: AliasResolver,
+        cfg: DetectorConfig,
+    ) -> Result<Self, StoreError> {
+        let payload = read_checkpoint(r)?;
+        let mut d = Decoder::new(&payload[..]);
+        let stored_fp: Vec<u8> = Persist::load(&mut d)?;
+        if stored_fp != cfg_fingerprint(&cfg)? {
+            return Err(StoreError::ConfigMismatch { what: "detector configuration" });
+        }
+        let vps = Persist::load(&mut d)?;
+        let corpus = Persist::load(&mut d)?;
+        let mut bgp: BgpMonitors = Persist::load(&mut d)?;
+        let mut trace: TraceMonitors = Persist::load(&mut d)?;
+        let ixp = Persist::load(&mut d)?;
+        let cal = Persist::load(&mut d)?;
+        let potential = Persist::load(&mut d)?;
+        let active = Persist::load(&mut d)?;
+        let next_bgp_window = Persist::load(&mut d)?;
+        let log = Persist::load(&mut d)?;
+        if d.offset() != payload.len() {
+            return Err(StoreError::TrailingData { remaining: payload.len() - d.offset() });
+        }
+        let threads = resolve_threads(&cfg);
+        bgp.set_threads(threads);
+        trace.set_threads(threads);
+        Ok(StalenessDetector {
+            cfg,
+            topo,
+            map,
+            geo,
+            alias,
+            vps,
+            corpus,
+            bgp,
+            trace,
+            ixp,
+            cal,
+            potential,
+            active,
+            next_bgp_window,
+            log,
+        })
+    }
+}
+
+/// The worker count a configuration selects (`0` = one per core).
+fn resolve_threads(cfg: &DetectorConfig) -> usize {
+    if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.threads
+    }
+}
+
+/// Canonical encoding of every configuration facet that changes pipeline
+/// behavior. Stored in the checkpoint and compared on restore; the worker
+/// count is excluded (the signal stream is identical at any setting).
+fn cfg_fingerprint(cfg: &DetectorConfig) -> Result<Vec<u8>, StoreError> {
+    let mut buf = Vec::new();
+    let mut e = Encoder::new(&mut buf);
+    cfg.seed.store(&mut e)?;
+    cfg.bgp_window.store(&mut e)?;
+    cfg.calibration_l.store(&mut e)?;
+    cfg.enabled.store(&mut e)?;
+    cfg.bgp_detector.store(&mut e)?;
+    cfg.trace_detector.store(&mut e)?;
+    cfg.absorb_outliers.store(&mut e)?;
+    Ok(buf)
 }
 
 #[cfg(test)]

@@ -18,9 +18,10 @@
 use crate::corpus::Corpus;
 use crate::signal::{SignalKey, SignalScope, StalenessSignal, Technique};
 use rrr_ip2as::{find_borders, IpToAsMap};
+use rrr_store::{Decoder, Encoder, Persist, StoreError};
 use rrr_topology::{Relationship, Topology};
 use rrr_types::{Asn, IxpId, Timestamp, Traceroute, TracerouteId, Window};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// The §4.2.3 monitor.
 pub struct IxpMonitor {
@@ -89,8 +90,10 @@ impl IxpMonitor {
         let Some(joined_idx) = topo.idx_of(joined) else { return Vec::new() };
 
         // Group affected traceroutes per (member AS_j) so each (joined,
-        // member) pair yields one signal.
-        let mut per_member: HashMap<Asn, Vec<TracerouteId>> = HashMap::new();
+        // member) pair yields one signal. Keyed by a BTreeMap so signal
+        // order is stable across processes (the signal log is part of the
+        // checkpointed state and must be reproducible).
+        let mut per_member: BTreeMap<Asn, Vec<TracerouteId>> = BTreeMap::new();
 
         let Some(candidates) = corpus.by_asn.get(&joined) else { return Vec::new() };
         for &id in candidates {
@@ -144,6 +147,16 @@ impl IxpMonitor {
                 trigger_communities: Vec::new(),
             })
             .collect()
+    }
+}
+
+impl Persist for IxpMonitor {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.members.store(e)?;
+        self.learned_private.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(IxpMonitor { members: Persist::load(d)?, learned_private: Persist::load(d)? })
     }
 }
 
@@ -227,7 +240,8 @@ mod tests {
         let mut corpus = Corpus::new();
         let id = corpus
             .insert(trace(7, &["10.0.0.2", "10.1.0.1", "10.2.0.1"]), &m, None)
-            .expect("valid");
+            .expect("valid")
+            .id;
         // 100 newly appears at the IXP (some public trace).
         let joins = mon.observe_trace(&trace(8, &["10.0.0.3", "11.0.0.9", "10.3.0.1"]), &m);
         assert_eq!(joins, vec![(Asn(100), IxpId(0))]);

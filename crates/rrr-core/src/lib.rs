@@ -17,6 +17,10 @@
 //! and emits [`signal::StalenessSignal`]s; [`calibration`] implements §4.3's
 //! TPR/TNR-driven refresh scheduling, community pruning (Appendix B), and
 //! §4.3.2's signal revocation.
+//!
+//! [`persist`] adds crash-safe operation on top: versioned full-state
+//! checkpoints plus a write-ahead log of raw step inputs, replayed
+//! deterministically on restart.
 
 pub mod adaptive;
 pub mod bgp_monitors;
@@ -24,10 +28,12 @@ pub mod calibration;
 pub mod corpus;
 pub mod detector;
 pub mod ixp_monitor;
+pub mod persist;
 pub mod signal;
 pub mod trace_monitors;
 
 pub use calibration::{Calibrator, RefreshPlan, SignalStats};
 pub use corpus::{Corpus, CorpusEntry, Freshness};
 pub use detector::{DetectorConfig, StalenessDetector};
+pub use persist::{DurableConfig, DurableDetector, StepRecord};
 pub use signal::{SignalKey, SignalScope, StalenessSignal, Technique};

@@ -1,0 +1,184 @@
+//! Durable detector operation: periodic checkpoints plus a write-ahead log
+//! of raw step inputs, so a crashed or stopped pipeline resumes exactly
+//! where it left off.
+//!
+//! The recovery model is *replay*, not state diffing: every
+//! [`StalenessDetector::step`] input is appended to the WAL before it is
+//! processed, and a full [`StalenessDetector::checkpoint`] is cut every
+//! [`DurableConfig::checkpoint_every_windows`] closed BGP windows, after
+//! which the WAL restarts empty. [`DurableDetector::open`] loads the latest
+//! checkpoint and re-feeds the logged steps through the deterministic
+//! pipeline, which reproduces the in-memory state bit for bit — including
+//! the signal log, calibration counters, and the calibrator's RNG stream.
+
+use crate::detector::{DetectorConfig, StalenessDetector};
+use crate::signal::StalenessSignal;
+use rrr_geo::Geolocator;
+use rrr_ip2as::{AliasResolver, IpToAsMap};
+use rrr_store::{Decoder, Encoder, Persist, StoreError, WalReader, WalWriter};
+use rrr_topology::Topology;
+use rrr_types::{BgpUpdate, Timestamp, Traceroute};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File name of the current checkpoint within a durable directory.
+const CHECKPOINT_FILE: &str = "checkpoint.rrr";
+/// File name of the write-ahead step log within a durable directory.
+const WAL_FILE: &str = "wal.log";
+/// Temporary name a new checkpoint is written under before the atomic
+/// rename, so a crash mid-write never clobbers the good checkpoint.
+const CHECKPOINT_TMP: &str = "checkpoint.rrr.tmp";
+
+/// One raw pipeline step: the inputs [`StalenessDetector::step`] consumed.
+/// Replaying records through a restored detector reproduces the exact
+/// post-step state, so this is all the WAL needs to carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    pub now: Timestamp,
+    pub bgp_updates: Vec<BgpUpdate>,
+    pub public: Vec<Traceroute>,
+}
+
+impl Persist for StepRecord {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.now.store(e)?;
+        self.bgp_updates.store(e)?;
+        self.public.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(StepRecord {
+            now: Persist::load(d)?,
+            bgp_updates: Persist::load(d)?,
+            public: Persist::load(d)?,
+        })
+    }
+}
+
+/// Checkpoint policy for [`DurableDetector`].
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Cut a checkpoint (and truncate the WAL) once this many BGP windows
+    /// have closed since the last one. Steps between checkpoints are only
+    /// in the WAL, so a smaller value trades churn for faster recovery.
+    pub checkpoint_every_windows: u64,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig { checkpoint_every_windows: 16 }
+    }
+}
+
+/// A [`StalenessDetector`] wrapped with crash-safe persistence: every step
+/// is WAL-logged before processing, and checkpoints are cut on BGP-window
+/// boundaries per [`DurableConfig`].
+pub struct DurableDetector {
+    det: StalenessDetector,
+    dir: PathBuf,
+    cfg: DurableConfig,
+    wal: WalWriter<BufWriter<File>>,
+    /// Closed-window count at the last checkpoint.
+    windows_at_checkpoint: u64,
+}
+
+impl DurableDetector {
+    /// Wraps a freshly built detector, writing an initial checkpoint into
+    /// `dir` (created if absent) and starting an empty WAL.
+    pub fn create(
+        det: StalenessDetector,
+        dir: impl Into<PathBuf>,
+        cfg: DurableConfig,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let wal = WalWriter::new(BufWriter::new(File::create(dir.join(WAL_FILE))?));
+        let mut durable =
+            DurableDetector { windows_at_checkpoint: det.closed_bgp_windows(), det, dir, cfg, wal };
+        durable.cut_checkpoint()?;
+        Ok(durable)
+    }
+
+    /// Reopens a durable directory: loads the checkpoint, replays the WAL
+    /// through the restored detector, and resumes logging. The rebuilt
+    /// detector state is identical to the one that wrote the files.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        topo: Arc<Topology>,
+        map: IpToAsMap,
+        geo: Geolocator,
+        alias: AliasResolver,
+        det_cfg: DetectorConfig,
+        cfg: DurableConfig,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        let file = File::open(dir.join(CHECKPOINT_FILE))?;
+        let mut det =
+            StalenessDetector::restore(BufReader::new(file), topo, map, geo, alias, det_cfg)?;
+
+        // Replay logged steps; a torn tail (crash mid-append) ends replay
+        // cleanly, matching a crash before that step was processed.
+        if let Ok(file) = File::open(dir.join(WAL_FILE)) {
+            let mut reader = WalReader::new(BufReader::new(file));
+            while let Some(payload) = reader.next_record()? {
+                let rec: StepRecord = rrr_store::from_payload(&payload)?;
+                let _ = det.step(rec.now, &rec.bgp_updates, &rec.public);
+            }
+        }
+
+        let wal = WalWriter::new(BufWriter::new(
+            File::options().create(true).append(true).open(dir.join(WAL_FILE))?,
+        ));
+        Ok(DurableDetector { windows_at_checkpoint: det.closed_bgp_windows(), det, dir, cfg, wal })
+    }
+
+    /// Logs the step inputs, runs the step, and cuts a checkpoint when the
+    /// window policy says so. Returns the step's signals.
+    pub fn step(
+        &mut self,
+        now: Timestamp,
+        bgp_updates: &[BgpUpdate],
+        public: &[Traceroute],
+    ) -> Result<Vec<StalenessSignal>, StoreError> {
+        let rec = StepRecord { now, bgp_updates: bgp_updates.to_vec(), public: public.to_vec() };
+        self.wal.append(&rrr_store::to_payload(&rec)?)?;
+        let signals = self.det.step(now, bgp_updates, public);
+        if self.det.closed_bgp_windows() - self.windows_at_checkpoint
+            >= self.cfg.checkpoint_every_windows
+        {
+            self.cut_checkpoint()?;
+        }
+        Ok(signals)
+    }
+
+    /// Writes a fresh checkpoint (atomically, via rename) and truncates the
+    /// WAL — everything before this point is now in the checkpoint.
+    pub fn cut_checkpoint(&mut self) -> Result<(), StoreError> {
+        let tmp = self.dir.join(CHECKPOINT_TMP);
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        self.det.checkpoint(&mut w)?;
+        w.flush()?;
+        std::fs::rename(&tmp, self.dir.join(CHECKPOINT_FILE))?;
+        self.wal = WalWriter::new(BufWriter::new(File::create(self.dir.join(WAL_FILE))?));
+        self.windows_at_checkpoint = self.det.closed_bgp_windows();
+        Ok(())
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &StalenessDetector {
+        &self.det
+    }
+
+    /// Mutable access for read-mostly operations (e.g. `plan_refresh`).
+    /// Corpus mutations made here are *not* WAL-logged; checkpoint after
+    /// making them (see [`DurableDetector::cut_checkpoint`]).
+    pub fn detector_mut(&mut self) -> &mut StalenessDetector {
+        &mut self.det
+    }
+
+    /// The durable directory path.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}

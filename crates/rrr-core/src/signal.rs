@@ -1,5 +1,6 @@
 //! Signal types: what fired, why, and which corpus traceroutes it affects.
 
+use rrr_store::{Decoder, Encoder, Persist, StoreError};
 use rrr_types::{Asn, CityId, Ipv4, IxpId, Prefix, Timestamp, TracerouteId, Window};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -114,6 +115,88 @@ impl KeyInterner {
     }
 }
 
+impl Persist for Technique {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        let tag = Technique::ALL.iter().position(|t| t == self).expect("technique in ALL") as u8;
+        e.u8(tag)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        let tag = d.u8()? as usize;
+        Technique::ALL.get(tag).copied().ok_or_else(|| d.corrupt("technique tag"))
+    }
+}
+
+impl Persist for SignalScope {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        match self {
+            SignalScope::AsSuffix { dst_prefix, suffix } => {
+                e.u8(0)?;
+                dst_prefix.store(e)?;
+                suffix.store(e)
+            }
+            SignalScope::IpSubpath { hops } => {
+                e.u8(1)?;
+                hops.store(e)
+            }
+            SignalScope::CityBorder { near_as, near_city, far_as, far_city, border_ip } => {
+                e.u8(2)?;
+                near_as.store(e)?;
+                near_city.store(e)?;
+                far_as.store(e)?;
+                far_city.store(e)?;
+                border_ip.store(e)
+            }
+            SignalScope::IxpJoin { joined, member, ixp } => {
+                e.u8(3)?;
+                joined.store(e)?;
+                member.store(e)?;
+                ixp.store(e)
+            }
+        }
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        match d.u8()? {
+            0 => Ok(SignalScope::AsSuffix {
+                dst_prefix: Persist::load(d)?,
+                suffix: Persist::load(d)?,
+            }),
+            1 => Ok(SignalScope::IpSubpath { hops: Persist::load(d)? }),
+            2 => Ok(SignalScope::CityBorder {
+                near_as: Persist::load(d)?,
+                near_city: Persist::load(d)?,
+                far_as: Persist::load(d)?,
+                far_city: Persist::load(d)?,
+                border_ip: Persist::load(d)?,
+            }),
+            3 => Ok(SignalScope::IxpJoin {
+                joined: Persist::load(d)?,
+                member: Persist::load(d)?,
+                ixp: Persist::load(d)?,
+            }),
+            _ => Err(d.corrupt("signal scope tag")),
+        }
+    }
+}
+
+impl Persist for SignalKey {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.technique.store(e)?;
+        self.scope.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(SignalKey { technique: Persist::load(d)?, scope: Persist::load(d)? })
+    }
+}
+
+impl Persist for KeyInterner {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.keys.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(KeyInterner { keys: Persist::load(d)? })
+    }
+}
+
 /// One staleness prediction signal: a monitor fired in a window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StalenessSignal {
@@ -130,6 +213,27 @@ pub struct StalenessSignal {
     /// For community signals: the communities whose change triggered it
     /// (drives Appendix B's per-community calibration). Empty otherwise.
     pub trigger_communities: Vec<rrr_types::Community>,
+}
+
+impl Persist for StalenessSignal {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.key.store(e)?;
+        self.time.store(e)?;
+        self.window.store(e)?;
+        self.score.store(e)?;
+        self.traceroutes.store(e)?;
+        self.trigger_communities.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(StalenessSignal {
+            key: Persist::load(d)?,
+            time: Persist::load(d)?,
+            window: Persist::load(d)?,
+            score: Persist::load(d)?,
+            traceroutes: Persist::load(d)?,
+            trigger_communities: Persist::load(d)?,
+        })
+    }
 }
 
 impl fmt::Display for StalenessSignal {

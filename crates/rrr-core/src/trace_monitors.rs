@@ -15,6 +15,7 @@ use crate::signal::{KeyInterner, SignalKey, SignalScope, StalenessSignal, Techni
 use rrr_anomaly::ModifiedZScore;
 use rrr_geo::Geolocator;
 use rrr_ip2as::{find_borders, AliasKey, AliasResolver, IpToAsMap, StarPatcher};
+use rrr_store::{Decoder, Encoder, Persist, StoreError};
 use rrr_topology::Topology;
 use rrr_types::{Asn, CityId, Ipv4, Timestamp, Traceroute, TracerouteId};
 use std::collections::HashMap;
@@ -400,6 +401,89 @@ impl TraceMonitors {
     }
 }
 
+impl Persist for SubpathMonitor {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.expected.store(e)?;
+        self.key.store(e)?;
+        self.traceroutes.store(e)?;
+        self.series.store(e)?;
+        self.asserting.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(SubpathMonitor {
+            expected: Persist::load(d)?,
+            key: Persist::load(d)?,
+            traceroutes: Persist::load(d)?,
+            series: Persist::load(d)?,
+            asserting: Persist::load(d)?,
+        })
+    }
+}
+
+impl Persist for BorderMonitor {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.router.store(e)?;
+        self.key.store(e)?;
+        self.traceroutes.store(e)?;
+        self.series.store(e)?;
+        self.asserting.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(BorderMonitor {
+            router: Persist::load(d)?,
+            key: Persist::load(d)?,
+            traceroutes: Persist::load(d)?,
+            series: Persist::load(d)?,
+            asserting: Persist::load(d)?,
+        })
+    }
+}
+
+// The index maps (`by_start`, `subpath_index`, `by_border_key`,
+// `border_index`) reference monitors by vector index, which serialization
+// preserves, so they are persisted verbatim rather than rebuilt. The worker
+// count is runtime configuration, re-applied via
+// [`TraceMonitors::set_threads`] after load; monitor keys are re-interned
+// through the restored interner so the canonical `Arc`s are shared again.
+impl Persist for TraceMonitors {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.subpaths.store(e)?;
+        self.by_start.store(e)?;
+        self.subpath_index.store(e)?;
+        self.borders.store(e)?;
+        self.by_border_key.store(e)?;
+        self.border_index.store(e)?;
+        self.detector.store(e)?;
+        self.absorb_outliers.store(e)?;
+        self.patcher.store(e)?;
+        self.interner.store(e)?;
+        self.monitors_of.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        let mut monitors = TraceMonitors {
+            subpaths: Persist::load(d)?,
+            by_start: Persist::load(d)?,
+            subpath_index: Persist::load(d)?,
+            borders: Persist::load(d)?,
+            by_border_key: Persist::load(d)?,
+            border_index: Persist::load(d)?,
+            detector: Persist::load(d)?,
+            absorb_outliers: Persist::load(d)?,
+            patcher: Persist::load(d)?,
+            interner: Persist::load(d)?,
+            monitors_of: Persist::load(d)?,
+            threads: 1,
+        };
+        for m in &mut monitors.subpaths {
+            m.key = monitors.interner.intern((*m.key).clone());
+        }
+        for m in &mut monitors.borders {
+            m.key = monitors.interner.intern((*m.key).clone());
+        }
+        Ok(monitors)
+    }
+}
+
 /// One monitor's flush step — shared by both monitor families and by the
 /// serial and sharded paths, so every path emits the same stream.
 #[allow(clippy::too_many_arguments)]
@@ -528,7 +612,7 @@ mod tests {
     fn corpus_entry() -> CorpusEntry {
         let mut corpus = crate::corpus::Corpus::new();
         let tr = trace(1, 0, &["10.0.0.2", "10.0.0.3", "10.1.0.1", "10.1.0.2", "10.2.0.1"]);
-        let id = corpus.insert(tr, &map(), None).expect("valid");
+        let id = corpus.insert(tr, &map(), None).expect("valid").id;
         corpus.remove(id).expect("present")
     }
 

@@ -1,0 +1,182 @@
+//! Property: any interleaving of `add_corpus` / `remove_corpus` / re-add
+//! (including same-(src,dst) replacement and removal of ids that were
+//! already displaced) leaves the corpus lookup indexes — `by_dst_prefix`,
+//! `by_asn`, `by_pair` — exactly consistent with the live entry set:
+//! every live entry is indexed under precisely its own keys, no dead id
+//! survives in any index vector, and drained index keys are dropped
+//! rather than left behind as empty vectors.
+
+use rrr_core::detector::{DetectorConfig, StalenessDetector};
+use rrr_geo::{GeoDb, Geolocator};
+use rrr_ip2as::{AliasResolver, IpToAsMap};
+use rrr_topology::{generate, TopologyConfig};
+use rrr_types::{Asn, CityId, Hop, Ipv4, Prefix, ProbeId, Timestamp, Traceroute, TracerouteId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+const NUM_SRCS: u32 = 3;
+const NUM_DSTS: u32 = 4;
+
+fn detector() -> StalenessDetector {
+    let topo = Arc::new(generate(&TopologyConfig::small(3)));
+    let mut map = IpToAsMap::new();
+    for i in 0..(2 + NUM_DSTS) {
+        map.add_origin(format!("10.{i}.0.0/16").parse::<Prefix>().expect("p"), Asn(100 + i));
+    }
+    let mut db = GeoDb::default();
+    for third in 0..(2 + NUM_DSTS) as u8 {
+        for last in 0..32u8 {
+            db.insert(Ipv4::new(10, third, 0, last), CityId(third as u16));
+        }
+    }
+    let geo = Geolocator::new(db, vec![]);
+    let alias = AliasResolver::from_topology(&topo, 1.0, 0);
+    let vps = vec![rrr_types::VpId(0), rrr_types::VpId(1)];
+    StalenessDetector::new(topo, map, geo, alias, vps, DetectorConfig::default())
+}
+
+/// A traceroute for pair (src_idx, dst_idx); `via_mid` toggles between two
+/// hop sequences so re-adds can change the AS path an entry indexes under.
+fn trace(id: u64, src_idx: u32, dst_idx: u32, via_mid: bool) -> Traceroute {
+    let d = (2 + dst_idx) as u8;
+    let dst = Ipv4::new(10, d, 0, 1);
+    let mut hops = vec![Hop::responsive(Ipv4::new(10, 0, 0, 2))];
+    if via_mid {
+        hops.push(Hop::responsive(Ipv4::new(10, 1, 0, 1)));
+    }
+    hops.push(Hop::responsive(dst));
+    Traceroute {
+        id: TracerouteId(id),
+        probe: ProbeId(src_idx),
+        src: Ipv4::new(10, 0, 0, (200 + src_idx) as u8),
+        dst,
+        time: Timestamp(id),
+        hops,
+        reached: true,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Add (or same-pair replace) — `via_mid` varies the AS path.
+    Add { src_idx: u32, dst_idx: u32, via_mid: bool },
+    /// Remove the k-th most recently added live id (no-op when empty).
+    Remove { k: usize },
+    /// Remove an id that was already displaced/removed (must be a no-op).
+    RemoveDead { k: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // selector 0..2 → Add (weight 3), 3 → Remove, 4 → RemoveDead.
+    (0..5u8, 0..NUM_SRCS, 0..NUM_DSTS, any::<bool>(), 0..8usize).prop_map(
+        |(sel, src_idx, dst_idx, via_mid, k)| match sel {
+            0..=2 => Op::Add { src_idx, dst_idx, via_mid },
+            3 => Op::Remove { k },
+            _ => Op::RemoveDead { k },
+        },
+    )
+}
+
+/// Full index/entry cross-check.
+fn check_consistency(det: &StalenessDetector) {
+    let corpus = det.corpus();
+
+    // Expected index content, rebuilt from the live entries.
+    let mut want_prefix: HashMap<Prefix, Vec<TracerouteId>> = HashMap::new();
+    let mut want_asn: HashMap<Asn, Vec<TracerouteId>> = HashMap::new();
+    for e in corpus.entries() {
+        let pfx = e.dst_prefix.unwrap_or(Prefix::new(e.traceroute.dst, 32));
+        want_prefix.entry(pfx).or_default().push(e.id);
+        for &a in &e.as_path {
+            want_asn.entry(a).or_default().push(e.id);
+        }
+        // by_pair points at the (unique) live entry for its endpoints.
+        assert_eq!(
+            corpus.by_pair.get(&(e.traceroute.src, e.traceroute.dst)),
+            Some(&e.id),
+            "live entry {:?} missing from by_pair",
+            e.id
+        );
+    }
+    assert_eq!(corpus.by_pair.len(), corpus.len(), "by_pair has dead pairs");
+
+    // Same key sets, same id multisets per key, and no empty leftovers.
+    let mut got_prefix: Vec<(Prefix, Vec<TracerouteId>)> =
+        corpus.by_dst_prefix.iter().map(|(k, v)| (*k, v.clone())).collect();
+    let mut want_prefix: Vec<(Prefix, Vec<TracerouteId>)> = want_prefix.into_iter().collect();
+    for (_, v) in got_prefix.iter_mut().chain(want_prefix.iter_mut()) {
+        v.sort_unstable();
+        assert!(!v.is_empty(), "drained index key left behind");
+    }
+    got_prefix.sort_unstable();
+    want_prefix.sort_unstable();
+    assert_eq!(got_prefix, want_prefix, "by_dst_prefix out of sync with entries");
+
+    let mut got_asn: Vec<(Asn, Vec<TracerouteId>)> =
+        corpus.by_asn.iter().map(|(k, v)| (*k, v.clone())).collect();
+    let mut want_asn: Vec<(Asn, Vec<TracerouteId>)> = want_asn.into_iter().collect();
+    for (_, v) in got_asn.iter_mut().chain(want_asn.iter_mut()) {
+        v.sort_unstable();
+        assert!(!v.is_empty(), "drained index key left behind");
+    }
+    got_asn.sort_unstable();
+    want_asn.sort_unstable();
+    assert_eq!(got_asn, want_asn, "by_asn out of sync with entries");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interleaved_churn_keeps_indexes_consistent(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mut det = detector();
+        let mut next_id = 1u64;
+        // Ids currently live (most recent last) and ids displaced/removed.
+        let mut live: Vec<TracerouteId> = Vec::new();
+        let mut dead: Vec<TracerouteId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Add { src_idx, dst_idx, via_mid } => {
+                    let tr = trace(next_id, src_idx, dst_idx, via_mid);
+                    next_id += 1;
+                    if let Some(id) = det.add_corpus(tr, None) {
+                        // A same-pair insert displaces the previous entry.
+                        if let Some(pos) =
+                            live.iter().position(|&old| det.corpus().get(old).is_none())
+                        {
+                            dead.push(live.remove(pos));
+                        }
+                        live.push(id);
+                    }
+                }
+                Op::Remove { k } => {
+                    if !live.is_empty() {
+                        let id = live.remove(k % live.len());
+                        det.remove_corpus(id);
+                        dead.push(id);
+                    }
+                }
+                Op::RemoveDead { k } => {
+                    if !dead.is_empty() {
+                        let id = dead[k % dead.len()];
+                        det.remove_corpus(id);
+                        prop_assert!(det.corpus().get(id).is_none());
+                    }
+                }
+            }
+            check_consistency(&det);
+        }
+
+        // Every id the model says is live really is, and vice versa.
+        let mut live_sorted = live.clone();
+        live_sorted.sort_unstable();
+        let mut actual: Vec<TracerouteId> = det.corpus().ids().collect();
+        actual.sort_unstable();
+        prop_assert_eq!(live_sorted, actual, "live-set model diverged");
+    }
+}

@@ -20,6 +20,33 @@ pub enum AliasKey {
     Singleton(Ipv4),
 }
 
+impl rrr_store::Persist for AliasKey {
+    fn store<W: std::io::Write>(
+        &self,
+        e: &mut rrr_store::Encoder<W>,
+    ) -> Result<(), rrr_store::StoreError> {
+        match self {
+            AliasKey::Router(r) => {
+                e.u8(0)?;
+                r.store(e)
+            }
+            AliasKey::Singleton(ip) => {
+                e.u8(1)?;
+                ip.store(e)
+            }
+        }
+    }
+    fn load<R: std::io::Read>(
+        d: &mut rrr_store::Decoder<R>,
+    ) -> Result<Self, rrr_store::StoreError> {
+        match d.u8()? {
+            0 => Ok(AliasKey::Router(rrr_store::Persist::load(d)?)),
+            1 => Ok(AliasKey::Singleton(rrr_store::Persist::load(d)?)),
+            _ => Err(d.corrupt("alias key tag")),
+        }
+    }
+}
+
 /// Maps interface addresses to router identities.
 pub struct AliasResolver {
     resolved: HashMap<Ipv4, RouterId>,

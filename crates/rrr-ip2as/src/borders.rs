@@ -22,6 +22,34 @@ pub struct Border {
     pub far_idx: usize,
 }
 
+impl rrr_store::Persist for Border {
+    fn store<W: std::io::Write>(
+        &self,
+        e: &mut rrr_store::Encoder<W>,
+    ) -> Result<(), rrr_store::StoreError> {
+        self.near_ip.store(e)?;
+        self.far_ip.store(e)?;
+        self.near_as.store(e)?;
+        self.far_as.store(e)?;
+        self.ixp.store(e)?;
+        self.near_idx.store(e)?;
+        self.far_idx.store(e)
+    }
+    fn load<R: std::io::Read>(
+        d: &mut rrr_store::Decoder<R>,
+    ) -> Result<Self, rrr_store::StoreError> {
+        Ok(Border {
+            near_ip: rrr_store::Persist::load(d)?,
+            far_ip: rrr_store::Persist::load(d)?,
+            near_as: rrr_store::Persist::load(d)?,
+            far_as: rrr_store::Persist::load(d)?,
+            ixp: rrr_store::Persist::load(d)?,
+            near_idx: rrr_store::Persist::load(d)?,
+            far_idx: rrr_store::Persist::load(d)?,
+        })
+    }
+}
+
 /// Finds all border crossings in a traceroute.
 ///
 /// The scan walks responsive hops; an AS transition `A → B` yields a border

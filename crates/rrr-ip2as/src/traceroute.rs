@@ -79,6 +79,20 @@ pub struct StarPatcher {
     observed: HashMap<(Ipv4, Ipv4), BTreeSet<Ipv4>>,
 }
 
+impl rrr_store::Persist for StarPatcher {
+    fn store<W: std::io::Write>(
+        &self,
+        e: &mut rrr_store::Encoder<W>,
+    ) -> Result<(), rrr_store::StoreError> {
+        self.observed.store(e)
+    }
+    fn load<R: std::io::Read>(
+        d: &mut rrr_store::Decoder<R>,
+    ) -> Result<Self, rrr_store::StoreError> {
+        Ok(StarPatcher { observed: rrr_store::Persist::load(d)? })
+    }
+}
+
 impl StarPatcher {
     pub fn new() -> Self {
         StarPatcher::default()

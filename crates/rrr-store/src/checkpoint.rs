@@ -1,0 +1,188 @@
+//! Framed checkpoint snapshots.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! +----------+---------+-------------+------------------+---------+
+//! | magic 8B | ver u16 | len u64     | payload (len B)  | crc u32 |
+//! +----------+---------+-------------+------------------+---------+
+//! ```
+//!
+//! The CRC-32 covers magic, version, length, and payload, so header
+//! tampering (including a bumped version byte) is detected even before
+//! version negotiation would reject it — version skew is only reported as
+//! [`StoreError::UnsupportedVersion`] when the frame is otherwise intact,
+//! which distinguishes "future format" from "bit rot".
+
+use crate::crc32::Crc32;
+use crate::error::StoreError;
+use std::io::{Read, Write};
+
+/// File magic: identifies a detector checkpoint ("RRRSTORE").
+pub const MAGIC: [u8; 8] = *b"RRRSTORE";
+
+/// Current checkpoint format version. Bump on any wire-format change.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Writes one framed checkpoint: header, payload, trailing CRC.
+///
+/// The payload must be fully materialized first because the frame carries
+/// its length up front (a deliberate choice: restore can reject truncated
+/// files before decoding a single payload byte).
+pub fn write_checkpoint<W: Write>(mut w: W, payload: &[u8]) -> Result<(), StoreError> {
+    let mut crc = Crc32::new();
+    let mut put = |w: &mut W, bytes: &[u8]| -> Result<(), StoreError> {
+        w.write_all(bytes)?;
+        crc.update(bytes);
+        Ok(())
+    };
+    put(&mut w, &MAGIC)?;
+    put(&mut w, &FORMAT_VERSION.to_le_bytes())?;
+    put(&mut w, &(payload.len() as u64).to_le_bytes())?;
+    put(&mut w, payload)?;
+    let crc = crc.finish();
+    w.write_all(&crc.to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads and verifies one framed checkpoint, returning the raw payload.
+///
+/// Verification order: magic, CRC (whole frame), then version — so a
+/// corrupted file reports [`StoreError::CrcMismatch`] rather than a
+/// misleading version error, and an intact future-version file reports
+/// [`StoreError::UnsupportedVersion`].
+pub fn read_checkpoint<R: Read>(mut r: R) -> Result<Vec<u8>, StoreError> {
+    let mut crc = Crc32::new();
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    crc.update(&magic);
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic(magic));
+    }
+
+    let mut ver = [0u8; 2];
+    r.read_exact(&mut ver)?;
+    crc.update(&ver);
+    let version = u16::from_le_bytes(ver);
+
+    let mut len = [0u8; 8];
+    r.read_exact(&mut len)?;
+    crc.update(&len);
+    let len = u64::from_le_bytes(len);
+    let len = usize::try_from(len)
+        .map_err(|_| StoreError::Corrupt { offset: 10, what: "payload length exceeds usize" })?;
+
+    // Stream the payload in chunks: a corrupt length fails on short read
+    // instead of a huge up-front allocation.
+    let mut payload = Vec::with_capacity(len.min(1 << 20));
+    let mut remaining = len;
+    let mut chunk = [0u8; 8192];
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        r.read_exact(&mut chunk[..take])?;
+        crc.update(&chunk[..take]);
+        payload.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+
+    let mut stored = [0u8; 4];
+    r.read_exact(&mut stored)?;
+    let stored = u32::from_le_bytes(stored);
+    let computed = crc.finish();
+    if stored != computed {
+        return Err(StoreError::CrcMismatch { stored, computed });
+    }
+    if version > FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version, supported: FORMAT_VERSION });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, payload).expect("write");
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let payload = b"detector state bytes".to_vec();
+        let buf = frame(&payload);
+        assert_eq!(read_checkpoint(&buf[..]).expect("read"), payload);
+        // Empty payloads are legal.
+        assert_eq!(read_checkpoint(&frame(b"")[..]).expect("read"), b"");
+    }
+
+    #[test]
+    fn corrupted_payload_is_crc_mismatch() {
+        let mut buf = frame(b"some payload");
+        let mid = MAGIC.len() + 2 + 8 + 3;
+        buf[mid] ^= 0xFF;
+        let err = read_checkpoint(&buf[..]).unwrap_err();
+        assert!(matches!(err, StoreError::CrcMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupted_crc_trailer_is_crc_mismatch() {
+        let mut buf = frame(b"some payload");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let err = read_checkpoint(&buf[..]).unwrap_err();
+        assert!(matches!(err, StoreError::CrcMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn bumped_version_with_fixed_crc_is_unsupported() {
+        // Craft a structurally valid frame that claims a future version:
+        // rebuild it by hand so the CRC is consistent with the bumped bytes.
+        let payload = b"future state";
+        let mut crc = Crc32::new();
+        let mut buf = Vec::new();
+        let future = (FORMAT_VERSION + 1).to_le_bytes();
+        for part in
+            [&MAGIC[..], &future[..], &(payload.len() as u64).to_le_bytes()[..], &payload[..]]
+        {
+            buf.extend_from_slice(part);
+            crc.update(part);
+        }
+        buf.extend_from_slice(&crc.finish().to_le_bytes());
+        let err = read_checkpoint(&buf[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::UnsupportedVersion { found, supported }
+                    if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bumped_version_without_crc_fix_is_corruption() {
+        // Flipping only the version byte breaks the CRC: indistinguishable
+        // from bit rot, and reported as such.
+        let mut buf = frame(b"state");
+        buf[8] = buf[8].wrapping_add(1);
+        let err = read_checkpoint(&buf[..]).unwrap_err();
+        assert!(matches!(err, StoreError::CrcMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_and_truncation() {
+        let mut buf = frame(b"state");
+        buf[0] = b'X';
+        let err = read_checkpoint(&buf[..]).unwrap_err();
+        assert!(matches!(err, StoreError::BadMagic(_)), "{err}");
+
+        let buf = frame(b"state");
+        let err = read_checkpoint(&buf[..buf.len() - 2]).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+        let err = read_checkpoint(&buf[..4]).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+    }
+}

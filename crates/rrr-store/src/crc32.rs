@@ -1,0 +1,95 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+//!
+//! Implemented in-tree because the build environment vendors no checksum
+//! crate; the reflected-polynomial table algorithm is the textbook one and
+//! the test vectors below pin it to the standard definition.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Streaming CRC-32 state.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32 { state: u32::MAX }
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ TABLE[idx];
+        }
+    }
+
+    /// Finished checksum. The state itself is unaffected; more bytes can
+    /// still be fed after peeking.
+    pub fn finish(&self) -> u32 {
+        self.state ^ u32::MAX
+    }
+}
+
+/// One-shot checksum of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_vectors() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"split into several chunks of uneven length";
+        let mut c = Crc32::new();
+        c.update(&data[..7]);
+        c.update(&data[7..9]);
+        c.update(&data[9..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let mut data = b"some payload bytes".to_vec();
+        let before = crc32(&data);
+        data[5] ^= 0x01;
+        assert_ne!(before, crc32(&data));
+    }
+}

@@ -1,0 +1,111 @@
+//! Typed failure modes for checkpoint and WAL decoding.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong while writing or reading durable state.
+///
+/// Decoding never panics on malformed input: truncation, bad magic, CRC
+/// mismatches, and version skew each map to a distinct variant so callers
+/// can distinguish "this file is from a newer build" from "this file is
+/// damaged".
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure (short read/write, filesystem error).
+    Io(io::Error),
+    /// The stream does not start with the checkpoint magic bytes.
+    BadMagic([u8; 8]),
+    /// The file declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u16,
+        /// Highest version this build supports.
+        supported: u16,
+    },
+    /// Stored CRC-32 does not match the payload that was read.
+    CrcMismatch {
+        /// CRC recorded in the frame.
+        stored: u32,
+        /// CRC computed over the bytes actually read.
+        computed: u32,
+    },
+    /// Structurally invalid payload (bad tag, impossible length, short
+    /// buffer) at a given decode offset, with a short description.
+    Corrupt {
+        /// Byte offset into the payload where decoding failed.
+        offset: usize,
+        /// What went wrong.
+        what: &'static str,
+    },
+    /// The payload decoded cleanly but left unconsumed bytes behind —
+    /// the writer and reader disagree about the schema.
+    TrailingData {
+        /// Number of undecoded bytes remaining.
+        remaining: usize,
+    },
+    /// A checkpoint was produced under a different detector configuration
+    /// than the one supplied at restore time.
+    ConfigMismatch {
+        /// Which configuration field disagreed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic(found) => {
+                write!(f, "bad magic {found:02x?}: not a checkpoint file")
+            }
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported format version {found} (this build reads <= {supported})")
+            }
+            StoreError::CrcMismatch { stored, computed } => {
+                write!(f, "crc mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            StoreError::Corrupt { offset, what } => {
+                write!(f, "corrupt payload at byte {offset}: {what}")
+            }
+            StoreError::TrailingData { remaining } => {
+                write!(f, "payload decoded with {remaining} trailing bytes")
+            }
+            StoreError::ConfigMismatch { what } => {
+                write!(f, "checkpoint was written under a different config: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let s = StoreError::UnsupportedVersion { found: 9, supported: 1 }.to_string();
+        assert!(s.contains('9') && s.contains("<= 1"), "{s}");
+        let s = StoreError::CrcMismatch { stored: 1, computed: 2 }.to_string();
+        assert!(s.contains("crc mismatch"), "{s}");
+        let s = StoreError::Corrupt { offset: 12, what: "bad tag" }.to_string();
+        assert!(s.contains("byte 12") && s.contains("bad tag"), "{s}");
+        let io_err = StoreError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(std::error::Error::source(&io_err).is_some());
+        assert!(std::error::Error::source(&StoreError::TrailingData { remaining: 3 }).is_none());
+    }
+}

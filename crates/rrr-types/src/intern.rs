@@ -23,6 +23,16 @@ impl<T> ArenaId<T> {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a handle from a raw index, for checkpoint restore: ids are
+    /// dense insertion indices, so re-interning the same values in the same
+    /// order reproduces them and stored raw indices stay valid. The caller
+    /// is responsible for only resolving the handle against an arena that
+    /// actually has `index` entries.
+    #[inline]
+    pub fn from_index(index: u32) -> Self {
+        ArenaId(index, PhantomData)
+    }
 }
 
 // Manual impls: derives would needlessly bound `T`.

@@ -74,6 +74,7 @@ pub use rrr_core as core;
 pub use rrr_geo as geo;
 pub use rrr_ip2as as ip2as;
 pub use rrr_mrt as mrt;
+pub use rrr_store as store;
 pub use rrr_topology as topology;
 pub use rrr_trace as trace;
 pub use rrr_types as types;
@@ -83,8 +84,8 @@ pub mod prelude {
     pub use rrr_anomaly::{BitmapDetector, ModifiedZScore};
     pub use rrr_bgp::{Engine, EngineConfig, EventConfig};
     pub use rrr_core::{
-        DetectorConfig, Freshness, RefreshPlan, SignalScope, StalenessDetector, StalenessSignal,
-        Technique,
+        DetectorConfig, DurableConfig, DurableDetector, Freshness, RefreshPlan, SignalScope,
+        StalenessDetector, StalenessSignal, Technique,
     };
     pub use rrr_geo::{GeoDb, Geolocator};
     pub use rrr_ip2as::{AliasResolver, IpToAsMap};

@@ -15,6 +15,19 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing. Restoring via
+        /// [`StdRng::from_state`] continues the exact stream.
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured state.
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+
         #[inline]
         pub(crate) fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
