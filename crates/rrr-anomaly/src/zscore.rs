@@ -58,8 +58,13 @@ fn median(sorted: &[f64]) -> f64 {
 impl ModifiedZScore {
     /// The modified z-score of `candidate` against `history`, or `None`
     /// when the history is degenerate (constant) — in which case any
-    /// deviation at all is anomalous.
+    /// deviation at all is anomalous. An empty history is degenerate too:
+    /// there is no median to deviate from, so the answer is `None` rather
+    /// than a panic.
     pub fn zscore(&self, history: &[f64], candidate: f64) -> Option<f64> {
+        if history.is_empty() {
+            return None;
+        }
         let mut sorted: Vec<f64> = history.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
         let med = median(&sorted);
@@ -84,10 +89,9 @@ impl OutlierDetector for ModifiedZScore {
         }
         match self.zscore(history, candidate) {
             Some(m) => m.abs() > self.threshold,
-            None => {
-                // Constant history: meaningful deviation is anomalous.
-                (candidate - history[0]).abs() > self.min_deviation
-            }
+            // Constant history: meaningful deviation is anomalous. An empty
+            // history has nothing to deviate from — never an outlier.
+            None => history.first().is_some_and(|h| (candidate - h).abs() > self.min_deviation),
         }
     }
 
@@ -98,7 +102,9 @@ impl OutlierDetector for ModifiedZScore {
         match self.zscore(history, candidate) {
             Some(m) => m.abs(),
             None => {
-                if (candidate - history[0]).abs() > self.min_deviation {
+                let deviates =
+                    history.first().is_some_and(|h| (candidate - h).abs() > self.min_deviation);
+                if deviates {
                     f64::INFINITY
                 } else {
                     0.0

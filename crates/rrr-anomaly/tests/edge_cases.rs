@@ -1,0 +1,108 @@
+//! Degenerate-input coverage for both outlier detectors: empty series,
+//! constant series, and single-sample windows must never panic and must
+//! never produce spurious outliers. These are exactly the shapes a lossy or
+//! bursty measurement feed produces (a vantage point going quiet leaves an
+//! empty or constant series; a freshly registered monitor judges its first
+//! sample against a one-element history).
+
+use rrr_anomaly::{BitmapDetector, ModifiedZScore, OutlierDetector};
+
+// --- empty series ---
+
+#[test]
+fn bitmap_empty_series_no_panic_no_outlier() {
+    for d in [BitmapDetector::default(), BitmapDetector::spike()] {
+        assert!(d.discretize(&[]).is_empty());
+        assert_eq!(d.lead_lag_score(&[]), None);
+        assert!(d.score_series(&[]).is_empty());
+        assert!(!d.is_outlier(&[], 0.0));
+        assert!(!d.is_outlier(&[], 1e9));
+        assert_eq!(d.score(&[], 42.0), 0.0);
+    }
+}
+
+#[test]
+fn zscore_empty_history_no_panic_no_outlier() {
+    let d = ModifiedZScore::default();
+    assert_eq!(d.zscore(&[], 7.0), None);
+    assert!(!d.is_outlier(&[], 7.0));
+    assert_eq!(d.score(&[], 7.0), 0.0);
+    // Even with the history gate disabled the empty case must stay safe.
+    let eager = ModifiedZScore { min_history: 0, ..ModifiedZScore::default() };
+    assert!(!eager.is_outlier(&[], 7.0));
+    assert_eq!(eager.score(&[], 7.0), 0.0);
+}
+
+// --- constant series ---
+
+#[test]
+fn bitmap_constant_series_never_flags_any_level() {
+    for level in [-3.5, 0.0, 0.25, 1.0, 1e6] {
+        for n in [1usize, 2, 8, 40] {
+            let hist = vec![level; n];
+            let d = BitmapDetector::default();
+            assert!(!d.is_outlier(&hist, level), "level {level}, n {n}");
+            let s = BitmapDetector::spike();
+            assert!(!s.is_outlier(&hist, level), "spike at level {level}, n {n}");
+        }
+    }
+}
+
+#[test]
+fn zscore_constant_series_tolerates_sub_threshold_wiggle() {
+    let d = ModifiedZScore::default();
+    for n in [8usize, 9, 20, 41] {
+        let hist = vec![2.0; n];
+        assert!(!d.is_outlier(&hist, 2.0), "n {n}");
+        assert!(!d.is_outlier(&hist, 2.0 + d.min_deviation * 0.9), "n {n}");
+        assert!(d.is_outlier(&hist, 2.0 + d.min_deviation * 2.0), "n {n}");
+        // Scores stay finite-or-infinite without NaN.
+        assert!(!d.score(&hist, 2.0).is_nan());
+        assert!(!d.score(&hist, 3.0).is_nan());
+    }
+}
+
+// --- single-sample windows ---
+
+#[test]
+fn bitmap_single_sample_windows_no_panic() {
+    // lag = lead = 1: the smallest windows the detector accepts. Both the
+    // two-sample minimum series and longer ones must behave.
+    let d = BitmapDetector { lag: 1, lead: 1, word_len: 1, alphabet: 4, threshold: 1.0 };
+    assert_eq!(d.lead_lag_score(&[1.0]), None, "one sample cannot fill lag+lead");
+    let s = d.lead_lag_score(&[1.0, 1.0]).expect("two samples fill 1+1");
+    assert!(s.is_finite() && s >= 0.0);
+    assert!(!d.is_outlier(&[1.0], 1.0));
+    // A genuinely different pair of samples scores high but stays bounded.
+    let s = d.lead_lag_score(&[0.0, 100.0]).expect("eligible");
+    assert!((0.0..=2.0 + 1e-9).contains(&s));
+}
+
+#[test]
+fn bitmap_word_longer_than_window_is_benign() {
+    // word_len exceeds both windows: no subwords exist, bitmaps are all
+    // zeros, and the distance collapses to 0 rather than panicking.
+    let d = BitmapDetector { lag: 1, lead: 1, word_len: 2, alphabet: 4, threshold: 0.5 };
+    let s = d.lead_lag_score(&[1.0, 5.0]).expect("eligible");
+    assert_eq!(s, 0.0);
+    assert!(!d.is_outlier(&[1.0], 5.0));
+}
+
+#[test]
+fn zscore_single_sample_history_no_panic() {
+    let d = ModifiedZScore { min_history: 1, ..ModifiedZScore::default() };
+    // One identical sample: degenerate (MAD and meanAD both zero).
+    assert!(!d.is_outlier(&[5.0], 5.0));
+    assert!(d.is_outlier(&[5.0], 6.0), "constant-fallback must still judge");
+    assert_eq!(d.zscore(&[5.0], 6.0), None);
+    assert!(!d.score(&[5.0], 5.0).is_nan());
+}
+
+#[test]
+fn zscore_two_sample_history_no_spurious_flags() {
+    let d = ModifiedZScore { min_history: 2, ..ModifiedZScore::default() };
+    // Two distinct samples: MAD is positive, in-range candidates pass.
+    assert!(!d.is_outlier(&[1.0, 2.0], 1.5));
+    let z = d.zscore(&[1.0, 2.0], 1.5).expect("non-degenerate");
+    assert!(z.is_finite());
+}

@@ -10,7 +10,7 @@ use rrr_geo::{GeoDb, Geolocator, PingVantage};
 use rrr_ip2as::{AliasResolver, IpToAsMap};
 use rrr_topology::{generate, Topology, TopologyConfig};
 use rrr_trace::{canonical_path, CanonicalPath, Platform, PlatformConfig};
-use rrr_types::{Duration, Ipv4, ProbeId, VpId};
+use rrr_types::{BgpUpdate, Duration, Ipv4, ProbeId, Timestamp, Traceroute, VpId};
 use std::sync::Arc;
 
 /// Everything needed to spin up one simulated measurement campaign.
@@ -129,6 +129,22 @@ impl World {
             self.cfg.seed.wrapping_add(8),
         );
         (map, geo, alias)
+    }
+
+    /// Advances the simulated network to `t` and collects one detector
+    /// round's inputs: the BGP updates emitted since the previous advance
+    /// and a random public-traceroute sweep measured at `t`. This is the
+    /// per-round loop body shared by the experiment binaries and the
+    /// fault-injection harness (which perturbs the returned streams before
+    /// feeding them to the detector).
+    pub fn advance_round(
+        &mut self,
+        t: Timestamp,
+        public_per_round: usize,
+    ) -> (Vec<BgpUpdate>, Vec<Traceroute>) {
+        let updates = self.engine.advance_to(t);
+        let public = self.platform.random_round(&self.engine, t, public_per_round);
+        (updates, public)
     }
 
     /// Ground-truth canonical path for a probe→destination pair under the

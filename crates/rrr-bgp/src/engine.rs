@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rrr_topology::{AsIdx, Tier, Topology};
-use rrr_types::{BgpElem, BgpUpdate, CityId, Timestamp, VpId};
+use rrr_types::{Asn, BgpElem, BgpUpdate, CityId, Timestamp, VpId};
 use std::sync::Arc;
 
 /// Engine configuration.
@@ -121,6 +121,12 @@ impl Engine {
     }
     pub fn now(&self) -> Timestamp {
         self.now
+    }
+
+    /// Each vantage point with its AS number — the peer table an MRT
+    /// encoder needs to frame this engine's update stream.
+    pub fn vp_asns(&self) -> Vec<(VpId, Asn)> {
+        self.vps.iter().map(|vp| (vp.id, self.topo.asn_of(vp.asx))).collect()
     }
 
     /// State version: incremented once per applied event.

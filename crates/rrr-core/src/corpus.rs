@@ -171,6 +171,13 @@ impl Corpus {
         let dst_prefix = map.most_specific_prefix(tr.dst);
         let id = tr.id;
 
+        // Re-inserting an id that is already present (e.g. a replayed feed)
+        // must first clean the old entry's index references — overwriting
+        // the entry alone would leave dangling ids in by_dst_prefix/by_asn
+        // that a later remove() could never reach.
+        if self.entries.contains_key(&id) {
+            self.remove(id);
+        }
         if let Some(old) = self.by_pair.insert((tr.src, tr.dst), id) {
             self.remove(old);
         }
@@ -193,13 +200,8 @@ impl Corpus {
             asserting: 0,
             stale_since: None,
         };
-        Some(match self.entries.entry(id) {
-            std::collections::hash_map::Entry::Occupied(mut o) => {
-                o.insert(entry);
-                o.into_mut()
-            }
-            std::collections::hash_map::Entry::Vacant(v) => v.insert(entry),
-        })
+        // The up-front remove above guarantees the slot is vacant.
+        Some(self.entries.entry(id).or_insert(entry))
     }
 
     /// Removes an entry and cleans indices. Index entries whose vectors
@@ -244,6 +246,62 @@ impl Corpus {
                 e.stale_since = None;
             }
         }
+    }
+
+    /// Validates every lookup index against the entry table: indexed ids
+    /// must exist, index vectors must be duplicate-free and non-empty, and
+    /// every entry must be reachable through all of its indexes. Returns a
+    /// description of the first inconsistency found. Used by the simulation
+    /// harness as a standing invariant after every pipeline round.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (pfx, ids) in &self.by_dst_prefix {
+            if ids.is_empty() {
+                return Err(format!("by_dst_prefix[{pfx}] is an empty vector"));
+            }
+            let mut seen = std::collections::HashSet::new();
+            for id in ids {
+                if !self.entries.contains_key(id) {
+                    return Err(format!("by_dst_prefix[{pfx}] references missing entry {id:?}"));
+                }
+                if !seen.insert(*id) {
+                    return Err(format!("by_dst_prefix[{pfx}] lists {id:?} twice"));
+                }
+            }
+        }
+        for (asn, ids) in &self.by_asn {
+            if ids.is_empty() {
+                return Err(format!("by_asn[{asn}] is an empty vector"));
+            }
+            let mut seen = std::collections::HashSet::new();
+            for id in ids {
+                if !self.entries.contains_key(id) {
+                    return Err(format!("by_asn[{asn}] references missing entry {id:?}"));
+                }
+                if !seen.insert(*id) {
+                    return Err(format!("by_asn[{asn}] lists {id:?} twice"));
+                }
+            }
+        }
+        for ((src, dst), id) in &self.by_pair {
+            if !self.entries.contains_key(id) {
+                return Err(format!("by_pair[({src}, {dst})] references missing entry {id:?}"));
+            }
+        }
+        for e in self.entries.values() {
+            let pfx = e.dst_prefix.unwrap_or(Prefix::new(e.traceroute.dst, 32));
+            if !self.by_dst_prefix.get(&pfx).is_some_and(|v| v.contains(&e.id)) {
+                return Err(format!("entry {:?} missing from by_dst_prefix[{pfx}]", e.id));
+            }
+            for a in &e.as_path {
+                if !self.by_asn.get(a).is_some_and(|v| v.contains(&e.id)) {
+                    return Err(format!("entry {:?} missing from by_asn[{a}]", e.id));
+                }
+            }
+            if self.by_pair.get(&(e.traceroute.src, e.traceroute.dst)) != Some(&e.id) {
+                return Err(format!("entry {:?} not the by_pair entry for its pair", e.id));
+            }
+        }
+        Ok(())
     }
 
     /// Counts entries per freshness class.
@@ -340,6 +398,49 @@ mod tests {
         // No dead keys left behind: churn must not leak index entries.
         assert!(c.by_dst_prefix.is_empty(), "{:?}", c.by_dst_prefix);
         assert!(c.by_asn.is_empty(), "{:?}", c.by_asn);
+    }
+
+    /// Regression: removing the same probe id twice must be a graceful
+    /// no-op — no panic, no index damage — including when another entry was
+    /// inserted between the two removes.
+    #[test]
+    fn double_remove_is_graceful() {
+        let mut c = Corpus::new();
+        let m = map();
+        let id = c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("ok").id;
+        assert!(c.remove(id).is_some());
+        assert!(c.remove(id).is_none(), "second remove must return None");
+        c.check_consistency().expect("indices intact after double remove");
+
+        // Interleaved: a new entry sharing the same dst prefix and ASNs
+        // must survive a stale re-remove of the old id untouched.
+        let mut t2 = tr(2, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]);
+        t2.src = ip("10.0.200.7");
+        let id2 = c.insert(t2, &m, None).expect("ok").id;
+        assert!(c.remove(id).is_none());
+        assert!(c.get(id2).is_some(), "survivor evicted by stale remove");
+        c.check_consistency().expect("indices intact");
+        assert!(c.by_asn.get(&Asn(101)).expect("indexed").contains(&id2));
+    }
+
+    /// Regression: re-inserting an existing id under a *different* pair
+    /// must clean the old entry's index references, so a later remove
+    /// leaves nothing dangling.
+    #[test]
+    fn reinsert_same_id_different_pair_cleans_indices() {
+        let mut c = Corpus::new();
+        let m = map();
+        let id = c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("ok").id;
+        // Same id, different destination (and thus pair + prefix + path).
+        let mut t2 = tr(1, &["10.0.0.9", "10.1.0.5"]);
+        t2.dst = ip("10.1.0.5");
+        assert_eq!(c.insert(t2, &m, None).expect("ok").id, id);
+        assert_eq!(c.len(), 1);
+        c.check_consistency().expect("reinsertion left dangling references");
+        c.remove(id);
+        assert!(c.by_dst_prefix.is_empty(), "{:?}", c.by_dst_prefix);
+        assert!(c.by_asn.is_empty(), "{:?}", c.by_asn);
+        assert!(c.by_pair.is_empty(), "{:?}", c.by_pair);
     }
 
     #[test]

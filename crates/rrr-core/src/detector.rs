@@ -192,6 +192,55 @@ impl StalenessDetector {
         self.corpus.remove(id);
     }
 
+    /// Validates the cross-structure invariants tying the corpus, the
+    /// monitor registrations, and the active staleness assertions together.
+    /// Cheap enough to run after every simulated round; returns a
+    /// description of the first violation instead of panicking so harnesses
+    /// can attach context (seed, fault plan) before failing.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.corpus.check_consistency()?;
+        // Monitor registration is 1:1 with corpus membership: `add_corpus`
+        // always records the (possibly empty) key set, `remove_corpus`
+        // always drops it.
+        for id in self.potential.keys() {
+            if self.corpus.get(*id).is_none() {
+                return Err(format!("potential[{id:?}] has no corpus entry"));
+            }
+        }
+        for (id, per) in &self.active {
+            if per.is_empty() {
+                return Err(format!("active[{id:?}] is an empty assertion map"));
+            }
+            if self.corpus.get(*id).is_none() {
+                return Err(format!("active[{id:?}] has no corpus entry"));
+            }
+        }
+        for e in self.corpus.entries() {
+            let Some(keys) = self.potential.get(&e.id) else {
+                return Err(format!("corpus entry {:?} has no monitor registration", e.id));
+            };
+            if e.monitors != keys.len() {
+                return Err(format!(
+                    "corpus entry {:?}: monitors {} != registered keys {}",
+                    e.id,
+                    e.monitors,
+                    keys.len()
+                ));
+            }
+            let asserting = self.active.get(&e.id).map_or(0, |per| per.len());
+            if e.asserting != asserting {
+                return Err(format!(
+                    "corpus entry {:?}: asserting {} != active assertions {}",
+                    e.id, e.asserting, asserting
+                ));
+            }
+            if e.asserting > 0 && e.stale_since.is_none() {
+                return Err(format!("corpus entry {:?} asserting without stale_since", e.id));
+            }
+        }
+        Ok(())
+    }
+
     /// Advances the pipeline to `now`, consuming the BGP updates and public
     /// traceroutes observed since the previous step (both time-sorted).
     /// Returns the staleness prediction signals generated.

@@ -118,13 +118,15 @@ impl DurableDetector {
             StalenessDetector::restore(BufReader::new(file), topo, map, geo, alias, det_cfg)?;
 
         // Replay logged steps; a torn tail (crash mid-append) ends replay
-        // cleanly, matching a crash before that step was processed.
-        if let Ok(file) = File::open(dir.join(WAL_FILE)) {
-            let mut reader = WalReader::new(BufReader::new(file));
-            while let Some(payload) = reader.next_record()? {
-                let rec: StepRecord = rrr_store::from_payload(&payload)?;
-                let _ = det.step(rec.now, &rec.bgp_updates, &rec.public);
-            }
+        // cleanly, matching a crash before that step was processed. A
+        // missing or zero-length WAL is a clean empty log (crash between
+        // checkpoint cut and first append); any other open failure is a
+        // real error — silently skipping replay would desynchronize the
+        // restored state from the checkpoint's successor stream.
+        let mut reader = WalReader::open(dir.join(WAL_FILE))?;
+        while let Some(payload) = reader.next_record()? {
+            let rec: StepRecord = rrr_store::from_payload(&payload)?;
+            let _ = det.step(rec.now, &rec.bgp_updates, &rec.public);
         }
 
         let wal = WalWriter::new(BufWriter::new(

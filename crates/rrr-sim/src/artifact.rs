@@ -1,0 +1,118 @@
+//! Replayable failure artifacts. When a scenario fails, the harness
+//! writes one RON document carrying the oracle, the failure message, and
+//! a complete `Scenario` repro with the *minimized* fault plan — so
+//! `sim_run --file <artifact>` re-runs exactly the failing configuration
+//! without the original corpus.
+
+use crate::faults::Fault;
+use crate::ron::{self, Value};
+use crate::runner::OracleFailure;
+use crate::scenario::{Scenario, ScenarioError};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default artifact directory, overridable with `RRR_SIM_ARTIFACT_DIR`.
+pub fn default_artifact_dir() -> PathBuf {
+    std::env::var_os("RRR_SIM_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/sim-artifacts"))
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect()
+}
+
+/// Writes `<dir>/<scenario>.failure.ron` and returns its path.
+pub fn write_artifact(
+    dir: &Path,
+    sc: &Scenario,
+    failure: &OracleFailure,
+    minimized: &[Fault],
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let doc = Value::Struct(
+        "Failure".to_string(),
+        vec![
+            ("scenario".to_string(), Value::Str(sc.name.clone())),
+            ("seed".to_string(), Value::Int(sc.seed as i64)),
+            ("oracle".to_string(), Value::Str(failure.oracle.to_string())),
+            ("message".to_string(), Value::Str(failure.message.clone())),
+            (
+                "original_faults".to_string(),
+                Value::Seq(sc.faults.iter().map(Fault::to_value).collect()),
+            ),
+            ("repro".to_string(), sc.to_value_with_faults(minimized)),
+        ],
+    );
+    let path = dir.join(format!("{}.failure.ron", sanitize(&sc.name)));
+    let text = format!(
+        "// Replay with: cargo run -p rrr-sim --bin sim_run -- --file {}\n{doc}\n",
+        path.display()
+    );
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Loads a scenario from either a plain `Scenario(...)` file or a
+/// `Failure(...)` artifact (taking its `repro`).
+pub fn load_scenario_or_artifact(path: &Path) -> Result<Scenario, ScenarioError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ScenarioError { path: Some(path.to_path_buf()), message: e.to_string() })?;
+    let v = ron::parse(&text)
+        .map_err(|e| ScenarioError { path: Some(path.to_path_buf()), message: e.to_string() })?;
+    let sc = match v.name() {
+        Some("Failure") => {
+            let repro = v.field("repro").ok_or_else(|| ScenarioError {
+                path: Some(path.to_path_buf()),
+                message: "Failure artifact has no `repro` field".to_string(),
+            })?;
+            Scenario::from_value(repro)
+        }
+        _ => Scenario::from_value(&v),
+    };
+    sc.map(|mut s| {
+        s.source = Some(path.to_path_buf());
+        s
+    })
+    .map_err(|e| ScenarioError { path: Some(path.to_path_buf()), message: e.message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::OracleFailure;
+
+    #[test]
+    fn artifacts_round_trip_into_a_runnable_scenario() {
+        let sc = Scenario::parse(
+            r#"Scenario(
+                name: "artifact-demo",
+                seed: 3,
+                rounds: 6,
+                events: [Withdraw(from: 2, to: 4, dst: 1)],
+                faults: [ReorderWindow(round: 1), FlipCheckpointByte(offset: 9)],
+                oracles: [CrashResume(split: 3), Invariants],
+                expect: StoreError(kind: "CrcMismatch"),
+            )"#,
+        )
+        .expect("parses");
+        let failure = OracleFailure {
+            oracle: "crash-resume",
+            message: "expected StoreError::CrcMismatch on reopen, but the reopen succeeded"
+                .to_string(),
+        };
+        let dir =
+            std::env::temp_dir().join(format!("rrr-sim-artifact-test-{}", std::process::id()));
+        let minimized = vec![sc.faults[1]];
+        let path = write_artifact(&dir, &sc, &failure, &minimized).expect("writes");
+        let reloaded = load_scenario_or_artifact(&path).expect("reloads");
+        assert_eq!(reloaded.name, sc.name);
+        assert_eq!(reloaded.seed, sc.seed);
+        assert_eq!(reloaded.rounds, sc.rounds);
+        assert_eq!(reloaded.events, sc.events);
+        assert_eq!(reloaded.faults, minimized, "repro carries the minimized plan");
+        assert_eq!(reloaded.oracles, sc.oracles);
+        assert_eq!(reloaded.expect, sc.expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

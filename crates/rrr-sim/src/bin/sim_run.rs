@@ -1,0 +1,157 @@
+//! Executes a scenario corpus (or one scenario/artifact file) and reports
+//! per-scenario pass/fail. Exits nonzero if any scenario fails; failing
+//! fault plans are minimized and written as replayable artifacts.
+//!
+//! ```text
+//! sim_run [--scenarios DIR] [--file PATH] [--only NAME] [--threads N]
+//!         [--artifacts DIR] [--no-minimize] [--list]
+//! ```
+
+use rrr_sim::{default_artifact_dir, load_corpus, load_scenario_or_artifact, RunOptions, Scenario};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    scenarios_dir: PathBuf,
+    file: Option<PathBuf>,
+    only: Option<String>,
+    threads: usize,
+    artifacts: PathBuf,
+    minimize: bool,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sim_run [--scenarios DIR] [--file PATH] [--only NAME] [--threads N]\n\
+         \x20              [--artifacts DIR] [--no-minimize] [--list]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scenarios_dir: PathBuf::from("tests/scenarios"),
+        file: None,
+        only: None,
+        threads: 1,
+        artifacts: default_artifact_dir(),
+        minimize: true,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--scenarios" => args.scenarios_dir = PathBuf::from(value("--scenarios")),
+            "--file" => args.file = Some(PathBuf::from(value("--file"))),
+            "--only" => args.only = Some(value("--only")),
+            "--threads" => {
+                args.threads = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads takes a number");
+                    usage()
+                })
+            }
+            "--artifacts" => args.artifacts = PathBuf::from(value("--artifacts")),
+            "--no-minimize" => args.minimize = false,
+            "--list" => args.list = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let scenarios: Vec<Scenario> = if let Some(file) = &args.file {
+        match load_scenario_or_artifact(file) {
+            Ok(sc) => vec![sc],
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match load_corpus(&args.scenarios_dir) {
+            Ok(corpus) => corpus,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let scenarios: Vec<Scenario> = match &args.only {
+        Some(name) => scenarios.into_iter().filter(|s| s.name.contains(name.as_str())).collect(),
+        None => scenarios,
+    };
+    if scenarios.is_empty() {
+        eprintln!("error: no scenarios matched");
+        return ExitCode::from(2);
+    }
+
+    if args.list {
+        for sc in &scenarios {
+            println!(
+                "{:32} seed={:<6} {:?} rounds={:<3} faults={} oracles={}",
+                sc.name,
+                sc.seed,
+                sc.world,
+                sc.rounds,
+                sc.faults.len(),
+                sc.oracles.len()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let opts = RunOptions {
+        base_threads: args.threads,
+        artifact_dir: Some(args.artifacts.clone()),
+        minimize: args.minimize,
+    };
+
+    let mut failures = 0usize;
+    let total = scenarios.len();
+    for sc in &scenarios {
+        let start = Instant::now();
+        let outcome = rrr_sim::run_scenario(sc, &opts);
+        let secs = start.elapsed().as_secs_f64();
+        match &outcome.failure {
+            None => println!("PASS {:32} ({secs:.1}s)", outcome.name),
+            Some(f) => {
+                failures += 1;
+                println!("FAIL {:32} ({secs:.1}s)", outcome.name);
+                println!("     oracle:  {}", f.oracle);
+                println!("     seed:    {}", sc.seed);
+                println!("     reason:  {}", f.message.replace('\n', "\n              "));
+                if !f.minimized.is_empty() {
+                    println!("     minimized fault plan:");
+                    for fault in &f.minimized {
+                        println!("       {}", fault.to_value());
+                    }
+                }
+                if let Some(path) = &f.artifact {
+                    println!("     replay:  sim_run --file {}", path.display());
+                }
+            }
+        }
+    }
+    println!("{}/{} scenarios passed (threads={})", total - failures, total, args.threads);
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,86 @@
+//! Delta-debugging (ddmin) over fault plans: given a plan whose scenario
+//! fails, find a locally minimal sub-plan that still fails. Because every
+//! fault's perturbation is keyed on the *scenario* seed (not its position
+//! in the plan), removing faults never changes how the survivors behave —
+//! which is exactly the property ddmin needs to converge.
+
+use crate::faults::Fault;
+
+/// Minimizes `faults` against `fails` (which must return `true` for the
+/// full plan). Returns a sub-plan, in original order, such that removing
+/// any single remaining chunk at the finest granularity makes the failure
+/// disappear. Calls `fails` O(n²) times in the worst case; fault plans are
+/// small (≤ tens), so this stays cheap next to the scenario runs it wraps.
+pub fn minimize<F: FnMut(&[Fault]) -> bool>(faults: &[Fault], mut fails: F) -> Vec<Fault> {
+    let mut current: Vec<Fault> = faults.to_vec();
+    if current.len() <= 1 {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        // Try each complement (the plan minus one chunk): keeping the
+        // complement of a failing chunk is the bisection step.
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let complement: Vec<Fault> =
+                current[..start].iter().chain(&current[end..]).copied().collect();
+            if !complement.is_empty() && fails(&complement) {
+                current = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(n: u64) -> Vec<Fault> {
+        (0..n).map(|round| Fault::ReorderWindow { round }).collect()
+    }
+
+    #[test]
+    fn finds_a_single_culprit() {
+        let culprit = Fault::DropUpdates { round: 3, modulo: 2 };
+        let mut faults = plan(6);
+        faults.insert(4, culprit);
+        let mut calls = 0;
+        let min = minimize(&faults, |cand| {
+            calls += 1;
+            cand.contains(&culprit)
+        });
+        assert_eq!(min, vec![culprit]);
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn keeps_a_failing_pair_together() {
+        let a = Fault::DropUpdates { round: 1, modulo: 2 };
+        let b = Fault::DuplicateUpdates { round: 5, copies: 3 };
+        let mut faults = plan(8);
+        faults.insert(2, a);
+        faults.push(b);
+        let min = minimize(&faults, |cand| cand.contains(&a) && cand.contains(&b));
+        assert_eq!(min, vec![a, b]);
+    }
+
+    #[test]
+    fn single_fault_plans_are_already_minimal() {
+        let f = vec![Fault::BadMagicCheckpoint];
+        assert_eq!(minimize(&f, |_| true), f);
+    }
+}

@@ -1,0 +1,565 @@
+//! Scenario execution: expands the scenario's world, applies the fault
+//! plan to the input stream, and checks every oracle. Oracles assert
+//! *input-independent* invariants — shard-count invariance, crash-resume
+//! equivalence, internal consistency, revocation, budget discipline, MRT
+//! round-tripping — so they hold on faulted streams too: a fault changes
+//! *which* inputs the detector sees, never the rules the detector must
+//! obey while seeing them.
+
+use crate::faults::Fault;
+use crate::inputs::{RoundInput, SimWorld, ROUND};
+use crate::scenario::{Expect, Oracle, Scenario, SimEvent};
+use rrr_baselines::{run_emulation, Dtrack, EmuWorld, PathTimeline, RoundRobin};
+use rrr_core::{DurableConfig, DurableDetector, StalenessDetector, StalenessSignal};
+use rrr_mrt::{record_to_updates, MrtReader, MrtWriter, VpDirectory};
+use rrr_store::StoreError;
+use rrr_topology::AsIdx;
+use rrr_trace::CanonicalPath;
+use rrr_types::{BgpUpdate, Duration, PeeringPointId, Timestamp, TracerouteId};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Worker-thread counts the shard-invariance oracle compares.
+pub const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+/// Refresh-planning cadence (steps) for oracles that churn the refresh
+/// path, and the budget per plan.
+const PLAN_EVERY: usize = 3;
+const PLAN_BUDGET: usize = 4;
+
+/// A failed oracle, with the message that explains the divergence.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    pub oracle: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.message)
+    }
+}
+
+/// Runs one scenario: every oracle, in declaration order, on the faulted
+/// stream. The first failing oracle wins. `base_threads` is the worker
+/// count for single-detector oracles (shard invariance always compares
+/// [`SHARD_COUNTS`]).
+pub fn run_once(sc: &Scenario, base_threads: usize) -> Result<(), OracleFailure> {
+    let (world, mut steps) = SimWorld::from_scenario(sc);
+    for f in &sc.faults {
+        f.apply_stream(&mut steps, sc.seed);
+    }
+    for o in &sc.oracles {
+        let res = match *o {
+            Oracle::ShardInvariance => oracle_shard_invariance(&world, &steps),
+            Oracle::CrashResume { split } => {
+                oracle_crash_resume(sc, &world, &steps, split as usize, base_threads)
+            }
+            Oracle::Invariants => oracle_invariants(&world, &steps, base_threads),
+            Oracle::Revocation => oracle_revocation(&world, &steps, base_threads),
+            Oracle::Baselines { budget } => {
+                oracle_baselines(sc, &world, &steps, budget, base_threads)
+            }
+            Oracle::MrtRoundTrip => oracle_mrt_round_trip(&world, &steps),
+        };
+        if let Err(message) = res {
+            return Err(OracleFailure { oracle: o.name(), message });
+        }
+    }
+    Ok(())
+}
+
+/// Stable signal digest: every field that downstream consumers see, with
+/// the score bit-exact.
+fn signal_repr(s: &StalenessSignal) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:016x}|{:?}|{:?}",
+        s.key,
+        s.time,
+        s.window,
+        s.score.to_bits(),
+        s.traceroutes,
+        s.trigger_communities
+    )
+}
+
+fn log_repr(det: &StalenessDetector) -> Vec<String> {
+    det.signal_log().iter().map(signal_repr).collect()
+}
+
+fn checkpoint_bytes(det: &StalenessDetector) -> Result<Vec<u8>, String> {
+    let mut buf = Vec::new();
+    det.checkpoint(&mut buf).map_err(|e| format!("checkpoint failed: {e}"))?;
+    Ok(buf)
+}
+
+fn first_log_diff(a: &[String], b: &[String]) -> String {
+    if a.len() != b.len() {
+        return format!("signal counts differ: {} vs {}", a.len(), b.len());
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x != y {
+            return format!("first divergence at signal {i}:\n  {x}\n  {y}");
+        }
+    }
+    "signal logs are equal (divergence is elsewhere in the state)".to_string()
+}
+
+/// Plans a refresh and applies it with identical re-measurements (new
+/// id/time, same hops): the verify→remove→re-add cycle churns corpus
+/// indexes and monitor registration deterministically without inventing
+/// new measurement data.
+fn plan_and_apply(
+    det: &mut StalenessDetector,
+    budget: usize,
+    step: u64,
+    now: Timestamp,
+) -> Vec<TracerouteId> {
+    let plan = det.plan_refresh(budget);
+    for (j, &old) in plan.refresh.iter().enumerate() {
+        let Some(entry) = det.corpus().get(old) else { continue };
+        let mut fresh = entry.traceroute.clone();
+        fresh.id = TracerouteId(900_000 + step * 100 + j as u64);
+        fresh.time = now;
+        let _ = det.apply_refresh(old, fresh, None);
+    }
+    plan.refresh
+}
+
+/// Feeds every step, optionally planning/refreshing on a fixed cadence.
+/// Returns the refresh plans (empty when planning is off).
+fn drive(
+    det: &mut StalenessDetector,
+    steps: &[RoundInput],
+    plan_budget: Option<usize>,
+) -> Vec<Vec<TracerouteId>> {
+    let mut plans = Vec::new();
+    for (k, ri) in steps.iter().enumerate() {
+        let _ = det.step(ri.now, &ri.updates, &ri.public);
+        if let Some(budget) = plan_budget {
+            if (k + 1) % PLAN_EVERY == 0 {
+                plans.push(plan_and_apply(det, budget, k as u64, ri.now));
+            }
+        }
+    }
+    plans
+}
+
+/// Thread counts 1, 2, and 8 must produce bit-identical signal logs,
+/// refresh plans, and final checkpoint bytes (the worker count is runtime
+/// tuning, excluded from the checkpoint's config fingerprint).
+fn oracle_shard_invariance(world: &SimWorld, steps: &[RoundInput]) -> Result<(), String> {
+    let mut reference = world.build(SHARD_COUNTS[0]);
+    let ref_plans = drive(&mut reference, steps, Some(PLAN_BUDGET));
+    let ref_log = log_repr(&reference);
+    let ref_ck = checkpoint_bytes(&reference)?;
+    for &threads in &SHARD_COUNTS[1..] {
+        let mut det = world.build(threads);
+        let plans = drive(&mut det, steps, Some(PLAN_BUDGET));
+        let log = log_repr(&det);
+        if log != ref_log {
+            return Err(format!(
+                "signal logs diverge between {} and {threads} threads: {}",
+                SHARD_COUNTS[0],
+                first_log_diff(&ref_log, &log)
+            ));
+        }
+        if plans != ref_plans {
+            return Err(format!(
+                "refresh plans diverge between {} and {threads} threads: {ref_plans:?} vs {plans:?}",
+                SHARD_COUNTS[0]
+            ));
+        }
+        let ck = checkpoint_bytes(&det)?;
+        if ck != ref_ck {
+            return Err(format!(
+                "final checkpoints differ between {} and {threads} threads \
+                 ({} vs {} bytes) though signal logs match",
+                SHARD_COUNTS[0],
+                ref_ck.len(),
+                ck.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `StalenessDetector::check_invariants` holds after every step and after
+/// every applied refresh.
+fn oracle_invariants(world: &SimWorld, steps: &[RoundInput], threads: usize) -> Result<(), String> {
+    let mut det = world.build(threads);
+    det.check_invariants().map_err(|e| format!("before any step: {e}"))?;
+    for (k, ri) in steps.iter().enumerate() {
+        let _ = det.step(ri.now, &ri.updates, &ri.public);
+        det.check_invariants().map_err(|e| format!("after step {k}: {e}"))?;
+        if (k + 1) % PLAN_EVERY == 0 {
+            plan_and_apply(&mut det, PLAN_BUDGET, k as u64, ri.now);
+            det.check_invariants().map_err(|e| format!("after refresh at step {k}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Signals must fire while the scripted events hold, mark corpus entries
+/// stale, and every assertion must revoke once the events revert (§4.3.2):
+/// the corpus ends the run fully fresh again.
+fn oracle_revocation(world: &SimWorld, steps: &[RoundInput], threads: usize) -> Result<(), String> {
+    let mut det = world.build(threads);
+    let mut max_stale = 0usize;
+    for ri in steps {
+        let _ = det.step(ri.now, &ri.updates, &ri.public);
+        let (_, stale, _) = det.corpus().freshness_counts();
+        max_stale = max_stale.max(stale);
+    }
+    if det.signal_log().is_empty() {
+        return Err("no signals fired; the scenario's events never produced an anomaly".to_string());
+    }
+    if max_stale == 0 {
+        return Err("signals fired but no corpus entry was ever marked stale".to_string());
+    }
+    let (_, stale, _) = det.corpus().freshness_counts();
+    if stale != 0 {
+        return Err(format!(
+            "{stale} corpus entries still marked stale after every scripted event reverted \
+             (peak during the run: {max_stale})"
+        ));
+    }
+    Ok(())
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh scratch directory for one durable run.
+fn fresh_dir(name: &str) -> PathBuf {
+    let clean: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect();
+    std::env::temp_dir().join(format!(
+        "rrr-sim-{}-{}-{}",
+        std::process::id(),
+        clean,
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The `StoreError` variant name, for matching `Expect::StoreError`.
+pub fn store_error_kind(e: &StoreError) -> &'static str {
+    match e {
+        StoreError::Io(_) => "Io",
+        StoreError::BadMagic(_) => "BadMagic",
+        StoreError::UnsupportedVersion { .. } => "UnsupportedVersion",
+        StoreError::CrcMismatch { .. } => "CrcMismatch",
+        StoreError::Corrupt { .. } => "Corrupt",
+        StoreError::TrailingData { .. } => "TrailingData",
+        StoreError::ConfigMismatch { .. } => "ConfigMismatch",
+    }
+}
+
+/// Durable run to the crash point, durable-file faults, reopen, resume.
+/// With `Expect::Pass` the resumed detector's final checkpoint must equal
+/// an uninterrupted in-memory run's; with `Expect::StoreError(kind)` the
+/// reopen itself must fail with exactly that variant.
+fn oracle_crash_resume(
+    sc: &Scenario,
+    world: &SimWorld,
+    steps: &[RoundInput],
+    split: usize,
+    threads: usize,
+) -> Result<(), String> {
+    let dir = fresh_dir(&sc.name);
+    let result = crash_resume_inner(sc, world, steps, split, threads, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn crash_resume_inner(
+    sc: &Scenario,
+    world: &SimWorld,
+    steps: &[RoundInput],
+    split: usize,
+    threads: usize,
+    dir: &PathBuf,
+) -> Result<(), String> {
+    // u64::MAX keeps every step in the WAL: reopening replays the full
+    // pre-crash stream, which is the path under test.
+    let cfg = DurableConfig { checkpoint_every_windows: u64::MAX };
+    let mut durable = DurableDetector::create(world.build(threads), dir, cfg.clone())
+        .map_err(|e| format!("creating the durable detector: {e}"))?;
+    for ri in &steps[..split] {
+        durable
+            .step(ri.now, &ri.updates, &ri.public)
+            .map_err(|e| format!("durable step before the crash: {e}"))?;
+    }
+    // The crash: drop without any graceful-shutdown pathway.
+    drop(durable);
+
+    for f in sc.faults.iter().filter(|f| f.is_durable()) {
+        f.apply_file(dir).map_err(|e| format!("applying {f:?} to the crashed dir: {e}"))?;
+    }
+
+    let (topo, map, geo, alias) = world.env();
+    let mut det_cfg = world.det_config(threads);
+    if sc.faults.contains(&Fault::RestoreConfigSkew) {
+        det_cfg.calibration_l += 1;
+    }
+    let reopened = DurableDetector::open(dir, topo, map, geo, alias, det_cfg, cfg);
+    let mut durable = match (&sc.expect, reopened) {
+        (Expect::StoreError(kind), Err(e)) => {
+            let got = store_error_kind(&e);
+            return if got == kind {
+                Ok(())
+            } else {
+                Err(format!("expected StoreError::{kind} on reopen, got {got}: {e}"))
+            };
+        }
+        (Expect::StoreError(kind), Ok(_)) => {
+            return Err(format!("expected StoreError::{kind} on reopen, but the reopen succeeded"));
+        }
+        (Expect::Pass, Err(e)) => {
+            return Err(format!("reopen failed with {}: {e}", store_error_kind(&e)));
+        }
+        (Expect::Pass, Ok(d)) => d,
+    };
+
+    for ri in &steps[split..] {
+        durable
+            .step(ri.now, &ri.updates, &ri.public)
+            .map_err(|e| format!("durable step after the resume: {e}"))?;
+    }
+
+    // The uninterrupted reference skips any step the durable run
+    // legitimately lost (a torn WAL tail loses exactly the crashed step).
+    let dropped: Vec<u64> = sc.faults.iter().filter_map(|f| f.dropped_step(split as u64)).collect();
+    let mut reference = world.build(threads);
+    for (k, ri) in steps.iter().enumerate() {
+        if dropped.contains(&(k as u64)) {
+            continue;
+        }
+        let _ = reference.step(ri.now, &ri.updates, &ri.public);
+    }
+
+    let resumed_ck = checkpoint_bytes(durable.detector())?;
+    let reference_ck = checkpoint_bytes(&reference)?;
+    if resumed_ck != reference_ck {
+        return Err(format!(
+            "crash-resume state diverges from the uninterrupted run: {}",
+            first_log_diff(&log_repr(&reference), &log_repr(durable.detector()))
+        ));
+    }
+    Ok(())
+}
+
+/// Refresh plans stay within budget and only name live corpus entries;
+/// the same scripted route changes, replayed through the `rrr-baselines`
+/// emulators, bracket sanely (generous round-robin catches everything,
+/// a starved one never beats it, DTRACK stays a valid fraction).
+fn oracle_baselines(
+    sc: &Scenario,
+    world: &SimWorld,
+    steps: &[RoundInput],
+    budget: usize,
+    threads: usize,
+) -> Result<(), String> {
+    let mut det = world.build(threads);
+    for (k, ri) in steps.iter().enumerate() {
+        let _ = det.step(ri.now, &ri.updates, &ri.public);
+        if (k + 1) % PLAN_EVERY == 0 {
+            let plan = det.plan_refresh(budget);
+            if plan.refresh.len() > budget {
+                return Err(format!(
+                    "step {k}: plan of {} traceroutes exceeds budget {budget}",
+                    plan.refresh.len()
+                ));
+            }
+            let mut seen = HashSet::new();
+            for &id in &plan.refresh {
+                if det.corpus().get(id).is_none() {
+                    return Err(format!("step {k}: plan names {id:?}, which is not in the corpus"));
+                }
+                if !seen.insert(id) {
+                    return Err(format!("step {k}: plan names {id:?} twice"));
+                }
+            }
+            for (j, &old) in plan.refresh.iter().enumerate() {
+                let Some(entry) = det.corpus().get(old) else { continue };
+                let mut fresh = entry.traceroute.clone();
+                fresh.id = TracerouteId(900_000 + (k as u64) * 100 + j as u64);
+                fresh.time = ri.now;
+                let _ = det.apply_refresh(old, fresh, None);
+            }
+            det.check_invariants().map_err(|e| format!("after refresh at step {k}: {e}"))?;
+        }
+    }
+
+    let Some(emu) = emu_from_events(sc) else { return Ok(()) };
+    if emu.total_changes() == 0 {
+        return Ok(());
+    }
+    let generous = run_emulation(&emu, &mut RoundRobin::default(), 1.0);
+    let starved = run_emulation(&emu, &mut RoundRobin::default(), 0.0001);
+    let dtrack = run_emulation(&emu, &mut Dtrack::new(emu.pair_count()), 0.05);
+    if generous.fraction() < 1.0 {
+        return Err(format!(
+            "a generous round-robin budget should detect every scripted change, got {}/{}",
+            generous.detected, generous.total_changes
+        ));
+    }
+    if starved.fraction() > generous.fraction() {
+        return Err(format!(
+            "a starved round-robin ({}) outperformed a generous one ({})",
+            starved.fraction(),
+            generous.fraction()
+        ));
+    }
+    if !(0.0..=1.0).contains(&dtrack.fraction()) {
+        return Err(format!("DTRACK detection fraction {} is out of range", dtrack.fraction()));
+    }
+    Ok(())
+}
+
+/// Ground-truth timelines for the emulators, built from the same scripted
+/// `RouteChange` events the detector-facing stream encodes: one monitored
+/// pair per affected destination, deviating during `[from, to)`.
+fn emu_from_events(sc: &Scenario) -> Option<EmuWorld> {
+    let changes: Vec<(u64, u64, u32)> = sc
+        .events
+        .iter()
+        .filter_map(|e| match *e {
+            SimEvent::RouteChange { from, to, dst } => Some((from, to, dst)),
+            _ => None,
+        })
+        .collect();
+    if changes.is_empty() {
+        return None;
+    }
+    let duration = Duration::minutes(15 * sc.rounds);
+    let mut dsts: Vec<u32> = changes.iter().map(|c| c.2).collect();
+    dsts.sort_unstable();
+    dsts.dedup();
+    let timelines = dsts
+        .iter()
+        .map(|&dst| {
+            let base = emu_path(dst, false);
+            let alt = emu_path(dst, true);
+            let mut states = vec![(Timestamp(0), base.clone())];
+            for &(from, to, d) in &changes {
+                if d == dst {
+                    states.push((Timestamp(from * ROUND), alt.clone()));
+                    states.push((Timestamp(to * ROUND), base.clone()));
+                }
+            }
+            states.sort_by_key(|(t, _)| *t);
+            // States starting at or past the campaign end are unobservable
+            // by construction; counting them would make 100% unreachable.
+            states.retain(|(t, _)| t.0 < duration.as_secs());
+            PathTimeline { states }
+        })
+        .collect();
+    Some(EmuWorld { timelines, round: Duration::minutes(15), duration })
+}
+
+fn emu_path(dst: u32, deviating: bool) -> CanonicalPath {
+    let as_chain = if deviating {
+        vec![AsIdx(0), AsIdx(1), AsIdx(3), AsIdx(2)]
+    } else {
+        vec![AsIdx(0), AsIdx(1), AsIdx(2)]
+    };
+    let crossings = as_chain
+        .windows(2)
+        .enumerate()
+        .map(|(i, _)| vec![PeeringPointId(dst * 10 + i as u32 + u32::from(deviating) * 100)])
+        .collect();
+    CanonicalPath { as_chain, crossings, reached: true }
+}
+
+/// The (possibly faulted) BGP stream must survive an MRT encode→decode
+/// round trip bit-exactly: what the simulator feeds the detector is what a
+/// RouteViews archive of the same session would replay.
+fn oracle_mrt_round_trip(world: &SimWorld, steps: &[RoundInput]) -> Result<(), String> {
+    let mut dir = VpDirectory::default();
+    for (vp, asn) in world.vp_asns() {
+        dir.register(vp, asn);
+    }
+    let all: Vec<BgpUpdate> = steps.iter().flat_map(|ri| ri.updates.iter().cloned()).collect();
+    let mut w = MrtWriter::new();
+    w.write_record(&dir.peer_index_record());
+    for u in &all {
+        w.write_update(&dir, u);
+    }
+    let bytes = w.into_bytes();
+    let mut got = Vec::new();
+    for rec in MrtReader::new(&bytes) {
+        let rec = rec.map_err(|e| format!("MRT decode error: {e:?}"))?;
+        got.extend(record_to_updates(&dir, &rec));
+    }
+    if got.len() != all.len() {
+        return Err(format!(
+            "MRT round trip changed the update count: {} -> {}",
+            all.len(),
+            got.len()
+        ));
+    }
+    if let Some(i) = got.iter().zip(&all).position(|(a, b)| a != b) {
+        return Err(format!(
+            "MRT round trip diverges at update {i}: wrote {:?}, read {:?}",
+            all[i], got[i]
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn clean_micro_scenario_passes_every_oracle() {
+        let sc = Scenario::parse(
+            r#"Scenario(
+                name: "unit-clean",
+                seed: 11,
+                world: Micro,
+                rounds: 8,
+                events: [RouteChange(from: 2, to: 5, dst: 1)],
+                oracles: [Invariants, CrashResume(split: 4), MrtRoundTrip, Baselines(budget: 3)],
+            )"#,
+        )
+        .expect("parses");
+        run_once(&sc, 1).expect("clean scenario passes");
+    }
+
+    #[test]
+    fn corrupted_checkpoint_fails_crash_resume_without_the_expectation() {
+        let sc = Scenario::parse(
+            r#"Scenario(
+                name: "unit-corrupt",
+                seed: 11,
+                world: Micro,
+                rounds: 6,
+                faults: [FlipCheckpointByte(offset: 64)],
+                oracles: [CrashResume(split: 3)],
+            )"#,
+        )
+        .expect("parses");
+        let err = run_once(&sc, 1).expect_err("corruption must surface");
+        assert_eq!(err.oracle, "crash-resume");
+        assert!(err.message.contains("CrcMismatch"), "{}", err.message);
+    }
+
+    #[test]
+    fn expected_store_errors_count_as_passing() {
+        let sc = Scenario::parse(
+            r#"Scenario(
+                name: "unit-expected",
+                seed: 11,
+                world: Micro,
+                rounds: 6,
+                faults: [BadMagicCheckpoint],
+                oracles: [CrashResume(split: 3)],
+                expect: StoreError(kind: "BadMagic"),
+            )"#,
+        )
+        .expect("parses");
+        run_once(&sc, 1).expect("expected error is a pass");
+    }
+}

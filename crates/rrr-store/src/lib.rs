@@ -34,5 +34,5 @@ pub mod wire;
 
 pub use checkpoint::{read_checkpoint, write_checkpoint, FORMAT_VERSION, MAGIC};
 pub use error::StoreError;
-pub use wal::{WalReader, WalWriter};
+pub use wal::{LogSource, WalReader, WalWriter};
 pub use wire::{from_payload, to_payload, Decoder, Encoder, Persist};

@@ -16,7 +16,9 @@
 
 use crate::crc32::crc32;
 use crate::error::StoreError;
-use std::io::{ErrorKind, Read, Write};
+use std::fs::File;
+use std::io::{BufReader, ErrorKind, Read, Write};
+use std::path::Path;
 
 /// Appends length+CRC framed records to a byte sink.
 pub struct WalWriter<W: Write> {
@@ -52,6 +54,39 @@ pub struct WalReader<R: Read> {
     r: R,
     offset: usize,
     done: bool,
+}
+
+/// Byte source of an on-disk log: a real file, or nothing at all when the
+/// log file does not exist (a clean empty log, not an error).
+pub enum LogSource {
+    File(BufReader<File>),
+    Absent,
+}
+
+impl Read for LogSource {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            LogSource::File(f) => f.read(buf),
+            LogSource::Absent => Ok(0),
+        }
+    }
+}
+
+impl WalReader<LogSource> {
+    /// Opens an on-disk log for reading. A missing or zero-length file is a
+    /// *clean empty log* — the state a fresh durable directory (or one that
+    /// crashed before the first append) legitimately leaves behind — so both
+    /// yield a reader whose iteration ends immediately rather than any
+    /// error. Every other open failure (permissions, I/O) is reported as
+    /// [`StoreError::Io`]; callers must not conflate "cannot read the log"
+    /// with "the log is empty".
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        match File::open(path.as_ref()) {
+            Ok(f) => Ok(WalReader::new(LogSource::File(BufReader::new(f)))),
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(WalReader::new(LogSource::Absent)),
+            Err(e) => Err(e.into()),
+        }
+    }
 }
 
 impl<R: Read> WalReader<R> {
@@ -165,6 +200,45 @@ mod tests {
         let torn = &log[..(8 + 5) + 3];
         let got = WalReader::new(torn).read_all().expect("read");
         assert_eq!(got, vec![b"alpha".to_vec()]);
+    }
+
+    #[test]
+    fn open_zero_length_file_is_clean_empty_log() {
+        let dir = std::env::temp_dir().join(format!("rrr-wal-open-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("empty.log");
+        std::fs::write(&path, b"").expect("create zero-length file");
+        // A zero-length log must read as empty, not Corrupt or Io.
+        let got = WalReader::open(&path).expect("open").read_all().expect("read");
+        assert!(got.is_empty(), "zero-length log yielded records: {got:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_missing_file_is_clean_empty_log() {
+        let path = std::env::temp_dir()
+            .join(format!("rrr-wal-nonexistent-{}", std::process::id()))
+            .join("never-created.log");
+        let got = WalReader::open(&path).expect("open").read_all().expect("read");
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn open_reads_real_records_and_reports_mid_log_corruption() {
+        let dir = std::env::temp_dir().join(format!("rrr-wal-open-read-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("wal.log");
+        let log = log_of(&[b"alpha", b"beta"]);
+        std::fs::write(&path, &log).expect("write log");
+        let got = WalReader::open(&path).expect("open").read_all().expect("read");
+        assert_eq!(got, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+
+        let mut corrupt = log;
+        corrupt[8] ^= 0x01;
+        std::fs::write(&path, &corrupt).expect("write log");
+        let err = WalReader::open(&path).expect("open").read_all().unwrap_err();
+        assert!(matches!(err, StoreError::CrcMismatch { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
