@@ -15,7 +15,13 @@
 //!   log (single-threaded by design);
 //! - `checkpoint` / `restore` — full-state serialization and recovery
 //!   (`rrr-store` format) on world states grown over 6×/24×/96× rounds,
-//!   with bytes-on-disk reported per row.
+//!   with bytes-on-disk reported per row;
+//! - `query_qps` — the `rrr-serve` daemon ingesting a scripted world
+//!   stream over 2 concurrent feeds while reader threads hammer the
+//!   epoch-snapshot handle with mixed queries; reports aggregate
+//!   queries/sec (as `ns_per_iter` per query and `queries_per_sec` in the
+//!   JSON) and verifies every published snapshot against a serial batch
+//!   replay before accepting the number.
 //!
 //! Speedups are relative to the serial run of the same op/scale
 //! (`observe_batch` is relative to per-update `observe`). On a single-core
@@ -29,9 +35,15 @@
 use criterion::{BatchSize, Criterion};
 use rrr_bench::pipeline::{synth_bgp_monitors, synth_round};
 use rrr_bench::{World, WorldConfig};
-use rrr_core::DetectorConfig;
+use rrr_core::{DetectorConfig, Query};
+use rrr_serve::{
+    replay_reference, split_rounds, Daemon, DaemonConfig, Engine, FeedBatch, FeedSource,
+    ScriptedFeed, StalenessQuery,
+};
 use rrr_types::{Timestamp, Window};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Every op a complete report must contain; the post-write check fails the
@@ -44,6 +56,7 @@ const EXPECTED_OPS: &[&str] = &[
     "plan_refresh",
     "checkpoint",
     "restore",
+    "query_qps",
 ];
 
 struct Row {
@@ -201,6 +214,127 @@ fn measure_checkpoint_restore(c: &mut Criterion, scale: usize) -> (f64, f64, u64
     (ckpt_ns, restore_ns, size)
 }
 
+/// Builds, from a fixed-seed world, the anchored detector plus the
+/// scripted feed rounds the serving benchmark ingests. Called twice (once
+/// for the daemon, once for the serial reference); the world is fully
+/// seed-deterministic, so both calls produce identical state and input.
+fn serve_fixture(rounds: u64) -> (rrr_core::StalenessDetector, Vec<FeedBatch>) {
+    let mut world = World::new(WorldConfig::small(7));
+    let mut det = world.build_detector(DetectorConfig::default());
+    for tr in world.platform.anchoring_round(&world.engine, Timestamp::ZERO) {
+        let src_asn = world.topo.asn_of(world.platform.probe(tr.probe).asx);
+        det.add_corpus(tr, Some(src_asn));
+    }
+    let mut batches = Vec::new();
+    for r in 1..=rounds {
+        let t = Timestamp(r * 900);
+        let updates = world.engine.advance_to(t);
+        let public = world.platform.random_round(&world.engine, t, 40);
+        batches.push(FeedBatch { now: t, updates, public });
+    }
+    (det, batches)
+}
+
+/// Runs the serving daemon over a 2-feed split of a scripted world stream
+/// while `readers` threads issue mixed queries against the epoch-snapshot
+/// handle, then verifies every published snapshot against a serial batch
+/// replay. Returns (aggregate queries/sec, reader count, total queries).
+/// Exits nonzero on any epoch regression or replay divergence — a fast
+/// wrong answer is not a benchmark result.
+fn measure_query_qps(quick: bool, host_threads: usize) -> (f64, usize, u64) {
+    let rounds = if quick { 24 } else { 96 };
+    let (ref_det, batches) = serve_fixture(rounds);
+    let (_, ref_snaps) = replay_reference(ref_det, &batches);
+
+    let (det, batches) = serve_fixture(rounds);
+    let sources: Vec<Box<dyn FeedSource>> = split_rounds(&batches, 2)
+        .into_iter()
+        .map(|b| Box::new(ScriptedFeed::new(b)) as Box<dyn FeedSource>)
+        .collect();
+    let daemon = Daemon::spawn(
+        Engine::Plain(det),
+        sources,
+        DaemonConfig { channel_capacity: 2, record_snapshots: true },
+    );
+    let handle = daemon.handle();
+
+    let readers = host_threads.clamp(1, 4);
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = std::time::Instant::now();
+    let mut threads = Vec::new();
+    for rdr in 0..readers {
+        let handle = handle.clone();
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || -> Result<u64, String> {
+            let mut answered = 0u64;
+            let mut last_epoch = 0u64;
+            let mut i = rdr as u64;
+            while !stop.load(Ordering::Acquire) {
+                let snap = handle.snapshot();
+                let q = match i % 4 {
+                    0 => StalenessQuery::CorpusSummary,
+                    1 => StalenessQuery::MonitorStats,
+                    2 => StalenessQuery::RefreshPlan { budget: 8 },
+                    _ => {
+                        let ids = snap.ids();
+                        if ids.is_empty() {
+                            StalenessQuery::CorpusSummary
+                        } else {
+                            StalenessQuery::IsStale(ids[(i as usize) % ids.len()])
+                        }
+                    }
+                };
+                let resp = handle.query(&q);
+                if resp.epoch < last_epoch {
+                    return Err(format!(
+                        "epoch went backwards under load: {last_epoch} then {}",
+                        resp.epoch
+                    ));
+                }
+                last_epoch = resp.epoch;
+                answered += 1;
+                i += 1;
+            }
+            Ok(answered)
+        }));
+    }
+
+    let report = daemon.join().expect("serve daemon ingests cleanly");
+    stop.store(true, Ordering::Release);
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut total = 0u64;
+    for t in threads {
+        match t.join().expect("reader thread") {
+            Ok(n) => total += n,
+            Err(e) => {
+                eprintln!("query_qps reader failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if report.snapshots.len() != ref_snaps.len() {
+        eprintln!(
+            "query_qps: daemon published {} snapshots, serial replay captured {}",
+            report.snapshots.len(),
+            ref_snaps.len()
+        );
+        std::process::exit(1);
+    }
+    for (got, want) in report.snapshots.iter().zip(&ref_snaps) {
+        let diverged = got.epoch() != want.epoch()
+            || got.corpus_summary() != want.corpus_summary()
+            || got.monitor_stats() != want.monitor_stats()
+            || got.plan(32) != want.plan(32);
+        if diverged {
+            eprintln!("query_qps: snapshot at epoch {} diverges from serial replay", got.epoch());
+            std::process::exit(1);
+        }
+    }
+
+    (total as f64 / elapsed.max(1e-9), readers, total)
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -320,6 +454,17 @@ fn main() {
         eprintln!("checkpoint/restore {scale}x done ({bytes} bytes on disk)");
     }
 
+    let (qps, readers, answered) = measure_query_qps(quick, host_threads);
+    rows.push(Row {
+        op: "query_qps",
+        scale: 1,
+        threads: readers,
+        ns_per_iter: 1e9 / qps.max(1e-9),
+        speedup: 1.0,
+        bytes_on_disk: 0,
+    });
+    eprintln!("query_qps done ({qps:.0} queries/sec, {answered} answered by {readers} readers)");
+
     let entries: Vec<serde_json::Value> = rows
         .iter()
         .map(|r| {
@@ -330,6 +475,7 @@ fn main() {
                 "ns_per_iter": r.ns_per_iter,
                 "speedup": r.speedup,
                 "bytes_on_disk": r.bytes_on_disk,
+                "queries_per_sec": if r.op == "query_qps" { 1e9 / r.ns_per_iter } else { 0.0 },
             })
         })
         .collect();

@@ -1,7 +1,7 @@
 //! Diagnostic dump of a small retrospective run (development aid).
 
 use rrr_bench::{run_retrospective, Matcher, WorldConfig};
-use rrr_core::DetectorConfig;
+use rrr_core::{DetectorConfig, Query};
 use std::collections::HashMap;
 
 fn main() {
@@ -41,9 +41,9 @@ fn main() {
     let st: Vec<u64> = res.signals.iter().take(10).map(|s| s.time.0).collect();
     println!("first signal times: {st:?}");
 
-    let (sub, bor) = res.detector.trace_monitor_stats();
-    println!("subpath monitors (total/ready/gaveup): {sub:?}");
-    println!("border monitors (total/ready/gaveup): {bor:?}");
+    let monitors = res.detector.monitor_stats();
+    println!("subpath monitors: {:?}", monitors.subpaths);
+    println!("border monitors: {:?}", monitors.borders);
     println!("pruned communities: {}", res.detector.calibrator().pruned_communities());
     let eval = Matcher::default().evaluate(&res.signals, &res.changes);
     println!(

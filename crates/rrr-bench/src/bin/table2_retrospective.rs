@@ -7,7 +7,7 @@
 
 use rrr_bench::table::{print_table, r2, save_json};
 use rrr_bench::{run_retrospective, Matcher, WorldConfig};
-use rrr_core::{DetectorConfig, Technique};
+use rrr_core::{DetectorConfig, Query, Technique};
 fn main() {
     let cfg = WorldConfig::from_env(30);
     let days = cfg.duration.as_secs() / 86_400;
@@ -73,9 +73,9 @@ fn main() {
         eval.border_changes,
         res.tracker.pairs().len()
     );
-    let (sub, bor) = res.detector.trace_monitor_stats();
-    println!("subpath monitors (total/ready/gave-up): {sub:?}");
-    println!("border monitors  (total/ready/gave-up): {bor:?}");
+    let monitors = res.detector.monitor_stats();
+    println!("subpath monitors: {:?}", monitors.subpaths);
+    println!("border monitors:  {:?}", monitors.borders);
     println!("pruned communities: {}", res.detector.calibrator().pruned_communities());
 
     // Persist per-technique stats + daily divergence for fig01/fig06 reuse.

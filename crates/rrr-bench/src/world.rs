@@ -97,7 +97,13 @@ impl World {
         let rib = self.engine.rib_snapshot();
         let (map, geo, alias) = self.detector_env();
         let vps: Vec<VpId> = self.engine.vps().iter().map(|v| v.id).collect();
-        let mut det = StalenessDetector::new(Arc::clone(&self.topo), map, geo, alias, vps, det_cfg);
+        let mut det = rrr_core::DetectorBuilder::from_config(det_cfg).build(
+            Arc::clone(&self.topo),
+            map,
+            geo,
+            alias,
+            vps,
+        );
         det.init_rib(&rib);
         det
     }

@@ -1,0 +1,213 @@
+//! The assembled facade: a builder for constructing detectors and the
+//! capability traits that partition the pipeline's surface.
+//!
+//! [`StalenessDetector`] grew over twenty inherent methods; callers that
+//! only feed it (rrr-serve's ingest loop) or only mutate the corpus
+//! (refresh executors) had to see all of them. The surface now splits into
+//! three roles:
+//!
+//! - [`Ingest`] — feed the pipeline: RIB seeding, IXP bootstrap, `step`;
+//! - [`CorpusOps`] — maintain the monitored corpus: add, remove, refresh,
+//!   verify;
+//! - [`crate::query::Query`] — read-only questions, shared with immutable
+//!   [`crate::query::DetectorSnapshot`]s.
+//!
+//! [`DetectorBuilder`] replaces hand-assembled [`DetectorConfig`] structs
+//! for the common paths, and [`DetectorBuilder::build_durable`] lands the
+//! same configuration inside a crash-safe [`DurableDetector`] in one call.
+
+use crate::detector::{DetectorConfig, StalenessDetector};
+use crate::persist::{DurableConfig, DurableDetector};
+use crate::signal::{StalenessSignal, Technique};
+use rrr_geo::Geolocator;
+use rrr_ip2as::{AliasResolver, IpToAsMap};
+use rrr_store::StoreError;
+use rrr_topology::Topology;
+use rrr_types::{Asn, BgpUpdate, Timestamp, Traceroute, TracerouteId, VpId, WindowConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Fluent construction of a [`StalenessDetector`] (or a crash-safe
+/// [`DurableDetector`]) from behavioral knobs.
+///
+/// Every setter corresponds to one [`DetectorConfig`] field; unset knobs
+/// keep the paper's defaults. The environment (topology, IP-to-AS map,
+/// geolocation, alias resolution, vantage points) is input data, not
+/// configuration, so it is supplied at [`DetectorBuilder::build`] time.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorBuilder {
+    cfg: DetectorConfig,
+}
+
+impl DetectorBuilder {
+    /// A builder holding the paper's default configuration.
+    pub fn new() -> Self {
+        DetectorBuilder::default()
+    }
+
+    /// Wraps an existing configuration (for harnesses that already carry
+    /// a [`DetectorConfig`] around).
+    pub fn from_config(cfg: DetectorConfig) -> Self {
+        DetectorBuilder { cfg }
+    }
+
+    /// RNG seed for calibration's refresh sampling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Worker threads for per-window monitor evaluation (`0` = one per
+    /// core). The signal stream is identical at any setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Calibration sliding-window length `l` (§4.3.1; default 30).
+    pub fn calibration_window(mut self, l: usize) -> Self {
+        self.cfg.calibration_l = l;
+        self
+    }
+
+    /// Enabled techniques (ablations disable some).
+    pub fn techniques(mut self, enabled: impl IntoIterator<Item = Technique>) -> Self {
+        self.cfg.enabled = enabled.into_iter().collect();
+        self
+    }
+
+    /// BGP series window (the paper: 15 minutes).
+    pub fn bgp_window(mut self, w: WindowConfig) -> Self {
+        self.cfg.bgp_window = w;
+        self
+    }
+
+    /// Ablation: absorb outliers into series histories instead of removing
+    /// them (disables §4.1.2's stationarity preservation).
+    pub fn absorb_outliers(mut self, yes: bool) -> Self {
+        self.cfg.absorb_outliers = yes;
+        self
+    }
+
+    /// The configuration assembled so far.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Builds the detector against its measurement environment.
+    pub fn build(
+        self,
+        topo: Arc<Topology>,
+        map: IpToAsMap,
+        geo: Geolocator,
+        alias: AliasResolver,
+        vps: Vec<VpId>,
+    ) -> StalenessDetector {
+        StalenessDetector::new(topo, map, geo, alias, vps, self.cfg)
+    }
+
+    /// Builds the detector and immediately wraps it in crash-safe
+    /// persistence rooted at `dir` (initial checkpoint + empty WAL).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_durable(
+        self,
+        topo: Arc<Topology>,
+        map: IpToAsMap,
+        geo: Geolocator,
+        alias: AliasResolver,
+        vps: Vec<VpId>,
+        dir: impl Into<PathBuf>,
+        durable: DurableConfig,
+    ) -> Result<DurableDetector, StoreError> {
+        DurableDetector::create(self.build(topo, map, geo, alias, vps), dir, durable)
+    }
+}
+
+/// Feeding the pipeline: everything a stream-ingestion loop needs, and
+/// nothing else.
+pub trait Ingest {
+    /// Seeds the BGP RIB mirror from a table dump.
+    fn init_rib(&mut self, rib: &[BgpUpdate]);
+
+    /// Seeds IXP membership from pre-t0 public traceroutes (§4.2.3).
+    fn bootstrap_public(&mut self, traces: &[Traceroute]);
+
+    /// Advances the pipeline to `now` with the updates observed since the
+    /// previous step (both inputs time-sorted); returns emitted signals.
+    fn step(
+        &mut self,
+        now: Timestamp,
+        bgp_updates: &[BgpUpdate],
+        public: &[Traceroute],
+    ) -> Vec<StalenessSignal>;
+}
+
+impl Ingest for StalenessDetector {
+    fn init_rib(&mut self, rib: &[BgpUpdate]) {
+        // Inherent methods shadow trait methods, so these delegate to the
+        // canonical implementations on `StalenessDetector`.
+        StalenessDetector::init_rib(self, rib);
+    }
+
+    fn bootstrap_public(&mut self, traces: &[Traceroute]) {
+        StalenessDetector::bootstrap_public(self, traces);
+    }
+
+    fn step(
+        &mut self,
+        now: Timestamp,
+        bgp_updates: &[BgpUpdate],
+        public: &[Traceroute],
+    ) -> Vec<StalenessSignal> {
+        StalenessDetector::step(self, now, bgp_updates, public)
+    }
+}
+
+/// Maintaining the monitored corpus: insertion, removal, and the refresh
+/// cycle that feeds calibration.
+pub trait CorpusOps {
+    /// Inserts a traceroute into the corpus and registers monitors;
+    /// `None` when the traceroute is disqualified.
+    fn add_corpus(&mut self, tr: Traceroute, src_asn: Option<Asn>) -> Option<TracerouteId>;
+
+    /// Removes a traceroute from the corpus and all monitors.
+    fn remove_corpus(&mut self, id: TracerouteId);
+
+    /// Verifies every potential signal of `old_id` against a fresh
+    /// measurement (feeding calibration); returns whether any monitored
+    /// portion changed.
+    fn verify_signals(&mut self, old_id: TracerouteId, new_tr: &Traceroute) -> bool;
+
+    /// Applies a refresh measurement: verify, then replace the entry.
+    /// Returns the new corpus id and whether any monitored portion had
+    /// changed.
+    fn apply_refresh(
+        &mut self,
+        old_id: TracerouteId,
+        new_tr: Traceroute,
+        src_asn: Option<Asn>,
+    ) -> (Option<TracerouteId>, bool);
+}
+
+impl CorpusOps for StalenessDetector {
+    fn add_corpus(&mut self, tr: Traceroute, src_asn: Option<Asn>) -> Option<TracerouteId> {
+        StalenessDetector::add_corpus(self, tr, src_asn)
+    }
+
+    fn remove_corpus(&mut self, id: TracerouteId) {
+        StalenessDetector::remove_corpus(self, id);
+    }
+
+    fn verify_signals(&mut self, old_id: TracerouteId, new_tr: &Traceroute) -> bool {
+        StalenessDetector::verify_signals(self, old_id, new_tr)
+    }
+
+    fn apply_refresh(
+        &mut self,
+        old_id: TracerouteId,
+        new_tr: Traceroute,
+        src_asn: Option<Asn>,
+    ) -> (Option<TracerouteId>, bool) {
+        StalenessDetector::apply_refresh(self, old_id, new_tr, src_asn)
+    }
+}

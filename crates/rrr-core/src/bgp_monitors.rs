@@ -7,7 +7,7 @@
 //! ([`BgpMonitors::observe_batch`]); at the end of each 15-minute window
 //! ([`BgpMonitors::close_window`]) the time series advance and signals fire.
 //!
-//! Ingestion state is partitioned into [`NUM_SHARDS`] prefix shards, each
+//! Ingestion state is partitioned into `NUM_SHARDS` (32) prefix shards, each
 //! owning its slice of the RIB mirror, the open-window sample log, and the
 //! intern arenas for AS paths and community sets. A shard is fully
 //! determined by an update's prefix, and monitor groups are read-only while

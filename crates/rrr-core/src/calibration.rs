@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rrr_store::{Decoder, Encoder, Persist, StoreError};
 use rrr_types::{Community, Prefix, ProbeId, TracerouteId};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -88,7 +89,7 @@ impl SignalStats {
 }
 
 /// The refresh decisions for one generation window.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RefreshPlan {
     /// Traceroutes to re-measure, in priority order, within budget.
     pub refresh: Vec<TracerouteId>,
@@ -103,6 +104,11 @@ pub struct AssertingSignal {
 }
 
 /// Calibration state.
+///
+/// `Clone` exists for read-only planning from immutable snapshots: a
+/// clone draws from a copy of the RNG, so snapshot plans are repeatable
+/// and never perturb the live calibrator's random stream.
+#[derive(Clone)]
 pub struct Calibrator {
     l: usize,
     stats: HashMap<(ProbeId, Arc<SignalKey>), SignalStats>,

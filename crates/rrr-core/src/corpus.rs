@@ -3,10 +3,11 @@
 use rrr_ip2as::{find_borders, map_traceroute, Border, IpToAsMap};
 use rrr_store::{Decoder, Encoder, Persist, StoreError};
 use rrr_types::{Asn, Ipv4, Prefix, Timestamp, Traceroute, TracerouteId};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Freshness classification of a corpus traceroute (§6.2's three classes).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Freshness {
     /// No signal fired and every border is monitored by at least one
     /// technique.
@@ -250,10 +251,22 @@ impl Corpus {
 
     /// Validates every lookup index against the entry table: indexed ids
     /// must exist, index vectors must be duplicate-free and non-empty, and
-    /// every entry must be reachable through all of its indexes. Returns a
-    /// description of the first inconsistency found. Used by the simulation
-    /// harness as a standing invariant after every pipeline round.
+    /// every entry must be reachable through all of its indexes. Returns
+    /// the first inconsistency found as a typed
+    /// [`Error::Invariant`](rrr_types::Error::Invariant). Used by the
+    /// simulation harness as a standing invariant after every pipeline
+    /// round.
+    pub fn validate(&self) -> Result<(), rrr_types::Error> {
+        self.consistency_violation().map_err(|v| rrr_types::Error::invariant("corpus", v))
+    }
+
+    /// Stringly-typed predecessor of [`Corpus::validate`].
+    #[deprecated(note = "use `validate`, which returns a typed `rrr_types::Error`")]
     pub fn check_consistency(&self) -> Result<(), String> {
+        self.consistency_violation()
+    }
+
+    fn consistency_violation(&self) -> Result<(), String> {
         for (pfx, ids) in &self.by_dst_prefix {
             if ids.is_empty() {
                 return Err(format!("by_dst_prefix[{pfx}] is an empty vector"));
@@ -305,18 +318,19 @@ impl Corpus {
     }
 
     /// Counts entries per freshness class.
-    pub fn freshness_counts(&self) -> (usize, usize, usize) {
-        let mut fresh = 0;
-        let mut stale = 0;
-        let mut unknown = 0;
+    pub fn freshness_summary(&self) -> crate::query::FreshnessSummary {
+        let mut s = crate::query::FreshnessSummary::default();
         for e in self.entries.values() {
-            match e.freshness() {
-                Freshness::Fresh => fresh += 1,
-                Freshness::Stale { .. } => stale += 1,
-                Freshness::Unknown => unknown += 1,
-            }
+            s.count(&e.freshness());
         }
-        (fresh, stale, unknown)
+        s
+    }
+
+    /// Tuple-typed predecessor of [`Corpus::freshness_summary`].
+    #[deprecated(note = "use `freshness_summary`, which returns a named struct")]
+    pub fn freshness_counts(&self) -> (usize, usize, usize) {
+        let s = self.freshness_summary();
+        (s.fresh, s.stale, s.unknown)
     }
 }
 
@@ -410,7 +424,7 @@ mod tests {
         let id = c.insert(tr(1, &["10.0.0.9", "10.1.0.1", "10.2.0.1"]), &m, None).expect("ok").id;
         assert!(c.remove(id).is_some());
         assert!(c.remove(id).is_none(), "second remove must return None");
-        c.check_consistency().expect("indices intact after double remove");
+        c.validate().expect("indices intact after double remove");
 
         // Interleaved: a new entry sharing the same dst prefix and ASNs
         // must survive a stale re-remove of the old id untouched.
@@ -419,7 +433,7 @@ mod tests {
         let id2 = c.insert(t2, &m, None).expect("ok").id;
         assert!(c.remove(id).is_none());
         assert!(c.get(id2).is_some(), "survivor evicted by stale remove");
-        c.check_consistency().expect("indices intact");
+        c.validate().expect("indices intact");
         assert!(c.by_asn.get(&Asn(101)).expect("indexed").contains(&id2));
     }
 
@@ -436,7 +450,7 @@ mod tests {
         t2.dst = ip("10.1.0.5");
         assert_eq!(c.insert(t2, &m, None).expect("ok").id, id);
         assert_eq!(c.len(), 1);
-        c.check_consistency().expect("reinsertion left dangling references");
+        c.validate().expect("reinsertion left dangling references");
         c.remove(id);
         assert!(c.by_dst_prefix.is_empty(), "{:?}", c.by_dst_prefix);
         assert!(c.by_asn.is_empty(), "{:?}", c.by_asn);
@@ -466,7 +480,8 @@ mod tests {
         assert!(c.get(id).expect("entry").freshness().is_stale());
         c.revoke_stale(id);
         assert_eq!(c.get(id).expect("entry").freshness(), Freshness::Fresh);
-        let (f, s, u) = c.freshness_counts();
+        let s = c.freshness_summary();
+        let (f, s, u) = (s.fresh, s.stale, s.unknown);
         assert_eq!((f, s, u), (1, 0, 0));
     }
 }

@@ -3,7 +3,7 @@
 //! streams; emits signals; plans and verifies refreshes.
 
 use crate::bgp_monitors::{BgpMonitors, RevokeEvent};
-use crate::calibration::{AssertingSignal, Calibrator, Outcome, RefreshPlan};
+use crate::calibration::{Calibrator, Outcome, RefreshPlan};
 use crate::corpus::Corpus;
 use crate::ixp_monitor::IxpMonitor;
 use crate::signal::{SignalKey, SignalScope, StalenessSignal, Technique};
@@ -16,7 +16,7 @@ use rrr_topology::Topology;
 use rrr_types::{
     Asn, BgpUpdate, Community, Timestamp, Traceroute, TracerouteId, VpId, Window, WindowConfig,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Detector configuration.
@@ -66,21 +66,21 @@ pub struct StalenessDetector {
     geo: Geolocator,
     alias: AliasResolver,
     vps: Vec<VpId>,
-    corpus: Corpus,
+    pub(crate) corpus: Corpus,
     bgp: BgpMonitors,
-    trace: TraceMonitors,
+    pub(crate) trace: TraceMonitors,
     ixp: IxpMonitor,
-    cal: Calibrator,
+    pub(crate) cal: Calibrator,
     /// Potential signals per corpus traceroute (interned handles).
-    potential: HashMap<TracerouteId, Vec<Arc<SignalKey>>>,
+    pub(crate) potential: HashMap<TracerouteId, Vec<Arc<SignalKey>>>,
     /// Active staleness assertions per corpus traceroute: signal → trigger
     /// communities (empty for non-community signals). Nesting by
     /// traceroute makes `remove_corpus` O(that traceroute's assertions).
-    active: HashMap<TracerouteId, HashMap<Arc<SignalKey>, Vec<Community>>>,
+    pub(crate) active: HashMap<TracerouteId, HashMap<Arc<SignalKey>, Vec<Community>>>,
     /// Next BGP window to close.
     next_bgp_window: Window,
     /// All signals ever emitted (experiment log).
-    log: Vec<StalenessSignal>,
+    pub(crate) log: Vec<StalenessSignal>,
 }
 
 impl StalenessDetector {
@@ -194,11 +194,22 @@ impl StalenessDetector {
 
     /// Validates the cross-structure invariants tying the corpus, the
     /// monitor registrations, and the active staleness assertions together.
-    /// Cheap enough to run after every simulated round; returns a
-    /// description of the first violation instead of panicking so harnesses
-    /// can attach context (seed, fault plan) before failing.
+    /// Cheap enough to run after every simulated round; returns the first
+    /// violation as a typed [`Error`](rrr_types::Error) instead of
+    /// panicking so harnesses can attach context (seed, fault plan) before
+    /// failing.
+    pub fn validate(&self) -> Result<(), rrr_types::Error> {
+        self.corpus.validate()?;
+        self.invariant_violation().map_err(|v| rrr_types::Error::invariant("detector", v))
+    }
+
+    /// Stringly-typed predecessor of [`StalenessDetector::validate`].
+    #[deprecated(note = "use `validate`, which returns a typed `rrr_types::Error`")]
     pub fn check_invariants(&self) -> Result<(), String> {
-        self.corpus.check_consistency()?;
+        self.validate().map_err(|e| e.to_string())
+    }
+
+    fn invariant_violation(&self) -> Result<(), String> {
         // Monitor registration is 1:1 with corpus membership: `add_corpus`
         // always records the (possibly empty) key set, `remove_corpus`
         // always drops it.
@@ -345,65 +356,19 @@ impl StalenessDetector {
     }
 
     /// Plans which traceroutes to refresh under a probing budget (§4.3.1).
+    ///
+    /// Advances the calibrator's random stream — call once per generation
+    /// window. For a repeatable read-only plan (e.g. from a snapshot), use
+    /// [`crate::query::Query::plan`].
     pub fn plan_refresh(&mut self, budget: usize) -> RefreshPlan {
-        // Group active assertions back into per-key signals (ordered for
-        // deterministic planning). Only `Arc` handles move around here.
-        let mut by_key: std::collections::BTreeMap<Arc<SignalKey>, Vec<TracerouteId>> =
-            std::collections::BTreeMap::new();
-        for (tr, per) in &self.active {
-            for key in per.keys() {
-                by_key.entry(Arc::clone(key)).or_default().push(*tr);
-            }
-        }
-        for v in by_key.values_mut() {
-            v.sort_unstable();
-        }
-        let mut asserting = Vec::new();
-        let mut stale_keys_per_probe: HashMap<rrr_types::ProbeId, HashSet<Arc<SignalKey>>> =
-            HashMap::new();
-        for (key, trs) in by_key {
-            // Split by probe so calibration is per vantage point. Ordered:
-            // the push order into `asserting` decides the order calibration
-            // draws from its RNG, which must be stable across processes for
-            // checkpoint/restore equivalence.
-            let mut per_probe: std::collections::BTreeMap<rrr_types::ProbeId, Vec<TracerouteId>> =
-                std::collections::BTreeMap::new();
-            for tr in trs {
-                if let Some(e) = self.corpus.get(tr) {
-                    per_probe.entry(e.traceroute.probe).or_default().push(tr);
-                }
-            }
-            for (probe, trs) in per_probe {
-                stale_keys_per_probe.entry(probe).or_default().insert(key.clone());
-                asserting.push(AssertingSignal {
-                    probe,
-                    signal: StalenessSignal {
-                        key: key.clone(),
-                        time: Timestamp(0),
-                        window: Window(0),
-                        score: trs.len() as f64,
-                        traceroutes: trs,
-                        trigger_communities: Vec::new(),
-                    },
-                });
-            }
-        }
-        // Quiet potential signals per probe (ordered iteration).
-        let mut quiet: HashMap<rrr_types::ProbeId, Vec<Arc<SignalKey>>> = HashMap::new();
-        let mut potential_sorted: Vec<_> = self.potential.iter().collect();
-        potential_sorted.sort_by_key(|(id, _)| **id);
-        for (id, keys) in potential_sorted {
-            let id = *id;
-            let Some(e) = self.corpus.get(id) else { continue };
-            let probe = e.traceroute.probe;
-            let stale = stale_keys_per_probe.get(&probe);
-            for k in keys {
-                if stale.is_none_or(|s| !s.contains(k)) {
-                    quiet.entry(probe).or_default().push(k.clone());
-                }
-            }
-        }
-        self.cal.plan_refresh(budget, &asserting, &quiet)
+        let corpus = &self.corpus;
+        crate::query::plan_refresh_impl(
+            &self.active,
+            &self.potential,
+            &|id| corpus.get(id).map(|e| e.traceroute.probe),
+            &mut self.cal,
+            budget,
+        )
     }
 
     /// Whether the monitored portion named by `key` differs between the old
@@ -496,10 +461,14 @@ impl StalenessDetector {
         (id, any_changed)
     }
 
-    /// Monitor inventory statistics (diagnostics): subpath monitors
-    /// (total, ready, gave up) and border monitors (total, ready, gave up).
+    /// Tuple-typed predecessor of [`crate::query::Query::monitor_stats`].
+    #[deprecated(note = "use `Query::monitor_stats`, which returns a named `MonitorStats`")]
     pub fn trace_monitor_stats(&self) -> ((usize, usize, usize), (usize, usize, usize)) {
-        self.trace.stats()
+        let s = self.trace.stats();
+        (
+            (s.subpaths.total, s.subpaths.ready, s.subpaths.gave_up),
+            (s.borders.total, s.borders.ready, s.borders.gave_up),
+        )
     }
 
     /// Serializes the full detector state — corpus and indexes, RIB mirror

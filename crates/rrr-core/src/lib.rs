@@ -23,17 +23,24 @@
 //! deterministically on restart.
 
 pub mod adaptive;
+pub mod api;
 pub mod bgp_monitors;
 pub mod calibration;
 pub mod corpus;
 pub mod detector;
 pub mod ixp_monitor;
 pub mod persist;
+pub mod query;
 pub mod signal;
 pub mod trace_monitors;
 
+pub use api::{CorpusOps, DetectorBuilder, Ingest};
 pub use calibration::{Calibrator, RefreshPlan, SignalStats};
 pub use corpus::{Corpus, CorpusEntry, Freshness};
 pub use detector::{DetectorConfig, StalenessDetector};
 pub use persist::{DurableConfig, DurableDetector, StepRecord};
+pub use query::{
+    AsSummary, CorpusSummary, DetectorSnapshot, FamilyStats, FreshnessSummary, MonitorStats,
+    PrefixSummary, Query, SnapEntry,
+};
 pub use signal::{SignalKey, SignalScope, StalenessSignal, Technique};

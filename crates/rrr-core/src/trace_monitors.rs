@@ -376,19 +376,20 @@ impl TraceMonitors {
         self.subpaths.len()
     }
 
-    /// (total, ready, gave up) per monitor family.
-    pub fn stats(&self) -> ((usize, usize, usize), (usize, usize, usize)) {
-        let sub = (
-            self.subpaths.len(),
-            self.subpaths.iter().filter(|m| m.series.ready()).count(),
-            self.subpaths.iter().filter(|m| m.series.gave_up()).count(),
-        );
-        let bor = (
-            self.borders.len(),
-            self.borders.iter().filter(|m| m.series.ready()).count(),
-            self.borders.iter().filter(|m| m.series.gave_up()).count(),
-        );
-        (sub, bor)
+    /// Monitor inventory per family.
+    pub fn stats(&self) -> crate::query::MonitorStats {
+        crate::query::MonitorStats {
+            subpaths: crate::query::FamilyStats {
+                total: self.subpaths.len(),
+                ready: self.subpaths.iter().filter(|m| m.series.ready()).count(),
+                gave_up: self.subpaths.iter().filter(|m| m.series.gave_up()).count(),
+            },
+            borders: crate::query::FamilyStats {
+                total: self.borders.len(),
+                ready: self.borders.iter().filter(|m| m.series.ready()).count(),
+                gave_up: self.borders.iter().filter(|m| m.series.gave_up()).count(),
+            },
+        }
     }
 
     pub fn border_count(&self) -> usize {

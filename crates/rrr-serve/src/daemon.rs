@@ -1,0 +1,387 @@
+//! The ingestion daemon: N feed threads, one merge/step thread, snapshot
+//! publication on every epoch advance.
+//!
+//! Design (after the flashroute.rs reproduction's idiom): no locks on the
+//! hot path — each feed pushes batches through its own **bounded** channel
+//! (blocking send = backpressure: a fast feed stalls once it runs
+//! `channel_capacity` batches ahead), and the single ingest thread owns
+//! the detector outright. The only shared mutable state is the snapshot
+//! cell's pointer and a few atomic counters.
+//!
+//! ## Deterministic merge
+//!
+//! The ingest thread fills every open feed's head, takes the minimum
+//! `now`, concatenates all heads at that instant in feed-index order, and
+//! sorts the merged batch into canonical `(time, vp)` / `(time, probe)`
+//! order before stepping the detector. Feed scheduling therefore cannot
+//! influence the stream the detector sees: any split of a given input
+//! across any number of feeds steps the detector through exactly
+//! [`canonicalize`] of the original rounds,
+//! which is what the serial-replay oracle checks.
+
+use crate::feed::{canonical_sort, canonicalize, FeedBatch, FeedSource};
+use crate::snapshot::{ServeHandle, ServeStats, SnapshotCell};
+use rrr_core::{DetectorSnapshot, DurableDetector, Query, StalenessDetector, StalenessSignal};
+use rrr_types::Error;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The detector the daemon steps: bare, or wrapped in crash-safe
+/// persistence (WAL + periodic checkpoints).
+pub enum Engine {
+    Plain(StalenessDetector),
+    Durable(DurableDetector),
+}
+
+impl Engine {
+    /// The wrapped detector.
+    pub fn detector(&self) -> &StalenessDetector {
+        match self {
+            Engine::Plain(d) => d,
+            Engine::Durable(d) => d.detector(),
+        }
+    }
+
+    /// Mutable access to the wrapped detector.
+    pub fn detector_mut(&mut self) -> &mut StalenessDetector {
+        match self {
+            Engine::Plain(d) => d,
+            Engine::Durable(d) => d.detector_mut(),
+        }
+    }
+
+    fn step(&mut self, batch: &FeedBatch) -> Result<Vec<StalenessSignal>, Error> {
+        match self {
+            Engine::Plain(d) => Ok(d.step(batch.now, &batch.updates, &batch.public)),
+            Engine::Durable(d) => {
+                d.step(batch.now, &batch.updates, &batch.public).map_err(Error::from)
+            }
+        }
+    }
+}
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bound of each feed's channel, in batches. This is the backpressure
+    /// budget: a feed may run at most this many batches ahead of the
+    /// merge loop before its thread blocks.
+    pub channel_capacity: usize,
+    /// Keep every published snapshot in the final [`IngestReport`]
+    /// (harness oracles replay against them). Off for production use —
+    /// it pins every epoch's snapshot in memory.
+    pub record_snapshots: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig { channel_capacity: 4, record_snapshots: false }
+    }
+}
+
+/// What the ingest thread hands back once every feed is drained.
+pub struct IngestReport {
+    /// The engine, final state intact (checkpointable, queryable).
+    pub engine: Engine,
+    /// Merged rounds stepped.
+    pub rounds: u64,
+    /// BGP updates ingested across all feeds.
+    pub updates: u64,
+    /// Public traceroutes ingested across all feeds.
+    pub public: u64,
+    /// Every snapshot published (only when
+    /// [`DaemonConfig::record_snapshots`] was set; the initial snapshot is
+    /// not included — entries correspond to epoch advances).
+    pub snapshots: Vec<Arc<DetectorSnapshot>>,
+    /// Signals emitted, in stream order.
+    pub signals: Vec<StalenessSignal>,
+}
+
+/// A running daemon: feed threads plus the merge/step thread, with a
+/// cloneable in-process query handle.
+pub struct Daemon {
+    handle: ServeHandle,
+    ingest: JoinHandle<Result<IngestReport, Error>>,
+    feeds: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Starts one thread per feed and the merge/step thread. An initial
+    /// snapshot is published immediately, so queries are answerable from
+    /// the first instant (at the engine's starting epoch).
+    pub fn spawn(engine: Engine, feeds: Vec<Box<dyn FeedSource>>, cfg: DaemonConfig) -> Daemon {
+        let cell = Arc::new(SnapshotCell::new(Arc::new(engine.detector().snapshot())));
+        let stats = Arc::new(ServeStats::default());
+        let handle = ServeHandle::new(Arc::clone(&cell), Arc::clone(&stats));
+
+        let mut feed_threads = Vec::with_capacity(feeds.len());
+        let mut rxs: Vec<Receiver<Result<FeedBatch, Error>>> = Vec::with_capacity(feeds.len());
+        for (i, mut src) in feeds.into_iter().enumerate() {
+            let (tx, rx) = sync_channel::<Result<FeedBatch, Error>>(cfg.channel_capacity.max(1));
+            rxs.push(rx);
+            feed_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rrr-feed-{i}"))
+                    .spawn(move || loop {
+                        match src.next_batch() {
+                            // A closed receiver means the merge loop bailed
+                            // (error path); just stop producing.
+                            Ok(Some(b)) => {
+                                if tx.send(Ok(b)).is_err() {
+                                    break;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                let _ = tx.send(Err(e));
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn feed thread"),
+            );
+        }
+
+        let ingest = std::thread::Builder::new()
+            .name("rrr-ingest".into())
+            .spawn(move || ingest_loop(engine, rxs, cell, stats, cfg.record_snapshots))
+            .expect("spawn ingest thread");
+
+        Daemon { handle, ingest, feeds: feed_threads }
+    }
+
+    /// The in-process query handle (cloneable; outlives the daemon).
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Waits for every feed to drain and the final state to settle.
+    pub fn join(self) -> Result<IngestReport, Error> {
+        for t in self.feeds {
+            let _ = t.join();
+        }
+        match self.ingest.join() {
+            Ok(r) => r,
+            Err(_) => Err(Error::feed("ingest thread panicked")),
+        }
+    }
+}
+
+fn ingest_loop(
+    mut engine: Engine,
+    rxs: Vec<Receiver<Result<FeedBatch, Error>>>,
+    cell: Arc<SnapshotCell>,
+    stats: Arc<ServeStats>,
+    record_snapshots: bool,
+) -> Result<IngestReport, Error> {
+    let n = rxs.len();
+    let mut heads: Vec<Option<FeedBatch>> = (0..n).map(|_| None).collect();
+    let mut open: Vec<bool> = vec![true; n];
+    let mut published = engine.detector().closed_bgp_windows();
+    let mut rounds = 0u64;
+    let mut updates = 0u64;
+    let mut public = 0u64;
+    let mut snapshots = Vec::new();
+    let mut signals = Vec::new();
+    loop {
+        // Fill every open feed's head (blocking: feed clocks only advance
+        // together, which keeps the merge deterministic under any thread
+        // scheduling).
+        for i in 0..rxs.len() {
+            if open[i] && heads[i].is_none() {
+                match rxs[i].recv() {
+                    Ok(Ok(b)) => heads[i] = Some(b),
+                    Ok(Err(e)) => return Err(e),
+                    Err(_) => open[i] = false,
+                }
+            }
+        }
+        // Merge every head at the minimum instant, in feed-index order.
+        let Some(now) = heads.iter().flatten().map(|b| b.now).min() else { break };
+        let mut merged = FeedBatch::tick(now);
+        for h in heads.iter_mut() {
+            if h.as_ref().is_some_and(|b| b.now == now) {
+                let b = h.take().expect("checked some");
+                merged.updates.extend(b.updates);
+                merged.public.extend(b.public);
+            }
+        }
+        canonical_sort(&mut merged);
+
+        updates += merged.updates.len() as u64;
+        public += merged.public.len() as u64;
+        rounds += 1;
+        stats.updates.fetch_add(merged.updates.len() as u64, Ordering::Relaxed);
+        stats.public.fetch_add(merged.public.len() as u64, Ordering::Relaxed);
+        stats.rounds.fetch_add(1, Ordering::Relaxed);
+
+        signals.extend(engine.step(&merged)?);
+
+        let epoch = engine.detector().closed_bgp_windows();
+        if epoch > published {
+            let snap = Arc::new(engine.detector().snapshot());
+            cell.publish(Arc::clone(&snap));
+            stats.snapshots.fetch_add(1, Ordering::Relaxed);
+            published = epoch;
+            if record_snapshots {
+                snapshots.push(snap);
+            }
+        }
+    }
+    Ok(IngestReport { engine, rounds, updates, public, snapshots, signals })
+}
+
+/// The ground-truth serial replay: steps a fresh batch detector through
+/// [`canonicalize`] of the original rounds, capturing a snapshot at every
+/// epoch advance — the exact rule the daemon publishes under. The oracle
+/// compares daemon-published snapshots against these, index by index.
+pub fn replay_reference(
+    mut det: StalenessDetector,
+    steps: &[FeedBatch],
+) -> (StalenessDetector, Vec<Arc<DetectorSnapshot>>) {
+    let mut snapshots = Vec::new();
+    let mut published = det.closed_bgp_windows();
+    for b in canonicalize(steps) {
+        let _ = det.step(b.now, &b.updates, &b.public);
+        let epoch = det.epoch();
+        if epoch > published {
+            snapshots.push(Arc::new(det.snapshot()));
+            published = epoch;
+        }
+    }
+    (det, snapshots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feed::{split_rounds, ScriptedFeed};
+    use rrr_core::DetectorBuilder;
+    use rrr_types::{AsPath, Asn, BgpElem, BgpUpdate, Prefix, Timestamp, VpId};
+
+    fn tiny_detector() -> StalenessDetector {
+        let topo = Arc::new(rrr_topology::generate(&rrr_topology::TopologyConfig::small(3)));
+        let mut map = rrr_ip2as::IpToAsMap::new();
+        for i in 0..4u32 {
+            map.add_origin(
+                format!("10.{i}.0.0/16").parse::<Prefix>().expect("prefix"),
+                Asn(100 + i),
+            );
+        }
+        let alias = rrr_ip2as::AliasResolver::from_topology(&topo, 1.0, 0);
+        let geo = rrr_geo::Geolocator::new(rrr_geo::GeoDb::default(), vec![]);
+        DetectorBuilder::new().seed(11).build(topo, map, geo, alias, (0..4).map(VpId).collect())
+    }
+
+    fn upd(vp: u32, t: u64, third: u8) -> BgpUpdate {
+        BgpUpdate {
+            time: Timestamp(t),
+            vp: VpId(vp),
+            prefix: format!("10.{third}.0.0/16").parse().expect("prefix"),
+            elem: BgpElem::Announce {
+                path: AsPath::from_asns([100 + vp, 200 + third as u32]),
+                communities: vec![rrr_types::Community::new(100 + vp, third as u32)],
+            },
+        }
+    }
+
+    /// Five rounds of updates spread over four VPs and three prefixes.
+    fn scripted_rounds() -> Vec<FeedBatch> {
+        (1..=5u64)
+            .map(|r| {
+                let base = r * 900;
+                FeedBatch {
+                    now: Timestamp(base),
+                    updates: (0..4u32)
+                        .flat_map(|vp| {
+                            (0..3u8).map(move |third| {
+                                upd(vp, base - 900 + 10 * vp as u64 + third as u64, third)
+                            })
+                        })
+                        .collect(),
+                    public: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
+    fn assert_same_answers(a: &DetectorSnapshot, b: &DetectorSnapshot) {
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.corpus_summary(), b.corpus_summary());
+        assert_eq!(a.monitor_stats(), b.monitor_stats());
+        assert_eq!(a.plan(4), b.plan(4));
+        // Repeatability: planning from a snapshot never perturbs it.
+        assert_eq!(a.plan(4), a.plan(4));
+    }
+
+    #[test]
+    fn daemon_matches_serial_replay_at_every_epoch() {
+        let steps = scripted_rounds();
+        let (_, reference) = replay_reference(tiny_detector(), &steps);
+        assert!(!reference.is_empty(), "rounds must close windows");
+        for n in [1usize, 2, 8] {
+            let feeds: Vec<Box<dyn FeedSource>> = split_rounds(&steps, n)
+                .into_iter()
+                .map(|b| Box::new(ScriptedFeed::new(b)) as Box<dyn FeedSource>)
+                .collect();
+            let daemon = Daemon::spawn(
+                Engine::Plain(tiny_detector()),
+                feeds,
+                DaemonConfig { channel_capacity: 1, record_snapshots: true },
+            );
+            let handle = daemon.handle();
+            let report = daemon.join().expect("drained");
+            assert_eq!(report.rounds, steps.len() as u64, "n={n}");
+            assert_eq!(report.snapshots.len(), reference.len(), "n={n}");
+            for (got, want) in report.snapshots.iter().zip(&reference) {
+                assert_same_answers(got, want);
+            }
+            // The handle keeps serving the last published snapshot.
+            assert_eq!(handle.epoch(), reference.last().expect("nonempty").epoch());
+            assert_eq!(handle.stats().rounds.load(Ordering::Relaxed), report.rounds);
+        }
+    }
+
+    #[test]
+    fn daemon_signals_match_serial_replay() {
+        let steps = scripted_rounds();
+        let mut reference = tiny_detector();
+        let mut want = Vec::new();
+        for b in canonicalize(&steps) {
+            want.extend(reference.step(b.now, &b.updates, &b.public));
+        }
+        let feeds: Vec<Box<dyn FeedSource>> = split_rounds(&steps, 3)
+            .into_iter()
+            .map(|b| Box::new(ScriptedFeed::new(b)) as Box<dyn FeedSource>)
+            .collect();
+        let daemon = Daemon::spawn(Engine::Plain(tiny_detector()), feeds, DaemonConfig::default());
+        let report = daemon.join().expect("drained");
+        assert_eq!(report.signals, want);
+    }
+
+    #[test]
+    fn feed_error_surfaces_from_join() {
+        struct FailingFeed(u32);
+        impl FeedSource for FailingFeed {
+            fn next_batch(&mut self) -> Result<Option<FeedBatch>, Error> {
+                if self.0 == 0 {
+                    return Err(Error::feed("collector unreachable"));
+                }
+                self.0 -= 1;
+                Ok(Some(FeedBatch::tick(Timestamp(900 * (3 - self.0 as u64)))))
+            }
+        }
+        let daemon = Daemon::spawn(
+            Engine::Plain(tiny_detector()),
+            vec![Box::new(FailingFeed(2))],
+            DaemonConfig::default(),
+        );
+        let err = match daemon.join() {
+            Err(e) => e,
+            Ok(_) => panic!("feed failure must propagate"),
+        };
+        assert!(matches!(err, Error::Feed { .. }), "{err}");
+    }
+}

@@ -1,0 +1,60 @@
+//! The typed query surface: questions, epoch-stamped answers, and the
+//! evaluator that runs them against anything implementing
+//! [`rrr_core::Query`].
+
+use rrr_core::{
+    AsSummary, CorpusSummary, Freshness, MonitorStats, PrefixSummary, Query, RefreshPlan,
+};
+use rrr_types::{Asn, Prefix, TracerouteId};
+
+/// A question about the monitored corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StalenessQuery {
+    /// Freshness of one corpus traceroute.
+    IsStale(TracerouteId),
+    /// Which traceroutes to refresh under a probing budget.
+    RefreshPlan { budget: usize },
+    /// Entries destined under one announced prefix.
+    PrefixSummary(Prefix),
+    /// Entries whose AS path traverses one AS.
+    AsSummary(Asn),
+    /// Whole-corpus tallies.
+    CorpusSummary,
+    /// Traceroute-derived monitor inventory.
+    MonitorStats,
+}
+
+/// The answer payload for each [`StalenessQuery`] variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// `None` when the traceroute is not in the corpus.
+    Freshness(Option<Freshness>),
+    Plan(RefreshPlan),
+    Prefix(PrefixSummary),
+    As(AsSummary),
+    Corpus(CorpusSummary),
+    Monitors(MonitorStats),
+}
+
+/// An answer, stamped with the epoch of the snapshot that produced it —
+/// the number of closed BGP windows behind the answer, so callers know
+/// exactly which prefix of the input stream it reflects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    pub epoch: u64,
+    pub body: ResponseBody,
+}
+
+/// Evaluates a query against any [`Query`] implementor (a live detector
+/// or an immutable snapshot), stamping the source's epoch on the answer.
+pub fn answer<Q: Query + ?Sized>(src: &Q, q: &StalenessQuery) -> QueryResponse {
+    let body = match q {
+        StalenessQuery::IsStale(id) => ResponseBody::Freshness(src.freshness_of(*id)),
+        StalenessQuery::RefreshPlan { budget } => ResponseBody::Plan(src.plan(*budget)),
+        StalenessQuery::PrefixSummary(p) => ResponseBody::Prefix(src.prefix_summary(*p)),
+        StalenessQuery::AsSummary(a) => ResponseBody::As(src.as_summary(*a)),
+        StalenessQuery::CorpusSummary => ResponseBody::Corpus(src.corpus_summary()),
+        StalenessQuery::MonitorStats => ResponseBody::Monitors(src.monitor_stats()),
+    };
+    QueryResponse { epoch: src.epoch(), body }
+}

@@ -1,0 +1,108 @@
+//! Snapshot publication and the in-process query handle.
+//!
+//! The ingest thread is the only writer: whenever the detector's epoch
+//! advances it extracts a [`DetectorSnapshot`] and swings the cell's
+//! pointer. Readers take an `Arc` clone of the current snapshot and answer
+//! any number of queries against that immutable state — they never touch
+//! the detector, so reads scale with cores and ingestion never waits on
+//! query traffic.
+//!
+//! The cell is an epoch counter plus an `RwLock<Arc<_>>` used as a pointer
+//! cell (the arc-swap idiom, built from std primitives): writers hold the
+//! write latch only for a pointer store, readers only for an `Arc` clone —
+//! both O(1) and far off the query path, which runs entirely on the cloned
+//! snapshot.
+
+use crate::query::{answer, QueryResponse, StalenessQuery};
+use rrr_core::DetectorSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// The publication point: current epoch and current snapshot pointer.
+pub struct SnapshotCell {
+    epoch: AtomicU64,
+    slot: RwLock<Arc<DetectorSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// A cell holding an initial snapshot (typically epoch 0, captured
+    /// before any input is consumed, so queries never race a missing
+    /// snapshot).
+    pub fn new(initial: Arc<DetectorSnapshot>) -> Self {
+        use rrr_core::Query;
+        SnapshotCell { epoch: AtomicU64::new(initial.epoch()), slot: RwLock::new(initial) }
+    }
+
+    /// Publishes a newer snapshot. Called by the ingest thread only.
+    pub fn publish(&self, snap: Arc<DetectorSnapshot>) {
+        use rrr_core::Query;
+        let epoch = snap.epoch();
+        *self.slot.write().expect("snapshot slot poisoned") = snap;
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
+    /// The epoch of the currently published snapshot, without taking the
+    /// snapshot itself.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current snapshot (an `Arc` clone under a momentary read latch).
+    pub fn load(&self) -> Arc<DetectorSnapshot> {
+        Arc::clone(&self.slot.read().expect("snapshot slot poisoned"))
+    }
+}
+
+/// Counters the daemon maintains for observability; all monotone, all
+/// readable while the daemon runs.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Queries answered via [`ServeHandle::query`].
+    pub queries: AtomicU64,
+    /// Merged rounds stepped through the detector.
+    pub rounds: AtomicU64,
+    /// BGP updates ingested.
+    pub updates: AtomicU64,
+    /// Public traceroutes ingested.
+    pub public: AtomicU64,
+    /// Snapshots published (epoch advances observed).
+    pub snapshots: AtomicU64,
+}
+
+/// The in-process query front end: cheap to clone, safe to share across
+/// reader threads, valid for the daemon's whole lifetime (and after it
+/// finishes — the last published snapshot stays queryable).
+#[derive(Clone)]
+pub struct ServeHandle {
+    cell: Arc<SnapshotCell>,
+    stats: Arc<ServeStats>,
+}
+
+impl ServeHandle {
+    pub(crate) fn new(cell: Arc<SnapshotCell>, stats: Arc<ServeStats>) -> Self {
+        ServeHandle { cell, stats }
+    }
+
+    /// The currently published snapshot.
+    pub fn snapshot(&self) -> Arc<DetectorSnapshot> {
+        self.cell.load()
+    }
+
+    /// The epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// Answers one query against the current snapshot. The whole answer
+    /// comes from a single snapshot, so the stamped epoch is exact even if
+    /// a publish lands mid-call.
+    pub fn query(&self, q: &StalenessQuery) -> QueryResponse {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        answer(&*self.snapshot(), q)
+    }
+
+    /// The daemon's counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+}

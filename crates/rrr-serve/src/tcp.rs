@@ -1,0 +1,182 @@
+//! The TCP front end: line-delimited JSON over a plain `TcpListener`.
+//!
+//! One accept thread polls a non-blocking listener (so shutdown never
+//! hangs in `accept`); each connection gets its own handler thread reading
+//! newline-terminated requests and writing one response line per request.
+//! Everything is answered from the [`ServeHandle`]'s current snapshot, so
+//! connection handlers never touch the detector and a slow client cannot
+//! stall ingestion.
+//!
+//! A malformed line produces an `{"error": ...}` line and the connection
+//! stays open; EOF from the client closes it. [`TcpServer::shutdown`]
+//! stops accepting, wakes the handlers, and joins every thread.
+
+use crate::snapshot::ServeHandle;
+use crate::wire::{decode_request, encode_error, encode_response};
+use rrr_types::Error;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const POLL: Duration = Duration::from_millis(10);
+
+/// A running TCP query server.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port; the bound address
+    /// is available via [`TcpServer::addr`]) and starts serving queries
+    /// from `handle`'s snapshots.
+    pub fn bind(addr: &str, handle: ServeHandle) -> Result<TcpServer, Error> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("rrr-accept".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((socket, _)) => {
+                                let handle = handle.clone();
+                                let stop = Arc::clone(&stop);
+                                let t = std::thread::Builder::new()
+                                    .name("rrr-conn".into())
+                                    .spawn(move || serve_conn(socket, handle, stop))
+                                    .expect("spawn connection thread");
+                                conns.lock().expect("conns lock").push(t);
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL);
+                            }
+                            // Listener died (e.g. interface gone): stop
+                            // accepting; existing connections keep serving.
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(TcpServer { addr: local, stop, accept: Some(accept), conns })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains every connection handler, and joins all
+    /// server threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conns lock"));
+        for t in conns {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_conn(socket: TcpStream, handle: ServeHandle, stop: Arc<AtomicBool>) {
+    // Read with a timeout so the handler notices `stop` even while a
+    // client holds the connection open silently.
+    let _ = socket.set_read_timeout(Some(POLL));
+    let mut writer = match socket.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(socket);
+    let mut line = String::new();
+    while !stop.load(Ordering::Acquire) {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let out = match decode_request(line.trim()) {
+                    Ok(q) => encode_response(&handle.query(&q)),
+                    Err(e) => encode_error(&e),
+                };
+                if writer.write_all(out.as_bytes()).and_then(|()| writer.write_all(b"\n")).is_err()
+                {
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{Daemon, DaemonConfig, Engine};
+    use crate::feed::ScriptedFeed;
+    use rrr_core::DetectorBuilder;
+
+    #[test]
+    fn serves_queries_over_tcp_and_shuts_down_cleanly() {
+        // Tiny-world detector: structure of the protocol is what's under
+        // test here; end-to-end content equivalence lives in rrr-sim.
+        let topo =
+            std::sync::Arc::new(rrr_topology::generate(&rrr_topology::TopologyConfig::small(3)));
+        let alias = rrr_ip2as::AliasResolver::from_topology(&topo, 1.0, 0);
+        let det = DetectorBuilder::new().seed(7).build(
+            topo,
+            rrr_ip2as::IpToAsMap::new(),
+            rrr_geo::Geolocator::new(rrr_geo::GeoDb::default(), vec![]),
+            alias,
+            vec![],
+        );
+        let daemon = Daemon::spawn(
+            Engine::Plain(det),
+            vec![Box::new(ScriptedFeed::default())],
+            DaemonConfig::default(),
+        );
+        let mut server = TcpServer::bind("127.0.0.1:0", daemon.handle()).expect("bind");
+
+        let mut client = TcpStream::connect(server.addr()).expect("connect");
+        client
+            .write_all(b"{\"query\":\"corpus_summary\"}\nnot json\n{\"query\":\"monitor_stats\"}\n")
+            .expect("send");
+        let mut lines = BufReader::new(client.try_clone().expect("clone")).lines();
+        let ok = lines.next().expect("line").expect("read");
+        assert!(ok.contains("\"epoch\""), "{ok}");
+        assert!(ok.contains("corpus_summary"), "{ok}");
+        let err = lines.next().expect("line").expect("read");
+        assert!(err.contains("\"error\""), "{err}");
+        let ok2 = lines.next().expect("line").expect("read");
+        assert!(ok2.contains("monitor_stats"), "{ok2}");
+        drop(lines);
+
+        server.shutdown();
+        server.shutdown(); // idempotent
+        let report = daemon.join().expect("drained");
+        assert_eq!(report.rounds, 0);
+    }
+}

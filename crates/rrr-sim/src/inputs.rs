@@ -370,6 +370,6 @@ mod tests {
         let w = SimWorld::Micro { seed: 5 };
         let det = w.build(1);
         assert_eq!(det.corpus().len(), NUM_DSTS as usize);
-        det.check_invariants().expect("fresh detector is consistent");
+        det.validate().expect("fresh detector is consistent");
     }
 }

@@ -26,7 +26,10 @@ pub use artifact::{default_artifact_dir, load_scenario_or_artifact, write_artifa
 pub use faults::Fault;
 pub use inputs::{micro_rounds, MicroPlan, RoundInput, SimWorld, ROUND};
 pub use minimize::minimize;
-pub use runner::{run_once, store_error_kind, OracleFailure, SHARD_COUNTS};
+pub use runner::{
+    feed_batches, oracle_serve_equivalence, run_once, snapshots_equal, store_error_kind,
+    OracleFailure, SHARD_COUNTS,
+};
 pub use scenario::{load_corpus, Expect, Oracle, Scenario, ScenarioError, SimEvent, WorldKind};
 
 use std::path::PathBuf;

@@ -10,8 +10,12 @@ use crate::faults::Fault;
 use crate::inputs::{RoundInput, SimWorld, ROUND};
 use crate::scenario::{Expect, Oracle, Scenario, SimEvent};
 use rrr_baselines::{run_emulation, Dtrack, EmuWorld, PathTimeline, RoundRobin};
-use rrr_core::{DurableConfig, DurableDetector, StalenessDetector, StalenessSignal};
+use rrr_core::{DurableConfig, DurableDetector, Query, StalenessDetector, StalenessSignal};
 use rrr_mrt::{record_to_updates, MrtReader, MrtWriter, VpDirectory};
+use rrr_serve::{
+    replay_reference, split_rounds, Daemon, DaemonConfig, Engine, FeedBatch, FeedSource,
+    ScriptedFeed,
+};
 use rrr_store::StoreError;
 use rrr_topology::AsIdx;
 use rrr_trace::CanonicalPath;
@@ -61,6 +65,9 @@ pub fn run_once(sc: &Scenario, base_threads: usize) -> Result<(), OracleFailure>
                 oracle_baselines(sc, &world, &steps, budget, base_threads)
             }
             Oracle::MrtRoundTrip => oracle_mrt_round_trip(&world, &steps),
+            Oracle::ServeEquivalence { feeds } => {
+                oracle_serve_equivalence(&world, &steps, feeds as usize, base_threads)
+            }
         };
         if let Err(message) = res {
             return Err(OracleFailure { oracle: o.name(), message });
@@ -184,17 +191,17 @@ fn oracle_shard_invariance(world: &SimWorld, steps: &[RoundInput]) -> Result<(),
     Ok(())
 }
 
-/// `StalenessDetector::check_invariants` holds after every step and after
+/// `StalenessDetector::validate` holds after every step and after
 /// every applied refresh.
 fn oracle_invariants(world: &SimWorld, steps: &[RoundInput], threads: usize) -> Result<(), String> {
     let mut det = world.build(threads);
-    det.check_invariants().map_err(|e| format!("before any step: {e}"))?;
+    det.validate().map_err(|e| format!("before any step: {e}"))?;
     for (k, ri) in steps.iter().enumerate() {
         let _ = det.step(ri.now, &ri.updates, &ri.public);
-        det.check_invariants().map_err(|e| format!("after step {k}: {e}"))?;
+        det.validate().map_err(|e| format!("after step {k}: {e}"))?;
         if (k + 1) % PLAN_EVERY == 0 {
             plan_and_apply(&mut det, PLAN_BUDGET, k as u64, ri.now);
-            det.check_invariants().map_err(|e| format!("after refresh at step {k}: {e}"))?;
+            det.validate().map_err(|e| format!("after refresh at step {k}: {e}"))?;
         }
     }
     Ok(())
@@ -208,7 +215,7 @@ fn oracle_revocation(world: &SimWorld, steps: &[RoundInput], threads: usize) -> 
     let mut max_stale = 0usize;
     for ri in steps {
         let _ = det.step(ri.now, &ri.updates, &ri.public);
-        let (_, stale, _) = det.corpus().freshness_counts();
+        let stale = det.corpus().freshness_summary().stale;
         max_stale = max_stale.max(stale);
     }
     if det.signal_log().is_empty() {
@@ -217,7 +224,7 @@ fn oracle_revocation(world: &SimWorld, steps: &[RoundInput], threads: usize) -> 
     if max_stale == 0 {
         return Err("signals fired but no corpus entry was ever marked stale".to_string());
     }
-    let (_, stale, _) = det.corpus().freshness_counts();
+    let stale = det.corpus().freshness_summary().stale;
     if stale != 0 {
         return Err(format!(
             "{stale} corpus entries still marked stale after every scripted event reverted \
@@ -386,7 +393,7 @@ fn oracle_baselines(
                 fresh.time = ri.now;
                 let _ = det.apply_refresh(old, fresh, None);
             }
-            det.check_invariants().map_err(|e| format!("after refresh at step {k}: {e}"))?;
+            det.validate().map_err(|e| format!("after refresh at step {k}: {e}"))?;
         }
     }
 
@@ -469,6 +476,151 @@ fn emu_path(dst: u32, deviating: bool) -> CanonicalPath {
         .map(|(i, _)| vec![PeeringPointId(dst * 10 + i as u32 + u32::from(deviating) * 100)])
         .collect();
     CanonicalPath { as_chain, crossings, reached: true }
+}
+
+/// Converts the simulator's per-round inputs into daemon feed batches.
+pub fn feed_batches(steps: &[RoundInput]) -> Vec<FeedBatch> {
+    steps
+        .iter()
+        .map(|ri| FeedBatch { now: ri.now, updates: ri.updates.clone(), public: ri.public.clone() })
+        .collect()
+}
+
+/// Deep equality of two snapshots through the public [`Query`] surface:
+/// epoch, whole-corpus tallies, monitor inventory, the refresh plan, and
+/// every per-id freshness / per-prefix / per-AS summary on either side.
+pub fn snapshots_equal(
+    got: &rrr_core::DetectorSnapshot,
+    want: &rrr_core::DetectorSnapshot,
+) -> Result<(), String> {
+    if got.epoch() != want.epoch() {
+        return Err(format!("epoch {} vs {}", got.epoch(), want.epoch()));
+    }
+    let epoch = got.epoch();
+    if got.corpus_summary() != want.corpus_summary() {
+        return Err(format!(
+            "corpus summaries diverge at epoch {epoch}: {:?} vs {:?}",
+            got.corpus_summary(),
+            want.corpus_summary()
+        ));
+    }
+    if got.monitor_stats() != want.monitor_stats() {
+        return Err(format!(
+            "monitor stats diverge at epoch {epoch}: {:?} vs {:?}",
+            got.monitor_stats(),
+            want.monitor_stats()
+        ));
+    }
+    if got.plan(PLAN_BUDGET) != want.plan(PLAN_BUDGET) {
+        return Err(format!(
+            "refresh plans diverge at epoch {epoch}: {:?} vs {:?}",
+            got.plan(PLAN_BUDGET).refresh,
+            want.plan(PLAN_BUDGET).refresh
+        ));
+    }
+    let mut ids = got.ids();
+    ids.extend(want.ids());
+    ids.sort_unstable();
+    ids.dedup();
+    for id in ids {
+        if got.freshness_of(id) != want.freshness_of(id) {
+            return Err(format!(
+                "freshness of {id:?} diverges at epoch {epoch}: {:?} vs {:?}",
+                got.freshness_of(id),
+                want.freshness_of(id)
+            ));
+        }
+    }
+    let mut prefixes: Vec<_> = got.prefixes().chain(want.prefixes()).collect();
+    prefixes.sort_unstable();
+    prefixes.dedup();
+    for p in prefixes {
+        if got.prefix_summary(p) != want.prefix_summary(p) {
+            return Err(format!("prefix summary of {p} diverges at epoch {epoch}"));
+        }
+    }
+    let mut asns: Vec<_> = got.asns().chain(want.asns()).collect();
+    asns.sort_unstable();
+    asns.dedup();
+    for a in asns {
+        if got.as_summary(a) != want.as_summary(a) {
+            return Err(format!("AS summary of {a} diverges at epoch {epoch}"));
+        }
+    }
+    Ok(())
+}
+
+/// The `rrr-serve` daemon, ingesting the faulted stream split across
+/// `feeds` concurrent feeds, must at every published epoch answer exactly
+/// like a serial batch detector replayed over the same rounds — and its
+/// final state must checkpoint bit-identically. Epochs must advance
+/// strictly monotonically.
+pub fn oracle_serve_equivalence(
+    world: &SimWorld,
+    steps: &[RoundInput],
+    feeds: usize,
+    threads: usize,
+) -> Result<(), String> {
+    let batches = feed_batches(steps);
+    let (reference, ref_snaps) = replay_reference(world.build(threads), &batches);
+    let sources: Vec<Box<dyn FeedSource>> = split_rounds(&batches, feeds)
+        .into_iter()
+        .map(|b| Box::new(ScriptedFeed::new(b)) as Box<dyn FeedSource>)
+        .collect();
+    let daemon = Daemon::spawn(
+        Engine::Plain(world.build(threads)),
+        sources,
+        DaemonConfig { channel_capacity: 2, record_snapshots: true },
+    );
+    let handle = daemon.handle();
+    let report = daemon.join().map_err(|e| format!("daemon failed: {e}"))?;
+    if report.rounds != steps.len() as u64 {
+        return Err(format!(
+            "daemon stepped {} merged rounds, expected {}",
+            report.rounds,
+            steps.len()
+        ));
+    }
+    if report.snapshots.len() != ref_snaps.len() {
+        return Err(format!(
+            "daemon published {} snapshots, serial replay captured {}",
+            report.snapshots.len(),
+            ref_snaps.len()
+        ));
+    }
+    let mut prev_epoch = None;
+    for (got, want) in report.snapshots.iter().zip(&ref_snaps) {
+        if let Some(prev) = prev_epoch {
+            if got.epoch() <= prev {
+                return Err(format!(
+                    "published epochs are not strictly monotone: {prev} then {}",
+                    got.epoch()
+                ));
+            }
+        }
+        prev_epoch = Some(got.epoch());
+        snapshots_equal(got, want).map_err(|e| format!("with {feeds} feeds: {e}"))?;
+    }
+    if let Some(last) = report.snapshots.last() {
+        if handle.epoch() != last.epoch() {
+            return Err(format!(
+                "handle serves epoch {} after shutdown, last published was {}",
+                handle.epoch(),
+                last.epoch()
+            ));
+        }
+    }
+    let got_ck = checkpoint_bytes(report.engine.detector())?;
+    let want_ck = checkpoint_bytes(&reference)?;
+    if got_ck != want_ck {
+        return Err(format!(
+            "final daemon state diverges from the serial replay ({} vs {} bytes): {}",
+            got_ck.len(),
+            want_ck.len(),
+            first_log_diff(&log_repr(&reference), &log_repr(report.engine.detector()))
+        ));
+    }
+    Ok(())
 }
 
 /// The (possibly faulted) BGP stream must survive an MRT encode→decode

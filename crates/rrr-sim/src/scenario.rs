@@ -45,7 +45,7 @@ pub enum Oracle {
     /// finish: the final checkpoint must equal an uninterrupted run's.
     /// File-level faults are applied at the crash point.
     CrashResume { split: u64 },
-    /// `StalenessDetector::check_invariants` holds after every step.
+    /// `StalenessDetector::validate` holds after every step.
     Invariants,
     /// Signals fire while scripted events hold and all assertions revoke
     /// once the events revert (§4.3.2).
@@ -56,6 +56,11 @@ pub enum Oracle {
     Baselines { budget: usize },
     /// The faulted BGP stream survives an MRT encode→decode round trip.
     MrtRoundTrip,
+    /// The `rrr-serve` daemon ingesting the faulted stream split across
+    /// `feeds` concurrent feeds publishes, at every epoch, snapshots whose
+    /// answers are bit-identical to a serial batch replay — and its final
+    /// state checkpoints identically.
+    ServeEquivalence { feeds: u64 },
 }
 
 impl Oracle {
@@ -67,6 +72,7 @@ impl Oracle {
             Oracle::Revocation => "revocation",
             Oracle::Baselines { .. } => "baselines",
             Oracle::MrtRoundTrip => "mrt-round-trip",
+            Oracle::ServeEquivalence { .. } => "serve-equivalence",
         }
     }
 }
@@ -208,6 +214,10 @@ impl Oracle {
                 vec![("budget".to_string(), Value::Int(budget as i64))],
             ),
             Oracle::MrtRoundTrip => Value::Unit("MrtRoundTrip".to_string()),
+            Oracle::ServeEquivalence { feeds } => Value::Struct(
+                "ServeEquivalence".to_string(),
+                vec![("feeds".to_string(), Value::Int(feeds as i64))],
+            ),
         }
     }
 
@@ -220,6 +230,13 @@ impl Oracle {
             "Revocation" => Ok(Oracle::Revocation),
             "Baselines" => Ok(Oracle::Baselines { budget: req_u64(v, "budget", name)? as usize }),
             "MrtRoundTrip" => Ok(Oracle::MrtRoundTrip),
+            "ServeEquivalence" => {
+                let feeds = req_u64(v, "feeds", name)?;
+                if feeds == 0 {
+                    return Err(bad("ServeEquivalence: `feeds` must be positive"));
+                }
+                Ok(Oracle::ServeEquivalence { feeds })
+            }
             other => Err(bad(format!("unknown oracle `{other}`"))),
         }
     }

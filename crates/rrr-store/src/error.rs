@@ -92,6 +92,28 @@ impl From<io::Error> for StoreError {
     }
 }
 
+impl StoreError {
+    /// The variant name, for callers that match on the failure kind
+    /// without destructuring (harness assertions, the workspace error).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StoreError::Io(_) => "Io",
+            StoreError::BadMagic(_) => "BadMagic",
+            StoreError::UnsupportedVersion { .. } => "UnsupportedVersion",
+            StoreError::CrcMismatch { .. } => "CrcMismatch",
+            StoreError::Corrupt { .. } => "Corrupt",
+            StoreError::TrailingData { .. } => "TrailingData",
+            StoreError::ConfigMismatch { .. } => "ConfigMismatch",
+        }
+    }
+}
+
+impl From<StoreError> for rrr_types::Error {
+    fn from(e: StoreError) -> Self {
+        rrr_types::Error::Store { kind: e.kind(), message: e.to_string() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +129,18 @@ mod tests {
         let io_err = StoreError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
         assert!(std::error::Error::source(&io_err).is_some());
         assert!(std::error::Error::source(&StoreError::TrailingData { remaining: 3 }).is_none());
+    }
+
+    #[test]
+    fn maps_into_workspace_error() {
+        let e: rrr_types::Error = StoreError::CrcMismatch { stored: 1, computed: 2 }.into();
+        match e {
+            rrr_types::Error::Store { kind, ref message } => {
+                assert_eq!(kind, "CrcMismatch");
+                assert!(message.contains("crc mismatch"));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(StoreError::ConfigMismatch { what: "l" }.kind(), "ConfigMismatch");
     }
 }

@@ -1,0 +1,113 @@
+//! The workspace-wide typed error vocabulary.
+//!
+//! Subsystems used to surface failures as bare `String`s (invariant
+//! violations) or crate-local enums (`rrr_store::StoreError`). [`Error`]
+//! gives them one typed home with a [`std::error::Error`] impl, so callers
+//! can match on the failure *kind* without parsing prose, and the serving
+//! layer can map any of them onto a protocol response. Crates that define
+//! their own error types (e.g. `rrr-store`) provide `From` conversions
+//! into this enum on their side of the dependency edge.
+
+use std::fmt;
+use std::io;
+
+/// Every failure class the workspace surfaces across crate boundaries.
+#[derive(Debug)]
+pub enum Error {
+    /// A cross-structure invariant does not hold (detector or corpus
+    /// consistency checks). The message names the first violation.
+    Invariant {
+        /// Which component's invariant failed (`"corpus"`, `"detector"`…).
+        component: &'static str,
+        /// The first violation found.
+        violation: String,
+    },
+    /// Durable-state failure, mapped from `rrr_store::StoreError`. The
+    /// variant name is preserved so harnesses can match on the kind
+    /// without depending on `rrr-store` directly.
+    Store {
+        /// The `StoreError` variant name (`"CrcMismatch"`, `"BadMagic"`…).
+        kind: &'static str,
+        /// The rendered error.
+        message: String,
+    },
+    /// A configuration the caller supplied disagrees with recorded or
+    /// required state.
+    Config { what: String },
+    /// Underlying I/O failure outside the durable-store path (sockets,
+    /// feed files).
+    Io(io::Error),
+    /// A malformed request or response on the serving wire protocol.
+    Protocol { what: String },
+    /// An ingestion feed failed mid-stream (decode error, poisoned
+    /// channel, worker panic).
+    Feed { what: String },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Invariant { component, violation } => {
+                write!(f, "{component} invariant violated: {violation}")
+            }
+            Error::Store { kind, message } => write!(f, "store error ({kind}): {message}"),
+            Error::Config { what } => write!(f, "configuration error: {what}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Protocol { what } => write!(f, "protocol error: {what}"),
+            Error::Feed { what } => write!(f, "feed error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Constructs an invariant violation for a named component.
+    pub fn invariant(component: &'static str, violation: impl Into<String>) -> Error {
+        Error::Invariant { component, violation: violation.into() }
+    }
+
+    /// Constructs a wire-protocol error.
+    pub fn protocol(what: impl Into<String>) -> Error {
+        Error::Protocol { what: what.into() }
+    }
+
+    /// Constructs a feed-ingestion error.
+    pub fn feed(what: impl Into<String>) -> Error {
+        Error::Feed { what: what.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = Error::invariant("corpus", "entry 3 has no monitor registration");
+        assert!(e.to_string().contains("corpus invariant"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = Error::Store { kind: "CrcMismatch", message: "stored 1, computed 2".into() };
+        assert!(e.to_string().contains("CrcMismatch"));
+
+        let e = Error::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        assert!(Error::protocol("bad query").to_string().contains("protocol"));
+        assert!(Error::feed("channel closed").to_string().contains("feed"));
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod asn;
 pub mod community;
+pub mod error;
 pub mod geo;
 pub mod ids;
 pub mod intern;
@@ -21,6 +22,7 @@ pub mod time;
 
 pub use asn::Asn;
 pub use community::Community;
+pub use error::Error;
 pub use geo::{CityId, GeoPoint};
 pub use ids::{AnchorId, CollectorId, FacilityId, IxpId, PeeringPointId, ProbeId, RouterId, VpId};
 pub use intern::{Arena, ArenaId};

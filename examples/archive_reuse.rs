@@ -45,7 +45,8 @@ fn main() {
         let _ = det.step(t, &updates, &public);
     }
 
-    let (fresh, stale, unknown) = det.corpus().freshness_counts();
+    let tally = det.corpus().freshness_summary();
+    let (fresh, stale, unknown) = (tally.fresh, tally.stale, tally.unknown);
     let total = det.corpus().len();
     println!("archive after {days} days: {archived} traceroutes accumulated, {total} retained");
     println!(

@@ -48,7 +48,7 @@ fn main() {
             let _ = det.step(t, &updates, &public);
         }
         let t = Timestamp((day + 1) * 86_400);
-        let (_, stale_before, _) = det.corpus().freshness_counts();
+        let stale_before = det.corpus().freshness_summary().stale;
 
         // Spend the budget where signals (weighted by calibration) say.
         let plan = det.plan_refresh(budget);
@@ -64,7 +64,8 @@ fn main() {
                 found += 1;
             }
         }
-        let (fresh, stale, unknown) = det.corpus().freshness_counts();
+        let tally = det.corpus().freshness_summary();
+        let (fresh, stale, unknown) = (tally.fresh, tally.stale, tally.unknown);
         println!(
             "day {}: {stale_before} flagged stale; refreshed {planned} → {found} real changes; \
              corpus now {fresh} fresh / {stale} stale / {unknown} unknown",

@@ -60,7 +60,8 @@ fn main() {
         }
     }
 
-    let (fresh, stale, unknown) = det.corpus().freshness_counts();
+    let tally = det.corpus().freshness_summary();
+    let (fresh, stale, unknown) = (tally.fresh, tally.stale, tally.unknown);
     println!(
         "\nafter {days} days: {total} signals; corpus {fresh} fresh / {stale} stale / {unknown} unknown"
     );

@@ -21,6 +21,9 @@
 //! - [`anomaly`] — the Bitmap and modified-z-score outlier detectors;
 //! - [`core`] — **the paper's contribution**: the six signal techniques,
 //!   calibration, and corpus maintenance;
+//! - [`serve`] — the long-running ingestion daemon: concurrent feeds,
+//!   epoch-versioned snapshots, and the typed query API (in-process and
+//!   line-delimited-JSON TCP);
 //! - [`baselines`] — round-robin, Sibyl patching, DTRACK, DTRACK+SIGNALS,
 //!   and iPlane splicing.
 //!
@@ -48,9 +51,7 @@
 //! let geo = Geolocator::new(GeoDb::ground_truth(&topo), vec![]);
 //! let alias = AliasResolver::from_topology(&topo, 0.1, 7);
 //! let vps = engine.vps().iter().map(|v| v.id).collect();
-//! let mut det = StalenessDetector::new(
-//!     Arc::clone(&topo), map, geo, alias, vps, DetectorConfig::default(),
-//! );
+//! let mut det = DetectorBuilder::new().seed(7).build(Arc::clone(&topo), map, geo, alias, vps);
 //! det.init_rib(&rib);
 //!
 //! // 3. Monitor a traceroute and stream one day of data.
@@ -74,6 +75,7 @@ pub use rrr_core as core;
 pub use rrr_geo as geo;
 pub use rrr_ip2as as ip2as;
 pub use rrr_mrt as mrt;
+pub use rrr_serve as serve;
 pub use rrr_store as store;
 pub use rrr_topology as topology;
 pub use rrr_trace as trace;
@@ -84,11 +86,12 @@ pub mod prelude {
     pub use rrr_anomaly::{BitmapDetector, ModifiedZScore};
     pub use rrr_bgp::{Engine, EngineConfig, EventConfig};
     pub use rrr_core::{
-        DetectorConfig, DurableConfig, DurableDetector, Freshness, RefreshPlan, SignalScope,
-        StalenessDetector, StalenessSignal, Technique,
+        CorpusOps, DetectorBuilder, DetectorConfig, DurableConfig, DurableDetector, Freshness,
+        Ingest, Query, RefreshPlan, SignalScope, StalenessDetector, StalenessSignal, Technique,
     };
     pub use rrr_geo::{GeoDb, Geolocator};
     pub use rrr_ip2as::{AliasResolver, IpToAsMap};
+    pub use rrr_serve::{ServeHandle, StalenessQuery};
     pub use rrr_topology::{Topology, TopologyConfig};
     pub use rrr_trace::{Platform, PlatformConfig};
     pub use rrr_types::{

@@ -192,10 +192,10 @@ fn reverted_change_revokes_without_refresh() {
         let updates = engine.advance_to(t);
         let public = platform.random_round(&engine, t, 80);
         let _ = det.step(t, &updates, &public);
-        let (_, stale, _) = det.corpus().freshness_counts();
+        let stale = det.corpus().freshness_summary().stale;
         peak_stale = peak_stale.max(stale);
     }
-    let (_, stale_end, _) = det.corpus().freshness_counts();
+    let stale_end = det.corpus().freshness_summary().stale;
     assert!(peak_stale > 0, "the demotion must flag entries");
     assert!(
         stale_end < peak_stale,
