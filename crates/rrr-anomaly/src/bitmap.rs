@@ -45,6 +45,17 @@ impl BitmapDetector {
     pub fn spike() -> Self {
         BitmapDetector { alphabet: 4, word_len: 1, lag: 16, lead: 1, threshold: 1.0 }
     }
+
+    /// The trailing-run length after which a series is *inert* under a
+    /// constant: with at least this many history values bit-identical to
+    /// the candidate, the full lag+lead tail is constant, every symbol
+    /// discretizes identically, both bitmaps coincide, and the score is
+    /// exactly 0 — which a non-negative threshold never flags. `None` when
+    /// the threshold is negative (then even a zero score is an outlier, so
+    /// no constant tail is safe).
+    pub fn inert_tail(&self) -> Option<usize> {
+        (self.threshold >= 0.0).then_some(self.lag + self.lead - 1)
+    }
 }
 
 impl rrr_store::Persist for BitmapDetector {
@@ -148,20 +159,28 @@ impl BitmapDetector {
     }
 }
 
+impl BitmapDetector {
+    /// Only the trailing lag+lead values feed [`Self::lead_lag_score`], so
+    /// copy just those instead of the whole (up to 256-value) history.
+    fn tail_with(&self, history: &[f64], candidate: f64) -> Vec<f64> {
+        let keep = history.len().min((self.lag + self.lead).saturating_sub(1));
+        let mut series = Vec::with_capacity(keep + 1);
+        series.extend_from_slice(&history[history.len() - keep..]);
+        series.push(candidate);
+        series
+    }
+}
+
 impl OutlierDetector for BitmapDetector {
     fn is_outlier(&self, history: &[f64], candidate: f64) -> bool {
-        let mut series = history.to_vec();
-        series.push(candidate);
-        match self.lead_lag_score(&series) {
+        match self.lead_lag_score(&self.tail_with(history, candidate)) {
             Some(s) => s > self.threshold,
             None => false,
         }
     }
 
     fn score(&self, history: &[f64], candidate: f64) -> f64 {
-        let mut series = history.to_vec();
-        series.push(candidate);
-        self.lead_lag_score(&series).unwrap_or(0.0)
+        self.lead_lag_score(&self.tail_with(history, candidate)).unwrap_or(0.0)
     }
 }
 

@@ -125,6 +125,86 @@ impl MonitoredSeries {
             self.history.drain(..excess);
         }
     }
+
+    /// Populated-window run length so far (meaningful while `!ready()`).
+    pub fn consecutive(&self) -> usize {
+        self.consecutive
+    }
+
+    /// Length of the trailing run of history values bit-identical to `v`.
+    pub fn trailing_run(&self, v: f64) -> usize {
+        self.history.iter().rev().take_while(|x| x.to_bits() == v.to_bits()).count()
+    }
+
+    /// Whether feeding `value` into this series any number of further times
+    /// is guaranteed to (a) never produce an [`SeriesVerdict::Outlier`] and
+    /// (b) evolve the state exactly as [`MonitoredSeries::advance_constant`]
+    /// does. `inert_tail` is the detector's guarantee threshold (e.g.
+    /// [`BitmapDetector::inert_tail`](crate::BitmapDetector::inert_tail)):
+    /// with at least that many trailing history values bit-identical to the
+    /// candidate, the detector verdict is `Normal` — which appends the
+    /// candidate, keeping the run (and thus the guarantee) intact.
+    ///
+    /// A `None` value is always inert: it never consults the detector and
+    /// at most clears the eligibility counter once.
+    pub fn inert_under(&self, value: Option<f64>, inert_tail: Option<usize>) -> bool {
+        let Some(v) = value else { return true };
+        let Some(need) = inert_tail else { return false };
+        let run = self.trailing_run(v);
+        if self.ready {
+            run >= need
+        } else {
+            // Every push while `!ready` appends unconditionally; by the
+            // time eligibility flips the run has grown by the remaining
+            // warmup windows, and the first detector-consulted push needs
+            // `need` equal values behind it.
+            run + MIN_WINDOWS.saturating_sub(self.consecutive) >= need
+        }
+    }
+
+    /// Applies `k` consecutive [`MonitoredSeries::push`] calls of the same
+    /// `value` in O(min(k, max_history)) without consulting a detector.
+    ///
+    /// Callers must have established [`MonitoredSeries::inert_under`] for
+    /// this value first (or pass `value = None`); otherwise the resulting
+    /// state can diverge from `k` real pushes, because real pushes would
+    /// have produced `Outlier` verdicts that do not append.
+    pub fn advance_constant(&mut self, value: Option<f64>, k: u64) {
+        if k == 0 {
+            return;
+        }
+        let Some(v) = value else {
+            // Missing windows: no history change; only the warmup run
+            // resets, and doing so once is idempotent.
+            if !self.ready {
+                self.consecutive = 0;
+            }
+            return;
+        };
+        let mut k = k as usize;
+        if !self.ready {
+            let pre = (MIN_WINDOWS - self.consecutive).min(k);
+            self.history.extend(std::iter::repeat(v).take(pre));
+            self.consecutive += pre;
+            if self.consecutive >= MIN_WINDOWS {
+                self.ready = true;
+            }
+            self.trim();
+            k -= pre;
+            if k == 0 {
+                return;
+            }
+        }
+        // Ready: each push is (by the inertness precondition) `Normal`, so
+        // the net effect of k pushes is k appends followed by trimming.
+        if k >= self.max_history {
+            self.history.clear();
+            self.history.extend(std::iter::repeat(v).take(self.max_history));
+        } else {
+            self.history.extend(std::iter::repeat(v).take(k));
+            self.trim();
+        }
+    }
 }
 
 // Checkpoint serialization lives next to the fields it captures: the

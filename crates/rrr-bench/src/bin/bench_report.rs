@@ -33,7 +33,7 @@
 //! otherwise, so CI catches a silently dropped benchmark.
 
 use criterion::{BatchSize, Criterion};
-use rrr_bench::pipeline::{synth_bgp_monitors, synth_round};
+use rrr_bench::pipeline::{synth_bgp_monitors, synth_round, synth_round_sparse};
 use rrr_bench::{World, WorldConfig};
 use rrr_core::{DetectorConfig, Query};
 use rrr_serve::{
@@ -52,9 +52,12 @@ const EXPECTED_OPS: &[&str] = &[
     "observe",
     "observe_batch",
     "close_bgp_window",
+    "close_window_sparse_fullscan",
+    "close_window_sparse_incremental",
     "detector_step_one_round",
     "plan_refresh",
     "checkpoint",
+    "checkpoint_delta",
     "restore",
     "query_qps",
 ];
@@ -67,6 +70,9 @@ struct Row {
     speedup: f64,
     /// Checkpoint size on disk for the persistence ops; 0 = not applicable.
     bytes_on_disk: u64,
+    /// For `checkpoint_delta`: delta-frame bytes over full-snapshot bytes
+    /// at ~1% churn; 0 = not applicable.
+    delta_ratio: f64,
 }
 
 /// Times ingestion of one synthetic round. Between iterations (untimed)
@@ -116,6 +122,92 @@ fn measure_close(c: &mut Criterion, scale: usize, threads: usize) -> f64 {
             )
         })
     })
+}
+
+/// Times one sparse round (≈1% of groups churn) plus its window close,
+/// after warming to steady state. With `incremental` the quiet groups have
+/// parked and the close visits only the churned few; without it the close
+/// scans every group — the full-scan baseline the incremental path is
+/// measured against (same workload, same run).
+fn measure_close_sparse(c: &mut Criterion, scale: usize, incremental: bool) -> f64 {
+    let mut m = synth_bgp_monitors(scale);
+    m.set_threads(1);
+    m.set_incremental(incremental);
+    let mut round = 0u64;
+    for _ in 0..12 {
+        round += 1;
+        for u in synth_round_sparse(scale, round, 10) {
+            m.observe(&u);
+        }
+        let _ = m.close_window(Window(round), Timestamp(round * 900), &|_, _| true);
+    }
+    c.measure(|b| {
+        b.iter(|| {
+            round += 1;
+            for u in synth_round_sparse(scale, round, 10) {
+                m.observe(&u);
+            }
+            std::hint::black_box(
+                m.close_window(Window(round), Timestamp(round * 900), &|_, _| true),
+            )
+        })
+    })
+}
+
+/// Grows a world detector over `6 × scale` rounds, lets it settle into the
+/// parked steady state over quiet windows, establishes a park-preserving
+/// full base ([`rrr_core::StalenessDetector::checkpoint_base`]), runs one
+/// window in which ~1% of announced prefixes churn, and cuts a delta
+/// frame. Returns (delta-encode ns, delta bytes, full-base bytes): the
+/// bytes ratio is the churn-proportionality acceptance number.
+fn measure_delta_bytes(c: &mut Criterion, scale: usize) -> (f64, u64, u64) {
+    let mut world = World::new(WorldConfig::small(5));
+    let mut det = world.build_detector(DetectorConfig::default());
+    for tr in world.platform.anchoring_round(&world.engine, Timestamp::ZERO) {
+        let src_asn = world.topo.asn_of(world.platform.probe(tr.probe).asx);
+        det.add_corpus(tr, Some(src_asn));
+    }
+    let grown = 6 * scale as u64;
+    for r in 1..=grown {
+        let t = Timestamp(r * 900);
+        let updates = world.engine.advance_to(t);
+        let public = world.platform.random_round(&world.engine, t, 80);
+        let _ = det.step(t, &updates, &public);
+    }
+    // Quiet tail: input-free windows drain series buffers and let every
+    // inert group park.
+    for r in grown + 1..=grown + 8 {
+        let t = Timestamp(r * 900);
+        let _ = world.engine.advance_to(t);
+        let _ = det.step(t, &[], &[]);
+    }
+
+    let mut base = Vec::new();
+    det.checkpoint_base(&mut base).expect("full base to memory");
+
+    // One ~1%-churn window: keep only the updates of 1 in 100 announced
+    // prefixes, no public traceroutes.
+    let t = Timestamp((grown + 9) * 900);
+    let raw = world.engine.advance_to(t);
+    let mut prefixes: Vec<rrr_types::Prefix> = raw.iter().map(|u| u.prefix).collect();
+    prefixes.sort_unstable();
+    prefixes.dedup();
+    let keep = (prefixes.len() / 100).max(1);
+    let kept: std::collections::HashSet<rrr_types::Prefix> =
+        prefixes.into_iter().step_by(100).take(keep).collect();
+    let updates: Vec<_> = raw.into_iter().filter(|u| kept.contains(&u.prefix)).collect();
+    let _ = det.step(t, &updates, &[]);
+
+    let mut delta = Vec::new();
+    det.checkpoint_delta(&mut delta).expect("delta to memory");
+    let delta_ns = c.measure(|b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            det.checkpoint_delta(&mut buf).expect("delta to memory");
+            std::hint::black_box(buf.len())
+        })
+    });
+    (delta_ns, delta.len() as u64, base.len() as u64)
 }
 
 fn measure_step(c: &mut Criterion, threads: usize) -> f64 {
@@ -352,6 +444,7 @@ fn main() {
             ns_per_iter: serial,
             speedup: 1.0,
             bytes_on_disk: 0,
+            delta_ratio: 0.0,
         });
         let batch1 = measure_observe(&mut c, scale, 1, true);
         rows.push(Row {
@@ -361,6 +454,7 @@ fn main() {
             ns_per_iter: batch1,
             speedup: serial / batch1,
             bytes_on_disk: 0,
+            delta_ratio: 0.0,
         });
         if host_threads > 1 {
             let par = measure_observe(&mut c, scale, host_threads, true);
@@ -371,6 +465,7 @@ fn main() {
                 ns_per_iter: par,
                 speedup: serial / par,
                 bytes_on_disk: 0,
+            delta_ratio: 0.0,
             });
         }
         eprintln!("observe/observe_batch {scale}x done");
@@ -385,6 +480,7 @@ fn main() {
             ns_per_iter: serial,
             speedup: 1.0,
             bytes_on_disk: 0,
+            delta_ratio: 0.0,
         });
         if host_threads > 1 {
             let par = measure_close(&mut c, scale, host_threads);
@@ -395,9 +491,39 @@ fn main() {
                 ns_per_iter: par,
                 speedup: serial / par,
                 bytes_on_disk: 0,
+            delta_ratio: 0.0,
             });
         }
         eprintln!("close_bgp_window {scale}x done");
+    }
+
+    // Sparse-churn close: the incremental dirty-set path against the
+    // full-scan baseline on the same ~1%-churn workload in the same run.
+    let mut sparse_speedup_at_max_scale = 0.0;
+    for &scale in scales {
+        let fullscan = measure_close_sparse(&mut c, scale, false);
+        rows.push(Row {
+            op: "close_window_sparse_fullscan",
+            scale,
+            threads: 1,
+            ns_per_iter: fullscan,
+            speedup: 1.0,
+            bytes_on_disk: 0,
+            delta_ratio: 0.0,
+        });
+        let incremental = measure_close_sparse(&mut c, scale, true);
+        let speedup = fullscan / incremental;
+        rows.push(Row {
+            op: "close_window_sparse_incremental",
+            scale,
+            threads: 1,
+            ns_per_iter: incremental,
+            speedup,
+            bytes_on_disk: 0,
+            delta_ratio: 0.0,
+        });
+        sparse_speedup_at_max_scale = speedup;
+        eprintln!("close_window_sparse {scale}x done (incremental {speedup:.1}x vs full scan)");
     }
 
     let step_serial = measure_step(&mut c, 1);
@@ -408,6 +534,7 @@ fn main() {
         ns_per_iter: step_serial,
         speedup: 1.0,
         bytes_on_disk: 0,
+            delta_ratio: 0.0,
     });
     if host_threads > 1 {
         let step_par = measure_step(&mut c, host_threads);
@@ -418,6 +545,7 @@ fn main() {
             ns_per_iter: step_par,
             speedup: step_serial / step_par,
             bytes_on_disk: 0,
+            delta_ratio: 0.0,
         });
     }
     eprintln!("detector_step_one_round done");
@@ -430,6 +558,7 @@ fn main() {
         ns_per_iter: plan,
         speedup: 1.0,
         bytes_on_disk: 0,
+            delta_ratio: 0.0,
     });
     eprintln!("plan_refresh done");
 
@@ -442,6 +571,7 @@ fn main() {
             ns_per_iter: ckpt,
             speedup: 1.0,
             bytes_on_disk: bytes,
+            delta_ratio: 0.0,
         });
         rows.push(Row {
             op: "restore",
@@ -450,8 +580,31 @@ fn main() {
             ns_per_iter: restore,
             speedup: 1.0,
             bytes_on_disk: bytes,
+            delta_ratio: 0.0,
         });
         eprintln!("checkpoint/restore {scale}x done ({bytes} bytes on disk)");
+    }
+
+    // Delta checkpoint at ~1% churn: frame size must stay a small fraction
+    // of the full base it applies to.
+    let mut worst_delta_ratio: f64 = 0.0;
+    for &scale in scales {
+        let (delta_ns, delta_bytes, full_bytes) = measure_delta_bytes(&mut c, scale);
+        let ratio = delta_bytes as f64 / full_bytes as f64;
+        worst_delta_ratio = worst_delta_ratio.max(ratio);
+        rows.push(Row {
+            op: "checkpoint_delta",
+            scale,
+            threads: 1,
+            ns_per_iter: delta_ns,
+            speedup: 1.0,
+            bytes_on_disk: delta_bytes,
+            delta_ratio: ratio,
+        });
+        eprintln!(
+            "checkpoint_delta {scale}x done ({delta_bytes} of {full_bytes} bytes, {:.1}% of full)",
+            ratio * 100.0
+        );
     }
 
     let (qps, readers, answered) = measure_query_qps(quick, host_threads);
@@ -462,6 +615,7 @@ fn main() {
         ns_per_iter: 1e9 / qps.max(1e-9),
         speedup: 1.0,
         bytes_on_disk: 0,
+            delta_ratio: 0.0,
     });
     eprintln!("query_qps done ({qps:.0} queries/sec, {answered} answered by {readers} readers)");
 
@@ -476,6 +630,7 @@ fn main() {
                 "speedup": r.speedup,
                 "bytes_on_disk": r.bytes_on_disk,
                 "queries_per_sec": if r.op == "query_qps" { 1e9 / r.ns_per_iter } else { 0.0 },
+                "delta_ratio": r.delta_ratio,
             })
         })
         .collect();
@@ -501,6 +656,25 @@ fn main() {
         EXPECTED_OPS.iter().filter(|op| !written.contains(&format!("\"op\": \"{op}\""))).collect();
     if !missing.is_empty() {
         eprintln!("BENCH_pipeline.json is missing expected ops: {missing:?}");
+        std::process::exit(1);
+    }
+
+    // Churn-proportionality gates. The byte ratio is timing-independent,
+    // so it holds in both modes; the close speedup is only gated on the
+    // full-length run at the largest scale, where timing noise is small.
+    if worst_delta_ratio > 0.10 {
+        eprintln!(
+            "checkpoint_delta at ~1% churn is {:.1}% of the full snapshot (gate: <= 10%)",
+            worst_delta_ratio * 100.0
+        );
+        std::process::exit(1);
+    }
+    if !quick && sparse_speedup_at_max_scale < 5.0 {
+        eprintln!(
+            "incremental sparse close at {}x is only {sparse_speedup_at_max_scale:.1}x over the \
+             full-scan baseline (gate: >= 5x)",
+            scales.last().expect("nonempty scales")
+        );
         std::process::exit(1);
     }
 }

@@ -58,7 +58,7 @@ fn main() {
         let mut public = world.platform.random_round(&world.engine, t, cfg.public_per_round);
         public.retain(|tr| p_public.contains(&tr.probe));
         for s in det.step(t, &updates, &public) {
-            for tr in &s.traceroutes {
+            for tr in s.traceroutes.iter() {
                 if let Some(pid) = id_to_pair.get(tr) {
                     schedule_events.push((t, pid.0 as usize));
                 }

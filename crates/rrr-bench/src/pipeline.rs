@@ -89,6 +89,31 @@ pub fn synth_round(scale: usize, round: u64) -> Vec<BgpUpdate> {
     out
 }
 
+/// One round's update batch touching only `churn_permille`‰ of the groups
+/// (at least one), rotating which groups churn so every group eventually
+/// sees traffic. All other groups get zero updates — the parked steady
+/// state the incremental close is built for, while a full-scan close still
+/// visits every group. The per-group update mix matches [`synth_round`].
+pub fn synth_round_sparse(scale: usize, round: u64, churn_permille: u64) -> Vec<BgpUpdate> {
+    let groups = BASE_GROUPS * scale;
+    let touched = ((groups as u64 * churn_permille) / 1000).max(1) as usize;
+    let mut out = Vec::with_capacity(touched * 3);
+    for j in 0..touched {
+        let i = (round as usize).wrapping_mul(touched).wrapping_add(j) % groups;
+        let p = prefix_of(i);
+        for k in 0..3u32 {
+            let vp = (k + round as u32 + i as u32) % NUM_VPS;
+            let path = if (i as u64 + round + k as u64).is_multiple_of(9) {
+                vec![100 + vp, 7777, origin_of(i)]
+            } else {
+                vec![100 + vp, transit_of(i), origin_of(i)]
+            };
+            out.push(announce(vp, p, &path, round * 900 + (i as u64 % 900)));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +147,39 @@ mod tests {
         let parallel = run(4);
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.traceroutes, b.traceroutes);
+        }
+    }
+
+    /// The sparse workload must actually drive groups into the parked
+    /// steady state under the incremental close, and the signal stream
+    /// must be identical to the full-scan close over the same input.
+    #[test]
+    fn sparse_rounds_park_and_match_full_scan() {
+        let run = |incremental: bool| {
+            let mut m = synth_bgp_monitors(2);
+            m.set_incremental(incremental);
+            let mut all = Vec::new();
+            for w in 1..=30u64 {
+                for u in synth_round_sparse(2, w, 10) {
+                    m.observe(&u);
+                }
+                let (s, _) = m.close_window(Window(w), Timestamp(w * 900), &|_, _| true);
+                all.extend(s);
+            }
+            (m, all)
+        };
+        let (full, reference) = run(false);
+        let (inc, signals) = run(true);
+        assert_eq!(full.parked_count(), 0);
+        assert!(
+            inc.parked_count() > BASE_GROUPS,
+            "sparse workload should park most groups, parked {}",
+            inc.parked_count()
+        );
+        assert_eq!(reference.len(), signals.len());
+        for (a, b) in reference.iter().zip(&signals) {
             assert_eq!(a.key, b.key);
             assert_eq!(a.traceroutes, b.traceroutes);
         }

@@ -53,6 +53,10 @@ pub struct AdaptiveSeries {
     /// Number of windows accepted as Normal since eligibility — revocation
     /// logic watches this advance.
     normal_count: u64,
+    /// Transient: set whenever persisted state actually mutates, consumed
+    /// by [`AdaptiveSeries::take_changed`] for exact delta dirty-tracking.
+    /// Not serialized — a restored series starts clean.
+    changed: bool,
 }
 
 impl Default for AdaptiveSeries {
@@ -98,6 +102,7 @@ impl Persist for AdaptiveSeries {
             series: Persist::load(d)?,
             last_normal_ratio: Persist::load(d)?,
             normal_count: Persist::load(d)?,
+            changed: false,
         })
     }
 }
@@ -120,6 +125,7 @@ impl AdaptiveSeries {
             series: MonitoredSeries::default().with_absorb_outliers(absorb),
             last_normal_ratio: None,
             normal_count: 0,
+            changed: false,
         }
     }
 
@@ -131,6 +137,23 @@ impl AdaptiveSeries {
     /// Whether the monitor was abandoned for lack of data density.
     pub fn gave_up(&self) -> bool {
         self.gave_up
+    }
+
+    /// Whether unflushed observations are buffered — a flush could mutate
+    /// this series. Over-approximates (a flush may still be a no-op): a
+    /// monitor can buffer below the decision threshold for a long time,
+    /// so dirty tracking uses [`AdaptiveSeries::take_changed`] instead.
+    pub fn pending(&self) -> bool {
+        !self.buffer.is_empty() || self.cur.is_some()
+    }
+
+    /// Returns whether persisted state mutated since the last call, and
+    /// clears the flag. Exact where [`AdaptiveSeries::pending`] merely
+    /// over-approximates: a flush that only re-examined a static buffer
+    /// does not report a change, so churn-proportional delta snapshots
+    /// skip monitors that merely *held* data.
+    pub fn take_changed(&mut self) -> bool {
+        std::mem::take(&mut self.changed)
     }
 
     /// The chosen window duration, once decided.
@@ -155,6 +178,7 @@ impl AdaptiveSeries {
         }
         self.first_obs.get_or_insert(obs.time);
         self.buffer.push(obs);
+        self.changed = true;
     }
 
     /// Processes everything up to `now`, returning outliers detected in
@@ -166,7 +190,10 @@ impl AdaptiveSeries {
     ) -> Vec<RatioOutlier> {
         let mut out = Vec::new();
         if self.gave_up {
-            self.buffer.clear();
+            if !self.buffer.is_empty() {
+                self.buffer.clear();
+                self.changed = true;
+            }
             return out;
         }
 
@@ -176,11 +203,15 @@ impl AdaptiveSeries {
             if self.buffer.len() >= DECIDE_AFTER_OBS || span_elapsed >= GIVE_UP_AFTER {
                 let ts: Vec<Timestamp> = self.buffer.iter().map(|o| o.time).collect();
                 match choose_window_duration(&ts) {
-                    Some(d) => self.cfg = Some(WindowConfig::new(d)),
+                    Some(d) => {
+                        self.cfg = Some(WindowConfig::new(d));
+                        self.changed = true;
+                    }
                     None => {
                         if span_elapsed >= GIVE_UP_AFTER {
                             self.gave_up = true;
                             self.buffer.clear();
+                            self.changed = true;
                         }
                         return out;
                     }
@@ -193,8 +224,12 @@ impl AdaptiveSeries {
 
         // Phase 2: drain buffered observations into windows, closing every
         // window that ends at or before `now`.
-        self.buffer.sort_by_key(|o| o.time);
+        if !self.buffer.is_sorted_by_key(|o| o.time) {
+            self.buffer.sort_by_key(|o| o.time);
+            self.changed = true;
+        }
         let boundary = cfg.window_of(now);
+        let buffered = self.buffer.len();
         let mut rest = Vec::new();
         for obs in std::mem::take(&mut self.buffer) {
             let w = cfg.window_of(obs.time);
@@ -220,6 +255,9 @@ impl AdaptiveSeries {
                 self.matched += 1;
             }
         }
+        if rest.len() != buffered {
+            self.changed = true;
+        }
         self.buffer = rest;
 
         // Close the open window too if its end has passed.
@@ -239,6 +277,7 @@ impl AdaptiveSeries {
         det: &D,
         out: &mut Vec<RatioOutlier>,
     ) {
+        self.changed = true;
         if self.total < MIN_OBS_PER_WINDOW {
             self.matched = 0;
             self.total = 0;

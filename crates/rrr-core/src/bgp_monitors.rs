@@ -14,6 +14,17 @@
 //! updates flow, so [`BgpMonitors::observe_batch`] can fan shards across
 //! scoped worker threads without locks and still produce bit-identical
 //! state to the serial loop.
+//!
+//! Window closes are *churn-proportional*: window samples exist only for
+//! monitored prefixes, so the sample keys taken at close time name exactly
+//! the groups that saw input ("dirty" groups). Quiet groups run against a
+//! frozen RIB, and once every series of a quiet group is provably inert —
+//! its next pushes are guaranteed `Normal` verdicts that cannot fire or
+//! revoke anything — the group *parks*: subsequent quiet closes skip it
+//! entirely, and the deferred windows are replayed in closed form
+//! ([`MonitoredSeries::advance_constant`]) when input returns. The emitted
+//! signal/revocation streams and the materialized state are bit-identical
+//! to the full scan at any thread count.
 
 use crate::signal::{KeyInterner, SignalKey, SignalScope, StalenessSignal, Technique};
 use rrr_anomaly::{BitmapDetector, MonitoredSeries, SeriesVerdict};
@@ -108,6 +119,19 @@ struct CommState {
     asserting: bool,
 }
 
+/// State of a parked group: the close at which it was last really
+/// evaluated, plus the frozen per-monitor §4.1.2 values needed to replay
+/// the skipped quiet closes in closed form at unpark time. (Burst series
+/// need no stored values: a quiet window carries no duplicates, so every
+/// burst-side push is exactly `Some(0.0)`.)
+#[derive(Debug, Clone)]
+struct ParkState {
+    /// Value of the close counter at the close where the group parked.
+    since: u64,
+    /// §4.1.2 value per `aspath` monitor under the frozen RIB.
+    aspath_vals: Vec<Option<f64>>,
+}
+
 struct Group {
     key: GroupKey,
     traceroutes: Vec<TracerouteId>,
@@ -117,6 +141,18 @@ struct Group {
     /// Pending community-change signals for the open window, folded in from
     /// the owning shard when the window closes.
     pending_comm: Vec<Vec<Community>>,
+    /// `Some` while parked: quiet and provably inert, skipped at close.
+    park: Option<ParkState>,
+    /// Transient: this group's prefix saw window samples or pending
+    /// community changes in the closing window. Set and cleared inside
+    /// [`BgpMonitors::close_window`].
+    dirty_window: bool,
+    /// Transient cache of the quiet-close §4.1.2 values (pure functions of
+    /// the frozen RIB); invalidated whenever the group is dirty.
+    quiet_vals: Option<Vec<Option<f64>>>,
+    /// Transient shared handle to `traceroutes` so signal emission clones
+    /// an `Arc`, not the vector; invalidated on (un)registration.
+    shared: Option<Arc<[TracerouteId]>>,
 }
 
 /// Per-(vp, prefix) samples observed in the open window: the standing path
@@ -165,6 +201,14 @@ struct IngestShard {
     pending_comm: HashMap<GroupKey, Vec<Vec<Community>>>,
     /// Reusable stripping buffer.
     strip_scratch: AsPath,
+    /// Transient delta-checkpoint tracking: RIB keys written (inserted,
+    /// replaced, or removed — possibly as no-ops) since the last full
+    /// snapshot base. Over-approximation is fine.
+    dirty_rib: BTreeSet<(VpId, Prefix)>,
+    /// Arena lengths at the last full snapshot base; items past these
+    /// indices form the delta tails.
+    paths_base: usize,
+    comms_base: usize,
 }
 
 impl IngestShard {
@@ -177,7 +221,7 @@ impl IngestShard {
 #[derive(Debug, Clone)]
 pub struct RevokeEvent {
     pub key: Arc<SignalKey>,
-    pub traceroutes: Vec<TracerouteId>,
+    pub traceroutes: Arc<[TracerouteId]>,
 }
 
 /// The §4.1 monitor set.
@@ -198,9 +242,22 @@ pub struct BgpMonitors {
     /// Reverse index: the groups each corpus traceroute registered into,
     /// so `unregister` touches only those groups.
     groups_of: HashMap<TracerouteId, Vec<GroupKey>>,
+    /// Total number of window closes performed — the clock parked groups'
+    /// `ParkState::since` is measured against. Persisted so parked groups
+    /// survive a checkpoint/restore cycle.
+    closes: u64,
     /// Worker threads for `observe_batch` / `close_window` (≤ 1 selects
     /// the serial path).
     threads: usize,
+    /// Runtime switch for the incremental (parked) close path; disabling
+    /// it materializes all deferred state and reverts to the full scan.
+    park_enabled: bool,
+    /// Transient delta-checkpoint tracking: groups whose monitor state
+    /// mutated since the last full snapshot base.
+    delta_groups: BTreeSet<GroupKey>,
+    /// Transient: a (de)registration happened since the last full snapshot
+    /// base, so the registration indexes must ride the next delta whole.
+    delta_reg: bool,
 }
 
 impl BgpMonitors {
@@ -219,7 +276,11 @@ impl BgpMonitors {
             absorb_outliers,
             interner: KeyInterner::new(),
             groups_of: HashMap::new(),
+            closes: 0,
             threads: 1,
+            park_enabled: true,
+            delta_groups: BTreeSet::new(),
+            delta_reg: false,
         }
     }
 
@@ -231,6 +292,36 @@ impl BgpMonitors {
         self.threads = threads.max(1);
     }
 
+    /// Enables or disables the incremental (parked) close path. Disabling
+    /// materializes all deferred state so subsequent closes run the
+    /// original full scan; the emitted signal stream is identical either
+    /// way.
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.park_enabled = enabled;
+        if !enabled {
+            self.materialize_all();
+        }
+    }
+
+    /// Brings every parked group fully up to date by replaying its skipped
+    /// quiet closes in closed form. Required before any whole-state read
+    /// that must match the full-scan reference byte for byte (full
+    /// checkpoints), and before mutating the RIB outside the observe path.
+    pub fn materialize_all(&mut self) {
+        let closes = self.closes;
+        for (gk, g) in self.groups.iter_mut() {
+            if g.park.is_some() {
+                unpark_group(g, closes);
+                self.delta_groups.insert(gk.clone());
+            }
+        }
+    }
+
+    /// Number of currently parked groups (for tests/stats).
+    pub fn parked_count(&self) -> usize {
+        self.groups.values().filter(|g| g.park.is_some()).count()
+    }
+
     fn new_series(&self) -> MonitoredSeries {
         MonitoredSeries::default().with_absorb_outliers(self.absorb_outliers)
     }
@@ -238,6 +329,13 @@ impl BgpMonitors {
     /// Initializes the RIB mirror from a table dump, without generating
     /// window samples.
     pub fn init_rib(&mut self, rib: &[BgpUpdate]) {
+        // A table dump mutates the RIB without leaving window samples, so
+        // the frozen-input premise behind parked groups and cached quiet
+        // values no longer holds: materialize and invalidate first.
+        self.materialize_all();
+        for g in self.groups.values_mut() {
+            g.quiet_vals = None;
+        }
         for u in rib {
             if let BgpElem::Announce { path, communities } = &u.elem {
                 let shard = &mut self.shards[shard_of(u.prefix)];
@@ -247,6 +345,7 @@ impl BgpMonitors {
                 shard.strip_scratch = stripped;
                 let cid = shard.comms.intern(communities);
                 shard.rib.insert((u.vp, u.prefix), (pid, cid));
+                shard.dirty_rib.insert((u.vp, u.prefix));
             }
         }
     }
@@ -273,7 +372,10 @@ impl BgpMonitors {
         if let Some(g) = self.groups.get_mut(&key) {
             if !g.traceroutes.contains(&id) {
                 g.traceroutes.push(id);
+                g.shared = None;
                 self.groups_of.entry(id).or_default().push(key.clone());
+                self.delta_groups.insert(key.clone());
+                self.delta_reg = true;
             }
             return Self::group_keys(g);
         }
@@ -395,6 +497,8 @@ impl BgpMonitors {
 
         self.by_prefix.entry(dst_prefix).or_default().push(key.clone());
         self.groups_of.entry(id).or_default().push(key.clone());
+        self.delta_groups.insert(key.clone());
+        self.delta_reg = true;
         let group = Group {
             key: key.clone(),
             traceroutes: vec![id],
@@ -402,6 +506,10 @@ impl BgpMonitors {
             bursts,
             comm,
             pending_comm: Vec::new(),
+            park: None,
+            dirty_window: false,
+            quiet_vals: None,
+            shared: None,
         };
         let keys = Self::group_keys(&group);
         self.groups.insert(key, group);
@@ -425,10 +533,17 @@ impl BgpMonitors {
     /// to calibrated monitors instead of restarting the 20-window
     /// eligibility clock.
     pub fn unregister(&mut self, id: TracerouteId) {
-        for gk in self.groups_of.remove(&id).unwrap_or_default() {
+        let gks = self.groups_of.remove(&id).unwrap_or_default();
+        if gks.is_empty() {
+            return;
+        }
+        self.delta_reg = true;
+        for gk in gks {
             if let Some(g) = self.groups.get_mut(&gk) {
                 g.traceroutes.retain(|t| *t != id);
+                g.shared = None;
             }
+            self.delta_groups.insert(gk);
         }
     }
 
@@ -558,16 +673,49 @@ impl BgpMonitors {
         // Fold the shards' pending §4.1.3 changes into their groups. Each
         // group is owned by exactly one shard (its prefix's), so per-group
         // ordering is the shard's arrival order regardless of how the
-        // shard maps iterate.
+        // shard maps iterate. A pending change also marks the group dirty:
+        // it must run the full evaluation this close.
         for shard in &mut self.shards {
             for (gk, items) in shard.pending_comm.drain() {
                 if let Some(g) = self.groups.get_mut(&gk) {
                     g.pending_comm.extend(items);
+                    g.dirty_window = true;
                 }
             }
         }
         let window_samples: Vec<HashMap<(VpId, Prefix), WindowSamples>> =
             self.shards.iter_mut().map(|s| std::mem::take(&mut s.window)).collect();
+
+        // Dirty-set derivation: window entries are created only for
+        // monitored prefixes (both the announce and withdraw branches of
+        // ingestion), so the taken sample keys name exactly the prefixes
+        // whose groups saw input this window. Every other group ran against
+        // a frozen RIB. Cost is proportional to churn, not corpus size.
+        let mut dirty_prefixes: HashSet<Prefix> = HashSet::new();
+        for m in &window_samples {
+            for &(_, p) in m.keys() {
+                dirty_prefixes.insert(p);
+            }
+        }
+        for p in &dirty_prefixes {
+            if let Some(gks) = self.by_prefix.get(p) {
+                for gk in gks {
+                    if let Some(g) = self.groups.get_mut(gk) {
+                        g.dirty_window = true;
+                    }
+                }
+            }
+        }
+        // Unpark every dirty parked group before evaluation: replay the
+        // quiet closes it skipped in closed form, then let the normal close
+        // path run on the fresh samples.
+        let closes = self.closes;
+        for g in self.groups.values_mut() {
+            if g.dirty_window && g.park.is_some() {
+                unpark_group(g, closes);
+            }
+        }
+
         let ctx = CloseCtx {
             window,
             time,
@@ -575,20 +723,27 @@ impl BgpMonitors {
             shards: &self.shards,
             samples: &window_samples,
             comm_allowed,
+            park: self.park_enabled,
+            close_seq: closes + 1,
         };
 
+        // Parked groups are skipped outright. Filtering a sorted BTreeMap
+        // iteration yields a subsequence of the full-scan evaluation order,
+        // and parked groups provably emit nothing, so the concatenated
+        // output stream is unchanged.
         let mut signals = Vec::new();
         let mut revokes = Vec::new();
-        if self.threads <= 1 || self.groups.len() < 2 {
-            for g in self.groups.values_mut() {
+        let mut work: Vec<&mut Group> =
+            self.groups.values_mut().filter(|g| g.park.is_none()).collect();
+        if self.threads <= 1 || work.len() < 2 {
+            for g in work {
                 close_group(g, &ctx, &mut signals, &mut revokes);
             }
         } else {
-            let mut shards: Vec<&mut Group> = self.groups.values_mut().collect();
-            let per = shards.len().div_ceil(self.threads);
+            let per = work.len().div_ceil(self.threads);
             let ctx = &ctx;
             let outs: Vec<(Vec<StalenessSignal>, Vec<RevokeEvent>)> = std::thread::scope(|s| {
-                let handles: Vec<_> = shards
+                let handles: Vec<_> = work
                     .chunks_mut(per)
                     .map(|chunk| {
                         s.spawn(move || {
@@ -608,6 +763,19 @@ impl BgpMonitors {
                 revokes.extend(r);
             }
         }
+        self.closes += 1;
+        // Every group evaluated this close — including those that parked at
+        // its end — mutated series state; record it for delta checkpoints.
+        let seq = self.closes;
+        for (gk, g) in &self.groups {
+            let evaluated = match &g.park {
+                None => true,
+                Some(p) => p.since == seq,
+            };
+            if evaluated {
+                self.delta_groups.insert(gk.clone());
+            }
+        }
         (signals, revokes)
     }
 
@@ -623,6 +791,142 @@ impl BgpMonitors {
             .get(&GroupKey { dst_prefix, as_path: as_path.to_vec() })
             .map(|g| g.comm.asserting)
             .unwrap_or(false)
+    }
+
+    /// Serializes everything that changed since [`BgpMonitors::mark_clean`]
+    /// last established a full-snapshot base: per-shard RIB write-backs and
+    /// arena tails, the open-window state, registration indexes (only when
+    /// a (de)registration happened), and the mutated monitor groups.
+    ///
+    /// Deltas are cumulative since the base, so applying the latest delta
+    /// to a restored base reproduces the current state exactly.
+    pub(crate) fn store_delta<W: std::io::Write>(
+        &self,
+        e: &mut Encoder<W>,
+    ) -> Result<(), StoreError> {
+        for shard in &self.shards {
+            // Final value per dirtied RIB key (`None` = withdrawn). The
+            // dirty set is a BTreeSet, so the op order is deterministic.
+            let ops: Vec<((VpId, Prefix), Option<(PathId, CommsId)>)> =
+                shard.dirty_rib.iter().map(|&k| (k, shard.rib.get(&k).copied())).collect();
+            ops.store(e)?;
+            // Open-window state rides whole: it is churn-proportional by
+            // construction (samples exist only where updates landed).
+            shard.window.store(e)?;
+            shard.pending_comm.store(e)?;
+            // Arena tails: values interned past the base, in insertion
+            // order, so re-interning on the base reproduces the same dense
+            // ids the RIB ops reference.
+            let paths_tail: Vec<AsPath> = (shard.paths_base..shard.paths.len())
+                .map(|i| shard.paths.get(PathId::from_index(i as u32)).clone())
+                .collect();
+            paths_tail.store(e)?;
+            let comms_tail: Vec<Vec<Community>> = (shard.comms_base..shard.comms.len())
+                .map(|i| shard.comms.get(CommsId::from_index(i as u32)).clone())
+                .collect();
+            comms_tail.store(e)?;
+            shard.paths.len().store(e)?;
+            shard.comms.len().store(e)?;
+        }
+        self.delta_reg.store(e)?;
+        if self.delta_reg {
+            self.by_prefix.store(e)?;
+            self.groups_of.store(e)?;
+            self.interner.store(e)?;
+        }
+        // Mutated groups, upserted whole (wire-identical to a
+        // `Vec<(GroupKey, Group)>`). Groups are never removed, so upserts
+        // cover every possible group mutation.
+        e.len(self.delta_groups.len())?;
+        for gk in &self.delta_groups {
+            let g = self.groups.get(gk).expect("delta-dirty group exists");
+            gk.store(e)?;
+            g.store(e)?;
+        }
+        self.closes.store(e)
+    }
+
+    /// Applies one [`BgpMonitors::store_delta`] payload on top of the base
+    /// state it was built from. Idempotent (re-applying reaches the same
+    /// state), and re-marks everything it touched as delta-dirty so the
+    /// applied-to detector can itself cut further deltas against the same
+    /// base.
+    pub(crate) fn apply_delta<R: std::io::Read>(
+        &mut self,
+        d: &mut Decoder<R>,
+    ) -> Result<(), StoreError> {
+        for shard in self.shards.iter_mut() {
+            let ops: Vec<((VpId, Prefix), Option<(PathId, CommsId)>)> = Persist::load(d)?;
+            shard.window = Persist::load(d)?;
+            shard.pending_comm = Persist::load(d)?;
+            let paths_tail: Vec<AsPath> = Persist::load(d)?;
+            let comms_tail: Vec<Vec<Community>> = Persist::load(d)?;
+            let expect_paths: usize = Persist::load(d)?;
+            let expect_comms: usize = Persist::load(d)?;
+            for p in &paths_tail {
+                shard.paths.intern(p);
+            }
+            for c in &comms_tail {
+                shard.comms.intern(c);
+            }
+            // Interning dedups, so the length check both validates that the
+            // delta extends *this* base and makes re-application a no-op.
+            if shard.paths.len() != expect_paths || shard.comms.len() != expect_comms {
+                return Err(StoreError::DeltaChainBroken {
+                    what: "arena tail does not extend the restored base snapshot",
+                });
+            }
+            for (k, v) in ops {
+                match v {
+                    Some(ids) => {
+                        shard.rib.insert(k, ids);
+                    }
+                    None => {
+                        shard.rib.remove(&k);
+                    }
+                }
+                shard.dirty_rib.insert(k);
+            }
+        }
+        let reg: bool = Persist::load(d)?;
+        if reg {
+            self.by_prefix = Persist::load(d)?;
+            self.groups_of = Persist::load(d)?;
+            self.interner = Persist::load(d)?;
+            self.delta_reg = true;
+        }
+        let upserts: Vec<(GroupKey, Group)> = Persist::load(d)?;
+        for (gk, mut g) in upserts {
+            for m in &mut g.aspath {
+                m.key = self.interner.intern((*m.key).clone());
+            }
+            for b in &mut g.bursts {
+                b.key = self.interner.intern((*b.key).clone());
+            }
+            g.comm.key = self.interner.intern((*g.comm.key).clone());
+            self.delta_groups.insert(gk.clone());
+            self.groups.insert(gk, g);
+        }
+        self.closes = Persist::load(d)?;
+        Ok(())
+    }
+
+    /// Declares the current state a full-snapshot base: clears all delta
+    /// dirty tracking so subsequent [`BgpMonitors::store_delta`] calls
+    /// serialize only what mutates from here on.
+    pub(crate) fn mark_clean(&mut self) {
+        for shard in &mut self.shards {
+            shard.dirty_rib.clear();
+            shard.paths_base = shard.paths.len();
+            shard.comms_base = shard.comms.len();
+        }
+        self.delta_groups.clear();
+        self.delta_reg = false;
+    }
+
+    /// Number of delta-dirty groups (for tests/stats).
+    pub fn delta_dirty_groups(&self) -> usize {
+        self.delta_groups.len()
     }
 }
 
@@ -672,6 +976,7 @@ fn shard_observe(
                 }
             }
             shard.rib.insert((u.vp, u.prefix), (pid, cid));
+            shard.dirty_rib.insert((u.vp, u.prefix));
         }
         BgpElem::Withdraw => {
             if monitored {
@@ -682,6 +987,7 @@ fn shard_observe(
                 entry.push(None);
             }
             shard.rib.remove(&(u.vp, u.prefix));
+            shard.dirty_rib.insert((u.vp, u.prefix));
         }
     }
 }
@@ -768,6 +1074,10 @@ struct CloseCtx<'a> {
     shards: &'a [IngestShard],
     samples: &'a [HashMap<(VpId, Prefix), WindowSamples>],
     comm_allowed: &'a (dyn Fn(Community, Prefix) -> bool + Sync),
+    /// Whether quiet groups may cache values and park.
+    park: bool,
+    /// Close counter value this close will commit as.
+    close_seq: u64,
 }
 
 impl CloseCtx<'_> {
@@ -784,6 +1094,44 @@ impl CloseCtx<'_> {
     }
 }
 
+/// Replays the quiet closes a parked group skipped: every series advances
+/// by the same constant value the full scan would have pushed each window
+/// (aspath: the frozen RIB ratio captured at park time; burst series: 0.0,
+/// since quiet windows carry no duplicates) via the closed-form
+/// [`MonitoredSeries::advance_constant`].
+fn unpark_group(g: &mut Group, closes: u64) {
+    let Some(park) = g.park.take() else { return };
+    g.quiet_vals = None;
+    let k = closes - park.since;
+    if k == 0 {
+        return;
+    }
+    for (m, &v) in g.aspath.iter_mut().zip(&park.aspath_vals) {
+        m.series.advance_constant(v, k);
+    }
+    for b in &mut g.bursts {
+        b.u_series.advance_constant(Some(0.0), k);
+        for s in b.u_prime.values_mut() {
+            s.advance_constant(Some(0.0), k);
+        }
+    }
+}
+
+/// Whether a quiet group may park: every series must be guaranteed to keep
+/// producing `Normal` verdicts under its frozen quiet-close value, which
+/// also rules out any signal or revocation firing (an asserting monitor
+/// whose revocation condition held fired it at this close already; one
+/// whose condition did not hold under frozen inputs never will).
+fn group_inert(g: &Group, det: &BitmapDetector) -> bool {
+    let Some(vals) = g.quiet_vals.as_ref() else { return false };
+    let need = det.inert_tail();
+    g.aspath.iter().zip(vals).all(|(m, v)| m.series.inert_under(*v, need))
+        && g.bursts.iter().all(|b| {
+            b.u_series.inert_under(Some(0.0), need)
+                && b.u_prime.values().all(|s| s.inert_under(Some(0.0), need))
+        })
+}
+
 /// Advances every series of one monitor group for the closing window,
 /// appending signals and revocations in deterministic monitor order. The
 /// serial and sharded paths of [`BgpMonitors::close_window`] both funnel
@@ -795,43 +1143,85 @@ fn close_group(
     signals: &mut Vec<StalenessSignal>,
     revokes: &mut Vec<RevokeEvent>,
 ) {
+    let dirty = g.dirty_window;
+    g.dirty_window = false;
     let dormant = g.traceroutes.is_empty();
+    let trs: Arc<[TracerouteId]> = match &g.shared {
+        Some(a) => Arc::clone(a),
+        None => {
+            let a: Arc<[TracerouteId]> = g.traceroutes.clone().into();
+            g.shared = Some(Arc::clone(&a));
+            a
+        }
+    };
     let dst = g.key.dst_prefix;
     let tau = &g.key.as_path;
 
-    // --- §4.1.2 AS-path ratio ---
-    for m in &mut g.aspath {
-        let mut intersect = 0u32;
-        let mut matched = 0u32;
-        {
-            // One evaluation per RLE run: identical consecutive samples
-            // contribute their run length without re-walking the path.
-            let mut scan = |p: &AsPath, n: u32| {
-                if p.first_intersection(tau) == Some(m.j) {
-                    intersect += n;
-                    if p.suffix_matches(tau, m.j) {
-                        matched += n;
-                    }
-                }
-            };
-            for &vp in &m.vps0 {
-                match ctx.samples(vp, dst) {
-                    Some(ws) => {
-                        for &(pid, n) in &ws.runs {
-                            if let Some(pid) = pid {
-                                scan(ctx.path(dst, pid), n);
+    // Quiet close on the incremental path: no samples landed on this
+    // prefix, so every §4.1.2 value is a pure function of the frozen RIB.
+    // Compute them once per quiet streak and reuse until dirtied.
+    let quiet = ctx.park && !dirty;
+    if dirty {
+        g.quiet_vals = None;
+    } else if quiet && g.quiet_vals.is_none() {
+        let vals = g
+            .aspath
+            .iter()
+            .map(|m| {
+                let mut intersect = 0u32;
+                let mut matched = 0u32;
+                for &vp in &m.vps0 {
+                    if let Some((p, _)) = ctx.rib(vp, dst) {
+                        if p.first_intersection(tau) == Some(m.j) {
+                            intersect += 1;
+                            if p.suffix_matches(tau, m.j) {
+                                matched += 1;
                             }
                         }
                     }
-                    None => {
-                        if let Some((p, _)) = ctx.rib(vp, dst) {
-                            scan(p, 1);
+                }
+                (intersect > 0).then(|| matched as f64 / intersect as f64)
+            })
+            .collect();
+        g.quiet_vals = Some(vals);
+    }
+
+    // --- §4.1.2 AS-path ratio ---
+    for (i, m) in g.aspath.iter_mut().enumerate() {
+        let value = match g.quiet_vals.as_ref().filter(|_| quiet) {
+            Some(vals) => vals[i],
+            None => {
+                let mut intersect = 0u32;
+                let mut matched = 0u32;
+                // One evaluation per RLE run: identical consecutive samples
+                // contribute their run length without re-walking the path.
+                let mut scan = |p: &AsPath, n: u32| {
+                    if p.first_intersection(tau) == Some(m.j) {
+                        intersect += n;
+                        if p.suffix_matches(tau, m.j) {
+                            matched += n;
+                        }
+                    }
+                };
+                for &vp in &m.vps0 {
+                    match ctx.samples(vp, dst) {
+                        Some(ws) => {
+                            for &(pid, n) in &ws.runs {
+                                if let Some(pid) = pid {
+                                    scan(ctx.path(dst, pid), n);
+                                }
+                            }
+                        }
+                        None => {
+                            if let Some((p, _)) = ctx.rib(vp, dst) {
+                                scan(p, 1);
+                            }
                         }
                     }
                 }
+                (intersect > 0).then(|| matched as f64 / intersect as f64)
             }
-        }
-        let value = (intersect > 0).then(|| matched as f64 / intersect as f64);
+        };
         let verdict = m.series.push(value, &ctx.det);
         if let SeriesVerdict::Outlier { score } = verdict {
             if !dormant {
@@ -840,7 +1230,7 @@ fn close_group(
                     time: ctx.time,
                     window: ctx.window,
                     score,
-                    traceroutes: g.traceroutes.clone(),
+                    traceroutes: Arc::clone(&trs),
                     trigger_communities: Vec::new(),
                 });
                 m.asserting = true;
@@ -852,7 +1242,7 @@ fn close_group(
                     m.asserting = false;
                     revokes.push(RevokeEvent {
                         key: Arc::clone(&m.key),
-                        traceroutes: g.traceroutes.clone(),
+                        traceroutes: Arc::clone(&trs),
                     });
                 }
             }
@@ -895,7 +1285,7 @@ fn close_group(
                     time: ctx.time,
                     window: ctx.window,
                     score,
-                    traceroutes: g.traceroutes.clone(),
+                    traceroutes: Arc::clone(&trs),
                     trigger_communities: Vec::new(),
                 });
                 b.asserting = true;
@@ -905,8 +1295,7 @@ fn close_group(
             // count returns in-distribution, the signal that backed the
             // assertion has reverted.
             b.asserting = false;
-            revokes
-                .push(RevokeEvent { key: Arc::clone(&b.key), traceroutes: g.traceroutes.clone() });
+            revokes.push(RevokeEvent { key: Arc::clone(&b.key), traceroutes: Arc::clone(&trs) });
         }
     }
 
@@ -926,7 +1315,7 @@ fn close_group(
             time: ctx.time,
             window: ctx.window,
             score: fired_comms.len() as f64,
-            traceroutes: g.traceroutes.clone(),
+            traceroutes: Arc::clone(&trs),
             trigger_communities: fired_comms.clone(),
         });
         g.comm.asserting = true;
@@ -944,11 +1333,19 @@ fn close_group(
         });
         if reverted {
             g.comm.asserting = false;
-            revokes.push(RevokeEvent {
-                key: Arc::clone(&g.comm.key),
-                traceroutes: g.traceroutes.clone(),
-            });
+            revokes
+                .push(RevokeEvent { key: Arc::clone(&g.comm.key), traceroutes: Arc::clone(&trs) });
         }
+    }
+
+    // Park when quiet and provably inert: subsequent quiet closes would be
+    // pure no-ops (constant Normal pushes, no emissions), so they can be
+    // skipped and replayed in closed form at unpark time.
+    if quiet && group_inert(g, &ctx.det) {
+        g.park = Some(ParkState {
+            since: ctx.close_seq,
+            aspath_vals: g.quiet_vals.take().expect("quiet close cached values"),
+        });
     }
 }
 
@@ -1023,6 +1420,16 @@ impl Persist for CommState {
     }
 }
 
+impl Persist for ParkState {
+    fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        self.since.store(e)?;
+        self.aspath_vals.store(e)
+    }
+    fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(ParkState { since: Persist::load(d)?, aspath_vals: Persist::load(d)? })
+    }
+}
+
 impl Persist for Group {
     fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
         self.key.store(e)?;
@@ -1030,7 +1437,8 @@ impl Persist for Group {
         self.aspath.store(e)?;
         self.bursts.store(e)?;
         self.comm.store(e)?;
-        self.pending_comm.store(e)
+        self.pending_comm.store(e)?;
+        self.park.store(e)
     }
     fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
         Ok(Group {
@@ -1040,6 +1448,10 @@ impl Persist for Group {
             bursts: Persist::load(d)?,
             comm: Persist::load(d)?,
             pending_comm: Persist::load(d)?,
+            park: Persist::load(d)?,
+            dirty_window: false,
+            quiet_vals: None,
+            shared: None,
         })
     }
 }
@@ -1066,13 +1478,20 @@ impl Persist for IngestShard {
         self.pending_comm.store(e)
     }
     fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        let rib: HashMap<(VpId, Prefix), (PathId, CommsId)> = Persist::load(d)?;
+        // Conservative: everything is dirty until the owner establishes a
+        // fresh full-snapshot base via `mark_clean`.
+        let dirty_rib = rib.keys().copied().collect();
         Ok(IngestShard {
-            rib: Persist::load(d)?,
+            rib,
             window: Persist::load(d)?,
             paths: Persist::load(d)?,
             comms: Persist::load(d)?,
             pending_comm: Persist::load(d)?,
             strip_scratch: AsPath::default(),
+            dirty_rib,
+            paths_base: 0,
+            comms_base: 0,
         })
     }
 }
@@ -1090,15 +1509,19 @@ impl Persist for BgpMonitors {
         self.detector.store(e)?;
         self.absorb_outliers.store(e)?;
         self.interner.store(e)?;
-        self.groups_of.store(e)
+        self.groups_of.store(e)?;
+        self.closes.store(e)
     }
     fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
-        let groups = Persist::load(d)?;
+        let groups: BTreeMap<GroupKey, Group> = Persist::load(d)?;
         let by_prefix = Persist::load(d)?;
         let shards: Vec<IngestShard> = Persist::load(d)?;
         if shards.len() != NUM_SHARDS {
             return Err(d.corrupt("ingest shard count"));
         }
+        // Conservative: every group is delta-dirty until a full-snapshot
+        // base is established via `mark_clean`.
+        let delta_groups = groups.keys().cloned().collect();
         let mut monitors = BgpMonitors {
             groups,
             by_prefix,
@@ -1108,7 +1531,11 @@ impl Persist for BgpMonitors {
             absorb_outliers: Persist::load(d)?,
             interner: Persist::load(d)?,
             groups_of: Persist::load(d)?,
+            closes: Persist::load(d)?,
             threads: 1,
+            park_enabled: true,
+            delta_groups,
+            delta_reg: true,
         };
         for g in monitors.groups.values_mut() {
             for m in &mut g.aspath {
@@ -1201,7 +1628,7 @@ mod tests {
             signals.iter().any(|s| s.key.technique == Technique::BgpAsPath),
             "AS-path monitor must fire: {signals:?}"
         );
-        assert!(signals.iter().all(|s| s.traceroutes == vec![TracerouteId(1)]));
+        assert!(signals.iter().all(|s| s.traceroutes.to_vec() == vec![TracerouteId(1)]));
     }
 
     #[test]
@@ -1321,7 +1748,7 @@ mod tests {
         }
         let signals = shift_and_collect(&mut m, w + 2, 4);
         assert!(
-            signals.iter().any(|s| s.traceroutes == vec![TracerouteId(2)]),
+            signals.iter().any(|s| s.traceroutes.to_vec() == vec![TracerouteId(2)]),
             "re-attached traceroute must fire without re-warmup: {signals:?}"
         );
     }

@@ -279,7 +279,7 @@ impl Calibrator {
             let p = if tpr_mass + tnr_mass > 0.0 { tpr_mass / (tpr_mass + tnr_mass) } else { 1.0 };
             // Step 3: walk the probe's asserting signals' traceroutes.
             for a in &per_probe[&probe] {
-                for &tr in &a.signal.traceroutes {
+                for &tr in a.signal.traceroutes.iter() {
                     if plan.refresh.len() >= budget {
                         return plan;
                     }
@@ -301,7 +301,7 @@ impl Calibrator {
             bootstrap_rank(&b.signal).partial_cmp(&bootstrap_rank(&a.signal)).expect("finite rank")
         });
         for a in rest {
-            for &tr in &a.signal.traceroutes {
+            for &tr in a.signal.traceroutes.iter() {
                 if plan.refresh.len() >= budget {
                     return plan;
                 }
@@ -463,7 +463,7 @@ mod tests {
                     time: Timestamp(0),
                     window: Window(0),
                     score: 0.0,
-                    traceroutes: vec![TracerouteId(1)],
+                    traceroutes: vec![TracerouteId(1)].into(),
                     trigger_communities: vec![],
                 },
             },
@@ -474,7 +474,7 @@ mod tests {
                     time: Timestamp(0),
                     window: Window(0),
                     score: 0.0,
-                    traceroutes: vec![TracerouteId(2)],
+                    traceroutes: vec![TracerouteId(2)].into(),
                     trigger_communities: vec![],
                 },
             },

@@ -4,7 +4,7 @@ use rrr_ip2as::{find_borders, map_traceroute, Border, IpToAsMap};
 use rrr_store::{Decoder, Encoder, Persist, StoreError};
 use rrr_types::{Asn, Ipv4, Prefix, Timestamp, Traceroute, TracerouteId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Freshness classification of a corpus traceroute (§6.2's three classes).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,6 +49,10 @@ pub struct CorpusEntry {
     pub asserting: usize,
     /// First assertion time.
     pub stale_since: Option<Timestamp>,
+    /// Transient: value of [`Corpus::seq`] when this entry was last
+    /// mutated. Lets incremental snapshot publication patch only the
+    /// entries that changed since the previous snapshot. Not persisted.
+    pub touched_seq: u64,
 }
 
 impl CorpusEntry {
@@ -89,8 +93,28 @@ impl Persist for CorpusEntry {
             monitors: Persist::load(d)?,
             asserting: Persist::load(d)?,
             stale_since: Persist::load(d)?,
+            touched_seq: 0,
         })
     }
+}
+
+/// Presence-tagged value for delta records whose absent case means "key
+/// removed" (`Option<&T>` cannot implement `Persist` directly).
+fn store_opt<W: std::io::Write, T: Persist>(
+    e: &mut Encoder<W>,
+    v: Option<&T>,
+) -> Result<(), StoreError> {
+    match v {
+        Some(v) => {
+            true.store(e)?;
+            v.store(e)
+        }
+        None => false.store(e),
+    }
+}
+
+fn load_opt<R: std::io::Read, T: Persist>(d: &mut Decoder<R>) -> Result<Option<T>, StoreError> {
+    Ok(if bool::load(d)? { Some(T::load(d)?) } else { None })
 }
 
 // The index vectors keep insertion order (monitor registration iterates
@@ -103,11 +127,23 @@ impl Persist for Corpus {
         self.by_pair.store(e)
     }
     fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        let entries: HashMap<TracerouteId, CorpusEntry> = Persist::load(d)?;
+        let by_dst_prefix: HashMap<Prefix, Vec<TracerouteId>> = Persist::load(d)?;
+        let by_asn: HashMap<Asn, Vec<TracerouteId>> = Persist::load(d)?;
+        let by_pair: HashMap<(Ipv4, Ipv4), TracerouteId> = Persist::load(d)?;
+        // Conservative: everything is delta-dirty until the owner
+        // establishes a fresh full-snapshot base via `mark_clean`.
         Ok(Corpus {
-            entries: Persist::load(d)?,
-            by_dst_prefix: Persist::load(d)?,
-            by_asn: Persist::load(d)?,
-            by_pair: Persist::load(d)?,
+            touched: entries.keys().copied().collect(),
+            dirty_pfx: by_dst_prefix.keys().copied().collect(),
+            dirty_asn: by_asn.keys().copied().collect(),
+            dirty_pair: by_pair.keys().copied().collect(),
+            seq: 0,
+            membership_gen: 0,
+            entries,
+            by_dst_prefix,
+            by_asn,
+            by_pair,
         })
     }
 }
@@ -122,6 +158,21 @@ pub struct Corpus {
     pub by_asn: HashMap<Asn, Vec<TracerouteId>>,
     /// (src, dst) → current entry (a refresh replaces the previous one).
     pub by_pair: HashMap<(Ipv4, Ipv4), TracerouteId>,
+    /// Transient delta tracking: entries written (or removed) since the
+    /// last full-snapshot base. The delta encodes each touched id's *final*
+    /// state, so churned-then-removed ids resolve correctly.
+    touched: BTreeSet<TracerouteId>,
+    /// Index keys whose vectors were written since the base; their final
+    /// vectors ride the delta wholesale (replay-order independent).
+    dirty_pfx: BTreeSet<Prefix>,
+    dirty_asn: BTreeSet<Asn>,
+    dirty_pair: BTreeSet<(Ipv4, Ipv4)>,
+    /// Transient mutation counter: bumps on every write. Drives
+    /// [`CorpusEntry::touched_seq`] for incremental snapshot publication.
+    seq: u64,
+    /// Transient generation counter: bumps whenever membership (the id
+    /// set) changes, invalidating shared index views.
+    membership_gen: u64,
 }
 
 impl Corpus {
@@ -142,7 +193,17 @@ impl Corpus {
     }
 
     pub fn get_mut(&mut self, id: TracerouteId) -> Option<&mut CorpusEntry> {
-        self.entries.get_mut(&id)
+        if !self.entries.contains_key(&id) {
+            return None;
+        }
+        // The caller may mutate through the returned reference; marking the
+        // entry dirty unconditionally over-approximates, which is safe.
+        self.seq += 1;
+        self.touched.insert(id);
+        let seq = self.seq;
+        let e = self.entries.get_mut(&id).expect("checked above");
+        e.touched_seq = seq;
+        Some(e)
     }
 
     pub fn ids(&self) -> impl Iterator<Item = TracerouteId> + '_ {
@@ -183,13 +244,17 @@ impl Corpus {
             self.remove(old);
         }
 
-        self.by_dst_prefix
-            .entry(dst_prefix.unwrap_or(Prefix::new(tr.dst, 32)))
-            .or_default()
-            .push(id);
+        let pfx_key = dst_prefix.unwrap_or(Prefix::new(tr.dst, 32));
+        self.by_dst_prefix.entry(pfx_key).or_default().push(id);
         for &a in &as_trace.path {
             self.by_asn.entry(a).or_default().push(id);
         }
+        self.seq += 1;
+        self.membership_gen += 1;
+        self.touched.insert(id);
+        self.dirty_pfx.insert(pfx_key);
+        self.dirty_asn.extend(as_trace.path.iter().copied());
+        self.dirty_pair.insert((tr.src, tr.dst));
         let entry = CorpusEntry {
             id,
             issued: tr.time,
@@ -200,6 +265,7 @@ impl Corpus {
             monitors: 0,
             asserting: 0,
             stale_since: None,
+            touched_seq: self.seq,
         };
         // The up-front remove above guarantees the slot is vacant.
         Some(self.entries.entry(id).or_insert(entry))
@@ -211,6 +277,12 @@ impl Corpus {
     pub fn remove(&mut self, id: TracerouteId) -> Option<CorpusEntry> {
         let e = self.entries.remove(&id)?;
         let pfx = e.dst_prefix.unwrap_or(Prefix::new(e.traceroute.dst, 32));
+        self.seq += 1;
+        self.membership_gen += 1;
+        self.touched.insert(id);
+        self.dirty_pfx.insert(pfx);
+        self.dirty_asn.extend(e.as_path.iter().copied());
+        self.dirty_pair.insert((e.traceroute.src, e.traceroute.dst));
         if let Some(v) = self.by_dst_prefix.get_mut(&pfx) {
             v.retain(|x| *x != id);
             if v.is_empty() {
@@ -233,19 +305,27 @@ impl Corpus {
 
     /// Marks monitors asserting staleness on an entry.
     pub fn assert_stale(&mut self, id: TracerouteId, at: Timestamp) {
+        self.seq += 1;
+        let seq = self.seq;
         if let Some(e) = self.entries.get_mut(&id) {
             e.asserting += 1;
             e.stale_since.get_or_insert(at);
+            e.touched_seq = seq;
+            self.touched.insert(id);
         }
     }
 
     /// Revokes one assertion (§4.3.2); freshness returns once all revoke.
     pub fn revoke_stale(&mut self, id: TracerouteId) {
+        self.seq += 1;
+        let seq = self.seq;
         if let Some(e) = self.entries.get_mut(&id) {
             e.asserting = e.asserting.saturating_sub(1);
             if e.asserting == 0 {
                 e.stale_since = None;
             }
+            e.touched_seq = seq;
+            self.touched.insert(id);
         }
     }
 
@@ -315,6 +395,125 @@ impl Corpus {
             }
         }
         Ok(())
+    }
+
+    /// Monotonic mutation counter: bumps on every corpus write. Compare
+    /// against [`CorpusEntry::touched_seq`] to find entries written since a
+    /// previous observation. Transient (resets on restore).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Generation counter of the id set: unchanged generation means no
+    /// entry was inserted or removed, so the lookup indices are
+    /// structurally identical to the previous observation.
+    pub fn membership_gen(&self) -> u64 {
+        self.membership_gen
+    }
+
+    /// Serializes everything written since [`Corpus::mark_clean`] last
+    /// established a full-snapshot base: each touched id's final state
+    /// (`None` = removed) and each dirtied index key's final vector.
+    /// Encoding final values rather than operations makes application
+    /// independent of replay order and idempotent.
+    pub(crate) fn store_delta<W: std::io::Write>(
+        &self,
+        e: &mut Encoder<W>,
+    ) -> Result<(), StoreError> {
+        e.len(self.touched.len())?;
+        for id in &self.touched {
+            id.store(e)?;
+            store_opt(e, self.entries.get(id))?;
+        }
+        e.len(self.dirty_pfx.len())?;
+        for p in &self.dirty_pfx {
+            p.store(e)?;
+            store_opt(e, self.by_dst_prefix.get(p))?;
+        }
+        e.len(self.dirty_asn.len())?;
+        for a in &self.dirty_asn {
+            a.store(e)?;
+            store_opt(e, self.by_asn.get(a))?;
+        }
+        e.len(self.dirty_pair.len())?;
+        for k in &self.dirty_pair {
+            k.store(e)?;
+            store_opt(e, self.by_pair.get(k))?;
+        }
+        Ok(())
+    }
+
+    /// Applies one [`Corpus::store_delta`] payload on top of the base it
+    /// was built from, re-marking everything it touched as delta-dirty.
+    pub(crate) fn apply_delta<R: std::io::Read>(
+        &mut self,
+        d: &mut Decoder<R>,
+    ) -> Result<(), StoreError> {
+        let n = d.read_len()?;
+        for _ in 0..n {
+            let id: TracerouteId = Persist::load(d)?;
+            match load_opt::<_, CorpusEntry>(d)? {
+                Some(entry) => {
+                    self.entries.insert(id, entry);
+                }
+                None => {
+                    self.entries.remove(&id);
+                }
+            }
+            self.touched.insert(id);
+        }
+        let n = d.read_len()?;
+        for _ in 0..n {
+            let p: Prefix = Persist::load(d)?;
+            match load_opt::<_, Vec<TracerouteId>>(d)? {
+                Some(v) => {
+                    self.by_dst_prefix.insert(p, v);
+                }
+                None => {
+                    self.by_dst_prefix.remove(&p);
+                }
+            }
+            self.dirty_pfx.insert(p);
+        }
+        let n = d.read_len()?;
+        for _ in 0..n {
+            let a: Asn = Persist::load(d)?;
+            match load_opt::<_, Vec<TracerouteId>>(d)? {
+                Some(v) => {
+                    self.by_asn.insert(a, v);
+                }
+                None => {
+                    self.by_asn.remove(&a);
+                }
+            }
+            self.dirty_asn.insert(a);
+        }
+        let n = d.read_len()?;
+        for _ in 0..n {
+            let k: (Ipv4, Ipv4) = Persist::load(d)?;
+            match load_opt::<_, TracerouteId>(d)? {
+                Some(v) => {
+                    self.by_pair.insert(k, v);
+                }
+                None => {
+                    self.by_pair.remove(&k);
+                }
+            }
+            self.dirty_pair.insert(k);
+        }
+        self.seq += 1;
+        self.membership_gen += 1;
+        Ok(())
+    }
+
+    /// Declares the current state a full-snapshot base: clears all delta
+    /// dirty tracking so subsequent [`Corpus::store_delta`] calls
+    /// serialize only what mutates from here on.
+    pub(crate) fn mark_clean(&mut self) {
+        self.touched.clear();
+        self.dirty_pfx.clear();
+        self.dirty_asn.clear();
+        self.dirty_pair.clear();
     }
 
     /// Counts entries per freshness class.

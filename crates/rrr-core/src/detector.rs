@@ -11,7 +11,7 @@ use crate::trace_monitors::TraceMonitors;
 use rrr_anomaly::{BitmapDetector, ModifiedZScore};
 use rrr_geo::Geolocator;
 use rrr_ip2as::{map_traceroute, AliasResolver, IpToAsMap};
-use rrr_store::{read_checkpoint, write_checkpoint, Decoder, Encoder, Persist, StoreError};
+use rrr_store::{read_snapshot, write_snapshot, Decoder, Encoder, FrameKind, Persist, StoreError};
 use rrr_topology::Topology;
 use rrr_types::{
     Asn, BgpUpdate, Community, Timestamp, Traceroute, TracerouteId, VpId, Window, WindowConfig,
@@ -41,6 +41,12 @@ pub struct DetectorConfig {
     /// close and traceroute-series flush). `0` = one per available core;
     /// `1` = serial. The signal stream is identical at any setting.
     pub threads: usize,
+    /// Dirty-set incremental window close: groups whose series are provably
+    /// inert under quiet input are parked and caught up lazily, so close
+    /// cost scales with churn instead of corpus size. The signal stream is
+    /// identical at any setting (runtime tuning, not state — excluded from
+    /// the checkpoint fingerprint, like `threads`).
+    pub incremental_close: bool,
 }
 
 impl Default for DetectorConfig {
@@ -54,6 +60,7 @@ impl Default for DetectorConfig {
             trace_detector: ModifiedZScore::default(),
             absorb_outliers: false,
             threads: 0,
+            incremental_close: true,
         }
     }
 }
@@ -81,6 +88,17 @@ pub struct StalenessDetector {
     next_bgp_window: Window,
     /// All signals ever emitted (experiment log).
     pub(crate) log: Vec<StalenessSignal>,
+    /// Transient: CRC-32 of the full-snapshot payload delta frames are cut
+    /// against (`None` until a full checkpoint or restore establishes one).
+    delta_base: Option<u32>,
+    /// Transient: sequence number of the last delta cut in this chain.
+    delta_seq: u32,
+    /// Transient: signal-log length at the delta base — deltas carry only
+    /// the tail beyond it.
+    log_mark: usize,
+    /// Transient: corpus membership generation when state was last marked
+    /// clean — gates whether deltas must repack the `potential` map.
+    clean_membership_gen: u64,
 }
 
 impl StalenessDetector {
@@ -97,6 +115,7 @@ impl StalenessDetector {
         let threads = resolve_threads(&cfg);
         let mut bgp = BgpMonitors::new_with(strip, cfg.bgp_detector, cfg.absorb_outliers);
         bgp.set_threads(threads);
+        bgp.set_incremental(cfg.incremental_close);
         let mut trace = TraceMonitors::new_with(cfg.trace_detector, cfg.absorb_outliers);
         trace.set_threads(threads);
         StalenessDetector {
@@ -109,6 +128,10 @@ impl StalenessDetector {
             active: HashMap::new(),
             next_bgp_window: Window(0),
             log: Vec::new(),
+            delta_base: None,
+            delta_seq: 0,
+            log_mark: 0,
+            clean_membership_gen: 0,
             cfg,
             topo,
             map,
@@ -312,7 +335,7 @@ impl StalenessDetector {
         // --- filter disabled techniques, apply assertions ---
         signals.retain(|s| self.enabled(s.key.technique));
         for s in &signals {
-            for &tr in &s.traceroutes {
+            for &tr in s.traceroutes.iter() {
                 let per = self.active.entry(tr).or_default();
                 if !per.contains_key(&s.key) {
                     per.insert(Arc::clone(&s.key), s.trigger_communities.clone());
@@ -321,7 +344,7 @@ impl StalenessDetector {
             }
         }
         for r in &revokes {
-            for &tr in &r.traceroutes {
+            for &tr in r.traceroutes.iter() {
                 let Some(per) = self.active.get_mut(&tr) else { continue };
                 let removed = per.remove(&r.key).is_some();
                 let empty = per.is_empty();
@@ -479,6 +502,78 @@ impl StalenessDetector {
     /// continues the exact same signal stream as the original, at any
     /// worker-thread count.
     pub fn checkpoint<W: std::io::Write>(&self, w: W) -> Result<(), StoreError> {
+        write_snapshot(w, FrameKind::Full, &self.encode_full_payload()?)
+    }
+
+    /// Like [`StalenessDetector::checkpoint`], but also establishes this
+    /// snapshot as the base of a delta chain: parked monitor groups are
+    /// materialized first (so the bytes match a detector that never
+    /// parked), churn tracking is reset, and subsequent
+    /// [`StalenessDetector::checkpoint_delta`] calls serialize only state
+    /// changed since these bytes.
+    pub fn checkpoint_full<W: std::io::Write>(&mut self, w: W) -> Result<(), StoreError> {
+        self.bgp.materialize_all();
+        self.checkpoint_base(w)
+    }
+
+    /// Like [`StalenessDetector::checkpoint_full`] but serializes the state
+    /// *as is* — parked monitor groups stay parked across the cut instead
+    /// of being materialized. This is the durable layer's full cut: under a
+    /// sparse workload the parked steady state survives, so the close right
+    /// after the cut evaluates only churned groups and the following delta
+    /// frames stay churn-proportional. (A materializing cut would wake
+    /// every group, and the next close would push all of them into the
+    /// cumulative dirty set at once.)
+    pub fn checkpoint_base<W: std::io::Write>(&mut self, w: W) -> Result<(), StoreError> {
+        let payload = self.encode_full_payload()?;
+        write_snapshot(w, FrameKind::Full, &payload)?;
+        self.mark_all_clean(rrr_store::crc32::crc32(&payload));
+        Ok(())
+    }
+
+    /// Serializes only the state changed since the last full checkpoint as
+    /// a delta frame. Deltas are *cumulative*: each one applies directly on
+    /// top of the full base (plus any earlier deltas of the same chain —
+    /// re-application of already-applied changes is idempotent). Requires a
+    /// base established by [`StalenessDetector::checkpoint_full`] or
+    /// [`StalenessDetector::restore`].
+    pub fn checkpoint_delta<W: std::io::Write>(&mut self, w: W) -> Result<(), StoreError> {
+        let payload = self.encode_delta_payload()?;
+        write_snapshot(w, FrameKind::Delta, &payload)?;
+        self.delta_seq += 1;
+        Ok(())
+    }
+
+    /// Number of delta frames cut since the last full checkpoint — drives
+    /// compaction policy in [`crate::persist::DurableDetector`].
+    pub fn delta_chain_len(&self) -> u32 {
+        self.delta_seq
+    }
+
+    /// The snapshot chain position as `(base payload CRC, delta sequence)`
+    /// — zero CRC until a full checkpoint or restore establishes a base.
+    /// [`crate::persist::DurableDetector`] stamps its WAL with this so
+    /// recovery can tell which chain a log extends.
+    pub fn delta_chain(&self) -> (u32, u32) {
+        (self.delta_base.unwrap_or(0), self.delta_seq)
+    }
+
+    /// Applies one delta frame on top of this detector's state, which must
+    /// be at the delta's base (the full snapshot it names by payload CRC,
+    /// plus any earlier deltas of the chain). A frame from a different
+    /// chain surfaces as [`StoreError::DeltaBaseMismatch`]; one applied out
+    /// of order as [`StoreError::DeltaChainBroken`].
+    pub fn apply_delta<R: std::io::Read>(&mut self, r: R) -> Result<(), StoreError> {
+        let (kind, payload) = read_snapshot(r)?;
+        if kind != FrameKind::Delta {
+            return Err(StoreError::DeltaChainBroken {
+                what: "full snapshot where a delta frame was expected",
+            });
+        }
+        self.apply_delta_payload(&payload)
+    }
+
+    fn encode_full_payload(&self) -> Result<Vec<u8>, StoreError> {
         let mut payload = Vec::new();
         let mut e = Encoder::new(&mut payload);
         cfg_fingerprint(&self.cfg)?.store(&mut e)?;
@@ -492,7 +587,107 @@ impl StalenessDetector {
         self.active.store(&mut e)?;
         self.next_bgp_window.store(&mut e)?;
         self.log.store(&mut e)?;
-        write_checkpoint(w, &payload)
+        Ok(payload)
+    }
+
+    /// Resets every subsystem's churn tracking and records `base_crc` as
+    /// the full-snapshot payload the next delta chain is cut against.
+    fn mark_all_clean(&mut self, base_crc: u32) {
+        self.bgp.mark_clean();
+        self.corpus.mark_clean();
+        self.trace.mark_clean();
+        self.ixp.mark_clean();
+        self.delta_base = Some(base_crc);
+        self.delta_seq = 0;
+        self.log_mark = self.log.len();
+        self.clean_membership_gen = self.corpus.membership_gen();
+    }
+
+    /// Delta payload layout: base CRC, sequence number, then per-subsystem
+    /// sections — dirty-tracked subsystems write sparse deltas, small or
+    /// hard-to-track ones (calibration, assertions) are carried whole, and
+    /// the append-only signal log is carried as its tail past the base.
+    fn encode_delta_payload(&self) -> Result<Vec<u8>, StoreError> {
+        let Some(base) = self.delta_base else {
+            return Err(StoreError::DeltaChainBroken {
+                what: "no full snapshot to cut a delta against",
+            });
+        };
+        let mut payload = Vec::new();
+        let mut e = Encoder::new(&mut payload);
+        e.u32(base)?;
+        e.u32(self.delta_seq + 1)?;
+        self.bgp.store_delta(&mut e)?;
+        self.corpus.store_delta(&mut e)?;
+        self.trace.store_delta(&mut e)?;
+        let ixp_dirty = self.ixp.is_dirty();
+        ixp_dirty.store(&mut e)?;
+        if ixp_dirty {
+            self.ixp.store(&mut e)?;
+        }
+        self.cal.store(&mut e)?;
+        let membership_changed = self.corpus.membership_gen() != self.clean_membership_gen;
+        membership_changed.store(&mut e)?;
+        if membership_changed {
+            self.potential.store(&mut e)?;
+        }
+        self.active.store(&mut e)?;
+        e.u64(self.log_mark as u64)?;
+        e.len(self.log.len() - self.log_mark)?;
+        for s in &self.log[self.log_mark..] {
+            s.store(&mut e)?;
+        }
+        self.next_bgp_window.store(&mut e)?;
+        Ok(payload)
+    }
+
+    fn apply_delta_payload(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        let mut d = Decoder::new(payload);
+        let base = d.u32()?;
+        match self.delta_base {
+            Some(have) if have == base => {}
+            have => {
+                return Err(StoreError::DeltaBaseMismatch {
+                    expected: base,
+                    found: have.unwrap_or(0),
+                })
+            }
+        }
+        let seq = d.u32()?;
+        if seq != self.delta_seq + 1 {
+            return Err(StoreError::DeltaChainBroken {
+                what: "delta sequence number does not extend the chain",
+            });
+        }
+        self.bgp.apply_delta(&mut d)?;
+        self.corpus.apply_delta(&mut d)?;
+        self.trace.apply_delta(&mut d)?;
+        if bool::load(&mut d)? {
+            self.ixp = Persist::load(&mut d)?;
+        }
+        self.cal = Persist::load(&mut d)?;
+        if bool::load(&mut d)? {
+            self.potential = Persist::load(&mut d)?;
+        }
+        self.active = Persist::load(&mut d)?;
+        let log_base = usize::try_from(d.u64()?)
+            .map_err(|_| StoreError::Corrupt { offset: 0, what: "log base exceeds usize" })?;
+        if log_base > self.log.len() {
+            return Err(StoreError::DeltaChainBroken {
+                what: "signal-log base is longer than the restored log",
+            });
+        }
+        self.log.truncate(log_base);
+        let n = d.read_len()?;
+        for _ in 0..n {
+            self.log.push(Persist::load(&mut d)?);
+        }
+        self.next_bgp_window = Persist::load(&mut d)?;
+        if d.offset() != payload.len() {
+            return Err(StoreError::TrailingData { remaining: payload.len() - d.offset() });
+        }
+        self.delta_seq = seq;
+        Ok(())
     }
 
     /// Rebuilds a detector from a [`StalenessDetector::checkpoint`] frame.
@@ -512,7 +707,12 @@ impl StalenessDetector {
         alias: AliasResolver,
         cfg: DetectorConfig,
     ) -> Result<Self, StoreError> {
-        let payload = read_checkpoint(r)?;
+        let (kind, payload) = read_snapshot(r)?;
+        if kind != FrameKind::Full {
+            return Err(StoreError::DeltaChainBroken {
+                what: "delta frame where a full snapshot was expected",
+            });
+        }
         let mut d = Decoder::new(&payload[..]);
         let stored_fp: Vec<u8> = Persist::load(&mut d)?;
         if stored_fp != cfg_fingerprint(&cfg)? {
@@ -533,8 +733,9 @@ impl StalenessDetector {
         }
         let threads = resolve_threads(&cfg);
         bgp.set_threads(threads);
+        bgp.set_incremental(cfg.incremental_close);
         trace.set_threads(threads);
-        Ok(StalenessDetector {
+        let mut det = StalenessDetector {
             cfg,
             topo,
             map,
@@ -550,7 +751,16 @@ impl StalenessDetector {
             active,
             next_bgp_window,
             log,
-        })
+            delta_base: None,
+            delta_seq: 0,
+            log_mark: 0,
+            clean_membership_gen: 0,
+        };
+        // The restored bytes ARE the state: they are a valid delta base, so
+        // deltas cut after restore name this payload and carry only what
+        // changes from here on (`Persist` loads default to all-dirty).
+        det.mark_all_clean(rrr_store::crc32::crc32(&payload));
+        Ok(det)
     }
 }
 

@@ -30,6 +30,10 @@ pub struct IxpMonitor {
     /// ASes for which re-routing through a *private* peer was observed in
     /// public feeds (enables the private-peer signal case).
     learned_private: HashSet<Asn>,
+    /// Transient: any mutation since the last full snapshot. Membership
+    /// state is small and changes rarely, so deltas carry it whole rather
+    /// than tracking per-IXP churn.
+    dirty: bool,
 }
 
 impl IxpMonitor {
@@ -39,7 +43,18 @@ impl IxpMonitor {
         for (ixp, set) in &topo.registry.ixp_members {
             members.insert(*ixp, set.iter().map(|a| topo.asn_of(*a)).collect());
         }
-        IxpMonitor { members, learned_private: HashSet::new() }
+        IxpMonitor { members, learned_private: HashSet::new(), dirty: false }
+    }
+
+    /// Whether anything changed since the last full snapshot — gates
+    /// whether a delta frame carries this monitor at all.
+    pub(crate) fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Resets churn tracking after a full snapshot captured everything.
+    pub(crate) fn mark_clean(&mut self) {
+        self.dirty = false;
     }
 
     /// Current member set of an IXP.
@@ -50,7 +65,9 @@ impl IxpMonitor {
     /// Marks that `asn` was observed (in public feeds) re-routing through a
     /// private peer, so future private-peer cases generate signals for it.
     pub fn learn_private_rerouting(&mut self, asn: Asn) {
-        self.learned_private.insert(asn);
+        if self.learned_private.insert(asn) {
+            self.dirty = true;
+        }
     }
 
     /// Augments membership from a traceroute *without* treating additions
@@ -58,7 +75,9 @@ impl IxpMonitor {
     pub fn bootstrap_trace(&mut self, tr: &Traceroute, map: &IpToAsMap) {
         for b in find_borders(tr, map) {
             if let Some(ixp) = b.ixp {
-                self.members.entry(ixp).or_default().insert(b.near_as);
+                if self.members.entry(ixp).or_default().insert(b.near_as) {
+                    self.dirty = true;
+                }
             }
         }
     }
@@ -70,6 +89,7 @@ impl IxpMonitor {
             let Some(ixp) = b.ixp else { continue };
             let set = self.members.entry(ixp).or_default();
             if set.insert(b.near_as) {
+                self.dirty = true;
                 new.push((b.near_as, ixp));
             }
         }
@@ -143,7 +163,7 @@ impl IxpMonitor {
                 time,
                 window,
                 score: traceroutes.len() as f64,
-                traceroutes,
+                traceroutes: traceroutes.into(),
                 trigger_communities: Vec::new(),
             })
             .collect()
@@ -156,7 +176,12 @@ impl Persist for IxpMonitor {
         self.learned_private.store(e)
     }
     fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
-        Ok(IxpMonitor { members: Persist::load(d)?, learned_private: Persist::load(d)? })
+        // Conservatively dirty: a loaded monitor has no delta base yet.
+        Ok(IxpMonitor {
+            members: Persist::load(d)?,
+            learned_private: Persist::load(d)?,
+            dirty: true,
+        })
     }
 }
 
@@ -248,7 +273,7 @@ mod tests {
         let signals =
             mon.signals_for_join(Asn(100), IxpId(0), &corpus, &topo, Timestamp(50), Window(1));
         assert_eq!(signals.len(), 1, "{signals:?}");
-        assert_eq!(signals[0].traceroutes, vec![id]);
+        assert_eq!(signals[0].traceroutes.to_vec(), vec![id]);
         match &signals[0].key.scope {
             SignalScope::IxpJoin { joined, member, ixp } => {
                 assert_eq!((*joined, *member, *ixp), (Asn(100), Asn(102), IxpId(0)));

@@ -2,14 +2,26 @@
 //! of raw step inputs, so a crashed or stopped pipeline resumes exactly
 //! where it left off.
 //!
-//! The recovery model is *replay*, not state diffing: every
+//! The recovery model is *replay* over a snapshot chain: every
 //! [`StalenessDetector::step`] input is appended to the WAL before it is
-//! processed, and a full [`StalenessDetector::checkpoint`] is cut every
+//! processed, and a snapshot is cut every
 //! [`DurableConfig::checkpoint_every_windows`] closed BGP windows, after
-//! which the WAL restarts empty. [`DurableDetector::open`] loads the latest
-//! checkpoint and re-feeds the logged steps through the deterministic
-//! pipeline, which reproduces the in-memory state bit for bit — including
-//! the signal log, calibration counters, and the calibrator's RNG stream.
+//! which the WAL restarts empty. Most cuts are *delta frames*
+//! (`delta-NNNNN.rrr`): cumulative diffs against the last full snapshot,
+//! sized by churn rather than corpus size. A full snapshot is cut instead —
+//! compacting the chain and deleting its delta files — once the chain
+//! reaches [`DurableConfig::max_deltas`] frames or a delta grows past half
+//! the full snapshot's size. [`DurableDetector::open`] loads the full
+//! snapshot, applies the deltas in sequence order, and re-feeds the logged
+//! steps through the deterministic pipeline, which reproduces the
+//! in-memory state bit for bit — including the signal log, calibration
+//! counters, and the calibrator's RNG stream.
+//!
+//! Crash consistency: snapshot writes go through a temp file + atomic
+//! rename, and the WAL's first record is a *chain tag* naming the snapshot
+//! chain position it extends. A crash between a snapshot rename and the
+//! WAL/delta cleanup leaves stale files behind; recovery detects them by
+//! tag/base mismatch and discards them instead of double-applying.
 
 use crate::detector::{DetectorConfig, StalenessDetector};
 use crate::signal::StalenessSignal;
@@ -23,13 +35,41 @@ use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// File name of the current checkpoint within a durable directory.
+/// File name of the current full checkpoint within a durable directory.
 const CHECKPOINT_FILE: &str = "checkpoint.rrr";
 /// File name of the write-ahead step log within a durable directory.
 const WAL_FILE: &str = "wal.log";
 /// Temporary name a new checkpoint is written under before the atomic
 /// rename, so a crash mid-write never clobbers the good checkpoint.
 const CHECKPOINT_TMP: &str = "checkpoint.rrr.tmp";
+/// Temporary name a delta frame is written under before the atomic rename.
+const DELTA_TMP: &str = "delta.rrr.tmp";
+/// Delta frames are `delta-NNNNN.rrr`, numbered by chain sequence.
+const DELTA_PREFIX: &str = "delta-";
+const DELTA_SUFFIX: &str = ".rrr";
+
+fn delta_path(dir: &Path, seq: u32) -> PathBuf {
+    dir.join(format!("{DELTA_PREFIX}{seq:05}{DELTA_SUFFIX}"))
+}
+
+/// The delta frames present in a durable directory, sorted by sequence.
+fn delta_files(dir: &Path) -> Result<Vec<(u32, PathBuf)>, StoreError> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) =
+            name.strip_prefix(DELTA_PREFIX).and_then(|s| s.strip_suffix(DELTA_SUFFIX))
+        else {
+            continue;
+        };
+        let Ok(seq) = stem.parse::<u32>() else { continue };
+        out.push((seq, entry.path()));
+    }
+    out.sort();
+    Ok(out)
+}
 
 /// One raw pipeline step: the inputs [`StalenessDetector::step`] consumed.
 /// Replaying records through a restored detector reproduces the exact
@@ -59,15 +99,25 @@ impl Persist for StepRecord {
 /// Checkpoint policy for [`DurableDetector`].
 #[derive(Debug, Clone)]
 pub struct DurableConfig {
-    /// Cut a checkpoint (and truncate the WAL) once this many BGP windows
-    /// have closed since the last one. Steps between checkpoints are only
+    /// Cut a snapshot (and truncate the WAL) once this many BGP windows
+    /// have closed since the last one. Steps between snapshots are only
     /// in the WAL, so a smaller value trades churn for faster recovery.
     pub checkpoint_every_windows: u64,
+    /// Compact the delta chain into a fresh full snapshot once it holds
+    /// this many delta frames. Recovery applies every frame in the chain,
+    /// so a longer chain trades cut cost for reopen cost.
+    pub max_deltas: u32,
+    /// Compact early when `delta_bytes * compact_size_ratio` exceeds the
+    /// full snapshot's size — at that point a delta no longer pays for
+    /// its reopen cost. `0` disables size-based compaction (frames are
+    /// kept until `max_deltas`, however large — useful for harnesses
+    /// that need the chain deterministically present on disk).
+    pub compact_size_ratio: u64,
 }
 
 impl Default for DurableConfig {
     fn default() -> Self {
-        DurableConfig { checkpoint_every_windows: 16 }
+        DurableConfig { checkpoint_every_windows: 16, max_deltas: 8, compact_size_ratio: 2 }
     }
 }
 
@@ -79,8 +129,11 @@ pub struct DurableDetector {
     dir: PathBuf,
     cfg: DurableConfig,
     wal: WalWriter<BufWriter<File>>,
-    /// Closed-window count at the last checkpoint.
+    /// Closed-window count at the last snapshot cut.
     windows_at_checkpoint: u64,
+    /// On-disk size of the current full snapshot — the yardstick for the
+    /// "delta grew past half a full" compaction trigger.
+    full_bytes: u64,
 }
 
 impl DurableDetector {
@@ -94,15 +147,28 @@ impl DurableDetector {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let wal = WalWriter::new(BufWriter::new(File::create(dir.join(WAL_FILE))?));
-        let mut durable =
-            DurableDetector { windows_at_checkpoint: det.closed_bgp_windows(), det, dir, cfg, wal };
-        durable.cut_checkpoint()?;
+        let mut durable = DurableDetector {
+            windows_at_checkpoint: det.closed_bgp_windows(),
+            det,
+            dir,
+            cfg,
+            wal,
+            full_bytes: 0,
+        };
+        durable.cut_full_checkpoint()?;
         Ok(durable)
     }
 
-    /// Reopens a durable directory: loads the checkpoint, replays the WAL
-    /// through the restored detector, and resumes logging. The rebuilt
-    /// detector state is identical to the one that wrote the files.
+    /// Reopens a durable directory: loads the full snapshot, applies the
+    /// delta chain in sequence order, replays the WAL through the restored
+    /// detector, and resumes logging. The rebuilt detector state is
+    /// identical to the one that wrote the files.
+    ///
+    /// Stale leftovers from a crash mid-compaction — delta frames cut
+    /// against a superseded full snapshot, or a WAL whose chain tag no
+    /// longer matches — are detected and discarded rather than applied
+    /// twice. Genuine corruption (bit rot, truncation, a chain with a
+    /// missing link) still surfaces as a typed [`StoreError`].
     pub fn open(
         dir: impl Into<PathBuf>,
         topo: Arc<Topology>,
@@ -116,26 +182,69 @@ impl DurableDetector {
         let file = File::open(dir.join(CHECKPOINT_FILE))?;
         let mut det =
             StalenessDetector::restore(BufReader::new(file), topo, map, geo, alias, det_cfg)?;
+        let full_bytes = std::fs::metadata(dir.join(CHECKPOINT_FILE))?.len();
+
+        // Apply the delta chain. A base mismatch on a frame can only mean
+        // the frame predates the current full snapshot (a crash hit the
+        // window between the compacting rename and the delta cleanup):
+        // frame payloads are CRC-protected, so rot reports as CrcMismatch
+        // before the base is ever compared. Drop the stale tail.
+        for (_, path) in delta_files(&dir)? {
+            match det.apply_delta(BufReader::new(File::open(&path)?)) {
+                Ok(()) => {}
+                Err(StoreError::DeltaBaseMismatch { .. }) => {
+                    std::fs::remove_file(&path)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
 
         // Replay logged steps; a torn tail (crash mid-append) ends replay
         // cleanly, matching a crash before that step was processed. A
         // missing or zero-length WAL is a clean empty log (crash between
-        // checkpoint cut and first append); any other open failure is a
+        // snapshot cut and first append); any other open failure is a
         // real error — silently skipping replay would desynchronize the
-        // restored state from the checkpoint's successor stream.
+        // restored state from the snapshot's successor stream. The leading
+        // chain tag guards the other direction: a WAL truncated *before*
+        // the crash but tagged for a superseded chain position holds steps
+        // the snapshots already contain, and must not be applied twice.
         let mut reader = WalReader::open(dir.join(WAL_FILE))?;
-        while let Some(payload) = reader.next_record()? {
-            let rec: StepRecord = rrr_store::from_payload(&payload)?;
-            let _ = det.step(rec.now, &rec.bgp_updates, &rec.public);
+        let mut tagged = false;
+        if let Some(payload) = reader.next_record()? {
+            let tag: (u32, u32) = rrr_store::from_payload(&payload)?;
+            if tag == det.delta_chain() {
+                tagged = true;
+                while let Some(payload) = reader.next_record()? {
+                    let rec: StepRecord = rrr_store::from_payload(&payload)?;
+                    let _ = det.step(rec.now, &rec.bgp_updates, &rec.public);
+                }
+            }
         }
+        drop(reader);
 
-        let wal = WalWriter::new(BufWriter::new(
-            File::options().create(true).append(true).open(dir.join(WAL_FILE))?,
-        ));
-        Ok(DurableDetector { windows_at_checkpoint: det.closed_bgp_windows(), det, dir, cfg, wal })
+        // Resume the valid WAL, or start a fresh one (with the current
+        // chain tag) in place of an empty or superseded log — appending
+        // records behind a stale tag would strand them on the next open.
+        let wal = if tagged {
+            WalWriter::new(BufWriter::new(
+                File::options().append(true).open(dir.join(WAL_FILE))?,
+            ))
+        } else {
+            let mut w = WalWriter::new(BufWriter::new(File::create(dir.join(WAL_FILE))?));
+            w.append(&rrr_store::to_payload(&det.delta_chain())?)?;
+            w
+        };
+        Ok(DurableDetector {
+            windows_at_checkpoint: det.closed_bgp_windows(),
+            det,
+            dir,
+            cfg,
+            wal,
+            full_bytes,
+        })
     }
 
-    /// Logs the step inputs, runs the step, and cuts a checkpoint when the
+    /// Logs the step inputs, runs the step, and cuts a snapshot when the
     /// window policy says so. Returns the step's signals.
     pub fn step(
         &mut self,
@@ -154,15 +263,61 @@ impl DurableDetector {
         Ok(signals)
     }
 
-    /// Writes a fresh checkpoint (atomically, via rename) and truncates the
-    /// WAL — everything before this point is now in the checkpoint.
+    /// Cuts a snapshot (atomically, via rename) and truncates the WAL —
+    /// everything before this point is now in the snapshot chain.
+    ///
+    /// Most cuts produce a delta frame sized by churn since the last full
+    /// snapshot. The chain is compacted into a fresh full snapshot when it
+    /// reaches [`DurableConfig::max_deltas`] frames or the delta grows
+    /// past half the full snapshot's size (at that point deltas no longer
+    /// pay for their reopen cost).
     pub fn cut_checkpoint(&mut self) -> Result<(), StoreError> {
+        if self.det.delta_chain_len() >= self.cfg.max_deltas {
+            return self.cut_full_checkpoint();
+        }
+        let tmp = self.dir.join(DELTA_TMP);
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            self.det.checkpoint_delta(&mut w)?;
+            w.flush()?;
+        }
+        if self.cfg.compact_size_ratio != 0
+            && std::fs::metadata(&tmp)?.len() * self.cfg.compact_size_ratio > self.full_bytes
+        {
+            std::fs::remove_file(&tmp)?;
+            return self.cut_full_checkpoint();
+        }
+        std::fs::rename(&tmp, delta_path(&self.dir, self.det.delta_chain_len()))?;
+        self.truncate_wal()
+    }
+
+    /// Cuts a full snapshot unconditionally, compacting the delta chain:
+    /// once the new full is in place its superseded delta frames are
+    /// deleted (a crash in between leaves stale frames that
+    /// [`DurableDetector::open`] discards by base mismatch).
+    pub fn cut_full_checkpoint(&mut self) -> Result<(), StoreError> {
         let tmp = self.dir.join(CHECKPOINT_TMP);
-        let mut w = BufWriter::new(File::create(&tmp)?);
-        self.det.checkpoint(&mut w)?;
-        w.flush()?;
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            // Park-preserving cut: a materializing `checkpoint_full` would
+            // wake every parked group and the next close would push them
+            // all into the cumulative dirty set, defeating delta sparsity.
+            self.det.checkpoint_base(&mut w)?;
+            w.flush()?;
+        }
         std::fs::rename(&tmp, self.dir.join(CHECKPOINT_FILE))?;
-        self.wal = WalWriter::new(BufWriter::new(File::create(self.dir.join(WAL_FILE))?));
+        self.full_bytes = std::fs::metadata(self.dir.join(CHECKPOINT_FILE))?.len();
+        for (_, path) in delta_files(&self.dir)? {
+            std::fs::remove_file(path)?;
+        }
+        self.truncate_wal()
+    }
+
+    /// Restarts the WAL, tagged with the current snapshot chain position.
+    fn truncate_wal(&mut self) -> Result<(), StoreError> {
+        let mut wal = WalWriter::new(BufWriter::new(File::create(self.dir.join(WAL_FILE))?));
+        wal.append(&rrr_store::to_payload(&self.det.delta_chain())?)?;
+        self.wal = wal;
         self.windows_at_checkpoint = self.det.closed_bgp_windows();
         Ok(())
     }

@@ -151,11 +151,19 @@ pub struct SnapEntry {
 /// capture cost is dominated by the corpus index copy, not key cloning.
 pub struct DetectorSnapshot {
     epoch: u64,
+    /// Corpus write sequence at capture time; entries with a newer
+    /// `touched_seq` are the only ones a later incremental capture copies.
+    corpus_seq: u64,
+    /// Corpus membership generation at capture time. While it is
+    /// unchanged, the id set — and therefore the prefix/ASN indexes and
+    /// the potential-signal map — are unchanged too, and successor
+    /// snapshots share them by `Arc` instead of rebuilding.
+    membership_gen: u64,
     entries: HashMap<TracerouteId, SnapEntry>,
-    by_prefix: BTreeMap<Prefix, Vec<TracerouteId>>,
-    by_asn: BTreeMap<Asn, Vec<TracerouteId>>,
+    by_prefix: Arc<BTreeMap<Prefix, Vec<TracerouteId>>>,
+    by_asn: Arc<BTreeMap<Asn, Vec<TracerouteId>>>,
     active: HashMap<TracerouteId, HashMap<Arc<SignalKey>, Vec<Community>>>,
-    potential: HashMap<TracerouteId, Vec<Arc<SignalKey>>>,
+    potential: Arc<HashMap<TracerouteId, Vec<Arc<SignalKey>>>>,
     cal: Calibrator,
     monitors: MonitorStats,
     signals_logged: usize,
@@ -186,6 +194,16 @@ impl DetectorSnapshot {
     /// Every indexed traversed AS (ascending).
     pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
         self.by_asn.keys().copied()
+    }
+
+    /// Whether this snapshot shares its membership-derived structures
+    /// (prefix/ASN indexes, potential-signal map) with `other` by pointer —
+    /// true exactly when an incremental capture reused them rather than
+    /// rebuilding. Diagnostic for publication-path tests.
+    pub fn shares_indexes_with(&self, other: &DetectorSnapshot) -> bool {
+        Arc::ptr_eq(&self.by_prefix, &other.by_prefix)
+            && Arc::ptr_eq(&self.by_asn, &other.by_asn)
+            && Arc::ptr_eq(&self.potential, &other.potential)
     }
 }
 
@@ -220,11 +238,57 @@ impl StalenessDetector {
         }
         DetectorSnapshot {
             epoch: self.closed_bgp_windows(),
+            corpus_seq: self.corpus.seq(),
+            membership_gen: self.corpus.membership_gen(),
             entries,
-            by_prefix,
-            by_asn,
+            by_prefix: Arc::new(by_prefix),
+            by_asn: Arc::new(by_asn),
             active: self.active.clone(),
-            potential: self.potential.clone(),
+            potential: Arc::new(self.potential.clone()),
+            cal: self.cal.clone(),
+            monitors: self.trace.stats(),
+            signals_logged: self.log.len(),
+        }
+    }
+
+    /// Extracts a snapshot by reusing an earlier one, copying only what
+    /// changed since — the publication-side half of the churn-proportional
+    /// design. When corpus membership is unchanged since `prev`, the
+    /// prefix/ASN indexes and the potential-signal map are shared by `Arc`
+    /// (they are pure functions of membership), and only entries whose
+    /// `touched_seq` advanced past `prev`'s capture point are re-copied.
+    /// On membership change it degrades to a full [`Self::snapshot`].
+    ///
+    /// The result is indistinguishable from a full capture at the same
+    /// instant — `rrr-serve`'s replay oracle holds incremental publishes
+    /// to exactly that standard.
+    pub fn snapshot_incremental(&self, prev: &DetectorSnapshot) -> DetectorSnapshot {
+        if prev.membership_gen != self.corpus.membership_gen() {
+            return self.snapshot();
+        }
+        let mut entries = prev.entries.clone();
+        for e in self.corpus.entries() {
+            if e.touched_seq > prev.corpus_seq {
+                entries.insert(
+                    e.id,
+                    SnapEntry {
+                        probe: e.traceroute.probe,
+                        dst: e.traceroute.dst,
+                        issued: e.issued,
+                        freshness: e.freshness(),
+                    },
+                );
+            }
+        }
+        DetectorSnapshot {
+            epoch: self.closed_bgp_windows(),
+            corpus_seq: self.corpus.seq(),
+            membership_gen: prev.membership_gen,
+            entries,
+            by_prefix: Arc::clone(&prev.by_prefix),
+            by_asn: Arc::clone(&prev.by_asn),
+            active: self.active.clone(),
+            potential: Arc::clone(&prev.potential),
             cal: self.cal.clone(),
             monitors: self.trace.stats(),
             signals_logged: self.log.len(),
@@ -386,7 +450,7 @@ pub(crate) fn plan_refresh_impl(
                     time: Timestamp(0),
                     window: Window(0),
                     score: trs.len() as f64,
-                    traceroutes: trs,
+                    traceroutes: trs.into(),
                     trigger_communities: Vec::new(),
                 },
             });

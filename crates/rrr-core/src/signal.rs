@@ -208,8 +208,10 @@ pub struct StalenessSignal {
     /// Detector score (|modified z| or bitmap distance) — the priority
     /// tiebreaker of §4.3.1.
     pub score: f64,
-    /// Corpus traceroutes related to this monitor.
-    pub traceroutes: Vec<TracerouteId>,
+    /// Corpus traceroutes related to this monitor. Shared: every signal a
+    /// monitor emits points at the monitor's one traceroute list instead of
+    /// cloning it per event.
+    pub traceroutes: Arc<[TracerouteId]>,
     /// For community signals: the communities whose change triggered it
     /// (drives Appendix B's per-community calibration). Empty otherwise.
     pub trigger_communities: Vec<rrr_types::Community>,
@@ -273,7 +275,7 @@ mod tests {
             time: Timestamp(0),
             window: Window(3),
             score: 4.5,
-            traceroutes: vec![TracerouteId(1), TracerouteId(2)],
+            traceroutes: vec![TracerouteId(1), TracerouteId(2)].into(),
             trigger_communities: vec![],
         };
         assert!(s.to_string().contains("2 traceroutes"));

@@ -18,7 +18,7 @@ use rrr_ip2as::{find_borders, AliasKey, AliasResolver, IpToAsMap, StarPatcher};
 use rrr_store::{Decoder, Encoder, Persist, StoreError};
 use rrr_topology::Topology;
 use rrr_types::{Asn, CityId, Ipv4, Timestamp, Traceroute, TracerouteId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// How far ahead of the segment start we search for its end hop in a public
@@ -113,6 +113,18 @@ pub struct TraceMonitors {
     monitors_of: HashMap<TracerouteId, (Vec<usize>, Vec<usize>)>,
     /// Worker threads for `flush` (≤ 1 selects the serial path).
     threads: usize,
+    /// Transient: monitors whose series or membership changed since the
+    /// last full snapshot, by index — what a delta frame carries.
+    dirty_subpaths: BTreeSet<usize>,
+    dirty_borders: BTreeSet<usize>,
+    /// Transient: the registration indexes, interner, or reverse index
+    /// changed (monitor created, corpus entry (un)registered). These maps
+    /// cross-reference each other by vector index, so deltas repack them
+    /// wholesale rather than risk a partial view.
+    reg_dirty: bool,
+    /// Transient: the star patcher learned from a trace since the last
+    /// full snapshot.
+    patcher_dirty: bool,
 }
 
 impl TraceMonitors {
@@ -135,6 +147,10 @@ impl TraceMonitors {
             interner: KeyInterner::new(),
             monitors_of: HashMap::new(),
             threads: 1,
+            dirty_subpaths: BTreeSet::new(),
+            dirty_borders: BTreeSet::new(),
+            reg_dirty: false,
+            patcher_dirty: false,
         }
     }
 
@@ -196,6 +212,7 @@ impl TraceMonitors {
                                 series: AdaptiveSeries::with_absorb_outliers(self.absorb_outliers),
                                 asserting: false,
                             });
+                            self.reg_dirty = true;
                             idx
                         }
                     };
@@ -203,6 +220,8 @@ impl TraceMonitors {
                     if !mon.traceroutes.contains(&entry.id) {
                         mon.traceroutes.push(entry.id);
                         self.monitors_of.entry(entry.id).or_default().0.push(idx);
+                        self.reg_dirty = true;
+                        self.dirty_subpaths.insert(idx);
                     }
                     created.push(Arc::clone(&mon.key));
                 }
@@ -235,6 +254,7 @@ impl TraceMonitors {
                             series: AdaptiveSeries::with_absorb_outliers(self.absorb_outliers),
                             asserting: false,
                         });
+                        self.reg_dirty = true;
                         idx
                     }
                 };
@@ -242,6 +262,8 @@ impl TraceMonitors {
                 if !mon.traceroutes.contains(&entry.id) {
                     mon.traceroutes.push(entry.id);
                     self.monitors_of.entry(entry.id).or_default().1.push(idx);
+                    self.reg_dirty = true;
+                    self.dirty_borders.insert(idx);
                 }
                 created.push(Arc::clone(&mon.key));
             }
@@ -254,11 +276,14 @@ impl TraceMonitors {
     /// retired from firing but keep their series state for reuse).
     pub fn unregister(&mut self, id: TracerouteId) {
         let Some((subs, bors)) = self.monitors_of.remove(&id) else { return };
+        self.reg_dirty = true;
         for i in subs {
             self.subpaths[i].traceroutes.retain(|t| *t != id);
+            self.dirty_subpaths.insert(i);
         }
         for i in bors {
             self.borders[i].traceroutes.retain(|t| *t != id);
+            self.dirty_borders.insert(i);
         }
     }
 
@@ -274,6 +299,7 @@ impl TraceMonitors {
         // Patch single unresponsive hops with their unique known middles
         // before any matching (Appendix A), and learn from this trace.
         self.patcher.learn(tr);
+        self.patcher_dirty = true;
         let tr = self.patcher.patch(tr);
         let tr = &tr;
 
@@ -300,6 +326,7 @@ impl TraceMonitors {
                         // change (Appendix A)
                         .all(|(o, e)| o.is_none_or(|o| o == *e));
                 m.series.push(Obs { time: tr.time, matched });
+                self.dirty_subpaths.insert(mi);
             }
         }
 
@@ -314,6 +341,7 @@ impl TraceMonitors {
             for &mi in monitors {
                 let m = &mut self.borders[mi];
                 m.series.push(Obs { time: tr.time, matched: observed_router == m.router });
+                self.dirty_borders.insert(mi);
             }
         }
     }
@@ -369,6 +397,23 @@ impl TraceMonitors {
             &mut revokes,
         );
 
+        // Sweep exact per-series change flags into the delta dirty sets.
+        // `take_changed` only reports real state mutations, so a monitor
+        // that merely *held* a static sub-threshold buffer across this
+        // flush is not re-serialized in the next delta. A monitor's
+        // `asserting` flag only flips when a window closed, which also
+        // marks its series changed, so the sweep covers it.
+        for (i, m) in self.subpaths.iter_mut().enumerate() {
+            if m.series.take_changed() {
+                self.dirty_subpaths.insert(i);
+            }
+        }
+        for (i, m) in self.borders.iter_mut().enumerate() {
+            if m.series.take_changed() {
+                self.dirty_borders.insert(i);
+            }
+        }
+
         (signals, revokes)
     }
 
@@ -399,6 +444,105 @@ impl TraceMonitors {
     /// Number of distinct interned signal keys (for tests/stats).
     pub fn interned_keys(&self) -> usize {
         self.interner.len()
+    }
+
+    /// Serializes only the state changed since the last full snapshot:
+    /// the registration pack (when membership changed), dirty monitors by
+    /// index, and the patcher (when it learned). Monitor indices are
+    /// stable — a delta upserts `[idx] = monitor`, appending when the
+    /// index is one past the base.
+    pub(crate) fn store_delta<W: std::io::Write>(
+        &self,
+        e: &mut Encoder<W>,
+    ) -> Result<(), StoreError> {
+        self.reg_dirty.store(e)?;
+        if self.reg_dirty {
+            self.by_start.store(e)?;
+            self.subpath_index.store(e)?;
+            self.by_border_key.store(e)?;
+            self.border_index.store(e)?;
+            self.interner.store(e)?;
+            self.monitors_of.store(e)?;
+        }
+        e.len(self.dirty_subpaths.len())?;
+        for &i in &self.dirty_subpaths {
+            e.len(i)?;
+            self.subpaths[i].store(e)?;
+        }
+        e.len(self.dirty_borders.len())?;
+        for &i in &self.dirty_borders {
+            e.len(i)?;
+            self.borders[i].store(e)?;
+        }
+        self.patcher_dirty.store(e)?;
+        if self.patcher_dirty {
+            self.patcher.store(e)?;
+        }
+        Ok(())
+    }
+
+    /// Applies one delta frame on top of restored base state. Upserted
+    /// monitor keys are re-interned so canonical `Arc`s stay shared; an
+    /// index that would leave a gap means the delta was cut against a
+    /// different base.
+    pub(crate) fn apply_delta<R: std::io::Read>(
+        &mut self,
+        d: &mut Decoder<R>,
+    ) -> Result<(), StoreError> {
+        if bool::load(d)? {
+            self.by_start = Persist::load(d)?;
+            self.subpath_index = Persist::load(d)?;
+            self.by_border_key = Persist::load(d)?;
+            self.border_index = Persist::load(d)?;
+            self.interner = Persist::load(d)?;
+            self.monitors_of = Persist::load(d)?;
+            self.reg_dirty = true;
+        }
+        let n = d.read_len()?;
+        for _ in 0..n {
+            let i = d.read_len()?;
+            let mut m = SubpathMonitor::load(d)?;
+            m.key = self.interner.intern((*m.key).clone());
+            match i.cmp(&self.subpaths.len()) {
+                std::cmp::Ordering::Less => self.subpaths[i] = m,
+                std::cmp::Ordering::Equal => self.subpaths.push(m),
+                std::cmp::Ordering::Greater => {
+                    return Err(StoreError::DeltaChainBroken {
+                        what: "subpath monitor index beyond the restored base",
+                    })
+                }
+            }
+            self.dirty_subpaths.insert(i);
+        }
+        let n = d.read_len()?;
+        for _ in 0..n {
+            let i = d.read_len()?;
+            let mut m = BorderMonitor::load(d)?;
+            m.key = self.interner.intern((*m.key).clone());
+            match i.cmp(&self.borders.len()) {
+                std::cmp::Ordering::Less => self.borders[i] = m,
+                std::cmp::Ordering::Equal => self.borders.push(m),
+                std::cmp::Ordering::Greater => {
+                    return Err(StoreError::DeltaChainBroken {
+                        what: "border monitor index beyond the restored base",
+                    })
+                }
+            }
+            self.dirty_borders.insert(i);
+        }
+        if bool::load(d)? {
+            self.patcher = Persist::load(d)?;
+            self.patcher_dirty = true;
+        }
+        Ok(())
+    }
+
+    /// Resets churn tracking after a full snapshot captured everything.
+    pub(crate) fn mark_clean(&mut self) {
+        self.dirty_subpaths.clear();
+        self.dirty_borders.clear();
+        self.reg_dirty = false;
+        self.patcher_dirty = false;
     }
 }
 
@@ -474,6 +618,10 @@ impl Persist for TraceMonitors {
             interner: Persist::load(d)?,
             monitors_of: Persist::load(d)?,
             threads: 1,
+            dirty_subpaths: BTreeSet::new(),
+            dirty_borders: BTreeSet::new(),
+            reg_dirty: true,
+            patcher_dirty: true,
         };
         for m in &mut monitors.subpaths {
             m.key = monitors.interner.intern((*m.key).clone());
@@ -481,6 +629,11 @@ impl Persist for TraceMonitors {
         for m in &mut monitors.borders {
             m.key = monitors.interner.intern((*m.key).clone());
         }
+        // Conservative until proven otherwise: a freshly loaded monitor set
+        // has no delta base, so everything counts as changed. `mark_clean`
+        // (run by full checkpoints and restore) resets this.
+        monitors.dirty_subpaths = (0..monitors.subpaths.len()).collect();
+        monitors.dirty_borders = (0..monitors.borders.len()).collect();
         Ok(monitors)
     }
 }
@@ -510,7 +663,7 @@ fn flush_monitor(
             time: o.time,
             window: o.window,
             score: o.score,
-            traceroutes: traceroutes.to_vec(),
+            traceroutes: traceroutes.into(),
             trigger_communities: Vec::new(),
         });
         *asserting = true;
@@ -518,7 +671,7 @@ fn flush_monitor(
         // A new window closed in-distribution: the monitored quantity
         // behaves as it did at issuance again (§4.3.2).
         *asserting = false;
-        revokes.push(RevokeEvent { key: Arc::clone(key), traceroutes: traceroutes.to_vec() });
+        revokes.push(RevokeEvent { key: Arc::clone(key), traceroutes: traceroutes.into() });
     }
 }
 

@@ -432,7 +432,7 @@ fn durable_detector_survives_crash() {
     {
         let det = build(1);
         let mut durable =
-            DurableDetector::create(det, &dir, DurableConfig { checkpoint_every_windows: 3 })
+            DurableDetector::create(det, &dir, DurableConfig { checkpoint_every_windows: 3, ..DurableConfig::default() })
                 .expect("create durable dir");
         for (k, round) in rounds[..4].iter().enumerate() {
             let r = k as u64;
@@ -459,7 +459,7 @@ fn durable_detector_survives_crash() {
         geo,
         alias,
         config(2),
-        DurableConfig { checkpoint_every_windows: 3 },
+        DurableConfig { checkpoint_every_windows: 3, ..DurableConfig::default() },
     )
     .expect("reopen durable dir");
     for (k, round) in rounds[4..].iter().enumerate() {

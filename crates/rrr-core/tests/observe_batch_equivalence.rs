@@ -137,13 +137,13 @@ fn signal_repr(
         s.time,
         s.window,
         s.score.to_bits(),
-        s.traceroutes.clone(),
+        s.traceroutes.to_vec(),
         s.trigger_communities.clone(),
     )
 }
 
 fn revoke_repr(r: &RevokeEvent) -> (String, Vec<TracerouteId>) {
-    (format!("{:?}", r.key), r.traceroutes.clone())
+    (format!("{:?}", r.key), r.traceroutes.to_vec())
 }
 
 /// Runs the windowed stream through one monitor instance; `batch: false`

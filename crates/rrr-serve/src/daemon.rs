@@ -180,6 +180,10 @@ fn ingest_loop(
     let mut heads: Vec<Option<FeedBatch>> = (0..n).map(|_| None).collect();
     let mut open: Vec<bool> = vec![true; n];
     let mut published = engine.detector().closed_bgp_windows();
+    // The last published snapshot, kept so the next publish can reuse its
+    // unchanged indexes instead of rebuilding them (the cell's initial
+    // snapshot seeds the chain).
+    let mut prev = cell.load();
     let mut rounds = 0u64;
     let mut updates = 0u64;
     let mut public = 0u64;
@@ -221,7 +225,12 @@ fn ingest_loop(
 
         let epoch = engine.detector().closed_bgp_windows();
         if epoch > published {
-            let snap = Arc::new(engine.detector().snapshot());
+            // Incremental capture: only entries touched since `prev` are
+            // re-copied; unchanged prefix/ASN summaries are shared. The
+            // serial-replay oracle compares these publishes against full
+            // captures, so the reuse is continuously checked.
+            let snap = Arc::new(engine.detector().snapshot_incremental(&prev));
+            prev = Arc::clone(&snap);
             cell.publish(Arc::clone(&snap));
             stats.snapshots.fetch_add(1, Ordering::Relaxed);
             published = epoch;
@@ -337,6 +346,12 @@ mod tests {
             assert_eq!(report.snapshots.len(), reference.len(), "n={n}");
             for (got, want) in report.snapshots.iter().zip(&reference) {
                 assert_same_answers(got, want);
+            }
+            // No corpus churn in this workload, so every incremental
+            // publish must have shared the membership indexes of its
+            // predecessor rather than rebuilding them.
+            for pair in report.snapshots.windows(2) {
+                assert!(pair[1].shares_indexes_with(&pair[0]), "indexes rebuilt, n={n}");
             }
             // The handle keeps serving the last published snapshot.
             assert_eq!(handle.epoch(), reference.last().expect("nonempty").epoch());

@@ -24,6 +24,10 @@ use std::path::Path;
 /// File names inside a durable directory (mirrors `rrr-core::persist`).
 pub const CHECKPOINT_FILE: &str = "checkpoint.rrr";
 pub const WAL_FILE: &str = "wal.log";
+/// Delta frames are `delta-NNNNN.rrr`, numbered by chain sequence
+/// (mirrors `rrr-core::persist`).
+pub const DELTA_PREFIX: &str = "delta-";
+pub const DELTA_SUFFIX: &str = ".rrr";
 
 /// One injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +60,17 @@ pub enum Fault {
     BadMagicCheckpoint,
     /// Reopen with a different detector configuration → `ConfigMismatch`.
     RestoreConfigSkew,
+    /// Chop `bytes` off the newest delta frame's tail. Delta cuts are
+    /// atomic (write-then-rename), so a short frame is storage rot, not a
+    /// torn append: the short read surfaces as `Io`.
+    TruncateDeltaTail { bytes: u64 },
+    /// Flip one byte inside the newest delta frame's payload →
+    /// `CrcMismatch` (the frame CRC is checked before its base is ever
+    /// compared).
+    FlipDeltaByte { offset: u64 },
+    /// Delete delta frame `seq`, leaving a gap in the chain → applying the
+    /// next frame fails with `DeltaChainBroken`.
+    DropDeltaFrame { seq: u32 },
 }
 
 impl Fault {
@@ -70,6 +85,9 @@ impl Fault {
                 | Fault::TruncateCheckpoint { .. }
                 | Fault::BadMagicCheckpoint
                 | Fault::RestoreConfigSkew
+                | Fault::TruncateDeltaTail { .. }
+                | Fault::FlipDeltaByte { .. }
+                | Fault::DropDeltaFrame { .. }
         )
     }
 
@@ -116,6 +134,9 @@ impl Fault {
             "TruncateCheckpoint" => Ok(Fault::TruncateCheckpoint { len: u64_field("len")? }),
             "BadMagicCheckpoint" => Ok(Fault::BadMagicCheckpoint),
             "RestoreConfigSkew" => Ok(Fault::RestoreConfigSkew),
+            "TruncateDeltaTail" => Ok(Fault::TruncateDeltaTail { bytes: u64_field("bytes")? }),
+            "FlipDeltaByte" => Ok(Fault::FlipDeltaByte { offset: u64_field("offset")? }),
+            "DropDeltaFrame" => Ok(Fault::DropDeltaFrame { seq: u64_field("seq")? as u32 }),
             other => Err(format!("unknown fault `{other}`")),
         }
     }
@@ -151,6 +172,11 @@ impl Fault {
             Fault::TruncateCheckpoint { len } => s("TruncateCheckpoint", &[("len", len as i64)]),
             Fault::BadMagicCheckpoint => Value::Unit("BadMagicCheckpoint".to_string()),
             Fault::RestoreConfigSkew => Value::Unit("RestoreConfigSkew".to_string()),
+            Fault::TruncateDeltaTail { bytes } => {
+                s("TruncateDeltaTail", &[("bytes", bytes as i64)])
+            }
+            Fault::FlipDeltaByte { offset } => s("FlipDeltaByte", &[("offset", offset as i64)]),
+            Fault::DropDeltaFrame { seq } => s("DropDeltaFrame", &[("seq", seq as i64)]),
         }
     }
 
@@ -230,7 +256,10 @@ impl Fault {
             | Fault::FlipCheckpointByte { .. }
             | Fault::TruncateCheckpoint { .. }
             | Fault::BadMagicCheckpoint
-            | Fault::RestoreConfigSkew => {}
+            | Fault::RestoreConfigSkew
+            | Fault::TruncateDeltaTail { .. }
+            | Fault::FlipDeltaByte { .. }
+            | Fault::DropDeltaFrame { .. } => {}
         }
     }
 
@@ -273,6 +302,21 @@ impl Fault {
                 }
                 std::fs::write(&path, bytes)
             }
+            Fault::TruncateDeltaTail { bytes } => {
+                let path = newest_delta(dir)?;
+                let len = std::fs::metadata(&path)?.len();
+                let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+                file.set_len(len.saturating_sub(bytes))?;
+                Ok(())
+            }
+            Fault::FlipDeltaByte { offset } => {
+                // Past the 18-byte frame header → payload or CRC; both
+                // must report CrcMismatch.
+                flip_byte(&newest_delta(dir)?, |len| (18 + offset).min(len.saturating_sub(1)))
+            }
+            Fault::DropDeltaFrame { seq } => {
+                std::fs::remove_file(dir.join(format!("{DELTA_PREFIX}{seq:05}{DELTA_SUFFIX}")))
+            }
             _ => Ok(()),
         }
     }
@@ -286,6 +330,30 @@ impl Fault {
             _ => None,
         }
     }
+}
+
+/// The highest-sequence delta frame in a durable directory. Delta faults
+/// target the newest frame: it is the one a crash-adjacent corruption
+/// would plausibly hit, and the one whose loss the chain cannot paper
+/// over.
+fn newest_delta(dir: &Path) -> io::Result<std::path::PathBuf> {
+    let mut newest: Option<(u32, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_prefix(DELTA_PREFIX).and_then(|s| s.strip_suffix(DELTA_SUFFIX))
+        else {
+            continue;
+        };
+        let Ok(seq) = stem.parse::<u32>() else { continue };
+        if newest.as_ref().is_none_or(|(best, _)| seq > *best) {
+            newest = Some((seq, entry.path()));
+        }
+    }
+    newest.map(|(_, p)| p).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::NotFound, "no delta frames in the durable directory")
+    })
 }
 
 fn flip_byte(path: &Path, pos: impl Fn(u64) -> u64) -> io::Result<()> {
@@ -369,6 +437,9 @@ mod tests {
             Fault::TruncateCheckpoint { len: 10 },
             Fault::BadMagicCheckpoint,
             Fault::RestoreConfigSkew,
+            Fault::TruncateDeltaTail { bytes: 5 },
+            Fault::FlipDeltaByte { offset: 21 },
+            Fault::DropDeltaFrame { seq: 1 },
         ] {
             let text = fault.to_value().to_string();
             let parsed = crate::ron::parse(&text).expect("fault RON parses");

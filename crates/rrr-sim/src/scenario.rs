@@ -44,7 +44,13 @@ pub enum Oracle {
     /// Crash after `split` rounds (durable WAL + checkpoint), reopen, and
     /// finish: the final checkpoint must equal an uninterrupted run's.
     /// File-level faults are applied at the crash point.
-    CrashResume { split: u64 },
+    ///
+    /// `every` is the snapshot cadence in closed BGP windows. The default
+    /// 0 keeps every step in the WAL (no mid-run snapshot cuts — the pure
+    /// replay path). A positive value cuts delta frames on that cadence,
+    /// so the reopen exercises base-restore → delta-chain → WAL replay,
+    /// and delta-frame faults have frames to corrupt at the crash point.
+    CrashResume { split: u64, every: u64 },
     /// `StalenessDetector::validate` holds after every step.
     Invariants,
     /// Signals fire while scripted events hold and all assertions revoke
@@ -84,7 +90,8 @@ pub enum Expect {
     Pass,
     /// The durable reopen fails with this `StoreError` variant name
     /// (`"CrcMismatch"`, `"Io"`, `"BadMagic"`, `"UnsupportedVersion"`,
-    /// `"ConfigMismatch"`, `"TrailingData"`, `"Corrupt"`).
+    /// `"ConfigMismatch"`, `"TrailingData"`, `"Corrupt"`,
+    /// `"DeltaBaseMismatch"`, `"DeltaChainBroken"`).
     StoreError(String),
 }
 
@@ -203,9 +210,12 @@ impl Oracle {
     pub fn to_value(&self) -> Value {
         match *self {
             Oracle::ShardInvariance => Value::Unit("ShardInvariance".to_string()),
-            Oracle::CrashResume { split } => Value::Struct(
+            Oracle::CrashResume { split, every } => Value::Struct(
                 "CrashResume".to_string(),
-                vec![("split".to_string(), Value::Int(split as i64))],
+                vec![
+                    ("split".to_string(), Value::Int(split as i64)),
+                    ("every".to_string(), Value::Int(every as i64)),
+                ],
             ),
             Oracle::Invariants => Value::Unit("Invariants".to_string()),
             Oracle::Revocation => Value::Unit("Revocation".to_string()),
@@ -225,7 +235,10 @@ impl Oracle {
         let name = v.name().ok_or_else(|| bad("oracle must be a named variant"))?;
         match name {
             "ShardInvariance" => Ok(Oracle::ShardInvariance),
-            "CrashResume" => Ok(Oracle::CrashResume { split: req_u64(v, "split", name)? }),
+            "CrashResume" => Ok(Oracle::CrashResume {
+                split: req_u64(v, "split", name)?,
+                every: opt_u64(v, "every", 0)?,
+            }),
             "Invariants" => Ok(Oracle::Invariants),
             "Revocation" => Ok(Oracle::Revocation),
             "Baselines" => Ok(Oracle::Baselines { budget: req_u64(v, "budget", name)? as usize }),
@@ -382,7 +395,7 @@ impl Scenario {
                 self.name
             )));
         }
-        if let Some(Oracle::CrashResume { split }) =
+        if let Some(Oracle::CrashResume { split, .. }) =
             self.oracles.iter().find(|o| matches!(o, Oracle::CrashResume { .. }))
         {
             if *split == 0 || *split >= self.total_steps() {

@@ -49,6 +49,21 @@ pub enum StoreError {
         /// Which configuration field disagreed.
         what: &'static str,
     },
+    /// A delta frame names a different full snapshot (by payload CRC) than
+    /// the state it is being applied to — e.g. the compaction base was
+    /// deleted or swapped.
+    DeltaBaseMismatch {
+        /// CRC of the full snapshot the delta was built on.
+        expected: u32,
+        /// CRC of the full snapshot actually restored.
+        found: u32,
+    },
+    /// The delta chain is structurally unusable: a sequence gap, a delta
+    /// where a full snapshot was required, or vice versa.
+    DeltaChainBroken {
+        /// What broke.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -59,7 +74,7 @@ impl fmt::Display for StoreError {
                 write!(f, "bad magic {found:02x?}: not a checkpoint file")
             }
             StoreError::UnsupportedVersion { found, supported } => {
-                write!(f, "unsupported format version {found} (this build reads <= {supported})")
+                write!(f, "unsupported format version {found} (this build reads {supported})")
             }
             StoreError::CrcMismatch { stored, computed } => {
                 write!(f, "crc mismatch: stored {stored:#010x}, computed {computed:#010x}")
@@ -72,6 +87,16 @@ impl fmt::Display for StoreError {
             }
             StoreError::ConfigMismatch { what } => {
                 write!(f, "checkpoint was written under a different config: {what}")
+            }
+            StoreError::DeltaBaseMismatch { expected, found } => {
+                write!(
+                    f,
+                    "delta frame built on full snapshot {expected:#010x}, \
+                     but state is at {found:#010x}"
+                )
+            }
+            StoreError::DeltaChainBroken { what } => {
+                write!(f, "delta chain broken: {what}")
             }
         }
     }
@@ -104,6 +129,8 @@ impl StoreError {
             StoreError::Corrupt { .. } => "Corrupt",
             StoreError::TrailingData { .. } => "TrailingData",
             StoreError::ConfigMismatch { .. } => "ConfigMismatch",
+            StoreError::DeltaBaseMismatch { .. } => "DeltaBaseMismatch",
+            StoreError::DeltaChainBroken { .. } => "DeltaChainBroken",
         }
     }
 }
@@ -121,7 +148,7 @@ mod tests {
     #[test]
     fn display_variants() {
         let s = StoreError::UnsupportedVersion { found: 9, supported: 1 }.to_string();
-        assert!(s.contains('9') && s.contains("<= 1"), "{s}");
+        assert!(s.contains('9') && s.contains("reads 1"), "{s}");
         let s = StoreError::CrcMismatch { stored: 1, computed: 2 }.to_string();
         assert!(s.contains("crc mismatch"), "{s}");
         let s = StoreError::Corrupt { offset: 12, what: "bad tag" }.to_string();
@@ -129,6 +156,12 @@ mod tests {
         let io_err = StoreError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
         assert!(std::error::Error::source(&io_err).is_some());
         assert!(std::error::Error::source(&StoreError::TrailingData { remaining: 3 }).is_none());
+        let s = StoreError::DeltaBaseMismatch { expected: 0xAB, found: 0xCD }.to_string();
+        assert!(s.contains("0x000000ab") && s.contains("0x000000cd"), "{s}");
+        let s = StoreError::DeltaChainBroken { what: "sequence gap" }.to_string();
+        assert!(s.contains("sequence gap"), "{s}");
+        assert_eq!(StoreError::DeltaBaseMismatch { expected: 0, found: 1 }.kind(), "DeltaBaseMismatch");
+        assert_eq!(StoreError::DeltaChainBroken { what: "x" }.kind(), "DeltaChainBroken");
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub mod error;
 pub mod wal;
 pub mod wire;
 
-pub use checkpoint::{read_checkpoint, write_checkpoint, FORMAT_VERSION, MAGIC};
+pub use checkpoint::{
+    read_checkpoint, read_snapshot, write_checkpoint, write_snapshot, FrameKind, FORMAT_VERSION,
+    MAGIC,
+};
 pub use error::StoreError;
 pub use wal::{LogSource, WalReader, WalWriter};
 pub use wire::{from_payload, to_payload, Decoder, Encoder, Persist};

@@ -420,6 +420,20 @@ impl<T: Persist> Persist for Arc<T> {
     }
 }
 
+impl<T: Persist> Persist for Arc<[T]> {
+    // Byte-identical to `Vec<T>`: length prefix followed by items.
+    fn store<W: Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
+        e.len(self.len())?;
+        for item in self.iter() {
+            item.store(e)?;
+        }
+        Ok(())
+    }
+    fn load<R: Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
+        Ok(Vec::<T>::load(d)?.into())
+    }
+}
+
 // --- rrr-types vocabulary ---
 
 macro_rules! persist_newtype {
@@ -632,6 +646,10 @@ mod tests {
         roundtrip(&HashMap::from([(5u32, vec![1u8]), (1, vec![2, 3])]));
         roundtrip(&HashSet::from([9u16, 4, 7]));
         roundtrip(&Arc::new(42u32));
+        let arc_slice: Arc<[u32]> = vec![1, 2, 3].into();
+        roundtrip(&arc_slice);
+        // Arc<[T]> must stay byte-compatible with Vec<T> on the wire.
+        assert_eq!(to_payload(&arc_slice).unwrap(), to_payload(&vec![1u32, 2, 3]).unwrap());
     }
 
     #[test]

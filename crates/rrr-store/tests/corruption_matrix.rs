@@ -56,6 +56,11 @@ fn classify(e: &StoreError) -> Expect {
         StoreError::TrailingData { .. } => Expect::TrailingData,
         StoreError::Corrupt { .. } => Expect::Corrupt,
         StoreError::ConfigMismatch { .. } => panic!("rrr-store cannot emit ConfigMismatch"),
+        // Delta-chain violations are detected by the consumer (rrr-core's
+        // restore path), not by raw frame decoding.
+        StoreError::DeltaBaseMismatch { .. } | StoreError::DeltaChainBroken { .. } => {
+            panic!("raw frame decoding cannot emit delta-chain errors")
+        }
     }
 }
 

@@ -128,7 +128,7 @@ fn main() -> Result<(), StoreError> {
         let mut durable = DurableDetector::create(
             build(&topo),
             &durable_dir,
-            DurableConfig { checkpoint_every_windows: 16 },
+            DurableConfig { checkpoint_every_windows: 16, ..DurableConfig::default() },
         )?;
         for r in 0..KILL_AFTER {
             durable.step(Timestamp((r + 1) * ROUND), &rounds[r as usize], &public[r as usize])?;
@@ -150,7 +150,7 @@ fn main() -> Result<(), StoreError> {
         geo,
         alias,
         DetectorConfig::default(),
-        DurableConfig { checkpoint_every_windows: 16 },
+        DurableConfig { checkpoint_every_windows: 16, ..DurableConfig::default() },
     )?;
     println!(
         "reopened: WAL replay brought the detector to {} closed windows",

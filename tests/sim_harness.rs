@@ -26,6 +26,9 @@ fn the_scenario_corpus_passes() {
         "TruncateWalTail",
         "FlipWalByte",
         "FlipCheckpointByte",
+        "FlipDeltaByte",
+        "DropDeltaFrame",
+        "TruncateDeltaTail",
     ] {
         assert!(all_faults.contains(family), "no scenario injects {family}");
     }

@@ -39,6 +39,13 @@ pub trait Strategy {
     {
         MapStrategy { inner: self, f }
     }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMapStrategy { inner: self, f }
+    }
 }
 
 /// The result of [`Strategy::prop_map`].
@@ -52,6 +59,21 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for MapStrategy<S, F> {
 
     fn sample(&self, rng: &mut StdRng) -> U {
         (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`]: a dependent strategy whose
+/// shape is chosen by an outer sample.
+pub struct FlatMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMapStrategy<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
     }
 }
 
@@ -246,6 +268,12 @@ mod tests {
         fn prop_map_applies(s in (1u32..5).prop_map(|x| x * 10)) {
             prop_assert!(s % 10 == 0 && (10..50).contains(&s));
         }
+
+        #[test]
+        fn prop_flat_map_applies(v in (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..8, n..n + 1))) {
+            prop_assert!((1..4).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 8));
+        }
     }
 
     #[test]
@@ -253,5 +281,6 @@ mod tests {
         ranges_sample_in_bounds();
         vec_and_tuple_strategies();
         prop_map_applies();
+        prop_flat_map_applies();
     }
 }
