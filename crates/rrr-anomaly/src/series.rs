@@ -184,7 +184,7 @@ impl MonitoredSeries {
         let mut k = k as usize;
         if !self.ready {
             let pre = (MIN_WINDOWS - self.consecutive).min(k);
-            self.history.extend(std::iter::repeat(v).take(pre));
+            self.history.extend(std::iter::repeat_n(v, pre));
             self.consecutive += pre;
             if self.consecutive >= MIN_WINDOWS {
                 self.ready = true;
@@ -199,9 +199,9 @@ impl MonitoredSeries {
         // the net effect of k pushes is k appends followed by trimming.
         if k >= self.max_history {
             self.history.clear();
-            self.history.extend(std::iter::repeat(v).take(self.max_history));
+            self.history.extend(std::iter::repeat_n(v, self.max_history));
         } else {
-            self.history.extend(std::iter::repeat(v).take(k));
+            self.history.extend(std::iter::repeat_n(v, k));
             self.trim();
         }
     }

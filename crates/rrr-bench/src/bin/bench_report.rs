@@ -21,7 +21,17 @@
 //!   epoch-snapshot handle with mixed queries; reports aggregate
 //!   queries/sec (as `ns_per_iter` per query and `queries_per_sec` in the
 //!   JSON) and verifies every published snapshot against a serial batch
-//!   replay before accepting the number.
+//!   replay before accepting the number;
+//! - `partition_observe` / `partition_close` — one world round ingested
+//!   (and, for `_close`, its window closed) through an N-partition
+//!   `rrr_core::partition::PartitionedDetector` at N = 1/2/4/8, each
+//!   partition stepping on its own thread; speedups are relative to the
+//!   N = 1 run, and the ≥3× gate at N = 8 only applies on hosts with at
+//!   least 8 threads (smaller hosts *skip* the gate rather than pass a
+//!   vacuous 1.0);
+//! - `partition_checkpoint` — `cut_checkpoints` across an N-partition
+//!   `PartitionedDurable` root, reporting total and per-partition
+//!   bytes-on-disk (`bytes_per_partition` in the JSON).
 //!
 //! Speedups are relative to the serial run of the same op/scale
 //! (`observe_batch` is relative to per-update `observe`). On a single-core
@@ -35,7 +45,8 @@
 use criterion::{BatchSize, Criterion};
 use rrr_bench::pipeline::{synth_bgp_monitors, synth_round, synth_round_sparse};
 use rrr_bench::{World, WorldConfig};
-use rrr_core::{DetectorConfig, Query};
+use rrr_core::partition::{PartitionMap, PartitionedDetector, PartitionedDurable};
+use rrr_core::{DetectorConfig, DurableConfig, Query};
 use rrr_serve::{
     replay_reference, split_rounds, Daemon, DaemonConfig, Engine, FeedBatch, FeedSource,
     ScriptedFeed, StalenessQuery,
@@ -60,6 +71,9 @@ const EXPECTED_OPS: &[&str] = &[
     "checkpoint_delta",
     "restore",
     "query_qps",
+    "partition_observe",
+    "partition_close",
+    "partition_checkpoint",
 ];
 
 struct Row {
@@ -427,6 +441,170 @@ fn measure_query_qps(quick: bool, host_threads: usize) -> (f64, usize, u64) {
     (total as f64 / elapsed.max(1e-9), readers, total)
 }
 
+/// One replayable window of BGP updates for the partition rows:
+/// `rounds[j]` holds exactly window `j`'s updates. Pre-generated so the
+/// timed loop never pays generation cost; iterations past the period
+/// replay with shifted timestamps.
+const PARTITION_PERIOD: u64 = 48;
+/// Announcements per corpus prefix per window. The raw small-world rounds
+/// rarely touch a corpus prefix (unregistered updates are dropped on a
+/// hash miss), which would leave the rows measuring thread dispatch
+/// instead of monitor work — so the partition workload is synthesized
+/// over the corpus's own registered prefixes, with the same
+/// repeat-majority / deviate-minority mix as `synth_round`.
+const PARTITION_UPDATES_PER_GROUP: u32 = 48;
+
+fn partition_rounds(
+    world: &World,
+    prefixes: &[rrr_types::Prefix],
+) -> Vec<Vec<rrr_types::BgpUpdate>> {
+    let vps: Vec<rrr_types::VpId> = world.engine.vps().iter().map(|v| v.id).collect();
+    (0..PARTITION_PERIOD)
+        .map(|j| {
+            let mut out = Vec::with_capacity(prefixes.len() * PARTITION_UPDATES_PER_GROUP as usize);
+            for (i, &p) in prefixes.iter().enumerate() {
+                for k in 0..PARTITION_UPDATES_PER_GROUP {
+                    let vp = vps[(k as usize + j as usize + i) % vps.len()];
+                    let path = if (i as u64 + j + k as u64).is_multiple_of(9) {
+                        vec![100 + k, 7777, 3000 + i as u32 % 7]
+                    } else {
+                        vec![100 + k, 20 + i as u32 % 5, 3000 + i as u32 % 7]
+                    };
+                    out.push(rrr_types::BgpUpdate {
+                        time: Timestamp(j * 900 + (i as u64 * 37 + k as u64 * 13) % 899),
+                        vp,
+                        prefix: p,
+                        elem: rrr_types::BgpElem::Announce {
+                            path: rrr_types::AsPath::from_asns(path),
+                            communities: vec![rrr_types::Community::new(20, 50_000 + k)],
+                        },
+                    });
+                }
+            }
+            out.sort_by_key(|u| u.time);
+            out
+        })
+        .collect()
+}
+
+fn restamped(base: &[Vec<rrr_types::BgpUpdate>], round: u64) -> Vec<rrr_types::BgpUpdate> {
+    let off = (round / PARTITION_PERIOD) * PARTITION_PERIOD * 900;
+    base[(round % PARTITION_PERIOD) as usize]
+        .iter()
+        .map(|u| {
+            let mut u = u.clone();
+            u.time = Timestamp(u.time.0 + off);
+            u
+        })
+        .collect::<Vec<_>>()
+}
+
+/// Builds an N-partition deployment over the small world's anchoring
+/// corpus plus its replayable update rounds. Split points sit at corpus
+/// destination-prefix quantiles so every partition owns a comparable
+/// slice of the key range (for N = 1 this is the unpartitioned baseline).
+fn partition_fixture(n: usize) -> (PartitionedDetector, Vec<Vec<rrr_types::BgpUpdate>>) {
+    let mut world = World::new(WorldConfig::small(5));
+    let corpus: Vec<(rrr_types::Traceroute, rrr_types::Asn)> = world
+        .platform
+        .anchoring_round(&world.engine, Timestamp::ZERO)
+        .into_iter()
+        .map(|tr| {
+            let asn = world.topo.asn_of(world.platform.probe(tr.probe).asx);
+            (tr, asn)
+        })
+        .collect();
+    let (ip2as, _, _) = world.detector_env();
+    let mut prefixes: Vec<rrr_types::Prefix> =
+        corpus.iter().filter_map(|(tr, _)| ip2as.most_specific_prefix(tr.dst)).collect();
+    prefixes.sort_unstable();
+    prefixes.dedup();
+    let map = if n == 1 {
+        PartitionMap::even(1)
+    } else {
+        let bases: Vec<u32> = prefixes.iter().map(|p| p.network().value()).collect();
+        let (lo, hi) =
+            (bases[0] as u64, *bases.last().expect("anchoring corpus is nonempty") as u64 + 1);
+        let mut splits: Vec<u32> =
+            (1..n as u64).map(|k| (lo + k * (hi - lo) / n as u64) as u32).collect();
+        splits.dedup();
+        splits.retain(|&s| s > 0);
+        PartitionMap::from_splits(splits).expect("quantile split points are valid")
+    };
+    let rib = world.rib_seed();
+    let mut pd = PartitionedDetector::from_factory(map, |_| {
+        world.build_detector_unseeded(DetectorConfig::default())
+    });
+    pd.set_parallel(n > 1);
+    pd.init_rib(&rib);
+    for (tr, asn) in corpus {
+        let _ = pd.add_corpus(tr, Some(asn));
+    }
+    let rounds = partition_rounds(&world, &prefixes);
+    (pd, rounds)
+}
+
+/// Times partition-parallel ingestion of one world round of BGP updates
+/// (updates only: the public feed is broadcast to every partition by
+/// design, so including it would measure replication, not scaling). The
+/// round's window close happens untimed in the next iteration's setup,
+/// mirroring `measure_observe`; `close` moves the window close into the
+/// timed step, mirroring `measure_close`.
+fn measure_partition(c: &mut Criterion, n: usize, close: bool) -> f64 {
+    let (mut pd, rounds) = partition_fixture(n);
+    // Warm up: ingest and close a few rounds so group state is realistic.
+    let mut r = 0u64;
+    for _ in 0..4 {
+        let updates = restamped(&rounds, r);
+        let _ = pd.step(Timestamp((r + 1) * 900 - 1), &updates, &[]);
+        let _ = pd.step(Timestamp((r + 1) * 900), &[], &[]);
+        r += 1;
+    }
+    let pd = RefCell::new(pd);
+    let round = RefCell::new(r);
+    c.measure(|b| {
+        b.iter_batched(
+            || {
+                let mut r = round.borrow_mut();
+                if !close {
+                    // Close the previously ingested window, untimed.
+                    let _ = pd.borrow_mut().step(Timestamp(*r * 900), &[], &[]);
+                }
+                let updates = restamped(&rounds, *r);
+                let now =
+                    if close { Timestamp((*r + 1) * 900) } else { Timestamp((*r + 1) * 900 - 1) };
+                *r += 1;
+                (now, updates)
+            },
+            |(now, updates)| std::hint::black_box(pd.borrow_mut().step(now, &updates, &[]).len()),
+            BatchSize::LargeInput,
+        )
+    })
+}
+
+/// Times `cut_checkpoints` across an N-partition durable root grown over
+/// a few world rounds and returns (ns, per-partition bytes on disk).
+fn measure_partition_checkpoint(c: &mut Criterion, n: usize) -> (f64, Vec<u64>) {
+    let (mut pd, rounds) = partition_fixture(n);
+    for r in 0..6u64 {
+        let updates = restamped(&rounds, r);
+        let _ = pd.step(Timestamp((r + 1) * 900), &updates, &[]);
+    }
+    let (parts, map) = pd.into_parts();
+    let dir = std::env::temp_dir().join(format!("rrr-bench-part{n}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut durable = PartitionedDurable::create(parts, map, &dir, DurableConfig::default())
+        .expect("create partitioned durable root");
+    let ns = c.measure(|b| {
+        b.iter(|| durable.cut_checkpoints().expect("cut checkpoints across partitions"))
+    });
+    let bytes: Vec<u64> = (0..durable.partitions())
+        .map(|k| durable.bytes_on_disk(k).expect("partition dir is readable"))
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    (ns, bytes)
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -465,7 +643,7 @@ fn main() {
                 ns_per_iter: par,
                 speedup: serial / par,
                 bytes_on_disk: 0,
-            delta_ratio: 0.0,
+                delta_ratio: 0.0,
             });
         }
         eprintln!("observe/observe_batch {scale}x done");
@@ -491,7 +669,7 @@ fn main() {
                 ns_per_iter: par,
                 speedup: serial / par,
                 bytes_on_disk: 0,
-            delta_ratio: 0.0,
+                delta_ratio: 0.0,
             });
         }
         eprintln!("close_bgp_window {scale}x done");
@@ -534,7 +712,7 @@ fn main() {
         ns_per_iter: step_serial,
         speedup: 1.0,
         bytes_on_disk: 0,
-            delta_ratio: 0.0,
+        delta_ratio: 0.0,
     });
     if host_threads > 1 {
         let step_par = measure_step(&mut c, host_threads);
@@ -558,7 +736,7 @@ fn main() {
         ns_per_iter: plan,
         speedup: 1.0,
         bytes_on_disk: 0,
-            delta_ratio: 0.0,
+        delta_ratio: 0.0,
     });
     eprintln!("plan_refresh done");
 
@@ -615,20 +793,75 @@ fn main() {
         ns_per_iter: 1e9 / qps.max(1e-9),
         speedup: 1.0,
         bytes_on_disk: 0,
-            delta_ratio: 0.0,
+        delta_ratio: 0.0,
     });
     eprintln!("query_qps done ({qps:.0} queries/sec, {answered} answered by {readers} readers)");
+
+    // Partition scaling: N cooperating detector partitions stepping in
+    // parallel. `threads` carries the partition count; speedups are
+    // relative to the N = 1 baseline of the same op.
+    let partition_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut partition_speedup_at_8 = 0.0;
+    let mut part_bytes: Vec<(usize, Vec<u64>)> = Vec::new();
+    for &close in &[false, true] {
+        let op = if close { "partition_close" } else { "partition_observe" };
+        let mut baseline = 0.0;
+        for &n in partition_counts {
+            let ns = measure_partition(&mut c, n, close);
+            if n == 1 {
+                baseline = ns;
+            }
+            let speedup = baseline / ns;
+            rows.push(Row {
+                op,
+                scale: 1,
+                threads: n,
+                ns_per_iter: ns,
+                speedup,
+                bytes_on_disk: 0,
+                delta_ratio: 0.0,
+            });
+            if close && n == 8 {
+                partition_speedup_at_8 = speedup;
+            }
+            eprintln!("{op} N={n} done ({speedup:.2}x vs N=1)");
+        }
+    }
+    for &n in partition_counts {
+        let (ns, bytes) = measure_partition_checkpoint(&mut c, n);
+        let total: u64 = bytes.iter().sum();
+        eprintln!("partition_checkpoint N={n} done ({total} bytes on disk across {bytes:?})");
+        rows.push(Row {
+            op: "partition_checkpoint",
+            scale: 1,
+            threads: n,
+            ns_per_iter: ns,
+            speedup: 1.0,
+            bytes_on_disk: total,
+            delta_ratio: 0.0,
+        });
+        part_bytes.push((n, bytes));
+    }
 
     let entries: Vec<serde_json::Value> = rows
         .iter()
         .map(|r| {
+            // Per-partition checkpoint sizes ride along on the matching
+            // partition_checkpoint row; empty for every other op.
+            let per_partition: Vec<serde_json::Value> = part_bytes
+                .iter()
+                .find(|(n, _)| r.op == "partition_checkpoint" && *n == r.threads)
+                .map(|(_, v)| v.iter().map(|b| serde_json::json!(b)).collect())
+                .unwrap_or_default();
             serde_json::json!({
                 "op": r.op,
                 "scale": r.scale,
                 "threads": r.threads,
+                "host_threads": host_threads,
                 "ns_per_iter": r.ns_per_iter,
                 "speedup": r.speedup,
                 "bytes_on_disk": r.bytes_on_disk,
+                "bytes_per_partition": per_partition,
                 "queries_per_sec": if r.op == "query_qps" { 1e9 / r.ns_per_iter } else { 0.0 },
                 "delta_ratio": r.delta_ratio,
             })
@@ -676,5 +909,26 @@ fn main() {
             scales.last().expect("nonempty scales")
         );
         std::process::exit(1);
+    }
+
+    // Partition-scaling gate: 8 partitions must close a window >= 3x
+    // faster than the unpartitioned baseline. Only meaningful where 8
+    // partitions can actually run in parallel — on smaller hosts the gate
+    // is *skipped* (reporting a vacuous ~1.0 pass there would poison the
+    // perf trajectory with numbers the hardware cannot produce).
+    if !quick {
+        if host_threads >= 8 {
+            if partition_speedup_at_8 < 3.0 {
+                eprintln!(
+                    "partition_close at N=8 is only {partition_speedup_at_8:.1}x over N=1 \
+                     (gate: >= 3x on hosts with >= 8 threads)"
+                );
+                std::process::exit(1);
+            }
+        } else {
+            eprintln!(
+                "partition_close N=8 gate skipped: host has {host_threads} threads (needs >= 8)"
+            );
+        }
     }
 }

@@ -94,18 +94,30 @@ impl World {
     /// resolution with the configured miss rate. The detector's RIB mirror
     /// is initialized from the same snapshot.
     pub fn build_detector(&self, det_cfg: DetectorConfig) -> StalenessDetector {
-        let rib = self.engine.rib_snapshot();
+        let mut det = self.build_detector_unseeded(det_cfg);
+        det.init_rib(&self.engine.rib_snapshot());
+        det
+    }
+
+    /// [`World::build_detector`] without the RIB seeding: a partitioned
+    /// deployment builds one of these per partition and routes the same
+    /// snapshot (see [`World::rib_seed`]) by prefix instead of mirroring
+    /// it whole.
+    pub fn build_detector_unseeded(&self, det_cfg: DetectorConfig) -> StalenessDetector {
         let (map, geo, alias) = self.detector_env();
         let vps: Vec<VpId> = self.engine.vps().iter().map(|v| v.id).collect();
-        let mut det = rrr_core::DetectorBuilder::from_config(det_cfg).build(
+        rrr_core::DetectorBuilder::from_config(det_cfg).build(
             Arc::clone(&self.topo),
             map,
             geo,
             alias,
             vps,
-        );
-        det.init_rib(&rib);
-        det
+        )
+    }
+
+    /// The RIB snapshot [`World::build_detector`] seeds the mirror with.
+    pub fn rib_seed(&self) -> Vec<rrr_types::BgpUpdate> {
+        self.engine.rib_snapshot()
     }
 
     /// The detector's measured environment — IP-to-AS map (from the current

@@ -40,6 +40,10 @@ use std::sync::Arc;
 type PathId = ArenaId<AsPath>;
 /// Interned handle for a community set within one shard's arena.
 type CommsId = ArenaId<Vec<Community>>;
+/// Final value per dirtied RIB key (`None` = withdrawn) in a delta frame.
+type RibDeltaOps = Vec<((VpId, Prefix), Option<(PathId, CommsId)>)>;
+/// Canonically serialized monitor groups: (key bytes, group bytes) pairs.
+type CanonicalGroupBytes = Vec<(Vec<u8>, Vec<u8>)>;
 
 /// Number of ingestion shards. Fixed (not tied to the worker count) so the
 /// sharded state layout — and therefore every id comparison — is identical
@@ -166,17 +170,31 @@ struct WindowSamples {
     runs: Vec<(Option<PathId>, u32)>,
     /// Number of duplicate announcements.
     duplicates: u32,
+    /// Running observe-time aggregate of `runs`: total samples per
+    /// *distinct* path, in first-seen order. The dense close path sums
+    /// §4.1.2 contributions over this vector — one path evaluation per
+    /// distinct path even when runs alternate (A,B,A,B…) — and the sums are
+    /// commutative `u32` additions, so the resulting ratio is bit-identical
+    /// to the per-run rescan. Derived state: rebuilt from `runs` on load,
+    /// never persisted.
+    counts: Vec<(Option<PathId>, u32)>,
 }
 
 impl WindowSamples {
     fn starting(path: Option<PathId>) -> Self {
-        WindowSamples { runs: vec![(path, 1)], duplicates: 0 }
+        WindowSamples { runs: vec![(path, 1)], duplicates: 0, counts: vec![(path, 1)] }
     }
 
     fn push(&mut self, path: Option<PathId>) {
         match self.runs.last_mut() {
             Some((p, n)) if *p == path => *n += 1,
             _ => self.runs.push((path, 1)),
+        }
+        // Distinct paths per (vp, prefix, window) are few; a linear scan
+        // beats hashing at this size.
+        match self.counts.iter_mut().find(|(p, _)| *p == path) {
+            Some((_, n)) => *n += 1,
+            None => self.counts.push((path, 1)),
         }
     }
 }
@@ -252,6 +270,10 @@ pub struct BgpMonitors {
     /// Runtime switch for the incremental (parked) close path; disabling
     /// it materializes all deferred state and reverts to the full scan.
     park_enabled: bool,
+    /// Runtime switch for the dense close path: evaluate §4.1.2 over the
+    /// observe-time per-path aggregates instead of rescanning each RLE run.
+    /// The rescan stays available as the differential reference.
+    dense_close: bool,
     /// Transient delta-checkpoint tracking: groups whose monitor state
     /// mutated since the last full snapshot base.
     delta_groups: BTreeSet<GroupKey>,
@@ -279,6 +301,7 @@ impl BgpMonitors {
             closes: 0,
             threads: 1,
             park_enabled: true,
+            dense_close: true,
             delta_groups: BTreeSet::new(),
             delta_reg: false,
         }
@@ -290,6 +313,14 @@ impl BgpMonitors {
     /// any thread count.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Enables or disables the dense close path: §4.1.2 values computed
+    /// from the observe-time per-path aggregates rather than by rescanning
+    /// each run. Both paths sum the same per-path contributions with
+    /// commutative integer additions, so the emitted stream is identical.
+    pub fn set_dense_close(&mut self, enabled: bool) {
+        self.dense_close = enabled;
     }
 
     /// Enables or disables the incremental (parked) close path. Disabling
@@ -724,6 +755,7 @@ impl BgpMonitors {
             samples: &window_samples,
             comm_allowed,
             park: self.park_enabled,
+            dense: self.dense_close,
             close_seq: closes + 1,
         };
 
@@ -807,7 +839,7 @@ impl BgpMonitors {
         for shard in &self.shards {
             // Final value per dirtied RIB key (`None` = withdrawn). The
             // dirty set is a BTreeSet, so the op order is deterministic.
-            let ops: Vec<((VpId, Prefix), Option<(PathId, CommsId)>)> =
+            let ops: RibDeltaOps =
                 shard.dirty_rib.iter().map(|&k| (k, shard.rib.get(&k).copied())).collect();
             ops.store(e)?;
             // Open-window state rides whole: it is churn-proportional by
@@ -856,7 +888,7 @@ impl BgpMonitors {
         d: &mut Decoder<R>,
     ) -> Result<(), StoreError> {
         for shard in self.shards.iter_mut() {
-            let ops: Vec<((VpId, Prefix), Option<(PathId, CommsId)>)> = Persist::load(d)?;
+            let ops: RibDeltaOps = Persist::load(d)?;
             shard.window = Persist::load(d)?;
             shard.pending_comm = Persist::load(d)?;
             let paths_tail: Vec<AsPath> = Persist::load(d)?;
@@ -927,6 +959,25 @@ impl BgpMonitors {
     /// Number of delta-dirty groups (for tests/stats).
     pub fn delta_dirty_groups(&self) -> usize {
         self.delta_groups.len()
+    }
+
+    /// Canonical per-group serialization: each group's key and state
+    /// encoded independently, ordered by key. Monitor groups are disjoint
+    /// across detector partitions (a group lives with its destination
+    /// prefix's owner), so concatenating partitions' vectors and re-sorting
+    /// by key bytes reproduces a single instance's vector byte for byte.
+    /// Callers comparing across instances must [`BgpMonitors::materialize_all`]
+    /// first so park replay depth doesn't differ.
+    pub(crate) fn canonical_groups(&self) -> Result<CanonicalGroupBytes, StoreError> {
+        self.groups
+            .iter()
+            .map(|(gk, g)| Ok((rrr_store::to_payload(gk)?, rrr_store::to_payload(g)?)))
+            .collect()
+    }
+
+    /// Total number of window closes performed.
+    pub(crate) fn closes(&self) -> u64 {
+        self.closes
     }
 }
 
@@ -1076,6 +1127,8 @@ struct CloseCtx<'a> {
     comm_allowed: &'a (dyn Fn(Community, Prefix) -> bool + Sync),
     /// Whether quiet groups may cache values and park.
     park: bool,
+    /// Whether dirty groups evaluate §4.1.2 over per-path aggregates.
+    dense: bool,
     /// Close counter value this close will commit as.
     close_seq: u64,
 }
@@ -1206,7 +1259,12 @@ fn close_group(
                 for &vp in &m.vps0 {
                     match ctx.samples(vp, dst) {
                         Some(ws) => {
-                            for &(pid, n) in &ws.runs {
+                            // Dense path: one evaluation per distinct path
+                            // via the observe-time aggregate. Both vectors
+                            // total the same per-path sample counts, and
+                            // the sums commute, so the ratio is identical.
+                            let per_path = if ctx.dense { &ws.counts } else { &ws.runs };
+                            for &(pid, n) in per_path {
                                 if let Some(pid) = pid {
                                     scan(ctx.path(dst, pid), n);
                                 }
@@ -1456,13 +1514,24 @@ impl Persist for Group {
     }
 }
 
+// `counts` is a pure function of `runs`; rebuilding it on load keeps the
+// wire format identical to the pre-aggregate encoding.
 impl Persist for WindowSamples {
     fn store<W: std::io::Write>(&self, e: &mut Encoder<W>) -> Result<(), StoreError> {
         self.runs.store(e)?;
         self.duplicates.store(e)
     }
     fn load<R: std::io::Read>(d: &mut Decoder<R>) -> Result<Self, StoreError> {
-        Ok(WindowSamples { runs: Persist::load(d)?, duplicates: Persist::load(d)? })
+        let runs: Vec<(Option<PathId>, u32)> = Persist::load(d)?;
+        let duplicates = Persist::load(d)?;
+        let mut counts: Vec<(Option<PathId>, u32)> = Vec::new();
+        for &(p, n) in &runs {
+            match counts.iter_mut().find(|(q, _)| *q == p) {
+                Some((_, c)) => *c += n,
+                None => counts.push((p, n)),
+            }
+        }
+        Ok(WindowSamples { runs, duplicates, counts })
     }
 }
 
@@ -1534,6 +1603,7 @@ impl Persist for BgpMonitors {
             closes: Persist::load(d)?,
             threads: 1,
             park_enabled: true,
+            dense_close: true,
             delta_groups,
             delta_reg: true,
         };

@@ -73,6 +73,28 @@ impl SignalStats {
         self.window.len() >= l
     }
 
+    /// Element-wise sum of another cell's tallies into this one, aligning
+    /// the per-window deques by *recency* (newest last). Both cells must
+    /// have rolled in lockstep since their creation — true for partitions,
+    /// which all close the same generation windows — so a cell created
+    /// later in one partition simply has fewer (older) windows and is
+    /// padded at the front. The result is the cell a single detector that
+    /// saw both partitions' outcomes would hold.
+    pub(crate) fn merge_from(&mut self, other: &SignalStats) {
+        for i in 0..4 {
+            self.cur[i] += other.cur[i];
+        }
+        while self.window.len() < other.window.len() {
+            self.window.push_front([0; 4]);
+        }
+        let off = self.window.len() - other.window.len();
+        for (j, w) in other.window.iter().enumerate() {
+            for (cell, add) in self.window[off + j].iter_mut().zip(w) {
+                *cell += add;
+            }
+        }
+    }
+
     /// TPR = TP / (TP + FN); `None` when undefined.
     pub fn tpr(&self) -> Option<f64> {
         let [tp, _, _, fneg] = self.sums();
@@ -216,6 +238,33 @@ impl Calibrator {
     /// Observed stats for one (vantage point, signal), if any.
     pub fn stats(&self, probe: ProbeId, key: &Arc<SignalKey>) -> Option<&SignalStats> {
         self.stats.get(&(probe, Arc::clone(key)))
+    }
+
+    /// Folds another calibrator's tallies into this one — the
+    /// cross-partition merge. Sliding (probe, signal) cells sum
+    /// recency-aligned (a key shared by entries in two partitions has a
+    /// cell in each); community tallies and the pruned set are disjoint
+    /// across partitions (a destination prefix is owned by exactly one),
+    /// so those sections are plain unions. The RNG is untouched: merged
+    /// planning runs under a coordinator-owned stream (see `partition`).
+    pub(crate) fn absorb(&mut self, other: &Calibrator) {
+        for (k, s) in &other.stats {
+            self.stats.entry((k.0, Arc::clone(&k.1))).or_default().merge_from(s);
+        }
+        for (k, &(right, wrong)) in &other.comm {
+            let e = self.comm.entry(*k).or_insert((0, 0));
+            e.0 += right;
+            e.1 += wrong;
+        }
+        self.pruned.extend(other.pruned.iter().cloned());
+    }
+
+    /// Swaps the planning RNG with a caller-owned one. The partition
+    /// coordinator lends its stream to a merged calibrator for the duration
+    /// of one `plan_refresh`, so N partitions draw from the exact sequence
+    /// a single instance would.
+    pub(crate) fn swap_rng(&mut self, rng: &mut StdRng) {
+        std::mem::swap(&mut self.rng, rng);
     }
 
     fn tpr_of(&self, probe: ProbeId, key: &Arc<SignalKey>) -> Option<f64> {

@@ -340,12 +340,6 @@ impl Corpus {
         self.consistency_violation().map_err(|v| rrr_types::Error::invariant("corpus", v))
     }
 
-    /// Stringly-typed predecessor of [`Corpus::validate`].
-    #[deprecated(note = "use `validate`, which returns a typed `rrr_types::Error`")]
-    pub fn check_consistency(&self) -> Result<(), String> {
-        self.consistency_violation()
-    }
-
     fn consistency_violation(&self) -> Result<(), String> {
         for (pfx, ids) in &self.by_dst_prefix {
             if ids.is_empty() {
@@ -523,13 +517,6 @@ impl Corpus {
             s.count(&e.freshness());
         }
         s
-    }
-
-    /// Tuple-typed predecessor of [`Corpus::freshness_summary`].
-    #[deprecated(note = "use `freshness_summary`, which returns a named struct")]
-    pub fn freshness_counts(&self) -> (usize, usize, usize) {
-        let s = self.freshness_summary();
-        (s.fresh, s.stale, s.unknown)
     }
 }
 

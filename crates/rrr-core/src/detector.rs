@@ -47,6 +47,13 @@ pub struct DetectorConfig {
     /// identical at any setting (runtime tuning, not state — excluded from
     /// the checkpoint fingerprint, like `threads`).
     pub incremental_close: bool,
+    /// Dense window close: §4.1.2 evaluation sums the observe-time per-path
+    /// aggregates instead of rescanning each RLE run, so dense closes cost
+    /// one path evaluation per *distinct* path. The rescan path remains as
+    /// the differential reference. The signal stream is identical at any
+    /// setting (runtime tuning, not state — excluded from the checkpoint
+    /// fingerprint, like `threads`).
+    pub dense_close: bool,
 }
 
 impl Default for DetectorConfig {
@@ -61,22 +68,23 @@ impl Default for DetectorConfig {
             absorb_outliers: false,
             threads: 0,
             incremental_close: true,
+            dense_close: true,
         }
     }
 }
 
 /// The staleness detection pipeline.
 pub struct StalenessDetector {
-    cfg: DetectorConfig,
-    topo: Arc<Topology>,
+    pub(crate) cfg: DetectorConfig,
+    pub(crate) topo: Arc<Topology>,
     map: IpToAsMap,
     geo: Geolocator,
-    alias: AliasResolver,
-    vps: Vec<VpId>,
+    pub(crate) alias: AliasResolver,
+    pub(crate) vps: Vec<VpId>,
     pub(crate) corpus: Corpus,
-    bgp: BgpMonitors,
+    pub(crate) bgp: BgpMonitors,
     pub(crate) trace: TraceMonitors,
-    ixp: IxpMonitor,
+    pub(crate) ixp: IxpMonitor,
     pub(crate) cal: Calibrator,
     /// Potential signals per corpus traceroute (interned handles).
     pub(crate) potential: HashMap<TracerouteId, Vec<Arc<SignalKey>>>,
@@ -85,7 +93,7 @@ pub struct StalenessDetector {
     /// traceroute makes `remove_corpus` O(that traceroute's assertions).
     pub(crate) active: HashMap<TracerouteId, HashMap<Arc<SignalKey>, Vec<Community>>>,
     /// Next BGP window to close.
-    next_bgp_window: Window,
+    pub(crate) next_bgp_window: Window,
     /// All signals ever emitted (experiment log).
     pub(crate) log: Vec<StalenessSignal>,
     /// Transient: CRC-32 of the full-snapshot payload delta frames are cut
@@ -116,6 +124,7 @@ impl StalenessDetector {
         let mut bgp = BgpMonitors::new_with(strip, cfg.bgp_detector, cfg.absorb_outliers);
         bgp.set_threads(threads);
         bgp.set_incremental(cfg.incremental_close);
+        bgp.set_dense_close(cfg.dense_close);
         let mut trace = TraceMonitors::new_with(cfg.trace_detector, cfg.absorb_outliers);
         trace.set_threads(threads);
         StalenessDetector {
@@ -215,6 +224,24 @@ impl StalenessDetector {
         self.corpus.remove(id);
     }
 
+    /// Registers traceroute-derived monitors (subpath/border/IXP bootstrap)
+    /// for a corpus entry *owned by another partition*, without inserting it
+    /// into this detector's corpus. A partitioned deployment broadcasts
+    /// these monitors to every partition so each one's trace/IXP state is
+    /// identical to a single instance's — their series advance on the
+    /// shared public-traceroute stream, which every partition consumes in
+    /// full. Assertions stay owner-only: `step` skips signal traceroutes
+    /// outside the local corpus.
+    pub(crate) fn register_trace_foreign(&mut self, entry: &crate::corpus::CorpusEntry) {
+        self.trace.register(entry, &self.map, &self.topo, &mut self.geo, &self.alias);
+    }
+
+    /// Drops the foreign monitor membership added by
+    /// [`StalenessDetector::register_trace_foreign`].
+    pub(crate) fn unregister_trace_foreign(&mut self, id: TracerouteId) {
+        self.trace.unregister(id);
+    }
+
     /// Validates the cross-structure invariants tying the corpus, the
     /// monitor registrations, and the active staleness assertions together.
     /// Cheap enough to run after every simulated round; returns the first
@@ -224,12 +251,6 @@ impl StalenessDetector {
     pub fn validate(&self) -> Result<(), rrr_types::Error> {
         self.corpus.validate()?;
         self.invariant_violation().map_err(|v| rrr_types::Error::invariant("detector", v))
-    }
-
-    /// Stringly-typed predecessor of [`StalenessDetector::validate`].
-    #[deprecated(note = "use `validate`, which returns a typed `rrr_types::Error`")]
-    pub fn check_invariants(&self) -> Result<(), String> {
-        self.validate().map_err(|e| e.to_string())
     }
 
     fn invariant_violation(&self) -> Result<(), String> {
@@ -334,8 +355,19 @@ impl StalenessDetector {
 
         // --- filter disabled techniques, apply assertions ---
         signals.retain(|s| self.enabled(s.key.technique));
+        // Canonical batch order: makes the emission sequence a pure
+        // function of the signal values, so a partitioned detector's merged
+        // batches reproduce this exact log (see `partition`).
+        crate::signal::canonical_sort(&mut signals);
         for s in &signals {
             for &tr in s.traceroutes.iter() {
+                // Signals may name traceroutes outside this detector's
+                // corpus (a partition broadcasts trace monitors for the
+                // whole corpus but owns only its key range) — assertions
+                // apply only to owned entries.
+                if self.corpus.get(tr).is_none() {
+                    continue;
+                }
                 let per = self.active.entry(tr).or_default();
                 if !per.contains_key(&s.key) {
                     per.insert(Arc::clone(&s.key), s.trigger_communities.clone());
@@ -482,16 +514,6 @@ impl StalenessDetector {
         self.remove_corpus(old_id);
         let id = self.add_corpus(new_tr, src_asn);
         (id, any_changed)
-    }
-
-    /// Tuple-typed predecessor of [`crate::query::Query::monitor_stats`].
-    #[deprecated(note = "use `Query::monitor_stats`, which returns a named `MonitorStats`")]
-    pub fn trace_monitor_stats(&self) -> ((usize, usize, usize), (usize, usize, usize)) {
-        let s = self.trace.stats();
-        (
-            (s.subpaths.total, s.subpaths.ready, s.subpaths.gave_up),
-            (s.borders.total, s.borders.ready, s.borders.gave_up),
-        )
     }
 
     /// Serializes the full detector state — corpus and indexes, RIB mirror
@@ -734,6 +756,7 @@ impl StalenessDetector {
         let threads = resolve_threads(&cfg);
         bgp.set_threads(threads);
         bgp.set_incremental(cfg.incremental_close);
+        bgp.set_dense_close(cfg.dense_close);
         trace.set_threads(threads);
         let mut det = StalenessDetector {
             cfg,
@@ -776,7 +799,7 @@ fn resolve_threads(cfg: &DetectorConfig) -> usize {
 /// Canonical encoding of every configuration facet that changes pipeline
 /// behavior. Stored in the checkpoint and compared on restore; the worker
 /// count is excluded (the signal stream is identical at any setting).
-fn cfg_fingerprint(cfg: &DetectorConfig) -> Result<Vec<u8>, StoreError> {
+pub(crate) fn cfg_fingerprint(cfg: &DetectorConfig) -> Result<Vec<u8>, StoreError> {
     let mut buf = Vec::new();
     let mut e = Encoder::new(&mut buf);
     cfg.seed.store(&mut e)?;

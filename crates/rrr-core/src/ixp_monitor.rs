@@ -154,6 +154,15 @@ impl IxpMonitor {
 
         per_member
             .into_iter()
+            .map(|(member, mut traceroutes)| {
+                // Canonical member order: `by_asn` lists ids in insertion
+                // order, which differs between a single detector and a
+                // partition that saw a different insertion history. Sorting
+                // makes the signal a pure function of corpus membership, so
+                // cross-partition signal union matches a single instance.
+                traceroutes.sort_unstable();
+                (member, traceroutes)
+            })
             .map(|(member, traceroutes)| StalenessSignal {
                 // Join events are rare; no interner needed on this path.
                 key: std::sync::Arc::new(SignalKey {

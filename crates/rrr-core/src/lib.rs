@@ -20,7 +20,9 @@
 //!
 //! [`persist`] adds crash-safe operation on top: versioned full-state
 //! checkpoints plus a write-ahead log of raw step inputs, replayed
-//! deterministically on restart.
+//! deterministically on restart. [`partition`] scales both out: N
+//! cooperating detector instances over contiguous key ranges whose merged
+//! output is bit-identical to a single instance.
 
 pub mod adaptive;
 pub mod api;
@@ -29,6 +31,7 @@ pub mod calibration;
 pub mod corpus;
 pub mod detector;
 pub mod ixp_monitor;
+pub mod partition;
 pub mod persist;
 pub mod query;
 pub mod signal;
@@ -38,6 +41,9 @@ pub use api::{CorpusOps, DetectorBuilder, Ingest};
 pub use calibration::{Calibrator, RefreshPlan, SignalStats};
 pub use corpus::{Corpus, CorpusEntry, Freshness};
 pub use detector::{DetectorConfig, StalenessDetector};
+pub use partition::{
+    canonical_bytes_single, PartitionMap, PartitionedDetector, PartitionedDurable,
+};
 pub use persist::{DurableConfig, DurableDetector, StepRecord};
 pub use query::{
     AsSummary, CorpusSummary, DetectorSnapshot, FamilyStats, FreshnessSummary, MonitorStats,

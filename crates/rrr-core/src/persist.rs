@@ -59,8 +59,7 @@ fn delta_files(dir: &Path) -> Result<Vec<(u32, PathBuf)>, StoreError> {
         let entry = entry?;
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        let Some(stem) =
-            name.strip_prefix(DELTA_PREFIX).and_then(|s| s.strip_suffix(DELTA_SUFFIX))
+        let Some(stem) = name.strip_prefix(DELTA_PREFIX).and_then(|s| s.strip_suffix(DELTA_SUFFIX))
         else {
             continue;
         };
@@ -226,9 +225,7 @@ impl DurableDetector {
         // chain tag) in place of an empty or superseded log — appending
         // records behind a stale tag would strand them on the next open.
         let wal = if tagged {
-            WalWriter::new(BufWriter::new(
-                File::options().append(true).open(dir.join(WAL_FILE))?,
-            ))
+            WalWriter::new(BufWriter::new(File::options().append(true).open(dir.join(WAL_FILE))?))
         } else {
             let mut w = WalWriter::new(BufWriter::new(File::create(dir.join(WAL_FILE))?));
             w.append(&rrr_store::to_payload(&det.delta_chain())?)?;

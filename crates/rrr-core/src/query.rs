@@ -296,6 +296,72 @@ impl StalenessDetector {
     }
 }
 
+/// Builds the cross-partition merged snapshot for
+/// [`crate::partition::PartitionedDetector::snapshot`]: the entry map,
+/// prefix/ASN indexes, and assertion maps union across partitions (all
+/// disjoint — an entry and its index keys live only in its owner), while
+/// the monitor stats come from partition 0 (trace monitors are broadcast,
+/// so every partition's inventory equals the single instance's). The
+/// caller supplies the merged calibrator, already carrying a copy of the
+/// coordinator RNG so [`Query::plan`] reproduces the coordinator's plan.
+pub(crate) fn merged_snapshot(
+    parts: &[&StalenessDetector],
+    cal: Calibrator,
+    signals_logged: usize,
+) -> DetectorSnapshot {
+    let mut entries = HashMap::new();
+    let mut by_prefix: BTreeMap<Prefix, Vec<TracerouteId>> = BTreeMap::new();
+    let mut by_asn: BTreeMap<Asn, Vec<TracerouteId>> = BTreeMap::new();
+    let mut active = HashMap::new();
+    let mut potential = HashMap::new();
+    for p in parts {
+        for e in p.corpus.entries() {
+            entries.insert(
+                e.id,
+                SnapEntry {
+                    probe: e.traceroute.probe,
+                    dst: e.traceroute.dst,
+                    issued: e.issued,
+                    freshness: e.freshness(),
+                },
+            );
+        }
+        for (pfx, ids) in &p.corpus.by_dst_prefix {
+            by_prefix.entry(*pfx).or_default().extend(ids.iter().copied());
+        }
+        for (asn, ids) in &p.corpus.by_asn {
+            by_asn.entry(*asn).or_default().extend(ids.iter().copied());
+        }
+        for (id, per) in &p.active {
+            active.insert(*id, per.clone());
+        }
+        for (id, keys) in &p.potential {
+            potential.insert(*id, keys.clone());
+        }
+    }
+    for ids in by_prefix.values_mut() {
+        ids.sort_unstable();
+    }
+    for ids in by_asn.values_mut() {
+        ids.sort_unstable();
+    }
+    DetectorSnapshot {
+        epoch: parts[0].closed_bgp_windows(),
+        // A merged snapshot is never a valid base for a single partition's
+        // incremental capture; poison the cursors so reuse fails closed.
+        corpus_seq: u64::MAX,
+        membership_gen: u64::MAX,
+        entries,
+        by_prefix: Arc::new(by_prefix),
+        by_asn: Arc::new(by_asn),
+        active,
+        potential: Arc::new(potential),
+        cal,
+        monitors: parts[0].trace.stats(),
+        signals_logged,
+    }
+}
+
 fn summarize<'a>(
     ids: impl Iterator<Item = &'a TracerouteId>,
     freshness_of: impl Fn(TracerouteId) -> Option<Freshness>,

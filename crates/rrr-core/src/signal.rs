@@ -238,6 +238,27 @@ impl Persist for StalenessSignal {
     }
 }
 
+/// Sorts one step's signal batch into the canonical emission order:
+/// (window, time, key, score bits, traceroute list, trigger communities).
+///
+/// Every field of the signal participates, so the order is a pure function
+/// of the signal *values* — independent of which monitor family produced a
+/// signal first, of worker-thread interleaving, and (the point) of how a
+/// partitioned detector's per-partition batches are merged back together.
+/// The single-instance step applies the same sort, so a cross-partition
+/// union of batches is bit-identical to the unpartitioned batch.
+pub(crate) fn canonical_sort(signals: &mut [StalenessSignal]) {
+    signals.sort_by(|a, b| {
+        a.window
+            .cmp(&b.window)
+            .then_with(|| a.time.cmp(&b.time))
+            .then_with(|| a.key.cmp(&b.key))
+            .then_with(|| a.score.to_bits().cmp(&b.score.to_bits()))
+            .then_with(|| a.traceroutes.cmp(&b.traceroutes))
+            .then_with(|| a.trigger_communities.cmp(&b.trigger_communities))
+    });
+}
+
 impl fmt::Display for StalenessSignal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -431,9 +431,12 @@ fn durable_detector_survives_crash() {
     // rounds 5..6 live only in the WAL... and round 4's tail as well).
     {
         let det = build(1);
-        let mut durable =
-            DurableDetector::create(det, &dir, DurableConfig { checkpoint_every_windows: 3, ..DurableConfig::default() })
-                .expect("create durable dir");
+        let mut durable = DurableDetector::create(
+            det,
+            &dir,
+            DurableConfig { checkpoint_every_windows: 3, ..DurableConfig::default() },
+        )
+        .expect("create durable dir");
         for (k, round) in rounds[..4].iter().enumerate() {
             let r = k as u64;
             let mut updates: Vec<BgpUpdate> =

@@ -182,11 +182,9 @@ fn rounds_strategy() -> impl Strategy<Value = Vec<Round>> {
             },
         );
         let trace = (0..ROUND - 10, 0..active_dsts, any::<bool>());
-        let round = (
-            proptest::collection::vec(spec, 0..16),
-            proptest::collection::vec(trace, 0..4),
-        )
-            .prop_map(|(updates, traces)| Round { updates, traces });
+        let round =
+            (proptest::collection::vec(spec, 0..16), proptest::collection::vec(trace, 0..4))
+                .prop_map(|(updates, traces)| Round { updates, traces });
         proptest::collection::vec(round, 6..12)
     })
 }
@@ -484,8 +482,8 @@ fn durable_delta_chain_survives_crash_at_every_point() {
         let _ = std::fs::remove_dir_all(&twin_dir);
 
         // Uninterrupted durable twin.
-        let mut twin = DurableDetector::create(build(1, true), &twin_dir, durable_cfg())
-            .expect("create twin");
+        let mut twin =
+            DurableDetector::create(build(1, true), &twin_dir, durable_cfg()).expect("create twin");
         for (k, round) in rounds.iter().enumerate() {
             step_durable(&mut twin, round, k as u64);
         }

@@ -21,34 +21,91 @@
 
 use crate::feed::{canonical_sort, canonicalize, FeedBatch, FeedSource};
 use crate::snapshot::{ServeHandle, ServeStats, SnapshotCell};
-use rrr_core::{DetectorSnapshot, DurableDetector, Query, StalenessDetector, StalenessSignal};
+use rrr_core::{
+    DetectorSnapshot, DurableDetector, PartitionedDetector, Query, StalenessDetector,
+    StalenessSignal,
+};
 use rrr_types::Error;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// The detector the daemon steps: bare, or wrapped in crash-safe
-/// persistence (WAL + periodic checkpoints).
+/// The detector the daemon steps: bare, wrapped in crash-safe persistence
+/// (WAL + periodic checkpoints), or an N-partition deployment
+/// ([`rrr_core::partition`]). Queries never see the difference: every
+/// published snapshot is a complete [`DetectorSnapshot`] — for the
+/// partitioned engine, updates are routed to their owning partition on
+/// ingest and the publish is the deterministic cross-partition merge.
 pub enum Engine {
     Plain(StalenessDetector),
     Durable(DurableDetector),
+    Partitioned(PartitionedDetector),
 }
 
 impl Engine {
     /// The wrapped detector.
+    ///
+    /// # Panics
+    ///
+    /// For [`Engine::Partitioned`] — an N-partition engine has no single
+    /// detector; query its merged state via [`Engine::snapshot`] or reach
+    /// a specific partition through
+    /// [`PartitionedDetector::partitions`].
     pub fn detector(&self) -> &StalenessDetector {
         match self {
             Engine::Plain(d) => d,
             Engine::Durable(d) => d.detector(),
+            Engine::Partitioned(_) => {
+                panic!("a partitioned engine has no single detector; use Engine::snapshot")
+            }
         }
     }
 
     /// Mutable access to the wrapped detector.
+    ///
+    /// # Panics
+    ///
+    /// For [`Engine::Partitioned`] (see [`Engine::detector`]).
     pub fn detector_mut(&mut self) -> &mut StalenessDetector {
         match self {
             Engine::Plain(d) => d,
             Engine::Durable(d) => d.detector_mut(),
+            Engine::Partitioned(_) => {
+                panic!("a partitioned engine has no single detector; use Engine::snapshot")
+            }
+        }
+    }
+
+    /// The engine's epoch (closed BGP windows — partitions advance in
+    /// lockstep, so any partition's count is the deployment's).
+    pub fn epoch(&self) -> u64 {
+        match self {
+            Engine::Plain(d) => d.closed_bgp_windows(),
+            Engine::Durable(d) => d.detector().closed_bgp_windows(),
+            Engine::Partitioned(p) => p.closed_bgp_windows(),
+        }
+    }
+
+    /// A full queryable snapshot of the current state; for the partitioned
+    /// engine this is the merged cross-partition view.
+    pub fn snapshot(&self) -> DetectorSnapshot {
+        match self {
+            Engine::Plain(d) => d.snapshot(),
+            Engine::Durable(d) => d.detector().snapshot(),
+            Engine::Partitioned(p) => p.snapshot(),
+        }
+    }
+
+    /// A snapshot that reuses `prev`'s unchanged indexes where the engine
+    /// supports it. The partitioned merge always captures in full — its
+    /// entries span every partition, so there is no single-detector
+    /// generation counter to reuse against.
+    fn snapshot_incremental(&self, prev: &DetectorSnapshot) -> DetectorSnapshot {
+        match self {
+            Engine::Plain(d) => d.snapshot_incremental(prev),
+            Engine::Durable(d) => d.detector().snapshot_incremental(prev),
+            Engine::Partitioned(p) => p.snapshot(),
         }
     }
 
@@ -58,6 +115,7 @@ impl Engine {
             Engine::Durable(d) => {
                 d.step(batch.now, &batch.updates, &batch.public).map_err(Error::from)
             }
+            Engine::Partitioned(p) => Ok(p.step(batch.now, &batch.updates, &batch.public)),
         }
     }
 }
@@ -112,7 +170,7 @@ impl Daemon {
     /// snapshot is published immediately, so queries are answerable from
     /// the first instant (at the engine's starting epoch).
     pub fn spawn(engine: Engine, feeds: Vec<Box<dyn FeedSource>>, cfg: DaemonConfig) -> Daemon {
-        let cell = Arc::new(SnapshotCell::new(Arc::new(engine.detector().snapshot())));
+        let cell = Arc::new(SnapshotCell::new(Arc::new(engine.snapshot())));
         let stats = Arc::new(ServeStats::default());
         let handle = ServeHandle::new(Arc::clone(&cell), Arc::clone(&stats));
 
@@ -179,7 +237,7 @@ fn ingest_loop(
     let n = rxs.len();
     let mut heads: Vec<Option<FeedBatch>> = (0..n).map(|_| None).collect();
     let mut open: Vec<bool> = vec![true; n];
-    let mut published = engine.detector().closed_bgp_windows();
+    let mut published = engine.epoch();
     // The last published snapshot, kept so the next publish can reuse its
     // unchanged indexes instead of rebuilding them (the cell's initial
     // snapshot seeds the chain).
@@ -223,13 +281,13 @@ fn ingest_loop(
 
         signals.extend(engine.step(&merged)?);
 
-        let epoch = engine.detector().closed_bgp_windows();
+        let epoch = engine.epoch();
         if epoch > published {
             // Incremental capture: only entries touched since `prev` are
             // re-copied; unchanged prefix/ASN summaries are shared. The
             // serial-replay oracle compares these publishes against full
             // captures, so the reuse is continuously checked.
-            let snap = Arc::new(engine.detector().snapshot_incremental(&prev));
+            let snap = Arc::new(engine.snapshot_incremental(&prev));
             prev = Arc::clone(&snap);
             cell.publish(Arc::clone(&snap));
             stats.snapshots.fetch_add(1, Ordering::Relaxed);
@@ -374,6 +432,78 @@ mod tests {
         let daemon = Daemon::spawn(Engine::Plain(tiny_detector()), feeds, DaemonConfig::default());
         let report = daemon.join().expect("drained");
         assert_eq!(report.signals, want);
+    }
+
+    /// A corpus entry per destination prefix so the partitioned daemon
+    /// actually has per-partition state to merge.
+    fn corpus_tr(i: u32) -> rrr_types::Traceroute {
+        use rrr_types::{Hop, Ipv4, ProbeId, TracerouteId};
+        rrr_types::Traceroute {
+            id: TracerouteId(1 + i as u64),
+            probe: ProbeId(i),
+            src: "10.0.0.200".parse::<Ipv4>().expect("ip"),
+            dst: Ipv4::new(10, i as u8, 0, 1),
+            time: Timestamp(0),
+            hops: vec![
+                Hop::responsive("10.0.0.2".parse::<Ipv4>().expect("ip")),
+                Hop::responsive(Ipv4::new(10, i as u8, 0, 1)),
+            ],
+            reached: true,
+        }
+    }
+
+    /// The daemon over an N-partition engine must publish snapshots (the
+    /// merged cross-partition view) and emit signals bit-identical to the
+    /// serial single-detector replay of the same stream — the serve-side
+    /// face of the partition-invariance oracle.
+    #[test]
+    fn partitioned_daemon_matches_serial_replay() {
+        use rrr_core::{PartitionMap, PartitionedDetector};
+
+        let steps = scripted_rounds();
+        let mut reference = tiny_detector();
+        for i in 1..4u32 {
+            let _ = reference.add_corpus(corpus_tr(i), None);
+        }
+        let mut want_signals = Vec::new();
+        {
+            let mut serial = tiny_detector();
+            for i in 1..4u32 {
+                let _ = serial.add_corpus(corpus_tr(i), None);
+            }
+            for b in canonicalize(&steps) {
+                want_signals.extend(serial.step(b.now, &b.updates, &b.public));
+            }
+        }
+        let (_, want_snaps) = replay_reference(reference, &steps);
+        assert!(!want_snaps.is_empty(), "rounds must close windows");
+
+        for n in [2usize, 3] {
+            // Split the 10.1/10.2/10.3 corpus key range into n partitions.
+            let splits: Vec<u32> = (1..n as u32)
+                .map(|k| rrr_types::Ipv4::new(10, 1 + k as u8, 0, 0).value())
+                .collect();
+            let map = PartitionMap::from_splits(splits).expect("valid splits");
+            let mut pd = PartitionedDetector::from_factory(map, |_| tiny_detector());
+            for i in 1..4u32 {
+                let _ = pd.add_corpus(corpus_tr(i), None);
+            }
+            let feeds: Vec<Box<dyn FeedSource>> = split_rounds(&steps, 2)
+                .into_iter()
+                .map(|b| Box::new(ScriptedFeed::new(b)) as Box<dyn FeedSource>)
+                .collect();
+            let daemon = Daemon::spawn(
+                Engine::Partitioned(pd),
+                feeds,
+                DaemonConfig { channel_capacity: 1, record_snapshots: true },
+            );
+            let report = daemon.join().expect("drained");
+            assert_eq!(report.signals, want_signals, "n={n}");
+            assert_eq!(report.snapshots.len(), want_snaps.len(), "n={n}");
+            for (got, want) in report.snapshots.iter().zip(&want_snaps) {
+                assert_same_answers(got, want);
+            }
+        }
     }
 
     #[test]

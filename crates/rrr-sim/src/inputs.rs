@@ -305,6 +305,64 @@ impl SimWorld {
         }
     }
 
+    /// A fresh detector with *no* RIB mirror or corpus — the raw material
+    /// for a partitioned deployment, where the facade routes
+    /// [`SimWorld::rib_seed`] and [`SimWorld::corpus_seed`] itself.
+    pub fn build_empty(&self, threads: usize) -> StalenessDetector {
+        match self {
+            SimWorld::Micro { .. } => {
+                let (topo, map, geo, alias) = micro_env();
+                let vps: Vec<VpId> = (0..NUM_VPS).map(VpId).collect();
+                StalenessDetector::new(topo, map, geo, alias, vps, self.det_config(threads))
+            }
+            SimWorld::Bench { cfg } => {
+                World::new(cfg.as_ref().clone()).build_detector_unseeded(self.det_config(threads))
+            }
+        }
+    }
+
+    /// The RIB seed stream [`SimWorld::build`] mirrors before stepping.
+    pub fn rib_seed(&self) -> Vec<BgpUpdate> {
+        match self {
+            SimWorld::Micro { .. } => micro_rib_seed(),
+            SimWorld::Bench { cfg } => World::new(cfg.as_ref().clone()).rib_seed(),
+        }
+    }
+
+    /// The corpus traceroutes (with source ASNs) [`SimWorld::build`]
+    /// inserts, in insertion order.
+    pub fn corpus_seed(&self) -> Vec<(Traceroute, Option<Asn>)> {
+        match self {
+            SimWorld::Micro { .. } => {
+                (0..NUM_DSTS).map(|dst| (corpus_trace(1 + dst as u64, dst), None)).collect()
+            }
+            SimWorld::Bench { cfg } => {
+                let mut world = World::new(cfg.as_ref().clone());
+                let mesh = world.platform.anchoring_round(&world.engine, Timestamp::ZERO);
+                mesh.into_iter()
+                    .take(BENCH_CORPUS_CAP)
+                    .map(|tr| {
+                        let asn = world.topo.asn_of(world.platform.probe(tr.probe).asx);
+                        (tr, Some(asn))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Pre-t0 public traceroutes [`SimWorld::build`] bootstraps IXP
+    /// membership from (broadcast input — every partition consumes all of
+    /// them).
+    pub fn bootstrap_seed(&self) -> Vec<Traceroute> {
+        match self {
+            SimWorld::Micro { .. } => Vec::new(),
+            SimWorld::Bench { cfg } => {
+                let mut world = World::new(cfg.as_ref().clone());
+                world.platform.topology_round(&world.engine, Timestamp::ZERO)
+            }
+        }
+    }
+
     /// The restore environment (topology, IP-to-AS map, geolocation, alias
     /// resolution) matching [`SimWorld::build`].
     pub fn env(&self) -> (Arc<Topology>, IpToAsMap, Geolocator, AliasResolver) {

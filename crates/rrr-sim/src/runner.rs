@@ -10,7 +10,10 @@ use crate::faults::Fault;
 use crate::inputs::{RoundInput, SimWorld, ROUND};
 use crate::scenario::{Expect, Oracle, Scenario, SimEvent};
 use rrr_baselines::{run_emulation, Dtrack, EmuWorld, PathTimeline, RoundRobin};
-use rrr_core::{DurableConfig, DurableDetector, Query, StalenessDetector, StalenessSignal};
+use rrr_core::partition::{canonical_bytes_single, PartitionMap, PartitionedDetector};
+use rrr_core::{
+    DurableConfig, DurableDetector, PartitionedDurable, Query, StalenessDetector, StalenessSignal,
+};
 use rrr_mrt::{record_to_updates, MrtReader, MrtWriter, VpDirectory};
 use rrr_serve::{
     replay_reference, split_rounds, Daemon, DaemonConfig, Engine, FeedBatch, FeedSource,
@@ -26,6 +29,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Worker-thread counts the shard-invariance oracle compares.
 pub const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+/// Partition counts the partition-invariance oracle compares against the
+/// single-instance reference.
+pub const PARTITION_COUNTS: [usize; 2] = [2, 8];
 /// Refresh-planning cadence (steps) for oracles that churn the refresh
 /// path, and the budget per plan.
 const PLAN_EVERY: usize = 3;
@@ -67,6 +73,9 @@ pub fn run_once(sc: &Scenario, base_threads: usize) -> Result<(), OracleFailure>
             Oracle::MrtRoundTrip => oracle_mrt_round_trip(&world, &steps),
             Oracle::ServeEquivalence { feeds } => {
                 oracle_serve_equivalence(&world, &steps, feeds as usize, base_threads)
+            }
+            Oracle::PartitionInvariance { crash } => {
+                oracle_partition_invariance(sc, &world, &steps, crash as usize)
             }
         };
         if let Err(message) = res {
@@ -380,6 +389,177 @@ fn crash_resume_inner(
         ));
     }
     Ok(())
+}
+
+/// A routing map that actually splits the world's corpus: interior split
+/// points subdivide the span of destination-prefix base addresses, so
+/// entries spread across partitions (unreached counts degrade to fewer
+/// partitions when the span is too narrow — the dedup keeps the map
+/// valid, never the test vacuously single-partition).
+fn partition_map_for(world: &SimWorld, n: usize) -> Result<PartitionMap, String> {
+    let (_, ip2as, _, _) = world.env();
+    let mut bases: Vec<u32> = world
+        .corpus_seed()
+        .iter()
+        .map(|(tr, _)| {
+            ip2as.most_specific_prefix(tr.dst).map(|p| p.network()).unwrap_or(tr.dst).value()
+        })
+        .collect();
+    bases.sort_unstable();
+    bases.dedup();
+    let (Some(&lo), Some(&hi)) = (bases.first(), bases.last()) else {
+        return Err("world has no corpus to partition".to_string());
+    };
+    let (lo, hi) = (lo as u64, hi as u64 + 1);
+    let mut splits: Vec<u32> =
+        (1..n as u64).map(|k| (lo + k * (hi - lo) / n as u64) as u32).collect();
+    splits.dedup();
+    splits.retain(|&s| s > 0);
+    PartitionMap::from_splits(splits).map_err(|e| format!("building the partition map: {e}"))
+}
+
+/// The partitioned counterpart of [`SimWorld::build`]: identical
+/// environment and seeding, routed through the facade.
+fn build_partitioned(world: &SimWorld, map: PartitionMap) -> PartitionedDetector {
+    let mut pd = PartitionedDetector::from_factory(map, |_| world.build_empty(1));
+    pd.init_rib(&world.rib_seed());
+    pd.bootstrap_public(&world.bootstrap_seed());
+    for (tr, asn) in world.corpus_seed() {
+        let _ = pd.add_corpus(tr, asn);
+    }
+    pd
+}
+
+/// [`drive`] through the in-memory partitioned facade.
+fn drive_partitioned(pd: &mut PartitionedDetector, steps: &[RoundInput]) -> Vec<Vec<TracerouteId>> {
+    let mut plans = Vec::new();
+    for (k, ri) in steps.iter().enumerate() {
+        let _ = pd.step(ri.now, &ri.updates, &ri.public);
+        if (k + 1) % PLAN_EVERY == 0 {
+            let plan = pd.plan_refresh(PLAN_BUDGET);
+            for (j, &old) in plan.refresh.iter().enumerate() {
+                let Some(entry) = pd.corpus_get(old) else { continue };
+                let mut fresh = entry.traceroute.clone();
+                fresh.id = TracerouteId(900_000 + (k as u64) * 100 + j as u64);
+                fresh.time = ri.now;
+                let _ = pd.apply_refresh(old, fresh, None);
+            }
+            plans.push(plan.refresh);
+        }
+    }
+    plans
+}
+
+/// N partitions must reproduce the single-instance run bit-identically:
+/// merged signal log, refresh plans, and canonical state bytes, at every
+/// count in [`PARTITION_COUNTS`]. With `crash > 0` the partitioned side
+/// runs durably and the partition owning the last corpus entry is killed
+/// after `crash` steps — its in-memory state discarded, recovered from
+/// its own checkpoint chain and WAL — while the coordinator and the other
+/// partitions keep running.
+fn oracle_partition_invariance(
+    sc: &Scenario,
+    world: &SimWorld,
+    steps: &[RoundInput],
+    crash: usize,
+) -> Result<(), String> {
+    let mut reference = world.build(1);
+    let ref_plans = drive(&mut reference, steps, Some(PLAN_BUDGET));
+    let ref_log = log_repr(&reference);
+    let ref_bytes =
+        canonical_bytes_single(&mut reference).map_err(|e| format!("reference bytes: {e}"))?;
+
+    for &n in &PARTITION_COUNTS {
+        let map = partition_map_for(world, n)?;
+        let (log, plans, bytes) = if crash == 0 {
+            let mut pd = build_partitioned(world, map);
+            let plans = drive_partitioned(&mut pd, steps);
+            pd.validate().map_err(|e| format!("N={n}: {e}"))?;
+            let log: Vec<String> = pd.signal_log().iter().map(signal_repr).collect();
+            let bytes = pd.canonical_bytes().map_err(|e| format!("N={n} bytes: {e}"))?;
+            (log, plans, bytes)
+        } else {
+            let dir = fresh_dir(&format!("{}-part{n}", sc.name));
+            let result = partition_crash_run(world, steps, map, crash, n, &dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            result?
+        };
+        if log != ref_log {
+            return Err(format!(
+                "merged signal log diverges at N={n} partitions: {}",
+                first_log_diff(&ref_log, &log)
+            ));
+        }
+        if plans != ref_plans {
+            return Err(format!(
+                "refresh plans diverge at N={n} partitions: {ref_plans:?} vs {plans:?}"
+            ));
+        }
+        if bytes != ref_bytes {
+            return Err(format!(
+                "canonical state bytes diverge at N={n} partitions \
+                 ({} vs {} bytes) though signal logs match",
+                ref_bytes.len(),
+                bytes.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// What every partition-invariance leg produces for comparison: signal
+/// log lines, per-step refresh plans, park-normalized canonical bytes.
+type PartitionRunOutput = (Vec<String>, Vec<Vec<TracerouteId>>, Vec<u8>);
+
+/// The durable leg of the partition-invariance oracle: run through
+/// [`PartitionedDurable`], kill one partition after `crash` steps, recover
+/// it from disk, finish the stream.
+fn partition_crash_run(
+    world: &SimWorld,
+    steps: &[RoundInput],
+    map: PartitionMap,
+    crash: usize,
+    n: usize,
+    dir: &PathBuf,
+) -> Result<PartitionRunOutput, String> {
+    // Keep every step in the WAL; corpus churn from refreshes is made
+    // durable by explicit checkpoint cuts after each applied plan (corpus
+    // maintenance is not WAL-logged by design).
+    let cfg = DurableConfig { checkpoint_every_windows: u64::MAX, ..DurableConfig::default() };
+    let (parts, map) = build_partitioned(world, map).into_parts();
+    let mut pd = PartitionedDurable::create(parts, map, dir, cfg)
+        .map_err(|e| format!("N={n}: creating the durable partitions: {e}"))?;
+
+    // The crashed partition: the one owning the last corpus entry (a
+    // non-empty victim whenever the map spreads the corpus at all).
+    let last_id = world.corpus_seed().last().map(|(tr, _)| tr.id);
+    let victim = last_id.and_then(|id| pd.owner_of(id)).unwrap_or(0);
+
+    let mut plans = Vec::new();
+    for (k, ri) in steps.iter().enumerate() {
+        if k == crash {
+            let (topo, ip2as, geo, alias) = world.env();
+            pd.reopen_partition(victim, topo, ip2as, geo, alias, world.det_config(1))
+                .map_err(|e| format!("N={n}: recovering partition {victim} at step {k}: {e}"))?;
+        }
+        pd.step(ri.now, &ri.updates, &ri.public)
+            .map_err(|e| format!("N={n}: durable step {k}: {e}"))?;
+        if (k + 1) % PLAN_EVERY == 0 {
+            let plan = pd.plan_refresh(PLAN_BUDGET).map_err(|e| format!("N={n}: planning: {e}"))?;
+            for (j, &old) in plan.refresh.iter().enumerate() {
+                let Some(entry) = pd.corpus_get(old) else { continue };
+                let mut fresh = entry.traceroute.clone();
+                fresh.id = TracerouteId(900_000 + (k as u64) * 100 + j as u64);
+                fresh.time = ri.now;
+                let _ = pd.apply_refresh(old, fresh, None);
+            }
+            pd.cut_checkpoints().map_err(|e| format!("N={n}: checkpoint cut: {e}"))?;
+            plans.push(plan.refresh);
+        }
+    }
+    let log: Vec<String> = pd.signal_log().iter().map(signal_repr).collect();
+    let bytes = pd.canonical_bytes().map_err(|e| format!("N={n} bytes: {e}"))?;
+    Ok((log, plans, bytes))
 }
 
 /// Refresh plans stay within budget and only name live corpus entries;
@@ -705,6 +885,23 @@ mod tests {
         )
         .expect("parses");
         run_once(&sc, 1).expect("clean scenario passes");
+    }
+
+    #[test]
+    fn partition_invariance_holds_with_and_without_a_crash() {
+        let sc = Scenario::parse(
+            r#"Scenario(
+                name: "unit-partition",
+                seed: 11,
+                world: Micro,
+                rounds: 8,
+                half_steps: true,
+                events: [CommunityFlip(from: 2, to: 5, dst: 0, variant: 1)],
+                oracles: [PartitionInvariance(crash: 0), PartitionInvariance(crash: 7)],
+            )"#,
+        )
+        .expect("parses");
+        run_once(&sc, 1).expect("partitioning reproduces the single instance");
     }
 
     #[test]

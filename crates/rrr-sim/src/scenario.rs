@@ -67,6 +67,15 @@ pub enum Oracle {
     /// answers are bit-identical to a serial batch replay — and its final
     /// state checkpoints identically.
     ServeEquivalence { feeds: u64 },
+    /// A partitioned deployment (at every count in
+    /// `runner::PARTITION_COUNTS`) produces merged signal logs, refresh
+    /// plans, and canonical state bytes bit-identical to one unpartitioned
+    /// instance on the faulted stream. With `crash > 0` the run goes
+    /// through `PartitionedDurable` and one partition is killed after that
+    /// many steps (mid-window when `half_steps` makes the index land
+    /// inside a round) and recovered from its own WAL while the rest keep
+    /// their live state.
+    PartitionInvariance { crash: u64 },
 }
 
 impl Oracle {
@@ -79,6 +88,7 @@ impl Oracle {
             Oracle::Baselines { .. } => "baselines",
             Oracle::MrtRoundTrip => "mrt-round-trip",
             Oracle::ServeEquivalence { .. } => "serve-equivalence",
+            Oracle::PartitionInvariance { .. } => "partition-invariance",
         }
     }
 }
@@ -228,6 +238,10 @@ impl Oracle {
                 "ServeEquivalence".to_string(),
                 vec![("feeds".to_string(), Value::Int(feeds as i64))],
             ),
+            Oracle::PartitionInvariance { crash } => Value::Struct(
+                "PartitionInvariance".to_string(),
+                vec![("crash".to_string(), Value::Int(crash as i64))],
+            ),
         }
     }
 
@@ -249,6 +263,9 @@ impl Oracle {
                     return Err(bad("ServeEquivalence: `feeds` must be positive"));
                 }
                 Ok(Oracle::ServeEquivalence { feeds })
+            }
+            "PartitionInvariance" => {
+                Ok(Oracle::PartitionInvariance { crash: opt_u64(v, "crash", 0)? })
             }
             other => Err(bad(format!("unknown oracle `{other}`"))),
         }
@@ -403,6 +420,19 @@ impl Scenario {
                     "scenario `{}`: CrashResume split {} must be in 1..{}",
                     self.name,
                     split,
+                    self.total_steps()
+                )));
+            }
+        }
+        if let Some(Oracle::PartitionInvariance { crash }) =
+            self.oracles.iter().find(|o| matches!(o, Oracle::PartitionInvariance { .. }))
+        {
+            if *crash >= self.total_steps() {
+                return Err(bad(format!(
+                    "scenario `{}`: PartitionInvariance crash {} must be below {} \
+                     (0 disables the crash)",
+                    self.name,
+                    crash,
                     self.total_steps()
                 )));
             }

@@ -160,7 +160,10 @@ mod tests {
         assert!(s.contains("0x000000ab") && s.contains("0x000000cd"), "{s}");
         let s = StoreError::DeltaChainBroken { what: "sequence gap" }.to_string();
         assert!(s.contains("sequence gap"), "{s}");
-        assert_eq!(StoreError::DeltaBaseMismatch { expected: 0, found: 1 }.kind(), "DeltaBaseMismatch");
+        assert_eq!(
+            StoreError::DeltaBaseMismatch { expected: 0, found: 1 }.kind(),
+            "DeltaBaseMismatch"
+        );
         assert_eq!(StoreError::DeltaChainBroken { what: "x" }.kind(), "DeltaChainBroken");
     }
 
