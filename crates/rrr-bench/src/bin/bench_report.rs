@@ -46,7 +46,7 @@ use criterion::{BatchSize, Criterion};
 use rrr_bench::pipeline::{synth_bgp_monitors, synth_round, synth_round_sparse};
 use rrr_bench::{World, WorldConfig};
 use rrr_core::partition::{PartitionMap, PartitionedDetector, PartitionedDurable};
-use rrr_core::{DetectorConfig, DurableConfig, Query};
+use rrr_core::{DetectorConfig, DurableConfig, Metrics, MetricsSnapshot, Query};
 use rrr_serve::{
     replay_reference, split_rounds, Daemon, DaemonConfig, Engine, FeedBatch, FeedSource,
     ScriptedFeed, StalenessQuery,
@@ -71,6 +71,7 @@ const EXPECTED_OPS: &[&str] = &[
     "checkpoint_delta",
     "restore",
     "query_qps",
+    "observe_metrics_overhead",
     "partition_observe",
     "partition_close",
     "partition_checkpoint",
@@ -344,10 +345,11 @@ fn serve_fixture(rounds: u64) -> (rrr_core::StalenessDetector, Vec<FeedBatch>) {
 /// Runs the serving daemon over a 2-feed split of a scripted world stream
 /// while `readers` threads issue mixed queries against the epoch-snapshot
 /// handle, then verifies every published snapshot against a serial batch
-/// replay. Returns (aggregate queries/sec, reader count, total queries).
+/// replay. Returns (aggregate queries/sec, reader count, total queries,
+/// metrics snapshot carrying the per-query-type latency histograms).
 /// Exits nonzero on any epoch regression or replay divergence — a fast
 /// wrong answer is not a benchmark result.
-fn measure_query_qps(quick: bool, host_threads: usize) -> (f64, usize, u64) {
+fn measure_query_qps(quick: bool, host_threads: usize) -> (f64, usize, u64, MetricsSnapshot) {
     let rounds = if quick { 24 } else { 96 };
     let (ref_det, batches) = serve_fixture(rounds);
     let (_, ref_snaps) = replay_reference(ref_det, &batches);
@@ -357,10 +359,11 @@ fn measure_query_qps(quick: bool, host_threads: usize) -> (f64, usize, u64) {
         .into_iter()
         .map(|b| Box::new(ScriptedFeed::new(b)) as Box<dyn FeedSource>)
         .collect();
+    let metrics = Metrics::enabled();
     let daemon = Daemon::spawn(
         Engine::Plain(det),
         sources,
-        DaemonConfig { channel_capacity: 2, record_snapshots: true },
+        DaemonConfig { channel_capacity: 2, record_snapshots: true, metrics: metrics.clone() },
     );
     let handle = daemon.handle();
 
@@ -438,7 +441,7 @@ fn measure_query_qps(quick: bool, host_threads: usize) -> (f64, usize, u64) {
         }
     }
 
-    (total as f64 / elapsed.max(1e-9), readers, total)
+    (total as f64 / elapsed.max(1e-9), readers, total, metrics.snapshot())
 }
 
 /// One replayable window of BGP updates for the partition rows:
@@ -549,9 +552,12 @@ fn partition_fixture(n: usize) -> (PartitionedDetector, Vec<Vec<rrr_types::BgpUp
 /// design, so including it would measure replication, not scaling). The
 /// round's window close happens untimed in the next iteration's setup,
 /// mirroring `measure_observe`; `close` moves the window close into the
-/// timed step, mirroring `measure_close`.
-fn measure_partition(c: &mut Criterion, n: usize, close: bool) -> f64 {
+/// timed step, mirroring `measure_close`. `metrics` is installed on the
+/// facade before warm-up, so the same function measures the instrumented
+/// and the uninstrumented loop (the `observe_metrics_overhead` row).
+fn measure_partition(c: &mut Criterion, n: usize, close: bool, metrics: &Metrics) -> f64 {
     let (mut pd, rounds) = partition_fixture(n);
+    pd.set_metrics(metrics);
     // Warm up: ingest and close a few rounds so group state is realistic.
     let mut r = 0u64;
     for _ in 0..4 {
@@ -785,7 +791,7 @@ fn main() {
         );
     }
 
-    let (qps, readers, answered) = measure_query_qps(quick, host_threads);
+    let (qps, readers, answered, query_snap) = measure_query_qps(quick, host_threads);
     rows.push(Row {
         op: "query_qps",
         scale: 1,
@@ -795,7 +801,84 @@ fn main() {
         bytes_on_disk: 0,
         delta_ratio: 0.0,
     });
+    // Per-query-type latency from the serve-side histograms
+    // (`rrr_serve_query_ns{query="..."}`); rides along on the query_qps
+    // row as `query_latency_ns`. Empty histograms would mean the metrics
+    // plumbing silently broke — fail rather than report a hollow row.
+    let query_latency: Vec<serde_json::Value> =
+        ["corpus_summary", "monitor_stats", "refresh_plan", "is_stale"]
+            .iter()
+            .filter_map(|t| {
+                let h = query_snap.histogram(&format!("rrr_serve_query_ns{{query=\"{t}\"}}"))?;
+                if h.count == 0 {
+                    return None;
+                }
+                eprintln!(
+                    "query_qps latency {t}: p50 {} ns, p99 {} ns, max {} ns over {} queries",
+                    h.p50, h.p99, h.max, h.count
+                );
+                Some(serde_json::json!({
+                    "query": t,
+                    "count": h.count,
+                    "p50_ns": h.p50,
+                    "p99_ns": h.p99,
+                    "max_ns": h.max,
+                }))
+            })
+            .collect();
+    if query_latency.is_empty() {
+        eprintln!("query_qps recorded no per-query latency histograms — serve metrics broke");
+        std::process::exit(1);
+    }
     eprintln!("query_qps done ({qps:.0} queries/sec, {answered} answered by {readers} readers)");
+
+    // Metrics-overhead gate: the instrumented observe+close loop (the N=1
+    // partition facade, so detector *and* partition series are all live)
+    // must cost at most 5% over the same loop uninstrumented. The
+    // uninstrumented case runs twice: if the two baselines disagree by
+    // more than 5%, this host cannot resolve a 5% overhead and the gate
+    // is skipped explicitly — never passed vacuously on noise.
+    let off_a = measure_partition(&mut c, 1, true, &Metrics::disabled());
+    let off_b = measure_partition(&mut c, 1, true, &Metrics::disabled());
+    let overhead_reg = Metrics::enabled();
+    let on_ns = measure_partition(&mut c, 1, true, &overhead_reg);
+    let overhead_snap = overhead_reg.snapshot();
+    if overhead_snap.counter("rrr_partition_steps_total") == 0
+        || overhead_snap.counter_family("rrr_detector_bgp_updates_total") == 0
+    {
+        eprintln!("observe_metrics_overhead: instrumented run recorded nothing — wiring broke");
+        std::process::exit(1);
+    }
+    let overhead_base = off_a.min(off_b);
+    let baseline_spread = (off_a - off_b).abs() / overhead_base;
+    let overhead_ratio = on_ns / overhead_base;
+    rows.push(Row {
+        op: "observe_metrics_overhead",
+        scale: 1,
+        threads: 1,
+        ns_per_iter: on_ns,
+        speedup: overhead_base / on_ns,
+        bytes_on_disk: 0,
+        delta_ratio: 0.0,
+    });
+    eprintln!(
+        "observe_metrics_overhead done ({overhead_ratio:.3}x vs best-of-2 baseline, \
+         baseline spread {:.1}%)",
+        baseline_spread * 100.0
+    );
+    if baseline_spread > 0.05 {
+        eprintln!(
+            "observe_metrics_overhead gate skipped: baseline runs disagree by {:.1}% (> 5%), \
+             the host is too noisy to resolve a 5% overhead gate",
+            baseline_spread * 100.0
+        );
+    } else if overhead_ratio > 1.05 {
+        eprintln!(
+            "observe_metrics_overhead: instrumented loop is {overhead_ratio:.3}x the \
+             uninstrumented baseline (gate: <= 1.05x)"
+        );
+        std::process::exit(1);
+    }
 
     // Partition scaling: N cooperating detector partitions stepping in
     // parallel. `threads` carries the partition count; speedups are
@@ -807,7 +890,7 @@ fn main() {
         let op = if close { "partition_close" } else { "partition_observe" };
         let mut baseline = 0.0;
         for &n in partition_counts {
-            let ns = measure_partition(&mut c, n, close);
+            let ns = measure_partition(&mut c, n, close, &Metrics::disabled());
             if n == 1 {
                 baseline = ns;
             }
@@ -863,6 +946,11 @@ fn main() {
                 "bytes_on_disk": r.bytes_on_disk,
                 "bytes_per_partition": per_partition,
                 "queries_per_sec": if r.op == "query_qps" { 1e9 / r.ns_per_iter } else { 0.0 },
+                "query_latency_ns": if r.op == "query_qps" {
+                    query_latency.clone()
+                } else {
+                    Vec::new()
+                },
                 "delta_ratio": r.delta_ratio,
             })
         })

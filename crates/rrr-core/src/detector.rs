@@ -11,6 +11,7 @@ use crate::trace_monitors::TraceMonitors;
 use rrr_anomaly::{BitmapDetector, ModifiedZScore};
 use rrr_geo::Geolocator;
 use rrr_ip2as::{map_traceroute, AliasResolver, IpToAsMap};
+use rrr_obs::{labeled, Counter, Gauge, Histogram, Metrics};
 use rrr_store::{read_snapshot, write_snapshot, Decoder, Encoder, FrameKind, Persist, StoreError};
 use rrr_topology::Topology;
 use rrr_types::{
@@ -73,6 +74,52 @@ impl Default for DetectorConfig {
     }
 }
 
+/// Metric handles for one detector instance. All handles are no-ops until
+/// [`StalenessDetector::set_metrics`] installs an enabled registry; metric
+/// state is runtime instrumentation, not detector state — never
+/// checkpointed, never fingerprinted, never consulted by the pipeline
+/// (DESIGN.md §13).
+#[derive(Default)]
+pub(crate) struct DetectorObs {
+    enabled: bool,
+    steps: Counter,
+    bgp_updates: Counter,
+    observe_batches: Counter,
+    public_traces: Counter,
+    signals: Counter,
+    windows_closed: Counter,
+    close_incremental: Counter,
+    close_full: Counter,
+    close_ns: Histogram,
+    parked_groups: Gauge,
+    monitor_groups: Gauge,
+    calibration_rolls: Counter,
+    plan_refreshes: Counter,
+    plan_ns: Histogram,
+}
+
+impl DetectorObs {
+    pub(crate) fn new(m: &Metrics, labels: &str) -> DetectorObs {
+        DetectorObs {
+            enabled: m.is_enabled(),
+            steps: m.counter(&labeled("rrr_detector_steps_total", labels)),
+            bgp_updates: m.counter(&labeled("rrr_detector_bgp_updates_total", labels)),
+            observe_batches: m.counter(&labeled("rrr_detector_observe_batches_total", labels)),
+            public_traces: m.counter(&labeled("rrr_detector_public_traces_total", labels)),
+            signals: m.counter(&labeled("rrr_detector_signals_total", labels)),
+            windows_closed: m.counter(&labeled("rrr_detector_bgp_windows_closed_total", labels)),
+            close_incremental: m.counter(&labeled("rrr_detector_close_incremental_total", labels)),
+            close_full: m.counter(&labeled("rrr_detector_close_full_total", labels)),
+            close_ns: m.histogram(&labeled("rrr_detector_window_close_ns", labels)),
+            parked_groups: m.gauge(&labeled("rrr_detector_parked_groups", labels)),
+            monitor_groups: m.gauge(&labeled("rrr_detector_monitor_groups", labels)),
+            calibration_rolls: m.counter(&labeled("rrr_detector_calibration_rolls_total", labels)),
+            plan_refreshes: m.counter(&labeled("rrr_detector_plan_refresh_total", labels)),
+            plan_ns: m.histogram(&labeled("rrr_detector_plan_refresh_ns", labels)),
+        }
+    }
+}
+
 /// The staleness detection pipeline.
 pub struct StalenessDetector {
     pub(crate) cfg: DetectorConfig,
@@ -107,6 +154,10 @@ pub struct StalenessDetector {
     /// Transient: corpus membership generation when state was last marked
     /// clean — gates whether deltas must repack the `potential` map.
     clean_membership_gen: u64,
+    /// Transient: metric handles (no-ops unless `set_metrics` installed an
+    /// enabled registry). Excluded from checkpoints and the config
+    /// fingerprint, like `threads`.
+    pub(crate) obs: DetectorObs,
 }
 
 impl StalenessDetector {
@@ -141,6 +192,7 @@ impl StalenessDetector {
             delta_seq: 0,
             log_mark: 0,
             clean_membership_gen: 0,
+            obs: DetectorObs::default(),
             cfg,
             topo,
             map,
@@ -148,6 +200,21 @@ impl StalenessDetector {
             alias,
             vps,
         }
+    }
+
+    /// Installs metric handles from `metrics` (pass a disabled handle to
+    /// turn instrumentation back into no-ops). Purely observational: the
+    /// signal stream, checkpoints, and refresh plans are bit-identical with
+    /// metrics on or off.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.set_metrics_labeled(metrics, "");
+    }
+
+    /// Like [`StalenessDetector::set_metrics`] but bakes a label set (e.g.
+    /// `part="0"`) into every metric name, so several detector instances can
+    /// share one registry as distinct series.
+    pub fn set_metrics_labeled(&mut self, metrics: &Metrics, labels: &str) {
+        self.obs = DetectorObs::new(metrics, labels);
     }
 
     pub fn corpus(&self) -> &Corpus {
@@ -307,6 +374,9 @@ impl StalenessDetector {
     ) -> Vec<StalenessSignal> {
         let mut signals = Vec::new();
         let mut revokes: Vec<RevokeEvent> = Vec::new();
+        self.obs.steps.inc();
+        self.obs.bgp_updates.add(bgp_updates.len() as u64);
+        self.obs.public_traces.add(public.len() as u64);
 
         // --- BGP stream, window by window ---
         // Updates are chunked into maximal same-window runs and fed through
@@ -323,6 +393,7 @@ impl StalenessDetector {
                 j += 1;
             }
             self.bgp.observe_batch(&bgp_updates[i..j]);
+            self.obs.observe_batches.inc();
             i = j;
         }
         while self.cfg.bgp_window.bounds(self.next_bgp_window).1 <= now {
@@ -389,6 +460,7 @@ impl StalenessDetector {
             }
         }
 
+        self.obs.signals.add(signals.len() as u64);
         self.log.extend(signals.iter().cloned());
         signals
     }
@@ -402,12 +474,26 @@ impl StalenessDetector {
         let (_, end) = self.cfg.bgp_window.bounds(w);
         let cal = &self.cal;
         let allowed = |c: Community, dst: rrr_types::Prefix| cal.comm_allowed(c, dst);
+        let span = self.obs.close_ns.span();
         let (mut s, r) = self.bgp.close_window(w, end, &allowed);
+        drop(span);
+        self.obs.windows_closed.inc();
+        if self.cfg.incremental_close {
+            self.obs.close_incremental.inc();
+        } else {
+            self.obs.close_full.inc();
+        }
+        if self.obs.enabled {
+            // parked/group counts are O(groups) scans — only pay when on.
+            self.obs.parked_groups.set(self.bgp.parked_count() as i64);
+            self.obs.monitor_groups.set(self.bgp.group_count() as i64);
+        }
         s.retain(|sig| self.enabled(sig.key.technique));
         signals.extend(s);
         revokes.extend(r);
         self.next_bgp_window = w.next();
         self.cal.roll_window();
+        self.obs.calibration_rolls.inc();
     }
 
     /// Plans which traceroutes to refresh under a probing budget (§4.3.1).
@@ -416,6 +502,8 @@ impl StalenessDetector {
     /// window. For a repeatable read-only plan (e.g. from a snapshot), use
     /// [`crate::query::Query::plan`].
     pub fn plan_refresh(&mut self, budget: usize) -> RefreshPlan {
+        self.obs.plan_refreshes.inc();
+        let _span = self.obs.plan_ns.span();
         let corpus = &self.corpus;
         crate::query::plan_refresh_impl(
             &self.active,
@@ -778,6 +866,7 @@ impl StalenessDetector {
             delta_seq: 0,
             log_mark: 0,
             clean_membership_gen: 0,
+            obs: DetectorObs::default(),
         };
         // The restored bytes ARE the state: they are a valid delta base, so
         // deltas cut after restore name this payload and carry only what

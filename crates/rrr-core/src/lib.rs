@@ -50,3 +50,7 @@ pub use query::{
     PrefixSummary, Query, SnapEntry,
 };
 pub use signal::{SignalKey, SignalScope, StalenessSignal, Technique};
+
+// Re-exported so downstream crates can enable instrumentation without
+// depending on `rrr-obs` directly.
+pub use rrr_obs::{Metrics, MetricsSnapshot};

@@ -76,6 +76,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rrr_geo::Geolocator;
 use rrr_ip2as::{AliasResolver, IpToAsMap};
+use rrr_obs::{Counter, Histogram, Metrics};
 use rrr_store::{Decoder, Encoder, Persist, StoreError};
 use rrr_topology::Topology;
 use rrr_types::{Asn, BgpUpdate, Ipv4, Prefix, Timestamp, Traceroute, TracerouteId, Window};
@@ -432,6 +433,49 @@ pub fn canonical_bytes_single(det: &mut StalenessDetector) -> Result<Vec<u8>, St
     canonical_state_bytes(&mut [det], &cal_bytes, &log)
 }
 
+/// Coordinator-level metric handles shared by [`PartitionedDetector`] and
+/// [`PartitionedDurable`] (all no-ops by default). Covers the routing and
+/// merge layer: keyed updates routed per partition, broadcast public
+/// traceroutes, and step/merge timings. Per-partition detector metrics are
+/// installed separately with a `part="k"` label.
+#[derive(Default)]
+struct PartObs {
+    steps: Counter,
+    updates: Counter,
+    /// Keyed-update counters per partition; empty when disabled (callers
+    /// zip against it, so absence is a no-op).
+    routed: Vec<Counter>,
+    broadcast_public: Counter,
+    merged_signals: Counter,
+    step_ns: Histogram,
+    merge_ns: Histogram,
+}
+
+impl PartObs {
+    fn new(m: &Metrics, n: usize) -> PartObs {
+        PartObs {
+            steps: m.counter("rrr_partition_steps_total"),
+            updates: m.counter("rrr_partition_updates_total"),
+            routed: (0..n)
+                .map(|k| m.counter(&format!("rrr_partition_routed_updates_total{{part=\"{k}\"}}")))
+                .collect(),
+            broadcast_public: m.counter("rrr_partition_broadcast_public_total"),
+            merged_signals: m.counter("rrr_partition_merged_signals_total"),
+            step_ns: m.histogram("rrr_partition_step_ns"),
+            merge_ns: m.histogram("rrr_partition_merge_ns"),
+        }
+    }
+
+    fn observe_route(&self, buckets: &[Vec<BgpUpdate>], public_len: usize) {
+        self.steps.inc();
+        self.broadcast_public.add(public_len as u64);
+        for (c, b) in self.routed.iter().zip(buckets) {
+            c.add(b.len() as u64);
+            self.updates.add(b.len() as u64);
+        }
+    }
+}
+
 /// N cooperating detector partitions behind a single-detector facade.
 ///
 /// Construction requires every partition to be built over the *same*
@@ -449,6 +493,8 @@ pub struct PartitionedDetector {
     log: Vec<StalenessSignal>,
     /// Run partition steps on scoped worker threads.
     parallel: bool,
+    /// Coordinator metric handles (no-ops unless `set_metrics` installed).
+    obs: PartObs,
 }
 
 impl PartitionedDetector {
@@ -463,7 +509,25 @@ impl PartitionedDetector {
             assert!(pfp == fp, "partition configurations diverge");
         }
         let plan_rng = StdRng::seed_from_u64(parts[0].cfg.seed);
-        PartitionedDetector { plan_rng, map, log: Vec::new(), parallel: parts.len() > 1, parts }
+        PartitionedDetector {
+            plan_rng,
+            map,
+            log: Vec::new(),
+            parallel: parts.len() > 1,
+            obs: PartObs::default(),
+            parts,
+        }
+    }
+
+    /// Installs coordinator metric handles plus per-partition detector
+    /// metrics labeled `part="k"`, all on one shared registry. Purely
+    /// observational: the merged output is bit-identical with metrics on
+    /// or off.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        for (k, p) in self.parts.iter_mut().enumerate() {
+            p.set_metrics_labeled(metrics, &format!("part=\"{k}\""));
+        }
+        self.obs = PartObs::new(metrics, self.map.len());
     }
 
     /// Builds `map.len()` partitions from a per-index factory (each call
@@ -562,7 +626,9 @@ impl PartitionedDetector {
         bgp_updates: &[BgpUpdate],
         public: &[Traceroute],
     ) -> Vec<StalenessSignal> {
+        let _step_span = self.obs.step_ns.span();
         let buckets = route_updates(&self.map, bgp_updates);
+        self.obs.observe_route(&buckets, public.len());
         let batches: Vec<Vec<StalenessSignal>> = if self.parallel && self.parts.len() > 1 {
             std::thread::scope(|s| {
                 let handles: Vec<_> = self
@@ -576,7 +642,10 @@ impl PartitionedDetector {
         } else {
             self.parts.iter_mut().zip(&buckets).map(|(p, b)| p.step(now, b, public)).collect()
         };
+        let merge_span = self.obs.merge_ns.span();
         let merged = merge_signal_batches(batches);
+        drop(merge_span);
+        self.obs.merged_signals.add(merged.len() as u64);
         self.log.extend(merged.iter().cloned());
         merged
     }
@@ -682,6 +751,10 @@ pub struct PartitionedDurable {
     log: Vec<StalenessSignal>,
     dir: PathBuf,
     dur_cfg: DurableConfig,
+    /// Coordinator metric handles plus the registry they came from, kept so
+    /// `reopen_partition` can re-install metrics on the replacement.
+    obs: PartObs,
+    metrics: Metrics,
 }
 
 impl PartitionedDurable {
@@ -712,6 +785,8 @@ impl PartitionedDurable {
             log: Vec::new(),
             dir,
             dur_cfg,
+            obs: PartObs::default(),
+            metrics: Metrics::disabled(),
         };
         durable.sync_coordinator()?;
         Ok(durable)
@@ -755,7 +830,19 @@ impl PartitionedDurable {
             log,
             dir,
             dur_cfg,
+            obs: PartObs::default(),
+            metrics: Metrics::disabled(),
         })
+    }
+
+    /// Installs coordinator metric handles plus per-partition durable and
+    /// detector metrics labeled `part="k"`, all on one shared registry.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = metrics.clone();
+        for (k, p) in self.parts.iter_mut().enumerate() {
+            p.set_metrics_labeled(metrics, &format!("part=\"{k}\""));
+        }
+        self.obs = PartObs::new(metrics, self.map.len());
     }
 
     /// Recovers a single crashed partition from its own files — delta
@@ -784,6 +871,9 @@ impl PartitionedDurable {
             det_cfg,
             self.dur_cfg.clone(),
         )?;
+        if self.metrics.is_enabled() {
+            self.parts[k].set_metrics_labeled(&self.metrics, &format!("part=\"{k}\""));
+        }
         Ok(())
     }
 
@@ -882,12 +972,17 @@ impl PartitionedDurable {
         bgp_updates: &[BgpUpdate],
         public: &[Traceroute],
     ) -> Result<Vec<StalenessSignal>, StoreError> {
+        let _step_span = self.obs.step_ns.span();
         let buckets = route_updates(&self.map, bgp_updates);
+        self.obs.observe_route(&buckets, public.len());
         let mut batches = Vec::with_capacity(self.parts.len());
         for (p, bucket) in self.parts.iter_mut().zip(&buckets) {
             batches.push(p.step(now, bucket, public)?);
         }
+        let merge_span = self.obs.merge_ns.span();
         let merged = merge_signal_batches(batches);
+        drop(merge_span);
+        self.obs.merged_signals.add(merged.len() as u64);
         self.log.extend(merged.iter().cloned());
         Ok(merged)
     }

@@ -27,7 +27,8 @@ use crate::detector::{DetectorConfig, StalenessDetector};
 use crate::signal::StalenessSignal;
 use rrr_geo::Geolocator;
 use rrr_ip2as::{AliasResolver, IpToAsMap};
-use rrr_store::{Decoder, Encoder, Persist, StoreError, WalReader, WalWriter};
+use rrr_obs::{labeled, Counter, Gauge, Histogram, Metrics};
+use rrr_store::{Decoder, Encoder, Persist, StoreError, WalObs, WalReader, WalWriter};
 use rrr_topology::Topology;
 use rrr_types::{BgpUpdate, Timestamp, Traceroute};
 use std::fs::File;
@@ -120,6 +121,54 @@ impl Default for DurableConfig {
     }
 }
 
+/// Metric handles for one durable directory (all no-ops by default; see
+/// DESIGN.md §13). Counters cover the WAL (step records appended), the
+/// snapshot chain (full/delta cuts, bytes, durations, compactions), and
+/// recovery (records replayed, deltas applied); gauges track the live WAL
+/// length and total bytes on disk.
+#[derive(Default)]
+struct DurableObs {
+    enabled: bool,
+    wal_obs: WalObs,
+    step_records: Counter,
+    wal_len: Gauge,
+    ckpt_full: Counter,
+    ckpt_full_bytes: Counter,
+    ckpt_full_ns: Histogram,
+    ckpt_delta: Counter,
+    ckpt_delta_bytes: Counter,
+    ckpt_delta_ns: Histogram,
+    compactions: Counter,
+    replayed: Counter,
+    deltas_applied: Counter,
+    bytes_on_disk: Gauge,
+}
+
+impl DurableObs {
+    fn new(m: &Metrics, labels: &str) -> DurableObs {
+        DurableObs {
+            enabled: m.is_enabled(),
+            wal_obs: WalObs {
+                frames: m.counter(&labeled("rrr_wal_frames_total", labels)),
+                bytes: m.counter(&labeled("rrr_wal_bytes_total", labels)),
+                flushes: m.counter(&labeled("rrr_wal_flushes_total", labels)),
+            },
+            step_records: m.counter(&labeled("rrr_wal_records_appended_total", labels)),
+            wal_len: m.gauge(&labeled("rrr_wal_records", labels)),
+            ckpt_full: m.counter(&labeled("rrr_store_checkpoint_full_total", labels)),
+            ckpt_full_bytes: m.counter(&labeled("rrr_store_checkpoint_full_bytes_total", labels)),
+            ckpt_full_ns: m.histogram(&labeled("rrr_store_checkpoint_full_ns", labels)),
+            ckpt_delta: m.counter(&labeled("rrr_store_checkpoint_delta_total", labels)),
+            ckpt_delta_bytes: m.counter(&labeled("rrr_store_checkpoint_delta_bytes_total", labels)),
+            ckpt_delta_ns: m.histogram(&labeled("rrr_store_checkpoint_delta_ns", labels)),
+            compactions: m.counter(&labeled("rrr_store_compactions_total", labels)),
+            replayed: m.counter(&labeled("rrr_store_restore_replayed_records_total", labels)),
+            deltas_applied: m.counter(&labeled("rrr_store_restore_deltas_applied_total", labels)),
+            bytes_on_disk: m.gauge(&labeled("rrr_store_bytes_on_disk", labels)),
+        }
+    }
+}
+
 /// A [`StalenessDetector`] wrapped with crash-safe persistence: every step
 /// is WAL-logged before processing, and checkpoints are cut on BGP-window
 /// boundaries per [`DurableConfig`].
@@ -133,6 +182,13 @@ pub struct DurableDetector {
     /// On-disk size of the current full snapshot — the yardstick for the
     /// "delta grew past half a full" compaction trigger.
     full_bytes: u64,
+    /// Step records in the current WAL (past the chain tag).
+    wal_records: u64,
+    /// Recovery work done by `open`, credited to the restore counters when
+    /// metrics are installed (instrumentation arrives after `open` returns).
+    restore_replayed: u64,
+    restore_deltas: u64,
+    obs: DurableObs,
 }
 
 impl DurableDetector {
@@ -153,6 +209,10 @@ impl DurableDetector {
             cfg,
             wal,
             full_bytes: 0,
+            wal_records: 0,
+            restore_replayed: 0,
+            restore_deltas: 0,
+            obs: DurableObs::default(),
         };
         durable.cut_full_checkpoint()?;
         Ok(durable)
@@ -188,9 +248,10 @@ impl DurableDetector {
         // window between the compacting rename and the delta cleanup):
         // frame payloads are CRC-protected, so rot reports as CrcMismatch
         // before the base is ever compared. Drop the stale tail.
+        let mut restore_deltas = 0u64;
         for (_, path) in delta_files(&dir)? {
             match det.apply_delta(BufReader::new(File::open(&path)?)) {
-                Ok(()) => {}
+                Ok(()) => restore_deltas += 1,
                 Err(StoreError::DeltaBaseMismatch { .. }) => {
                     std::fs::remove_file(&path)?;
                 }
@@ -209,6 +270,7 @@ impl DurableDetector {
         // the snapshots already contain, and must not be applied twice.
         let mut reader = WalReader::open(dir.join(WAL_FILE))?;
         let mut tagged = false;
+        let mut restore_replayed = 0u64;
         if let Some(payload) = reader.next_record()? {
             let tag: (u32, u32) = rrr_store::from_payload(&payload)?;
             if tag == det.delta_chain() {
@@ -216,6 +278,7 @@ impl DurableDetector {
                 while let Some(payload) = reader.next_record()? {
                     let rec: StepRecord = rrr_store::from_payload(&payload)?;
                     let _ = det.step(rec.now, &rec.bgp_updates, &rec.public);
+                    restore_replayed += 1;
                 }
             }
         }
@@ -238,7 +301,50 @@ impl DurableDetector {
             cfg,
             wal,
             full_bytes,
+            wal_records: if tagged { restore_replayed } else { 0 },
+            restore_replayed,
+            restore_deltas,
+            obs: DurableObs::default(),
         })
+    }
+
+    /// Installs metric handles on the durable layer and the wrapped
+    /// detector (pass a disabled handle to turn instrumentation back into
+    /// no-ops). Recovery work done by [`DurableDetector::open`] is credited
+    /// to the restore counters at install time.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.set_metrics_labeled(metrics, "");
+    }
+
+    /// Like [`DurableDetector::set_metrics`] but with a label set (e.g.
+    /// `part="0"`) baked into every metric name.
+    pub fn set_metrics_labeled(&mut self, metrics: &Metrics, labels: &str) {
+        self.det.set_metrics_labeled(metrics, labels);
+        self.obs = DurableObs::new(metrics, labels);
+        self.wal.set_obs(self.obs.wal_obs.clone());
+        self.obs.replayed.add(self.restore_replayed);
+        self.obs.deltas_applied.add(self.restore_deltas);
+        self.restore_replayed = 0;
+        self.restore_deltas = 0;
+        self.obs.wal_len.set(self.wal_records as i64);
+        let _ = self.update_disk_gauge();
+    }
+
+    /// Refreshes the `bytes_on_disk` gauge from the real directory (no-op
+    /// when metrics are disabled). Called after every checkpoint cut.
+    fn update_disk_gauge(&self) -> Result<(), StoreError> {
+        if !self.obs.enabled {
+            return Ok(());
+        }
+        let mut total = 0u64;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                total += entry.metadata()?.len();
+            }
+        }
+        self.obs.bytes_on_disk.set(total as i64);
+        Ok(())
     }
 
     /// Logs the step inputs, runs the step, and cuts a snapshot when the
@@ -251,6 +357,9 @@ impl DurableDetector {
     ) -> Result<Vec<StalenessSignal>, StoreError> {
         let rec = StepRecord { now, bgp_updates: bgp_updates.to_vec(), public: public.to_vec() };
         self.wal.append(&rrr_store::to_payload(&rec)?)?;
+        self.wal_records += 1;
+        self.obs.step_records.inc();
+        self.obs.wal_len.set(self.wal_records as i64);
         let signals = self.det.step(now, bgp_updates, public);
         if self.det.closed_bgp_windows() - self.windows_at_checkpoint
             >= self.cfg.checkpoint_every_windows
@@ -270,22 +379,31 @@ impl DurableDetector {
     /// pay for their reopen cost).
     pub fn cut_checkpoint(&mut self) -> Result<(), StoreError> {
         if self.det.delta_chain_len() >= self.cfg.max_deltas {
+            self.obs.compactions.inc();
             return self.cut_full_checkpoint();
         }
+        let span = self.obs.ckpt_delta_ns.span();
         let tmp = self.dir.join(DELTA_TMP);
         {
             let mut w = BufWriter::new(File::create(&tmp)?);
             self.det.checkpoint_delta(&mut w)?;
             w.flush()?;
         }
+        let delta_bytes = std::fs::metadata(&tmp)?.len();
         if self.cfg.compact_size_ratio != 0
-            && std::fs::metadata(&tmp)?.len() * self.cfg.compact_size_ratio > self.full_bytes
+            && delta_bytes * self.cfg.compact_size_ratio > self.full_bytes
         {
+            drop(span);
             std::fs::remove_file(&tmp)?;
+            self.obs.compactions.inc();
             return self.cut_full_checkpoint();
         }
         std::fs::rename(&tmp, delta_path(&self.dir, self.det.delta_chain_len()))?;
-        self.truncate_wal()
+        drop(span);
+        self.obs.ckpt_delta.inc();
+        self.obs.ckpt_delta_bytes.add(delta_bytes);
+        self.truncate_wal()?;
+        self.update_disk_gauge()
     }
 
     /// Cuts a full snapshot unconditionally, compacting the delta chain:
@@ -293,6 +411,7 @@ impl DurableDetector {
     /// deleted (a crash in between leaves stale frames that
     /// [`DurableDetector::open`] discards by base mismatch).
     pub fn cut_full_checkpoint(&mut self) -> Result<(), StoreError> {
+        let span = self.obs.ckpt_full_ns.span();
         let tmp = self.dir.join(CHECKPOINT_TMP);
         {
             let mut w = BufWriter::new(File::create(&tmp)?);
@@ -307,15 +426,22 @@ impl DurableDetector {
         for (_, path) in delta_files(&self.dir)? {
             std::fs::remove_file(path)?;
         }
-        self.truncate_wal()
+        drop(span);
+        self.obs.ckpt_full.inc();
+        self.obs.ckpt_full_bytes.add(self.full_bytes);
+        self.truncate_wal()?;
+        self.update_disk_gauge()
     }
 
     /// Restarts the WAL, tagged with the current snapshot chain position.
     fn truncate_wal(&mut self) -> Result<(), StoreError> {
         let mut wal = WalWriter::new(BufWriter::new(File::create(self.dir.join(WAL_FILE))?));
+        wal.set_obs(self.obs.wal_obs.clone());
         wal.append(&rrr_store::to_payload(&self.det.delta_chain())?)?;
         self.wal = wal;
         self.windows_at_checkpoint = self.det.closed_bgp_windows();
+        self.wal_records = 0;
+        self.obs.wal_len.set(0);
         Ok(())
     }
 

@@ -25,9 +25,10 @@ use rrr_core::{
     DetectorSnapshot, DurableDetector, PartitionedDetector, Query, StalenessDetector,
     StalenessSignal,
 };
+use rrr_obs::{labeled, Counter, Gauge, Histogram, Metrics};
 use rrr_types::Error;
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -37,6 +38,10 @@ use std::thread::JoinHandle;
 /// published snapshot is a complete [`DetectorSnapshot`] — for the
 /// partitioned engine, updates are routed to their owning partition on
 /// ingest and the publish is the deterministic cross-partition merge.
+// One Engine exists per daemon and it is moved once, into the ingest
+// thread — the variant-size spread has no per-item or per-copy cost
+// worth an indirection on every detector access.
+#[allow(clippy::large_enum_variant)]
 pub enum Engine {
     Plain(StalenessDetector),
     Durable(DurableDetector),
@@ -118,6 +123,17 @@ impl Engine {
             Engine::Partitioned(p) => Ok(p.step(batch.now, &batch.updates, &batch.public)),
         }
     }
+
+    /// Installs `metrics` on the wrapped engine: detector counters for a
+    /// plain engine, detector + store counters for a durable one, and
+    /// per-partition labeled series for a partitioned deployment.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        match self {
+            Engine::Plain(d) => d.set_metrics(metrics),
+            Engine::Durable(d) => d.set_metrics(metrics),
+            Engine::Partitioned(p) => p.set_metrics(metrics),
+        }
+    }
 }
 
 /// Daemon tuning knobs.
@@ -131,11 +147,91 @@ pub struct DaemonConfig {
     /// (harness oracles replay against them). Off for production use —
     /// it pins every epoch's snapshot in memory.
     pub record_snapshots: bool,
+    /// Registry the daemon reports into: feed/ingest/query series here,
+    /// plus everything the wrapped engine registers. Disabled by default —
+    /// a disabled handle is a no-op on every hot path.
+    pub metrics: Metrics,
 }
 
 impl Default for DaemonConfig {
     fn default() -> Self {
-        DaemonConfig { channel_capacity: 4, record_snapshots: false }
+        DaemonConfig { channel_capacity: 4, record_snapshots: false, metrics: Metrics::disabled() }
+    }
+}
+
+/// Per-feed series, labeled `feed="i"`. The depth gauge is incremented by
+/// the feed thread after each successful send and decremented by the
+/// ingest thread after each successful receive, so its value is the number
+/// of batches sitting in that feed's channel (transiently off by one
+/// between the two updates — gauges are signed for exactly this reason).
+#[derive(Clone, Default)]
+struct FeedObs {
+    batches: Counter,
+    updates: Counter,
+    public: Counter,
+    depth: Gauge,
+    stalls: Counter,
+}
+
+impl FeedObs {
+    fn new(m: &Metrics, feed: usize) -> Self {
+        let l = format!("feed=\"{feed}\"");
+        FeedObs {
+            batches: m.counter(&labeled("rrr_serve_feed_batches_total", &l)),
+            updates: m.counter(&labeled("rrr_serve_feed_updates_total", &l)),
+            public: m.counter(&labeled("rrr_serve_feed_public_total", &l)),
+            depth: m.gauge(&labeled("rrr_serve_queue_depth", &l)),
+            stalls: m.counter(&labeled("rrr_serve_backpressure_stalls_total", &l)),
+        }
+    }
+
+    /// Sends with the bounded channel's backpressure made visible: a full
+    /// channel counts one stall before falling back to the blocking send.
+    /// Returns `false` when the receiver is gone.
+    fn send(
+        &self,
+        tx: &SyncSender<Result<FeedBatch, Error>>,
+        msg: Result<FeedBatch, Error>,
+    ) -> bool {
+        let sent = match tx.try_send(msg) {
+            Ok(()) => true,
+            Err(TrySendError::Full(msg)) => {
+                self.stalls.inc();
+                tx.send(msg).is_ok()
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        };
+        if sent {
+            self.depth.add(1);
+        }
+        sent
+    }
+}
+
+/// Ingest-thread series: merged rounds, publication progress, and stage
+/// timings for the step and publish phases.
+#[derive(Clone, Default)]
+struct IngestObs {
+    rounds: Counter,
+    updates: Counter,
+    public: Counter,
+    snapshots: Counter,
+    publish_epoch: Gauge,
+    step_ns: Histogram,
+    publish_ns: Histogram,
+}
+
+impl IngestObs {
+    fn new(m: &Metrics) -> Self {
+        IngestObs {
+            rounds: m.counter("rrr_serve_rounds_total"),
+            updates: m.counter("rrr_serve_updates_total"),
+            public: m.counter("rrr_serve_public_total"),
+            snapshots: m.counter("rrr_serve_snapshots_published_total"),
+            publish_epoch: m.gauge("rrr_serve_publish_epoch"),
+            step_ns: m.histogram("rrr_serve_step_ns"),
+            publish_ns: m.histogram("rrr_serve_publish_ns"),
+        }
     }
 }
 
@@ -169,16 +265,20 @@ impl Daemon {
     /// Starts one thread per feed and the merge/step thread. An initial
     /// snapshot is published immediately, so queries are answerable from
     /// the first instant (at the engine's starting epoch).
-    pub fn spawn(engine: Engine, feeds: Vec<Box<dyn FeedSource>>, cfg: DaemonConfig) -> Daemon {
+    pub fn spawn(mut engine: Engine, feeds: Vec<Box<dyn FeedSource>>, cfg: DaemonConfig) -> Daemon {
+        engine.set_metrics(&cfg.metrics);
         let cell = Arc::new(SnapshotCell::new(Arc::new(engine.snapshot())));
         let stats = Arc::new(ServeStats::default());
-        let handle = ServeHandle::new(Arc::clone(&cell), Arc::clone(&stats));
+        let handle = ServeHandle::new(Arc::clone(&cell), Arc::clone(&stats), cfg.metrics.clone());
 
+        let feed_obs: Arc<Vec<FeedObs>> =
+            Arc::new((0..feeds.len()).map(|i| FeedObs::new(&cfg.metrics, i)).collect());
         let mut feed_threads = Vec::with_capacity(feeds.len());
         let mut rxs: Vec<Receiver<Result<FeedBatch, Error>>> = Vec::with_capacity(feeds.len());
         for (i, mut src) in feeds.into_iter().enumerate() {
             let (tx, rx) = sync_channel::<Result<FeedBatch, Error>>(cfg.channel_capacity.max(1));
             rxs.push(rx);
+            let obs = feed_obs[i].clone();
             feed_threads.push(
                 std::thread::Builder::new()
                     .name(format!("rrr-feed-{i}"))
@@ -187,13 +287,16 @@ impl Daemon {
                             // A closed receiver means the merge loop bailed
                             // (error path); just stop producing.
                             Ok(Some(b)) => {
-                                if tx.send(Ok(b)).is_err() {
+                                obs.batches.inc();
+                                obs.updates.add(b.updates.len() as u64);
+                                obs.public.add(b.public.len() as u64);
+                                if !obs.send(&tx, Ok(b)) {
                                     break;
                                 }
                             }
                             Ok(None) => break,
                             Err(e) => {
-                                let _ = tx.send(Err(e));
+                                let _ = obs.send(&tx, Err(e));
                                 break;
                             }
                         }
@@ -202,9 +305,12 @@ impl Daemon {
             );
         }
 
+        let ingest_obs = IngestObs::new(&cfg.metrics);
         let ingest = std::thread::Builder::new()
             .name("rrr-ingest".into())
-            .spawn(move || ingest_loop(engine, rxs, cell, stats, cfg.record_snapshots))
+            .spawn(move || {
+                ingest_loop(engine, rxs, cell, stats, cfg.record_snapshots, feed_obs, ingest_obs)
+            })
             .expect("spawn ingest thread");
 
         Daemon { handle, ingest, feeds: feed_threads }
@@ -233,6 +339,8 @@ fn ingest_loop(
     cell: Arc<SnapshotCell>,
     stats: Arc<ServeStats>,
     record_snapshots: bool,
+    feed_obs: Arc<Vec<FeedObs>>,
+    obs: IngestObs,
 ) -> Result<IngestReport, Error> {
     let n = rxs.len();
     let mut heads: Vec<Option<FeedBatch>> = (0..n).map(|_| None).collect();
@@ -254,8 +362,14 @@ fn ingest_loop(
         for i in 0..rxs.len() {
             if open[i] && heads[i].is_none() {
                 match rxs[i].recv() {
-                    Ok(Ok(b)) => heads[i] = Some(b),
-                    Ok(Err(e)) => return Err(e),
+                    Ok(Ok(b)) => {
+                        feed_obs[i].depth.sub(1);
+                        heads[i] = Some(b);
+                    }
+                    Ok(Err(e)) => {
+                        feed_obs[i].depth.sub(1);
+                        return Err(e);
+                    }
                     Err(_) => open[i] = false,
                 }
             }
@@ -278,8 +392,13 @@ fn ingest_loop(
         stats.updates.fetch_add(merged.updates.len() as u64, Ordering::Relaxed);
         stats.public.fetch_add(merged.public.len() as u64, Ordering::Relaxed);
         stats.rounds.fetch_add(1, Ordering::Relaxed);
+        obs.rounds.inc();
+        obs.updates.add(merged.updates.len() as u64);
+        obs.public.add(merged.public.len() as u64);
 
+        let step_span = obs.step_ns.span();
         signals.extend(engine.step(&merged)?);
+        drop(step_span);
 
         let epoch = engine.epoch();
         if epoch > published {
@@ -287,10 +406,14 @@ fn ingest_loop(
             // re-copied; unchanged prefix/ASN summaries are shared. The
             // serial-replay oracle compares these publishes against full
             // captures, so the reuse is continuously checked.
+            let publish_span = obs.publish_ns.span();
             let snap = Arc::new(engine.snapshot_incremental(&prev));
             prev = Arc::clone(&snap);
             cell.publish(Arc::clone(&snap));
+            drop(publish_span);
             stats.snapshots.fetch_add(1, Ordering::Relaxed);
+            obs.snapshots.inc();
+            obs.publish_epoch.set(epoch as i64);
             published = epoch;
             if record_snapshots {
                 snapshots.push(snap);
@@ -396,7 +519,11 @@ mod tests {
             let daemon = Daemon::spawn(
                 Engine::Plain(tiny_detector()),
                 feeds,
-                DaemonConfig { channel_capacity: 1, record_snapshots: true },
+                DaemonConfig {
+                    channel_capacity: 1,
+                    record_snapshots: true,
+                    ..DaemonConfig::default()
+                },
             );
             let handle = daemon.handle();
             let report = daemon.join().expect("drained");
@@ -495,7 +622,11 @@ mod tests {
             let daemon = Daemon::spawn(
                 Engine::Partitioned(pd),
                 feeds,
-                DaemonConfig { channel_capacity: 1, record_snapshots: true },
+                DaemonConfig {
+                    channel_capacity: 1,
+                    record_snapshots: true,
+                    ..DaemonConfig::default()
+                },
             );
             let report = daemon.join().expect("drained");
             assert_eq!(report.signals, want_signals, "n={n}");

@@ -22,6 +22,10 @@ pub enum StalenessQuery {
     CorpusSummary,
     /// Traceroute-derived monitor inventory.
     MonitorStats,
+    /// Live metrics in Prometheus-style text exposition. Answered from
+    /// the daemon's registry by [`crate::ServeHandle::query`], not from a
+    /// snapshot: metric state is transient and never checkpointed.
+    Metrics,
 }
 
 /// The answer payload for each [`StalenessQuery`] variant.
@@ -34,6 +38,8 @@ pub enum ResponseBody {
     As(AsSummary),
     Corpus(CorpusSummary),
     Monitors(MonitorStats),
+    /// Prometheus-style text exposition of the live registry.
+    Metrics(String),
 }
 
 /// An answer, stamped with the epoch of the snapshot that produced it —
@@ -55,6 +61,9 @@ pub fn answer<Q: Query + ?Sized>(src: &Q, q: &StalenessQuery) -> QueryResponse {
         StalenessQuery::AsSummary(a) => ResponseBody::As(src.as_summary(*a)),
         StalenessQuery::CorpusSummary => ResponseBody::Corpus(src.corpus_summary()),
         StalenessQuery::MonitorStats => ResponseBody::Monitors(src.monitor_stats()),
+        // Snapshots carry no registry; `ServeHandle::query` intercepts
+        // this variant and substitutes the daemon's live exposition.
+        StalenessQuery::Metrics => ResponseBody::Metrics(String::new()),
     };
     QueryResponse { epoch: src.epoch(), body }
 }

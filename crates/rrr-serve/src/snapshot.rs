@@ -13,8 +13,9 @@
 //! both O(1) and far off the query path, which runs entirely on the cloned
 //! snapshot.
 
-use crate::query::{answer, QueryResponse, StalenessQuery};
+use crate::query::{answer, QueryResponse, ResponseBody, StalenessQuery};
 use rrr_core::DetectorSnapshot;
+use rrr_obs::{labeled, Histogram, Metrics};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -69,6 +70,46 @@ pub struct ServeStats {
     pub snapshots: AtomicU64,
 }
 
+/// Per-query-type latency histograms, one series per request shape so
+/// p50/p99 of cheap point lookups are not averaged with plan searches.
+#[derive(Clone, Default)]
+struct QueryObs {
+    is_stale: Histogram,
+    refresh_plan: Histogram,
+    prefix_summary: Histogram,
+    as_summary: Histogram,
+    corpus_summary: Histogram,
+    monitor_stats: Histogram,
+    metrics: Histogram,
+}
+
+impl QueryObs {
+    fn new(m: &Metrics) -> Self {
+        let h = |t: &str| m.histogram(&labeled("rrr_serve_query_ns", &format!("query=\"{t}\"")));
+        QueryObs {
+            is_stale: h("is_stale"),
+            refresh_plan: h("refresh_plan"),
+            prefix_summary: h("prefix_summary"),
+            as_summary: h("as_summary"),
+            corpus_summary: h("corpus_summary"),
+            monitor_stats: h("monitor_stats"),
+            metrics: h("metrics"),
+        }
+    }
+
+    fn for_query(&self, q: &StalenessQuery) -> &Histogram {
+        match q {
+            StalenessQuery::IsStale(_) => &self.is_stale,
+            StalenessQuery::RefreshPlan { .. } => &self.refresh_plan,
+            StalenessQuery::PrefixSummary(_) => &self.prefix_summary,
+            StalenessQuery::AsSummary(_) => &self.as_summary,
+            StalenessQuery::CorpusSummary => &self.corpus_summary,
+            StalenessQuery::MonitorStats => &self.monitor_stats,
+            StalenessQuery::Metrics => &self.metrics,
+        }
+    }
+}
+
 /// The in-process query front end: cheap to clone, safe to share across
 /// reader threads, valid for the daemon's whole lifetime (and after it
 /// finishes — the last published snapshot stays queryable).
@@ -76,11 +117,14 @@ pub struct ServeStats {
 pub struct ServeHandle {
     cell: Arc<SnapshotCell>,
     stats: Arc<ServeStats>,
+    metrics: Metrics,
+    obs: QueryObs,
 }
 
 impl ServeHandle {
-    pub(crate) fn new(cell: Arc<SnapshotCell>, stats: Arc<ServeStats>) -> Self {
-        ServeHandle { cell, stats }
+    pub(crate) fn new(cell: Arc<SnapshotCell>, stats: Arc<ServeStats>, metrics: Metrics) -> Self {
+        let obs = QueryObs::new(&metrics);
+        ServeHandle { cell, stats, metrics, obs }
     }
 
     /// The currently published snapshot.
@@ -98,11 +142,26 @@ impl ServeHandle {
     /// a publish lands mid-call.
     pub fn query(&self, q: &StalenessQuery) -> QueryResponse {
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let _span = self.obs.for_query(q).span();
+        // Snapshots carry no registry — the metrics query is answered from
+        // the daemon's live registry here, stamped with the current epoch.
+        if matches!(q, StalenessQuery::Metrics) {
+            return QueryResponse {
+                epoch: self.epoch(),
+                body: ResponseBody::Metrics(self.metrics.render()),
+            };
+        }
         answer(&*self.snapshot(), q)
     }
 
     /// The daemon's counters.
     pub fn stats(&self) -> &ServeStats {
         &self.stats
+    }
+
+    /// The registry this handle reports into (disabled unless the daemon
+    /// was spawned with [`crate::DaemonConfig::metrics`] enabled).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 }

@@ -276,6 +276,7 @@ pub fn decode_request(line: &str) -> Result<StalenessQuery, Error> {
             .map_err(|_| Error::protocol("field 'asn' out of range"))?))),
         "corpus_summary" => Ok(StalenessQuery::CorpusSummary),
         "monitor_stats" => Ok(StalenessQuery::MonitorStats),
+        "metrics" => Ok(StalenessQuery::Metrics),
         other => Err(Error::protocol(format!("unknown query '{other}'"))),
     }
 }
@@ -365,6 +366,12 @@ fn body_value(body: &ResponseBody) -> Value {
             ("subpaths", family_value(subpaths)),
             ("borders", family_value(borders)),
         ]),
+        // The exposition text contains newlines; the shim escapes them as
+        // `\n`, so the response still fits on one wire line.
+        ResponseBody::Metrics(text) => obj([
+            ("kind", Value::String("metrics".into())),
+            ("exposition", Value::String(text.clone())),
+        ]),
     }
 }
 
@@ -435,6 +442,10 @@ mod tests {
             decode_request(r#"{"query":"monitor_stats"}"#).expect("decode"),
             StalenessQuery::MonitorStats
         );
+        assert_eq!(
+            decode_request(r#"{"query":"metrics"}"#).expect("decode"),
+            StalenessQuery::Metrics
+        );
         assert!(decode_request(r#"{"query":"nope"}"#).is_err());
         assert!(decode_request(r#"{"query":"is_stale","id":-1}"#).is_err());
         assert!(decode_request("[]").is_err());
@@ -467,5 +478,24 @@ mod tests {
         assert_eq!(f.get("asserting"), Some(&Value::Number(2.0)));
         let err = encode_error(&Error::protocol("bad"));
         assert!(err.contains("\"error\""), "{err}");
+    }
+
+    #[test]
+    fn metrics_exposition_survives_the_wire() {
+        let resp = QueryResponse {
+            epoch: 3,
+            body: ResponseBody::Metrics("# TYPE a counter\na 1\nb{x=\"y\"} 2\n".into()),
+        };
+        let line = encode_response(&resp);
+        assert!(!line.contains('\n'), "one line: {line}");
+        let Value::Object(top) = parse_json(&line).expect("self-parse") else {
+            panic!("response must be an object: {line}")
+        };
+        let Some(Value::Object(body)) = top.get("body") else { panic!("missing body: {line}") };
+        assert_eq!(body.get("kind"), Some(&Value::String("metrics".into())));
+        assert_eq!(
+            body.get("exposition"),
+            Some(&Value::String("# TYPE a counter\na 1\nb{x=\"y\"} 2\n".into()))
+        );
     }
 }

@@ -7,11 +7,17 @@
 //! epochs (in-process or over the wire), a diverging snapshot, a wrong
 //! round count, or an unclean shutdown.
 //!
+//! With `--metrics` the daemon runs with the `rrr-obs` registry enabled:
+//! after the drain, the live `metrics` query is issued (in-process, and
+//! over the wire when `--tcp` is also given), the Prometheus-style
+//! exposition is parsed strictly, and zero-valued feed-ingest,
+//! window-close, or snapshot-publication counters fail the run.
+//!
 //! ```text
-//! serve_run [--file PATH] [--feeds N] [--queries N] [--threads N] [--tcp]
+//! serve_run [--file PATH] [--feeds N] [--queries N] [--threads N] [--tcp] [--metrics]
 //! ```
 
-use rrr_core::Query;
+use rrr_core::{Metrics, Query};
 use rrr_serve::{
     replay_reference, split_rounds, wire, Daemon, DaemonConfig, Engine, FeedSource, ScriptedFeed,
     StalenessQuery,
@@ -31,10 +37,13 @@ struct Args {
     queries: u64,
     threads: usize,
     tcp: bool,
+    metrics: bool,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: serve_run [--file PATH] [--feeds N] [--queries N] [--threads N] [--tcp]");
+    eprintln!(
+        "usage: serve_run [--file PATH] [--feeds N] [--queries N] [--threads N] [--tcp] [--metrics]"
+    );
     std::process::exit(2)
 }
 
@@ -45,6 +54,7 @@ fn parse_args() -> Args {
         queries: 1000,
         threads: 1,
         tcp: false,
+        metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,6 +76,7 @@ fn parse_args() -> Args {
             "--queries" => args.queries = number("--queries", value("--queries")),
             "--threads" => args.threads = number("--threads", value("--threads")).max(1) as usize,
             "--tcp" => args.tcp = true,
+            "--metrics" => args.metrics = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -100,7 +111,78 @@ fn request_line(q: &StalenessQuery) -> String {
         StalenessQuery::AsSummary(a) => format!("{{\"query\":\"as_summary\",\"asn\":{}}}", a.0),
         StalenessQuery::CorpusSummary => "{\"query\":\"corpus_summary\"}".to_string(),
         StalenessQuery::MonitorStats => "{\"query\":\"monitor_stats\"}".to_string(),
+        StalenessQuery::Metrics => "{\"query\":\"metrics\"}".to_string(),
     }
+}
+
+/// Strictly parses a Prometheus-style text exposition into full-name →
+/// value samples. Every line must be a well-formed `# TYPE` comment or a
+/// `name[{labels}] value` sample; anything else is an error.
+fn parse_exposition(text: &str) -> Result<std::collections::BTreeMap<String, f64>, String> {
+    let mut samples = std::collections::BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut words = rest.split_whitespace();
+            if words.next() != Some("TYPE") {
+                return Err(format!("exposition line {i}: unknown comment {line:?}"));
+            }
+            let (Some(_name), Some(kind), None) = (words.next(), words.next(), words.next()) else {
+                return Err(format!("exposition line {i}: malformed TYPE comment {line:?}"));
+            };
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("exposition line {i}: unknown metric kind {kind:?}"));
+            }
+            continue;
+        }
+        // Labels may contain spaces inside quoted values, so split at the
+        // last space instead of the first.
+        let Some(split) = line.rfind(' ') else {
+            return Err(format!("exposition line {i}: no value in {line:?}"));
+        };
+        let (name, value) = line.split_at(split);
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("exposition line {i}: bad value in {line:?}"))?;
+        let name = name.trim();
+        if name.is_empty() || !name.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+            return Err(format!("exposition line {i}: bad metric name in {line:?}"));
+        }
+        samples.insert(name.to_string(), value);
+    }
+    Ok(samples)
+}
+
+/// Sums every series of the family `base` (the name before any `{`).
+fn family_sum(samples: &std::collections::BTreeMap<String, f64>, base: &str) -> f64 {
+    samples
+        .iter()
+        .filter(|(k, _)| k.as_str() == base || k.starts_with(&format!("{base}{{")))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+/// The smoke gate on a parsed exposition: the counters a healthy drained
+/// daemon cannot have left at zero.
+fn check_exposition(samples: &std::collections::BTreeMap<String, f64>) -> Vec<String> {
+    let mut failures = Vec::new();
+    for family in [
+        "rrr_serve_feed_batches_total",
+        "rrr_serve_feed_updates_total",
+        "rrr_serve_rounds_total",
+        "rrr_serve_updates_total",
+        "rrr_serve_snapshots_published_total",
+        "rrr_detector_bgp_windows_closed_total",
+        "rrr_detector_steps_total",
+    ] {
+        if family_sum(samples, family) <= 0.0 {
+            failures.push(format!("metrics: counter family {family} is zero after the drain"));
+        }
+    }
+    failures
 }
 
 /// Extracts the stamped epoch from a wire response line.
@@ -114,6 +196,26 @@ fn wire_epoch(line: &str) -> Result<u64, String> {
     match map.get("epoch") {
         Some(Value::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
         _ => Err(format!("response has no integral epoch: {line}")),
+    }
+}
+
+/// Extracts the exposition text from a wire `metrics` response line.
+fn wire_exposition(line: &str) -> Result<String, String> {
+    let Value::Object(map) = wire::parse_json(line).map_err(|e| e.to_string())? else {
+        return Err(format!("response is not an object: {line}"));
+    };
+    if let Some(Value::String(e)) = map.get("error") {
+        return Err(format!("server error: {e}"));
+    }
+    let Some(Value::Object(body)) = map.get("body") else {
+        return Err(format!("response has no body: {line}"));
+    };
+    if body.get("kind") != Some(&Value::String("metrics".to_string())) {
+        return Err(format!("response body is not a metrics body: {line}"));
+    }
+    match body.get("exposition") {
+        Some(Value::String(text)) => Ok(text.clone()),
+        _ => Err(format!("metrics body has no exposition string: {line}")),
     }
 }
 
@@ -137,10 +239,11 @@ fn main() -> ExitCode {
         .into_iter()
         .map(|b| Box::new(ScriptedFeed::new(b)) as Box<dyn FeedSource>)
         .collect();
+    let metrics = if args.metrics { Metrics::enabled() } else { Metrics::disabled() };
     let daemon = Daemon::spawn(
         Engine::Plain(world.build(args.threads)),
         sources,
-        DaemonConfig { channel_capacity: 2, record_snapshots: true },
+        DaemonConfig { channel_capacity: 2, record_snapshots: true, metrics: metrics.clone() },
     );
     let handle = daemon.handle();
 
@@ -251,11 +354,9 @@ fn main() -> ExitCode {
     }
     let query_secs = started.elapsed().as_secs_f64();
 
-    drop(client);
-    if let Some(mut s) = server.take() {
-        s.shutdown();
-    }
-
+    // Join before tearing down the TCP front end: the handle (and the
+    // server) keep answering from the last published snapshot, so the
+    // post-drain metrics query below sees final counter values.
     let report = match daemon.join() {
         Ok(r) => r,
         Err(e) => {
@@ -263,6 +364,38 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    let mut metrics_queried = false;
+    if args.metrics {
+        // In-process: the typed metrics query must return the exposition.
+        match handle.query(&StalenessQuery::Metrics).body {
+            rrr_serve::ResponseBody::Metrics(text) => match parse_exposition(&text) {
+                Ok(samples) => failures.extend(check_exposition(&samples)),
+                Err(e) => failures.push(format!("metrics: in-process exposition: {e}")),
+            },
+            other => failures.push(format!("metrics query answered {other:?}")),
+        }
+        // Over the wire: same query, same gate, through the JSON framing.
+        if let Some((stream, reader)) = client.as_mut() {
+            metrics_queried = true;
+            let sent = stream.write_all(b"{\"query\":\"metrics\"}\n").and_then(|()| {
+                let mut buf = String::new();
+                reader.read_line(&mut buf).map(|_| buf)
+            });
+            match sent.map_err(|e| e.to_string()).and_then(|buf| wire_exposition(buf.trim_end())) {
+                Ok(text) => match parse_exposition(&text) {
+                    Ok(samples) => failures.extend(check_exposition(&samples)),
+                    Err(e) => failures.push(format!("metrics: TCP exposition: {e}")),
+                },
+                Err(e) => failures.push(format!("metrics: TCP round trip: {e}")),
+            }
+        }
+    }
+
+    drop(client);
+    if let Some(mut s) = server.take() {
+        s.shutdown();
+    }
 
     if report.rounds != steps.len() as u64 {
         failures.push(format!(
@@ -311,11 +444,16 @@ fn main() -> ExitCode {
         report.snapshots.len()
     );
     println!(
-        "queries {} in-process ({:.0}/s), {} over TCP, final epoch {}",
+        "queries {} in-process ({:.0}/s), {} over TCP, final epoch {}, metrics {}",
         args.queries,
         args.queries as f64 / query_secs.max(1e-9),
         tcp_queries,
-        handle.epoch()
+        handle.epoch(),
+        match (args.metrics, metrics_queried) {
+            (false, _) => "off",
+            (true, false) => "checked in-process",
+            (true, true) => "checked in-process and over TCP",
+        }
     );
     if failures.is_empty() {
         println!("PASS {}", sc.name);

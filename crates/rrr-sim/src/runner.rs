@@ -77,6 +77,9 @@ pub fn run_once(sc: &Scenario, base_threads: usize) -> Result<(), OracleFailure>
             Oracle::PartitionInvariance { crash } => {
                 oracle_partition_invariance(sc, &world, &steps, crash as usize)
             }
+            Oracle::MetricsInvariants => {
+                oracle_metrics_invariants(sc, &world, &steps, base_threads)
+            }
         };
         if let Err(message) = res {
             return Err(OracleFailure { oracle: o.name(), message });
@@ -777,7 +780,7 @@ pub fn oracle_serve_equivalence(
     let daemon = Daemon::spawn(
         Engine::Plain(world.build(threads)),
         sources,
-        DaemonConfig { channel_capacity: 2, record_snapshots: true },
+        DaemonConfig { channel_capacity: 2, record_snapshots: true, ..DaemonConfig::default() },
     );
     let handle = daemon.handle();
     let report = daemon.join().map_err(|e| format!("daemon failed: {e}"))?;
@@ -866,6 +869,206 @@ fn oracle_mrt_round_trip(world: &SimWorld, steps: &[RoundInput]) -> Result<(), S
     Ok(())
 }
 
+/// Cross-subsystem accounting identities on the `rrr-obs` registry, plus
+/// inertness: instrumentation may observe everything and perturb nothing.
+///
+/// 1. **Detector**: counters equal ground truth (steps fed, updates fed,
+///    signals logged, windows closed; incremental + full closes sum to the
+///    close count) and the instrumented run's signal log and checkpoint
+///    bytes equal an uninstrumented run's.
+/// 2. **Durable store**: one WAL record per step; an explicit checkpoint
+///    cut zeroes the WAL-length gauge and leaves `bytes_on_disk` equal to
+///    the real on-disk footprint.
+/// 3. **Daemon**: merged-round and update counters equal the ingest
+///    report, per-feed series sum to the ingest totals, the published
+///    snapshot count equals the recorded snapshots, the publish-epoch
+///    gauge equals both the final engine epoch and the window-close count
+///    (the daemon publishes at most once per merged round, *per epoch
+///    advance* — so the epoch, not the publish count, tracks windows),
+///    and every queue-depth gauge drains to zero.
+fn oracle_metrics_invariants(
+    sc: &Scenario,
+    world: &SimWorld,
+    steps: &[RoundInput],
+    threads: usize,
+) -> Result<(), String> {
+    use rrr_core::Metrics;
+
+    // --- 1. Plain detector -------------------------------------------------
+    let mut baseline = world.build(threads);
+    drive(&mut baseline, steps, None);
+    let metrics = Metrics::enabled();
+    let mut det = world.build(threads);
+    det.set_metrics(&metrics);
+    drive(&mut det, steps, None);
+    if log_repr(&det) != log_repr(&baseline) {
+        return Err(format!(
+            "instrumentation perturbed the signal log: {}",
+            first_log_diff(&log_repr(&baseline), &log_repr(&det))
+        ));
+    }
+    if checkpoint_bytes(&det)? != checkpoint_bytes(&baseline)? {
+        return Err("instrumentation perturbed the checkpoint bytes".to_string());
+    }
+    let snap = metrics.snapshot();
+    let total_updates: u64 = steps.iter().map(|ri| ri.updates.len() as u64).sum();
+    let identities: [(&str, u64, u64); 5] = [
+        ("rrr_detector_steps_total", snap.counter("rrr_detector_steps_total"), steps.len() as u64),
+        (
+            "rrr_detector_bgp_updates_total",
+            snap.counter("rrr_detector_bgp_updates_total"),
+            total_updates,
+        ),
+        (
+            "rrr_detector_signals_total",
+            snap.counter("rrr_detector_signals_total"),
+            det.signal_log().len() as u64,
+        ),
+        (
+            "rrr_detector_bgp_windows_closed_total",
+            snap.counter("rrr_detector_bgp_windows_closed_total"),
+            det.closed_bgp_windows(),
+        ),
+        (
+            "close_incremental + close_full",
+            snap.counter("rrr_detector_close_incremental_total")
+                + snap.counter("rrr_detector_close_full_total"),
+            det.closed_bgp_windows(),
+        ),
+    ];
+    for (name, got, want) in identities {
+        if got != want {
+            return Err(format!("detector identity broken: {name} = {got}, ground truth {want}"));
+        }
+    }
+
+    // --- 2. Durable store --------------------------------------------------
+    let dir = fresh_dir(&format!("{}-metrics", sc.name));
+    let result = metrics_durable_leg(world, steps, threads, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result?;
+
+    // --- 3. Daemon ---------------------------------------------------------
+    let metrics = Metrics::enabled();
+    let batches = feed_batches(steps);
+    let sources: Vec<Box<dyn FeedSource>> = split_rounds(&batches, 2)
+        .into_iter()
+        .map(|b| Box::new(ScriptedFeed::new(b)) as Box<dyn FeedSource>)
+        .collect();
+    let daemon = Daemon::spawn(
+        Engine::Plain(world.build(threads)),
+        sources,
+        DaemonConfig { channel_capacity: 2, record_snapshots: true, metrics: metrics.clone() },
+    );
+    let report = daemon.join().map_err(|e| format!("metrics daemon failed: {e}"))?;
+    let snap = metrics.snapshot();
+    let daemon_identities: [(&str, u64, u64); 5] = [
+        ("rrr_serve_rounds_total", snap.counter("rrr_serve_rounds_total"), report.rounds),
+        ("rrr_serve_updates_total", snap.counter("rrr_serve_updates_total"), report.updates),
+        (
+            "sum(rrr_serve_feed_updates_total)",
+            snap.counter_family("rrr_serve_feed_updates_total"),
+            report.updates,
+        ),
+        (
+            "rrr_serve_snapshots_published_total",
+            snap.counter("rrr_serve_snapshots_published_total"),
+            report.snapshots.len() as u64,
+        ),
+        (
+            "rrr_serve_publish_epoch vs engine epoch",
+            snap.gauge("rrr_serve_publish_epoch").max(0) as u64,
+            report.engine.epoch(),
+        ),
+    ];
+    for (name, got, want) in daemon_identities {
+        if got != want {
+            return Err(format!("daemon identity broken: {name} = {got}, ground truth {want}"));
+        }
+    }
+    // The daemon publishes once per epoch *advance*, so the publish-epoch
+    // gauge — not the publish count — must equal the window-close count.
+    let closed = snap.counter("rrr_detector_bgp_windows_closed_total");
+    if snap.gauge("rrr_serve_publish_epoch").max(0) as u64 != closed {
+        return Err(format!(
+            "daemon identity broken: publish epoch {} vs {closed} closed windows",
+            snap.gauge("rrr_serve_publish_epoch")
+        ));
+    }
+    for (name, v) in &snap.gauges {
+        if name.starts_with("rrr_serve_queue_depth") && *v != 0 {
+            return Err(format!("queue depth gauge {name} = {v} after the daemon drained"));
+        }
+    }
+    Ok(())
+}
+
+/// The durable-store leg of [`oracle_metrics_invariants`], in its own
+/// function so the scratch directory is cleaned up on every exit path.
+fn metrics_durable_leg(
+    world: &SimWorld,
+    steps: &[RoundInput],
+    threads: usize,
+    dir: &PathBuf,
+) -> Result<(), String> {
+    use rrr_core::Metrics;
+
+    let metrics = Metrics::enabled();
+    let cfg = DurableConfig { checkpoint_every_windows: u64::MAX, ..DurableConfig::default() };
+    let mut durable = DurableDetector::create(world.build(threads), dir, cfg)
+        .map_err(|e| format!("creating the durable detector: {e}"))?;
+    durable.set_metrics(&metrics);
+    for (k, ri) in steps.iter().enumerate() {
+        durable
+            .step(ri.now, &ri.updates, &ri.public)
+            .map_err(|e| format!("durable step {k}: {e}"))?;
+    }
+    let snap = metrics.snapshot();
+    if snap.counter("rrr_wal_records_appended_total") != steps.len() as u64 {
+        return Err(format!(
+            "store identity broken: {} WAL records appended for {} steps",
+            snap.counter("rrr_wal_records_appended_total"),
+            steps.len()
+        ));
+    }
+    if snap.gauge("rrr_wal_records") != steps.len() as i64 {
+        return Err(format!(
+            "store identity broken: WAL-length gauge {} with {} uncheckpointed steps",
+            snap.gauge("rrr_wal_records"),
+            steps.len()
+        ));
+    }
+    durable.cut_checkpoint().map_err(|e| format!("checkpoint cut: {e}"))?;
+    let snap = metrics.snapshot();
+    let cuts = snap.counter("rrr_store_checkpoint_full_total")
+        + snap.counter("rrr_store_checkpoint_delta_total");
+    if cuts == 0 {
+        return Err("store identity broken: a checkpoint cut recorded no checkpoint".to_string());
+    }
+    if snap.gauge("rrr_wal_records") != 0 {
+        return Err(format!(
+            "store identity broken: WAL-length gauge {} right after a cut",
+            snap.gauge("rrr_wal_records")
+        ));
+    }
+    let mut real_bytes = 0i64;
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("listing {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("listing {}: {e}", dir.display()))?;
+        let meta = entry.metadata().map_err(|e| format!("stat: {e}"))?;
+        if meta.is_file() {
+            real_bytes += meta.len() as i64;
+        }
+    }
+    if snap.gauge("rrr_store_bytes_on_disk") != real_bytes {
+        return Err(format!(
+            "store identity broken: bytes_on_disk gauge {} vs {real_bytes} real bytes",
+            snap.gauge("rrr_store_bytes_on_disk")
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -885,6 +1088,22 @@ mod tests {
         )
         .expect("parses");
         run_once(&sc, 1).expect("clean scenario passes");
+    }
+
+    #[test]
+    fn metrics_invariants_oracle_holds_on_a_clean_micro_world() {
+        let sc = Scenario::parse(
+            r#"Scenario(
+                name: "unit-metrics",
+                seed: 11,
+                world: Micro,
+                rounds: 8,
+                events: [RouteChange(from: 2, to: 5, dst: 1)],
+                oracles: [MetricsInvariants],
+            )"#,
+        )
+        .expect("parses");
+        run_once(&sc, 1).expect("metrics identities hold");
     }
 
     #[test]

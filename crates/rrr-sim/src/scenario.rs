@@ -76,6 +76,14 @@ pub enum Oracle {
     /// inside a round) and recovered from its own WAL while the rest keep
     /// their live state.
     PartitionInvariance { crash: u64 },
+    /// Cross-subsystem accounting identities hold on the `rrr-obs`
+    /// registry after instrumented runs of the faulted stream: detector
+    /// counters match ground-truth step/signal/window tallies, durable
+    /// counters match WAL/checkpoint activity, partition series sum to
+    /// their totals, and the daemon's publish epoch equals its window
+    /// count — while the instrumented outputs stay bit-identical to the
+    /// uninstrumented run (metrics are inert).
+    MetricsInvariants,
 }
 
 impl Oracle {
@@ -89,6 +97,7 @@ impl Oracle {
             Oracle::MrtRoundTrip => "mrt-round-trip",
             Oracle::ServeEquivalence { .. } => "serve-equivalence",
             Oracle::PartitionInvariance { .. } => "partition-invariance",
+            Oracle::MetricsInvariants => "metrics-invariants",
         }
     }
 }
@@ -242,6 +251,7 @@ impl Oracle {
                 "PartitionInvariance".to_string(),
                 vec![("crash".to_string(), Value::Int(crash as i64))],
             ),
+            Oracle::MetricsInvariants => Value::Unit("MetricsInvariants".to_string()),
         }
     }
 
@@ -267,6 +277,7 @@ impl Oracle {
             "PartitionInvariance" => {
                 Ok(Oracle::PartitionInvariance { crash: opt_u64(v, "crash", 0)? })
             }
+            "MetricsInvariants" => Ok(Oracle::MetricsInvariants),
             other => Err(bad(format!("unknown oracle `{other}`"))),
         }
     }

@@ -37,5 +37,5 @@ pub use checkpoint::{
     MAGIC,
 };
 pub use error::StoreError;
-pub use wal::{LogSource, WalReader, WalWriter};
+pub use wal::{LogSource, WalObs, WalReader, WalWriter};
 pub use wire::{from_payload, to_payload, Decoder, Encoder, Persist};

@@ -20,14 +20,32 @@ use std::fs::File;
 use std::io::{BufReader, ErrorKind, Read, Write};
 use std::path::Path;
 
+/// Observability handles for one WAL writer: frames and bytes appended, and
+/// flushes issued. Defaults to no-ops; install real handles with
+/// [`WalWriter::set_obs`]. Counters survive writer recreation (truncation)
+/// when the same handles are re-installed, so totals are per-log-lifetime,
+/// not per-file.
+#[derive(Clone, Default)]
+pub struct WalObs {
+    pub frames: rrr_obs::Counter,
+    pub bytes: rrr_obs::Counter,
+    pub flushes: rrr_obs::Counter,
+}
+
 /// Appends length+CRC framed records to a byte sink.
 pub struct WalWriter<W: Write> {
     w: W,
+    obs: WalObs,
 }
 
 impl<W: Write> WalWriter<W> {
     pub fn new(w: W) -> Self {
-        WalWriter { w }
+        WalWriter { w, obs: WalObs::default() }
+    }
+
+    /// Installs metric handles; pass `WalObs::default()` to disable.
+    pub fn set_obs(&mut self, obs: WalObs) {
+        self.obs = obs;
     }
 
     /// Appends one record and flushes it to the sink.
@@ -40,6 +58,9 @@ impl<W: Write> WalWriter<W> {
         self.w.write_all(&crc32(payload).to_le_bytes())?;
         self.w.write_all(payload)?;
         self.w.flush()?;
+        self.obs.frames.inc();
+        self.obs.bytes.add(8 + payload.len() as u64);
+        self.obs.flushes.inc();
         Ok(())
     }
 

@@ -1,0 +1,171 @@
+//! Metrics must be provably inert: enabling the `rrr-obs` registry may
+//! not perturb one bit of detector output. Metric state lives entirely
+//! outside detector state — it is never checkpointed and never part of
+//! the config fingerprint — so a metrics-on run and a metrics-off run
+//! over the same input must produce bit-identical signal logs, refresh
+//! plans, and checkpoint bytes, at every worker count.
+
+use rrr::prelude::*;
+use rrr_core::{Metrics, PartitionMap, PartitionedDetector};
+use std::sync::Arc;
+
+const ROUNDS: u64 = 96;
+
+fn build_detector(threads: usize) -> (StalenessDetector, Engine, Platform) {
+    let seed = 17;
+    let topo = Arc::new(rrr::topology::generate(&TopologyConfig::small(seed)));
+    let events = rrr::bgp::generate_events(&topo, &EventConfig::small(seed, Duration::days(2)));
+    let engine =
+        rrr::bgp::Engine::new(Arc::clone(&topo), &EngineConfig { seed, num_vps: 10 }, events);
+    let mut platform = Platform::new(&topo, &PlatformConfig::small(seed));
+    let rib = engine.rib_snapshot();
+    let mut map = IpToAsMap::from_announcements(rib.iter());
+    for (ixp, lan) in &topo.registry.ixp_lans {
+        map.add_ixp_lan(*lan, *ixp);
+    }
+    let geo = Geolocator::new(GeoDb::noisy(&topo, 0.9, 0.95, seed), vec![]);
+    let alias = AliasResolver::from_topology(&topo, 0.1, seed);
+    let vps = engine.vps().iter().map(|v| v.id).collect();
+    let mut det = StalenessDetector::new(
+        Arc::clone(&topo),
+        map,
+        geo,
+        alias,
+        vps,
+        DetectorConfig { threads, ..DetectorConfig::default() },
+    );
+    det.init_rib(&rib);
+    for tr in platform.anchoring_round(&engine, Timestamp::ZERO) {
+        let src_asn = topo.asn_of(platform.probe(tr.probe).asx);
+        det.add_corpus(tr, Some(src_asn));
+    }
+    (det, engine, platform)
+}
+
+/// Drives one full run, returning everything that must be invariant under
+/// instrumentation: the signal log, a mid-run and final refresh plan, and
+/// the final checkpoint bytes.
+fn run(threads: usize, metrics: &Metrics) -> (Vec<StalenessSignal>, Vec<RefreshPlan>, Vec<u8>) {
+    let (mut det, mut engine, mut platform) = build_detector(threads);
+    det.set_metrics(metrics);
+    let mut plans = Vec::new();
+    for r in 1..=ROUNDS {
+        let t = Timestamp(r * 900);
+        let updates = engine.advance_to(t);
+        let public = platform.random_round(&engine, t, 60);
+        let _ = det.step(t, &updates, &public);
+        if r == ROUNDS / 2 {
+            plans.push(det.plan_refresh(16));
+        }
+    }
+    plans.push(det.plan_refresh(16));
+    let mut ckpt = Vec::new();
+    det.checkpoint(&mut ckpt).expect("checkpoint to memory");
+    (det.signal_log().to_vec(), plans, ckpt)
+}
+
+/// The tentpole property: for every worker count, a metrics-on run is
+/// bit-identical to a metrics-off run — same signals, same plans, same
+/// checkpoint bytes — while the registry itself proves the run was
+/// actually observed (non-zero counters, so the check is not vacuous).
+#[test]
+fn enabled_metrics_change_nothing() {
+    for threads in [1usize, 2, 8] {
+        let off = Metrics::disabled();
+        let on = Metrics::enabled();
+        let (log_off, plans_off, ckpt_off) = run(threads, &off);
+        let (log_on, plans_on, ckpt_on) = run(threads, &on);
+        assert!(!log_off.is_empty(), "scenario must generate signals, threads={threads}");
+        assert_eq!(log_off, log_on, "signal log diverged, threads={threads}");
+        assert_eq!(plans_off, plans_on, "refresh plans diverged, threads={threads}");
+        assert_eq!(ckpt_off, ckpt_on, "checkpoint bytes diverged, threads={threads}");
+
+        let snap = on.snapshot();
+        assert_eq!(
+            snap.counter("rrr_detector_steps_total"),
+            ROUNDS,
+            "every step must be counted, threads={threads}"
+        );
+        assert!(
+            snap.counter("rrr_detector_bgp_windows_closed_total") > 0,
+            "windows closed while instrumented, threads={threads}"
+        );
+        assert_eq!(
+            snap.counter("rrr_detector_signals_total"),
+            log_on.len() as u64,
+            "signal counter must equal the log length, threads={threads}"
+        );
+        assert_eq!(snap.counter("rrr_detector_plan_refresh_total"), 2, "threads={threads}");
+        // And the off-handle recorded nothing at all.
+        assert!(off.snapshot().counters.is_empty(), "disabled registry must stay empty");
+    }
+}
+
+/// Same property for the N-partition facade: instrumentation (including
+/// the per-partition labeled series) must not perturb the canonical
+/// merged state.
+#[test]
+fn partitioned_metrics_change_nothing() {
+    let canonical = |metrics: &Metrics| {
+        let seed = 17;
+        let topo = Arc::new(rrr::topology::generate(&TopologyConfig::small(seed)));
+        let events = rrr::bgp::generate_events(&topo, &EventConfig::small(seed, Duration::days(2)));
+        let mut engine =
+            rrr::bgp::Engine::new(Arc::clone(&topo), &EngineConfig { seed, num_vps: 10 }, events);
+        let mut platform = Platform::new(&topo, &PlatformConfig::small(seed));
+        let rib = engine.rib_snapshot();
+        // `IpToAsMap` is not `Clone`; each partition rebuilds it from the
+        // same RIB, which is deterministic.
+        let build_one = |threads: usize| {
+            let mut map = IpToAsMap::from_announcements(rib.iter());
+            for (ixp, lan) in &topo.registry.ixp_lans {
+                map.add_ixp_lan(*lan, *ixp);
+            }
+            let geo = Geolocator::new(GeoDb::noisy(&topo, 0.9, 0.95, seed), vec![]);
+            let alias = AliasResolver::from_topology(&topo, 0.1, seed);
+            let vps = engine.vps().iter().map(|v| v.id).collect();
+            StalenessDetector::new(
+                Arc::clone(&topo),
+                map,
+                geo,
+                alias,
+                vps,
+                DetectorConfig { threads, ..DetectorConfig::default() },
+            )
+        };
+        let mid = Ipv4::new(128, 0, 0, 0).value();
+        let pmap = PartitionMap::from_splits(vec![mid]).expect("valid split");
+        let mut pd = PartitionedDetector::from_factory(pmap, |_| build_one(1));
+        // Routed by the partition map — each partition owns its RIB slice.
+        pd.init_rib(&rib);
+        pd.set_metrics(metrics);
+        for tr in platform.anchoring_round(&engine, Timestamp::ZERO) {
+            let src_asn = topo.asn_of(platform.probe(tr.probe).asx);
+            pd.add_corpus(tr, Some(src_asn));
+        }
+        for r in 1..=ROUNDS / 2 {
+            let t = Timestamp(r * 900);
+            let updates = engine.advance_to(t);
+            let public = platform.random_round(&engine, t, 60);
+            let _ = pd.step(t, &updates, &public);
+        }
+        pd.canonical_bytes().expect("canonical bytes")
+    };
+    let on = Metrics::enabled();
+    let bytes_off = canonical(&Metrics::disabled());
+    let bytes_on = canonical(&on);
+    assert_eq!(bytes_off, bytes_on, "partitioned canonical state diverged under metrics");
+    let snap = on.snapshot();
+    assert_eq!(snap.counter("rrr_partition_steps_total"), ROUNDS / 2);
+    assert_eq!(
+        snap.counter("rrr_detector_steps_total{part=\"0\"}")
+            + snap.counter("rrr_detector_steps_total{part=\"1\"}"),
+        2 * (ROUNDS / 2),
+        "each partition steps every round"
+    );
+    assert_eq!(
+        snap.counter_family("rrr_partition_routed_updates_total"),
+        snap.counter("rrr_partition_updates_total"),
+        "routed series must sum to the total"
+    );
+}
