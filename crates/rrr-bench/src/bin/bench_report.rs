@@ -31,7 +31,12 @@
 //!   vacuous 1.0);
 //! - `partition_checkpoint` — `cut_checkpoints` across an N-partition
 //!   `PartitionedDurable` root, reporting total and per-partition
-//!   bytes-on-disk (`bytes_per_partition` in the JSON).
+//!   bytes-on-disk (`bytes_per_partition` in the JSON);
+//! - `weather_soak` (opt-in via `--soak`, absent from `EXPECTED_OPS`) —
+//!   streams the full-scale diurnal weather regime ([`rrr_bench::weather`],
+//!   ~100k-AS lazy world) through a fresh detector window by window and
+//!   reports ns per window. Skipping without `--soak` is announced
+//!   explicitly, never silent.
 //!
 //! Speedups are relative to the serial run of the same op/scale
 //! (`observe_batch` is relative to per-update `observe`). On a single-core
@@ -611,8 +616,37 @@ fn measure_partition_checkpoint(c: &mut Criterion, n: usize) -> (f64, Vec<u64>) 
     (ns, bytes)
 }
 
+/// Opt-in weather-soak row: streams the full-scale diurnal regime through
+/// a fresh detector and returns (ns per window, windows, updates fed,
+/// signals emitted, chains materialized). Exits nonzero if the instrument
+/// emits no signals at all — a silent soak is a broken soak.
+fn measure_weather_soak(quick: bool, threads: usize) -> (f64, u64, u64, usize, usize) {
+    use rrr_bench::weather::{Regime, WeatherScale, WeatherWorld, WINDOW_SECS};
+    let windows: u64 = if quick { 24 } else { 96 };
+    let regime = Regime::by_name("diurnal").expect("diurnal is a built-in family");
+    let mut world = WeatherWorld::new(regime, WeatherScale::full(), 1);
+    let mut det = world.build_detector(threads);
+    let started = std::time::Instant::now();
+    let mut updates_fed = 0u64;
+    let mut signals = 0usize;
+    for w in 0..windows {
+        let (updates, _) = world.advance(w);
+        updates_fed += updates.len() as u64;
+        signals += det.step(Timestamp((w + 1) * WINDOW_SECS), &updates, &[]).len();
+    }
+    let ns = started.elapsed().as_nanos() as f64 / windows as f64;
+    if signals == 0 {
+        eprintln!(
+            "weather_soak: {windows} full-scale windows emitted no signals — instrument dead"
+        );
+        std::process::exit(1);
+    }
+    (ns, windows, updates_fed, signals, world.materialized_chains())
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let soak = std::env::args().any(|a| a == "--soak");
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let measurement = Duration::from_millis(if quick { 60 } else { 400 });
     let mut c = Criterion::default().measurement_time(measurement);
@@ -924,6 +958,29 @@ fn main() {
             delta_ratio: 0.0,
         });
         part_bytes.push((n, bytes));
+    }
+
+    // Weather soak, opt-in: the full-scale regime row is minutes of work
+    // multiplied across CI shards, so it only runs when asked for — and
+    // says so when it doesn't, instead of passing vacuously.
+    if soak {
+        let (ns, windows, updates_fed, signals, chains) = measure_weather_soak(quick, host_threads);
+        rows.push(Row {
+            op: "weather_soak",
+            scale: 1,
+            threads: host_threads,
+            ns_per_iter: ns,
+            speedup: 1.0,
+            bytes_on_disk: 0,
+            delta_ratio: 0.0,
+        });
+        eprintln!(
+            "weather_soak done ({windows} windows, {updates_fed} updates, {signals} signals, \
+             {chains} chains materialized, {:.2} windows/sec)",
+            1e9 / ns
+        );
+    } else {
+        eprintln!("weather_soak skipped: pass --soak to run the full-scale weather regime row");
     }
 
     let entries: Vec<serde_json::Value> = rows

@@ -6,8 +6,12 @@ pub mod eval;
 pub mod pipeline;
 pub mod retro;
 pub mod table;
+pub mod weather;
 pub mod world;
 
 pub use eval::{ChangeEvent, ChangeKind, GroundTruthTracker, Matcher, PairId, TechniqueStats};
 pub use retro::{run_retrospective, RetroResult};
+pub use weather::{
+    FeedModel, Regime, TruthEvent, TruthKind, WeatherScale, WeatherWorld, WINDOW_SECS,
+};
 pub use world::{split_probes, World, WorldConfig};

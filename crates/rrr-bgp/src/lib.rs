@@ -21,12 +21,14 @@
 
 pub mod attrs;
 pub mod engine;
+pub mod envelope;
 pub mod events;
 pub mod routing;
 pub mod state;
 
 pub use attrs::{route_attrs, RouteAttrs};
 pub use engine::{Engine, EngineConfig, VantagePoint};
+pub use envelope::{mix64, RateEnvelope};
 pub use events::{generate_events, Event, EventConfig, EventKind};
 pub use routing::{compute_routes, egress_points, RouteClass, RouteEntry, RouteTable};
 pub use state::NetState;

@@ -104,7 +104,12 @@ fn build_single() -> StalenessDetector {
 
 /// Same construction through the partitioned facade.
 fn build_partitioned(n: usize) -> PartitionedDetector {
-    let mut d = PartitionedDetector::from_factory(split_map(n), |_| fresh_detector());
+    build_partitioned_with_map(split_map(n))
+}
+
+/// Same construction over an explicit routing map.
+fn build_partitioned_with_map(map: PartitionMap) -> PartitionedDetector {
+    let mut d = PartitionedDetector::from_factory(map, |_| fresh_detector());
     d.init_rib(&rib_seed());
     for dst in 0..NUM_DSTS {
         d.add_corpus(corpus_trace(1 + dst as u64, dst), None).expect("corpus trace valid");
@@ -274,14 +279,21 @@ fn drive_partitioned(det: &mut PartitionedDetector, rounds: &[Round]) -> Vec<Vec
 /// Single reference vs partitioned at each N: merged signal log, refresh
 /// plans, and canonical state bytes must all be identical.
 fn assert_partition_equivalent(rounds: &[Round], ns: &[usize]) {
+    assert_map_equivalent(rounds, ns.iter().map(|&n| split_map(n)).collect());
+}
+
+/// The same property over explicit routing maps (edge-case placements:
+/// single-address ranges, far more partitions than occupied prefixes).
+fn assert_map_equivalent(rounds: &[Round], maps: Vec<PartitionMap>) {
     let mut reference = build_single();
     let mut ref_plans = drive_single(&mut reference, rounds);
     ref_plans.push(reference.plan_refresh(PLAN_BUDGET).refresh);
     let ref_log: Vec<String> = reference.signal_log().iter().map(signal_repr).collect();
     let ref_bytes = canonical_bytes_single(&mut reference).expect("reference canonical bytes");
 
-    for &n in ns {
-        let mut parted = build_partitioned(n);
+    for map in maps {
+        let n = map.len();
+        let mut parted = build_partitioned_with_map(map);
         let mut plans = drive_partitioned(&mut parted, rounds);
         plans.push(parted.plan_refresh(PLAN_BUDGET).refresh);
         let log: Vec<String> = parted.signal_log().iter().map(signal_repr).collect();
@@ -343,11 +355,10 @@ proptest! {
     }
 }
 
-/// Deterministic non-vacuous case: community flips fire signals and the
-/// refresh cadence exercises the merged planner; checked at N=2/4/8 with
-/// partition-parallel stepping both off and on.
-#[test]
-fn partitioned_run_with_firing_signals() {
+/// Ten deterministic rounds whose community flips fire signals and whose
+/// refresh cadence exercises the merged planner — the shared workload for
+/// every deterministic equivalence test below.
+fn firing_rounds() -> Vec<Round> {
     let mut rounds = Vec::new();
     for r in 0..10u64 {
         let mut updates = Vec::new();
@@ -366,6 +377,15 @@ fn partitioned_run_with_firing_signals() {
         let traces = (0..4).map(|n| (n * 200 + 5, (n as u32) % NUM_DSTS, r % 5 == 4)).collect();
         rounds.push(Round { updates, traces });
     }
+    rounds
+}
+
+/// Deterministic non-vacuous case: community flips fire signals and the
+/// refresh cadence exercises the merged planner; checked at N=2/4/8 with
+/// partition-parallel stepping both off and on.
+#[test]
+fn partitioned_run_with_firing_signals() {
+    let rounds = firing_rounds();
     // Non-vacuous: the reference run must actually fire signals.
     let mut probe = build_single();
     let _ = drive_single(&mut probe, &rounds);
@@ -470,6 +490,99 @@ fn durable_gauges_match_real_partition_files() {
             manual += entry.expect("entry").metadata().expect("metadata").len();
         }
         assert_eq!(real as u64, manual, "bytes_on_disk vs raw listing, part {k}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Single-address ranges are legal placements: `[b, b+1)` holds exactly
+/// one address, and routing plus the merged run must still be
+/// bit-identical to the single reference.
+#[test]
+fn single_address_ranges_merge_identically() {
+    let b = Ipv4::new(10, 3, 0, 0).value();
+    let c = Ipv4::new(10, 4, 0, 0).value();
+    let map = PartitionMap::from_splits(vec![b, b + 1, c, c + 1]).expect("ascending splits");
+    assert_eq!(map.len(), 5);
+
+    // Partitions 1 and 3 each own exactly one address.
+    assert_eq!(map.range(1), (b, Some(b + 1)));
+    assert_eq!(map.range(3), (c, Some(c + 1)));
+    assert_eq!(map.of_addr(Ipv4(b)), 1);
+    assert_eq!(map.of_addr(Ipv4(b + 1)), 2);
+    assert_eq!(map.of_addr(Ipv4(c - 1)), 2);
+    assert_eq!(map.of_addr(Ipv4(c)), 3);
+    assert_eq!(map.of_addr(Ipv4(c + 1)), 4);
+
+    // A destination prefix routes by its base address, so 10.3.0.0/16
+    // lands in the one-address partition and still merges cleanly.
+    assert_eq!(map.of_prefix("10.3.0.0/16".parse().expect("p")), 1);
+
+    assert_map_equivalent(&firing_rounds(), vec![map]);
+}
+
+/// More partitions than occupied prefixes: most partitions never see a
+/// corpus entry or an update, and the empty majority must not perturb the
+/// merged output.
+#[test]
+fn more_partitions_than_prefixes_merge_identically() {
+    let wide = split_map(16);
+    let even = PartitionMap::even(64);
+    for map in [&wide, &even] {
+        let parted = build_partitioned_with_map(map.clone());
+        let empty = parted.partitions().iter().filter(|p| p.corpus().is_empty()).count();
+        assert!(
+            empty > map.len() / 2,
+            "with {} partitions over {NUM_DSTS} prefixes most must be empty, got {empty}",
+            map.len()
+        );
+        assert_eq!(parted.corpus_len(), NUM_DSTS as usize, "no entry lost to an empty range");
+    }
+    assert_map_equivalent(&firing_rounds(), vec![wide, even]);
+}
+
+/// Reopening a durable partition set under a skewed detector config is a
+/// typed `ConfigMismatch`, not a silent divergence — and the unchanged
+/// config still reopens cleanly afterwards.
+#[test]
+fn reopen_with_skewed_config_is_a_typed_error() {
+    use rrr_core::{DurableConfig, PartitionedDurable};
+    use rrr_store::StoreError;
+
+    let dir = std::env::temp_dir().join(format!("rrr-partition-skew-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let parts: Vec<StalenessDetector> = (0..2).map(|_| fresh_detector()).collect();
+    let mut pd = PartitionedDurable::create(parts, split_map(2), &dir, DurableConfig::default())
+        .expect("create");
+    pd.init_rib(&rib_seed());
+    for dst in 0..NUM_DSTS {
+        pd.add_corpus(corpus_trace(1 + dst as u64, dst), None).expect("corpus trace valid");
+    }
+    for (k, round) in firing_rounds().iter().take(3).enumerate() {
+        let (updates, public) = round_inputs(round, k as u64);
+        pd.step(Timestamp((k as u64 + 1) * ROUND), &updates, &public).expect("durable step");
+    }
+    // Corpus membership is captured at checkpoint cuts, not in the WAL.
+    pd.cut_checkpoints().expect("cut checkpoints");
+    drop(pd);
+
+    // A different seed changes the config fingerprint, so the reopen must
+    // refuse with the typed mismatch rather than resume divergent state.
+    let skewed = DetectorConfig { seed: 43, ..config() };
+    match PartitionedDurable::open(&dir, |_| env(), skewed, DurableConfig::default()) {
+        Err(StoreError::ConfigMismatch { what }) => {
+            assert_eq!(what, "partition map fingerprint");
+        }
+        Err(other) => panic!("expected ConfigMismatch, got {other:?}"),
+        Ok(_) => panic!("skewed config must not reopen"),
+    }
+
+    // The honest config still gets back in with the corpus intact.
+    let pd = PartitionedDurable::open(&dir, |_| env(), config(), DurableConfig::default())
+        .expect("same config reopens");
+    for dst in 0..NUM_DSTS {
+        assert!(pd.corpus_get(TracerouteId(1 + dst as u64)).is_some(), "entry {dst} restored");
     }
 
     let _ = std::fs::remove_dir_all(&dir);

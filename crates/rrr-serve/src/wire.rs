@@ -6,6 +6,11 @@
 //! trees; the response side builds `Value` trees by hand and serializes
 //! them with the shim. Both directions are exercised by round-trip tests.
 //!
+//! Clients get the mirror pair: [`encode_request`] (the inverse of
+//! [`decode_request`]) and [`decode_response`] (the inverse of
+//! [`encode_response`]), so nothing outside this module hand-assembles
+//! or hand-parses wire lines.
+//!
 //! ## Requests
 //!
 //! ```json
@@ -28,7 +33,7 @@ use rrr_core::{
     AsSummary, CorpusSummary, FamilyStats, Freshness, FreshnessSummary, MonitorStats,
     PrefixSummary, RefreshPlan,
 };
-use rrr_types::{Asn, Error, TracerouteId};
+use rrr_types::{Asn, Error, Timestamp, TracerouteId};
 use serde_json::{Map, Value};
 
 // ---------------------------------------------------------------------------
@@ -282,6 +287,139 @@ pub fn decode_request(line: &str) -> Result<StalenessQuery, Error> {
 }
 
 // ---------------------------------------------------------------------------
+// Request encoding (clients)
+// ---------------------------------------------------------------------------
+
+/// Encodes one request as a single JSON line (no trailing newline): the
+/// exact inverse of [`decode_request`], so clients and test harnesses
+/// never hand-assemble wire strings.
+pub fn encode_request(q: &StalenessQuery) -> String {
+    let tag = |name: &'static str| ("query", Value::String(name.into()));
+    let fields: Vec<(&'static str, Value)> = match q {
+        StalenessQuery::IsStale(id) => vec![tag("is_stale"), ("id", num(id.0))],
+        StalenessQuery::RefreshPlan { budget } => {
+            vec![tag("refresh_plan"), ("budget", num(*budget as u64))]
+        }
+        StalenessQuery::PrefixSummary(p) => {
+            vec![tag("prefix_summary"), ("prefix", Value::String(p.to_string()))]
+        }
+        StalenessQuery::AsSummary(a) => vec![tag("as_summary"), ("asn", num(a.0 as u64))],
+        StalenessQuery::CorpusSummary => vec![tag("corpus_summary")],
+        StalenessQuery::MonitorStats => vec![tag("monitor_stats")],
+        StalenessQuery::Metrics => vec![tag("metrics")],
+    };
+    serde_json::to_string(&obj(fields)).expect("shim serialization is infallible")
+}
+
+// ---------------------------------------------------------------------------
+// Response decoding (clients)
+// ---------------------------------------------------------------------------
+
+fn get_obj<'m>(map: &'m Map<String, Value>, field: &str) -> Result<&'m Map<String, Value>, Error> {
+    match map.get(field) {
+        Some(Value::Object(m)) => Ok(m),
+        Some(_) => Err(Error::protocol(format!("field '{field}' must be an object"))),
+        None => Err(Error::protocol(format!("missing field '{field}'"))),
+    }
+}
+
+fn get_ids(map: &Map<String, Value>, field: &str) -> Result<Vec<TracerouteId>, Error> {
+    match map.get(field) {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(TracerouteId(*n as u64)),
+                _ => {
+                    Err(Error::protocol(format!("field '{field}' must hold non-negative integers")))
+                }
+            })
+            .collect(),
+        Some(_) => Err(Error::protocol(format!("field '{field}' must be an array"))),
+        None => Err(Error::protocol(format!("missing field '{field}'"))),
+    }
+}
+
+fn summary_from(map: &Map<String, Value>) -> Result<FreshnessSummary, Error> {
+    Ok(FreshnessSummary {
+        fresh: get_u64(map, "fresh")? as usize,
+        stale: get_u64(map, "stale")? as usize,
+        unknown: get_u64(map, "unknown")? as usize,
+    })
+}
+
+fn family_from(map: &Map<String, Value>, field: &str) -> Result<FamilyStats, Error> {
+    let m = get_obj(map, field)?;
+    Ok(FamilyStats {
+        total: get_u64(m, "total")? as usize,
+        ready: get_u64(m, "ready")? as usize,
+        gave_up: get_u64(m, "gave_up")? as usize,
+    })
+}
+
+fn freshness_from(map: &Map<String, Value>) -> Result<Freshness, Error> {
+    match get_str(map, "state")? {
+        "fresh" => Ok(Freshness::Fresh),
+        "unknown" => Ok(Freshness::Unknown),
+        "stale" => Ok(Freshness::Stale {
+            since: Timestamp(get_u64(map, "since")?),
+            asserting: get_u64(map, "asserting")? as usize,
+        }),
+        other => Err(Error::protocol(format!("unknown freshness state '{other}'"))),
+    }
+}
+
+/// Decodes one response line into the typed answer: the exact inverse of
+/// [`encode_response`]. A server-side `{"error": ...}` line decodes to
+/// `Err` carrying the server's message.
+pub fn decode_response(line: &str) -> Result<QueryResponse, Error> {
+    let v = parse_json(line)?;
+    let Value::Object(map) = v else {
+        return Err(Error::protocol("response must be a JSON object"));
+    };
+    if let Some(Value::String(e)) = map.get("error") {
+        return Err(Error::protocol(format!("server error: {e}")));
+    }
+    let epoch = get_u64(&map, "epoch")?;
+    let body = get_obj(&map, "body")?;
+    let body = match get_str(body, "kind")? {
+        "freshness" => ResponseBody::Freshness(match body.get("freshness") {
+            Some(Value::Null) => None,
+            Some(Value::Object(f)) => Some(freshness_from(f)?),
+            _ => return Err(Error::protocol("field 'freshness' must be an object or null")),
+        }),
+        "plan" => ResponseBody::Plan(RefreshPlan { refresh: get_ids(body, "refresh")? }),
+        "prefix_summary" => {
+            let text = get_str(body, "prefix")?;
+            ResponseBody::Prefix(PrefixSummary {
+                prefix: text
+                    .parse()
+                    .map_err(|e| Error::protocol(format!("field 'prefix': {e}")))?,
+                traceroutes: get_ids(body, "traceroutes")?,
+                freshness: summary_from(body)?,
+            })
+        }
+        "as_summary" => ResponseBody::As(AsSummary {
+            asn: Asn(u32::try_from(get_u64(body, "asn")?)
+                .map_err(|_| Error::protocol("field 'asn' out of range"))?),
+            traceroutes: get_ids(body, "traceroutes")?,
+            freshness: summary_from(body)?,
+        }),
+        "corpus_summary" => ResponseBody::Corpus(CorpusSummary {
+            entries: get_u64(body, "entries")? as usize,
+            freshness: summary_from(body)?,
+            signals_logged: get_u64(body, "signals_logged")? as usize,
+        }),
+        "monitor_stats" => ResponseBody::Monitors(MonitorStats {
+            subpaths: family_from(body, "subpaths")?,
+            borders: family_from(body, "borders")?,
+        }),
+        "metrics" => ResponseBody::Metrics(get_str(body, "exposition")?.to_string()),
+        other => Err(Error::protocol(format!("unknown body kind '{other}'")))?,
+    };
+    Ok(QueryResponse { epoch, body })
+}
+
+// ---------------------------------------------------------------------------
 // Response encoding
 // ---------------------------------------------------------------------------
 
@@ -390,7 +528,6 @@ pub fn encode_error(err: &Error) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rrr_types::Timestamp;
 
     #[test]
     fn parses_round_trippable_documents() {

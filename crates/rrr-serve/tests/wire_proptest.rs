@@ -1,0 +1,209 @@
+//! Property tests over the line-delimited-JSON wire protocol: every
+//! encodable request and response must round-trip through its decoder
+//! bit-exactly, and no truncated or garbage line may panic the parser —
+//! a malformed line fails with a typed error, nothing more.
+//!
+//! Wire numbers travel as `f64`, so every sampled integer stays below
+//! 2^53 — the largest contiguous integer range a double represents
+//! exactly. Larger ids would be a protocol bug, not a test concern.
+
+use proptest::prelude::*;
+use rrr_core::{
+    AsSummary, CorpusSummary, FamilyStats, Freshness, FreshnessSummary, MonitorStats,
+    PrefixSummary, RefreshPlan,
+};
+use rrr_serve::wire::{
+    decode_request, decode_response, encode_error, encode_request, encode_response,
+};
+use rrr_serve::{QueryResponse, ResponseBody, StalenessQuery};
+use rrr_types::{Asn, Error, Ipv4, Prefix, Timestamp, TracerouteId};
+
+/// Exact-in-f64 ceiling for wire integers.
+const MAX_WIRE_INT: u64 = 1 << 53;
+
+fn query_from(kind: u8, n: u64, addr: u32, len: u8) -> StalenessQuery {
+    match kind {
+        0 => StalenessQuery::IsStale(TracerouteId(n)),
+        1 => StalenessQuery::RefreshPlan { budget: n as usize },
+        2 => StalenessQuery::PrefixSummary(Prefix::new(Ipv4(addr), len)),
+        3 => StalenessQuery::AsSummary(Asn(addr)),
+        4 => StalenessQuery::CorpusSummary,
+        5 => StalenessQuery::MonitorStats,
+        _ => StalenessQuery::Metrics,
+    }
+}
+
+fn ids_from(raw: &[u64]) -> Vec<TracerouteId> {
+    raw.iter().map(|&n| TracerouteId(n)).collect()
+}
+
+fn summary_from(raw: (u64, u64, u64)) -> FreshnessSummary {
+    FreshnessSummary { fresh: raw.0 as usize, stale: raw.1 as usize, unknown: raw.2 as usize }
+}
+
+/// Exposition text sampled over a palette that includes everything the
+/// single-line framing has to escape: newlines, tabs, quotes,
+/// backslashes, braces, and multi-byte UTF-8.
+fn exposition_from(raw: &[u8]) -> String {
+    const PALETTE: [char; 12] = ['a', 'Z', '0', ' ', '\n', '\t', '"', '\\', '{', '}', 'µ', '#'];
+    raw.iter().map(|&b| PALETTE[b as usize % PALETTE.len()]).collect()
+}
+
+fn assert_response_round_trips(resp: &QueryResponse) {
+    let line = encode_response(resp);
+    assert!(!line.contains('\n'), "one wire line: {line}");
+    let back = decode_response(&line)
+        .unwrap_or_else(|e| panic!("self-encoded line must decode: {e} in {line}"));
+    assert_eq!(&back, resp, "wire: {line}");
+}
+
+proptest! {
+    /// `decode_request` inverts `encode_request` for every variant over
+    /// the full wire-safe integer range.
+    #[test]
+    fn every_request_round_trips(
+        kind in 0u8..7,
+        n in 0u64..MAX_WIRE_INT,
+        addr in any::<u32>(),
+        len in 0u8..33,
+    ) {
+        let q = query_from(kind, n, addr, len);
+        let line = encode_request(&q);
+        prop_assert!(!line.contains('\n'), "one wire line: {}", line);
+        let back = decode_request(&line)
+            .unwrap_or_else(|e| panic!("self-encoded line must decode: {e} in {line}"));
+        prop_assert_eq!(back, q, "wire: {}", line);
+    }
+
+    /// Every strict prefix of a valid request line is rejected with an
+    /// error — never a panic, never a silent success.
+    #[test]
+    fn truncated_requests_are_rejected(
+        kind in 0u8..7,
+        n in 0u64..MAX_WIRE_INT,
+        addr in any::<u32>(),
+        len in 0u8..33,
+        cut in any::<usize>(),
+    ) {
+        let line = encode_request(&query_from(kind, n, addr, len));
+        let cut = cut % line.len();
+        prop_assert!(
+            decode_request(&line[..cut]).is_err(),
+            "prefix {:?} of {:?} must not decode",
+            &line[..cut],
+            line
+        );
+    }
+
+    /// Freshness and plan responses round-trip, including the
+    /// not-in-corpus `None` and the stale state's payload fields.
+    #[test]
+    fn freshness_and_plan_responses_round_trip(
+        epoch in 0u64..MAX_WIRE_INT,
+        state in 0u8..4,
+        since in 0u64..MAX_WIRE_INT,
+        asserting in 0u64..MAX_WIRE_INT,
+        raw_ids in proptest::collection::vec(0u64..MAX_WIRE_INT, 0..8),
+    ) {
+        let freshness = match state {
+            0 => None,
+            1 => Some(Freshness::Fresh),
+            2 => Some(Freshness::Unknown),
+            _ => Some(Freshness::Stale {
+                since: Timestamp(since),
+                asserting: asserting as usize,
+            }),
+        };
+        assert_response_round_trips(&QueryResponse {
+            epoch,
+            body: ResponseBody::Freshness(freshness),
+        });
+        assert_response_round_trips(&QueryResponse {
+            epoch,
+            body: ResponseBody::Plan(RefreshPlan { refresh: ids_from(&raw_ids) }),
+        });
+    }
+
+    /// The three summary bodies (prefix, AS, corpus) round-trip with
+    /// their id lists and freshness tallies intact.
+    #[test]
+    fn summary_responses_round_trip(
+        epoch in 0u64..MAX_WIRE_INT,
+        addr_len in (any::<u32>(), 0u8..33),
+        raw_ids in proptest::collection::vec(0u64..MAX_WIRE_INT, 0..8),
+        tallies in (0u64..MAX_WIRE_INT, 0u64..MAX_WIRE_INT, 0u64..MAX_WIRE_INT),
+        counts in (any::<u32>(), 0u64..MAX_WIRE_INT),
+    ) {
+        let freshness = summary_from(tallies);
+        assert_response_round_trips(&QueryResponse {
+            epoch,
+            body: ResponseBody::Prefix(PrefixSummary {
+                prefix: Prefix::new(Ipv4(addr_len.0), addr_len.1),
+                traceroutes: ids_from(&raw_ids),
+                freshness,
+            }),
+        });
+        assert_response_round_trips(&QueryResponse {
+            epoch,
+            body: ResponseBody::As(AsSummary {
+                asn: Asn(counts.0),
+                traceroutes: ids_from(&raw_ids),
+                freshness,
+            }),
+        });
+        assert_response_round_trips(&QueryResponse {
+            epoch,
+            body: ResponseBody::Corpus(CorpusSummary {
+                entries: raw_ids.len(),
+                freshness,
+                signals_logged: counts.1 as usize,
+            }),
+        });
+    }
+
+    /// Monitor inventories and metrics expositions round-trip; the
+    /// exposition exercises every character the framing must escape.
+    #[test]
+    fn monitors_and_metrics_round_trip(
+        epoch in 0u64..MAX_WIRE_INT,
+        sub in (0u64..MAX_WIRE_INT, 0u64..MAX_WIRE_INT, 0u64..MAX_WIRE_INT),
+        bord in (0u64..MAX_WIRE_INT, 0u64..MAX_WIRE_INT, 0u64..MAX_WIRE_INT),
+        raw_text in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let family = |f: (u64, u64, u64)| FamilyStats {
+            total: f.0 as usize,
+            ready: f.1 as usize,
+            gave_up: f.2 as usize,
+        };
+        assert_response_round_trips(&QueryResponse {
+            epoch,
+            body: ResponseBody::Monitors(MonitorStats {
+                subpaths: family(sub),
+                borders: family(bord),
+            }),
+        });
+        assert_response_round_trips(&QueryResponse {
+            epoch,
+            body: ResponseBody::Metrics(exposition_from(&raw_text)),
+        });
+    }
+
+    /// Arbitrary byte soup never panics either decoder: each call
+    /// returns `Ok` or a typed error, and a response line carrying
+    /// `{"error": ...}` surfaces the server's message as `Err`.
+    #[test]
+    fn garbage_never_panics_and_errors_are_surfaced(
+        raw in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let soup = String::from_utf8_lossy(&raw);
+        let _ = decode_request(&soup);
+        let _ = decode_response(&soup);
+        let line = encode_error(&Error::protocol(soup.to_string()));
+        prop_assert!(!line.contains('\n'), "one wire line: {}", line);
+        prop_assert!(
+            decode_response(&line).is_err(),
+            "an error line must decode to Err: {}",
+            line
+        );
+    }
+}

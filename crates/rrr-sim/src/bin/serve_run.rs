@@ -19,12 +19,11 @@
 
 use rrr_core::{Metrics, Query};
 use rrr_serve::{
-    replay_reference, split_rounds, wire, Daemon, DaemonConfig, Engine, FeedSource, ScriptedFeed,
-    StalenessQuery,
+    replay_reference, split_rounds, wire, Daemon, DaemonConfig, Engine, FeedSource, ResponseBody,
+    ScriptedFeed, StalenessQuery,
 };
 use rrr_sim::{feed_batches, load_scenario_or_artifact, snapshots_equal};
 use rrr_types::{Asn, Prefix, TracerouteId};
-use serde_json::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -95,24 +94,6 @@ fn mix(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
-}
-
-/// Builds the wire request line for a typed query (the inverse of
-/// [`wire::decode_request`]).
-fn request_line(q: &StalenessQuery) -> String {
-    match q {
-        StalenessQuery::IsStale(id) => format!("{{\"query\":\"is_stale\",\"id\":{}}}", id.0),
-        StalenessQuery::RefreshPlan { budget } => {
-            format!("{{\"query\":\"refresh_plan\",\"budget\":{budget}}}")
-        }
-        StalenessQuery::PrefixSummary(p) => {
-            format!("{{\"query\":\"prefix_summary\",\"prefix\":\"{p}\"}}")
-        }
-        StalenessQuery::AsSummary(a) => format!("{{\"query\":\"as_summary\",\"asn\":{}}}", a.0),
-        StalenessQuery::CorpusSummary => "{\"query\":\"corpus_summary\"}".to_string(),
-        StalenessQuery::MonitorStats => "{\"query\":\"monitor_stats\"}".to_string(),
-        StalenessQuery::Metrics => "{\"query\":\"metrics\"}".to_string(),
-    }
 }
 
 /// Strictly parses a Prometheus-style text exposition into full-name →
@@ -187,35 +168,14 @@ fn check_exposition(samples: &std::collections::BTreeMap<String, f64>) -> Vec<St
 
 /// Extracts the stamped epoch from a wire response line.
 fn wire_epoch(line: &str) -> Result<u64, String> {
-    let Value::Object(map) = wire::parse_json(line).map_err(|e| e.to_string())? else {
-        return Err(format!("response is not an object: {line}"));
-    };
-    if let Some(Value::String(e)) = map.get("error") {
-        return Err(format!("server error: {e}"));
-    }
-    match map.get("epoch") {
-        Some(Value::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
-        _ => Err(format!("response has no integral epoch: {line}")),
-    }
+    wire::decode_response(line).map(|r| r.epoch).map_err(|e| e.to_string())
 }
 
 /// Extracts the exposition text from a wire `metrics` response line.
 fn wire_exposition(line: &str) -> Result<String, String> {
-    let Value::Object(map) = wire::parse_json(line).map_err(|e| e.to_string())? else {
-        return Err(format!("response is not an object: {line}"));
-    };
-    if let Some(Value::String(e)) = map.get("error") {
-        return Err(format!("server error: {e}"));
-    }
-    let Some(Value::Object(body)) = map.get("body") else {
-        return Err(format!("response has no body: {line}"));
-    };
-    if body.get("kind") != Some(&Value::String("metrics".to_string())) {
-        return Err(format!("response body is not a metrics body: {line}"));
-    }
-    match body.get("exposition") {
-        Some(Value::String(text)) => Ok(text.clone()),
-        _ => Err(format!("metrics body has no exposition string: {line}")),
+    match wire::decode_response(line).map_err(|e| e.to_string())?.body {
+        ResponseBody::Metrics(text) => Ok(text),
+        other => Err(format!("response body is not a metrics body: {other:?}")),
     }
 }
 
@@ -329,7 +289,7 @@ fn main() -> ExitCode {
         if let Some((stream, reader)) = client.as_mut() {
             if i % 5 == 0 {
                 tcp_queries += 1;
-                let mut line = request_line(&q);
+                let mut line = wire::encode_request(&q);
                 line.push('\n');
                 let sent = stream.write_all(line.as_bytes()).and_then(|()| {
                     let mut buf = String::new();
@@ -378,7 +338,9 @@ fn main() -> ExitCode {
         // Over the wire: same query, same gate, through the JSON framing.
         if let Some((stream, reader)) = client.as_mut() {
             metrics_queried = true;
-            let sent = stream.write_all(b"{\"query\":\"metrics\"}\n").and_then(|()| {
+            let mut line = wire::encode_request(&StalenessQuery::Metrics);
+            line.push('\n');
+            let sent = stream.write_all(line.as_bytes()).and_then(|()| {
                 let mut buf = String::new();
                 reader.read_line(&mut buf).map(|_| buf)
             });

@@ -5,9 +5,21 @@
 //! ```text
 //! sim_run [--scenarios DIR] [--file PATH] [--only NAME] [--threads N]
 //!         [--artifacts DIR] [--no-minimize] [--list]
+//! sim_run --weather REGIME [--seed N] [--windows N] [--scale full|small]
+//!         [--threads N] [--verify-repro]
 //! ```
+//!
+//! The `--weather` mode streams a weather regime (see
+//! [`rrr_sim::weather`]) through a fresh detector window by window on the
+//! lazily materialized large world, prints the precision/coverage
+//! trajectory table, and enforces the instrument's acceptance bar:
+//! peak RSS under 8 GiB and a non-degenerate report.
 
-use rrr_sim::{default_artifact_dir, load_corpus, load_scenario_or_artifact, RunOptions, Scenario};
+use rrr_bench::weather::{Regime, WeatherScale};
+use rrr_sim::{
+    default_artifact_dir, load_corpus, load_scenario_or_artifact, run_weather, RunOptions,
+    Scenario, WeatherSpec,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -20,12 +32,19 @@ struct Args {
     artifacts: PathBuf,
     minimize: bool,
     list: bool,
+    weather: Option<String>,
+    seed: u64,
+    windows: u64,
+    scale_small: bool,
+    verify_repro: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sim_run [--scenarios DIR] [--file PATH] [--only NAME] [--threads N]\n\
-         \x20              [--artifacts DIR] [--no-minimize] [--list]"
+         \x20              [--artifacts DIR] [--no-minimize] [--list]\n\
+         \x20      sim_run --weather REGIME [--seed N] [--windows N] [--scale full|small]\n\
+         \x20              [--threads N] [--verify-repro]"
     );
     std::process::exit(2)
 }
@@ -39,6 +58,11 @@ fn parse_args() -> Args {
         artifacts: default_artifact_dir(),
         minimize: true,
         list: false,
+        weather: None,
+        seed: 1,
+        windows: 520,
+        scale_small: false,
+        verify_repro: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -48,19 +72,32 @@ fn parse_args() -> Args {
                 usage()
             })
         };
+        let number = |name: &str, v: String| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{name} takes a number");
+                usage()
+            })
+        };
         match flag.as_str() {
             "--scenarios" => args.scenarios_dir = PathBuf::from(value("--scenarios")),
             "--file" => args.file = Some(PathBuf::from(value("--file"))),
             "--only" => args.only = Some(value("--only")),
-            "--threads" => {
-                args.threads = value("--threads").parse().unwrap_or_else(|_| {
-                    eprintln!("--threads takes a number");
-                    usage()
-                })
-            }
+            "--threads" => args.threads = number("--threads", value("--threads")) as usize,
             "--artifacts" => args.artifacts = PathBuf::from(value("--artifacts")),
             "--no-minimize" => args.minimize = false,
             "--list" => args.list = true,
+            "--weather" => args.weather = Some(value("--weather")),
+            "--seed" => args.seed = number("--seed", value("--seed")),
+            "--windows" => args.windows = number("--windows", value("--windows")),
+            "--scale" => match value("--scale").as_str() {
+                "full" => args.scale_small = false,
+                "small" => args.scale_small = true,
+                other => {
+                    eprintln!("--scale must be `full` or `small`, got `{other}`");
+                    usage()
+                }
+            },
+            "--verify-repro" => args.verify_repro = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -71,8 +108,115 @@ fn parse_args() -> Args {
     args
 }
 
+/// Peak resident set size in bytes, from `/proc/self/status` (Linux).
+/// `None` where the file doesn't exist — the RSS gate is then skipped
+/// explicitly, never passed vacuously without saying so.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Peak-RSS ceiling for a full-scale weather run.
+const RSS_LIMIT_BYTES: u64 = 8 << 30;
+
+fn run_weather_mode(args: &Args, regime: &str) -> ExitCode {
+    if Regime::by_name(regime).is_none() {
+        eprintln!("error: unknown regime `{regime}` (families: {})", Regime::FAMILIES.join(", "));
+        return ExitCode::from(2);
+    }
+    let spec = WeatherSpec { regime: regime.to_string(), seed: args.seed, windows: args.windows };
+    let scale = if args.scale_small { WeatherScale::small() } else { WeatherScale::full() };
+    println!(
+        "weather regime={} seed={} windows={} scale={}x{} corpus={} vps={} threads={}",
+        spec.regime,
+        spec.seed,
+        spec.windows,
+        scale.ases,
+        scale.prefixes,
+        scale.corpus,
+        scale.vps,
+        args.threads
+    );
+    let start = Instant::now();
+    let (report, stats) = match run_weather(&spec, scale, args.threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let secs = start.elapsed().as_secs_f64();
+
+    println!();
+    print!("{}", report.trajectory_table(16));
+    println!();
+    let (precision, coverage) = report.totals();
+    let fmt = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.3}"));
+    println!(
+        "totals: precision={} coverage={} updates={} signals={} chains={} digest={:016x} ({secs:.1}s)",
+        fmt(precision),
+        fmt(coverage),
+        stats.updates_fed,
+        stats.signals_emitted,
+        stats.materialized_chains,
+        report.digest
+    );
+
+    let mut ok = true;
+    if args.verify_repro {
+        match run_weather(&spec, scale, args.threads) {
+            Ok((again, _)) if again.digest == report.digest && again == report => {
+                println!("repro:  second run matched bit for bit");
+            }
+            Ok((again, _)) => {
+                eprintln!(
+                    "FAIL: second run diverged (digest {:016x} vs {:016x})",
+                    again.digest, report.digest
+                );
+                ok = false;
+            }
+            Err(e) => {
+                eprintln!("FAIL: second run errored: {e}");
+                ok = false;
+            }
+        }
+    }
+    match peak_rss_bytes() {
+        Some(rss) => {
+            let gib = rss as f64 / (1u64 << 30) as f64;
+            if rss < RSS_LIMIT_BYTES {
+                println!("rss:    peak {gib:.2} GiB (< 8 GiB)");
+            } else {
+                eprintln!("FAIL: peak RSS {gib:.2} GiB breaches the 8 GiB ceiling");
+                ok = false;
+            }
+        }
+        None => println!("rss:    /proc/self/status unavailable — RSS gate skipped"),
+    }
+    if report.non_degenerate() {
+        println!("report: non-degenerate (mixed-precision and mixed-coverage windows exist)");
+    } else {
+        eprintln!(
+            "FAIL: degenerate report — no window has precision and no window has coverage \
+             strictly inside (0, 1)"
+        );
+        ok = false;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+
+    if let Some(regime) = args.weather.clone() {
+        return run_weather_mode(&args, &regime);
+    }
 
     let scenarios: Vec<Scenario> = if let Some(file) = &args.file {
         match load_scenario_or_artifact(file) {

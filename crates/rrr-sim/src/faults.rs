@@ -91,6 +91,46 @@ impl Fault {
         )
     }
 
+    /// Every fault constructor name, for corpus-coverage accounting: the
+    /// scenario corpus meta-test asserts each of these appears in at least
+    /// one checked-in scenario's fault plan.
+    pub const ALL_NAMES: [&'static str; 14] = [
+        "ReorderWindow",
+        "DuplicateUpdates",
+        "DropUpdates",
+        "DuplicateBurst",
+        "ClockSkew",
+        "TruncateWalTail",
+        "FlipWalByte",
+        "FlipCheckpointByte",
+        "TruncateCheckpoint",
+        "BadMagicCheckpoint",
+        "RestoreConfigSkew",
+        "TruncateDeltaTail",
+        "FlipDeltaByte",
+        "DropDeltaFrame",
+    ];
+
+    /// The constructor name this fault renders/parses as.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::ReorderWindow { .. } => "ReorderWindow",
+            Fault::DuplicateUpdates { .. } => "DuplicateUpdates",
+            Fault::DropUpdates { .. } => "DropUpdates",
+            Fault::DuplicateBurst { .. } => "DuplicateBurst",
+            Fault::ClockSkew { .. } => "ClockSkew",
+            Fault::TruncateWalTail { .. } => "TruncateWalTail",
+            Fault::FlipWalByte { .. } => "FlipWalByte",
+            Fault::FlipCheckpointByte { .. } => "FlipCheckpointByte",
+            Fault::TruncateCheckpoint { .. } => "TruncateCheckpoint",
+            Fault::BadMagicCheckpoint => "BadMagicCheckpoint",
+            Fault::RestoreConfigSkew => "RestoreConfigSkew",
+            Fault::TruncateDeltaTail { .. } => "TruncateDeltaTail",
+            Fault::FlipDeltaByte { .. } => "FlipDeltaByte",
+            Fault::DropDeltaFrame { .. } => "DropDeltaFrame",
+        }
+    }
+
     /// Parses a fault from its RON value.
     pub fn from_value(v: &Value) -> Result<Fault, String> {
         let name = v.name().ok_or("fault must be a named variant")?;
@@ -373,6 +413,28 @@ mod tests {
 
     fn rounds() -> Vec<RoundInput> {
         micro_rounds(&MicroPlan { rounds: 4, events: vec![], half_steps: false })
+    }
+
+    #[test]
+    fn all_names_matches_the_constructors_exactly() {
+        let one_of_each = [
+            Fault::ReorderWindow { round: 0 },
+            Fault::DuplicateUpdates { round: 0, copies: 1 },
+            Fault::DropUpdates { round: 0, modulo: 2 },
+            Fault::DuplicateBurst { round: 0, dst: 0, copies: 1 },
+            Fault::ClockSkew { round: 0, vp: 0, secs: 1 },
+            Fault::TruncateWalTail { bytes: 1 },
+            Fault::FlipWalByte { offset: 0 },
+            Fault::FlipCheckpointByte { offset: 0 },
+            Fault::TruncateCheckpoint { len: 1 },
+            Fault::BadMagicCheckpoint,
+            Fault::RestoreConfigSkew,
+            Fault::TruncateDeltaTail { bytes: 1 },
+            Fault::FlipDeltaByte { offset: 0 },
+            Fault::DropDeltaFrame { seq: 0 },
+        ];
+        let names: Vec<&str> = one_of_each.iter().map(Fault::name).collect();
+        assert_eq!(names, Fault::ALL_NAMES, "ALL_NAMES drifted from the constructors");
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! from `rrr-bench::world` through [`World::advance_round`].
 
 use crate::scenario::{Scenario, SimEvent, WorldKind};
+use crate::weather::WeatherSpec;
+use rrr_bench::weather::{WeatherScale, WeatherWorld, WINDOW_SECS};
 use rrr_bench::world::{World, WorldConfig};
 use rrr_core::{DetectorConfig, StalenessDetector};
 use rrr_geo::{GeoDb, Geolocator};
@@ -225,11 +227,27 @@ pub fn micro_rounds(plan: &MicroPlan) -> Vec<RoundInput> {
     out
 }
 
+/// A fresh weather generator world at corpus-test scale (full scale runs
+/// stream through `sim_run --weather` instead of materializing rounds).
+fn weather_world(spec: &WeatherSpec) -> WeatherWorld {
+    spec.world(WeatherScale::small()).expect("regime name validated at scenario parse")
+}
+
 /// A scenario's world: builds identically configured detectors on demand
 /// and knows the environment needed to restore checkpoints.
 pub enum SimWorld {
-    Micro { seed: u64 },
-    Bench { cfg: Box<WorldConfig> },
+    Micro {
+        seed: u64,
+    },
+    Bench {
+        cfg: Box<WorldConfig>,
+    },
+    /// An internet-weather regime at corpus-test scale. The handle stores
+    /// only the spec; generator worlds are pure functions of it, so every
+    /// accessor derives a fresh one.
+    Weather {
+        spec: WeatherSpec,
+    },
 }
 
 impl SimWorld {
@@ -259,6 +277,23 @@ impl SimWorld {
                     .collect();
                 (SimWorld::Bench { cfg: Box::new(cfg) }, rounds)
             }
+            WorldKind::Weather => {
+                let spec =
+                    sc.weather.clone().expect("validate() ties the Weather world to its block");
+                let mut world = weather_world(&spec);
+                let rounds = (0..spec.windows)
+                    .map(|w| {
+                        let (updates, _) = world.advance(w);
+                        RoundInput {
+                            round: w,
+                            now: Timestamp((w + 1) * WINDOW_SECS),
+                            updates,
+                            public: Vec::new(),
+                        }
+                    })
+                    .collect();
+                (SimWorld::Weather { spec }, rounds)
+            }
         }
     }
 
@@ -267,6 +302,7 @@ impl SimWorld {
         let seed = match self {
             SimWorld::Micro { seed } => *seed,
             SimWorld::Bench { cfg } => cfg.seed,
+            SimWorld::Weather { spec } => spec.seed,
         };
         DetectorConfig { seed, threads, ..DetectorConfig::default() }
     }
@@ -302,6 +338,7 @@ impl SimWorld {
                 }
                 det
             }
+            SimWorld::Weather { spec } => weather_world(spec).build_detector(threads),
         }
     }
 
@@ -318,6 +355,12 @@ impl SimWorld {
             SimWorld::Bench { cfg } => {
                 World::new(cfg.as_ref().clone()).build_detector_unseeded(self.det_config(threads))
             }
+            SimWorld::Weather { spec } => {
+                let mut world = weather_world(spec);
+                let (topo, map, geo, alias) = world.detector_env();
+                let vps: Vec<VpId> = (0..world.scale.vps).map(VpId).collect();
+                StalenessDetector::new(topo, map, geo, alias, vps, self.det_config(threads))
+            }
         }
     }
 
@@ -326,6 +369,7 @@ impl SimWorld {
         match self {
             SimWorld::Micro { .. } => micro_rib_seed(),
             SimWorld::Bench { cfg } => World::new(cfg.as_ref().clone()).rib_seed(),
+            SimWorld::Weather { spec } => weather_world(spec).rib_seed(),
         }
     }
 
@@ -347,6 +391,9 @@ impl SimWorld {
                     })
                     .collect()
             }
+            SimWorld::Weather { spec } => {
+                weather_world(spec).corpus_seed().into_iter().map(|tr| (tr, None)).collect()
+            }
         }
     }
 
@@ -355,7 +402,7 @@ impl SimWorld {
     /// them).
     pub fn bootstrap_seed(&self) -> Vec<Traceroute> {
         match self {
-            SimWorld::Micro { .. } => Vec::new(),
+            SimWorld::Micro { .. } | SimWorld::Weather { .. } => Vec::new(),
             SimWorld::Bench { cfg } => {
                 let mut world = World::new(cfg.as_ref().clone());
                 world.platform.topology_round(&world.engine, Timestamp::ZERO)
@@ -373,6 +420,7 @@ impl SimWorld {
                 let (map, geo, alias) = world.detector_env();
                 (Arc::clone(&world.topo), map, geo, alias)
             }
+            SimWorld::Weather { spec } => weather_world(spec).detector_env(),
         }
     }
 
@@ -382,6 +430,7 @@ impl SimWorld {
             // Micro update paths start at AS `90 + vp`.
             SimWorld::Micro { .. } => (0..NUM_VPS).map(|v| (VpId(v), Asn(90 + v))).collect(),
             SimWorld::Bench { cfg } => World::new(cfg.as_ref().clone()).engine.vp_asns(),
+            SimWorld::Weather { spec } => weather_world(spec).vp_asns(),
         }
     }
 }

@@ -21,6 +21,7 @@ pub mod minimize;
 pub mod ron;
 pub mod runner;
 pub mod scenario;
+pub mod weather;
 
 pub use artifact::{default_artifact_dir, load_scenario_or_artifact, write_artifact};
 pub use faults::Fault;
@@ -31,6 +32,9 @@ pub use runner::{
     OracleFailure, SHARD_COUNTS,
 };
 pub use scenario::{load_corpus, Expect, Oracle, Scenario, ScenarioError, SimEvent, WorldKind};
+pub use weather::{
+    run_weather, WeatherReport, WeatherRunStats, WeatherSpec, WindowStats, LAG_WINDOWS,
+};
 
 use std::path::PathBuf;
 

@@ -9,7 +9,9 @@
 use crate::faults::Fault;
 use crate::inputs::{RoundInput, SimWorld, ROUND};
 use crate::scenario::{Expect, Oracle, Scenario, SimEvent};
+use crate::weather;
 use rrr_baselines::{run_emulation, Dtrack, EmuWorld, PathTimeline, RoundRobin};
+use rrr_bench::weather::WeatherScale;
 use rrr_core::partition::{canonical_bytes_single, PartitionMap, PartitionedDetector};
 use rrr_core::{
     DurableConfig, DurableDetector, PartitionedDurable, Query, StalenessDetector, StalenessSignal,
@@ -80,6 +82,7 @@ pub fn run_once(sc: &Scenario, base_threads: usize) -> Result<(), OracleFailure>
             Oracle::MetricsInvariants => {
                 oracle_metrics_invariants(sc, &world, &steps, base_threads)
             }
+            Oracle::WeatherReport => oracle_weather_report(&world, &steps, base_threads),
         };
         if let Err(message) = res {
             return Err(OracleFailure { oracle: o.name(), message });
@@ -131,6 +134,96 @@ fn first_log_diff(a: &[String], b: &[String]) -> String {
         }
     }
     "signal logs are equal (divergence is elsewhere in the state)".to_string()
+}
+
+/// Scores the weather regime's signals against the generator's
+/// ground-truth event log (see [`crate::weather`]): the run must inject
+/// events, emit signals, keep every per-window tally coherent, and —
+/// fed the identical (possibly faulted) stream twice — reproduce its
+/// signal log bit for bit.
+fn oracle_weather_report(
+    world: &SimWorld,
+    steps: &[RoundInput],
+    base_threads: usize,
+) -> Result<(), String> {
+    let SimWorld::Weather { spec } = world else {
+        return Err("WeatherReport oracle requires the Weather world".to_string());
+    };
+    // The truth log is a pure function of the spec (faults perturb
+    // delivery, not what happened in the world).
+    let mut gen = spec.world(WeatherScale::small())?;
+    let mut truth = Vec::new();
+    for w in 0..spec.windows {
+        truth.extend(gen.advance(w).1);
+    }
+    let route_events = truth.iter().filter(|t| t.kind.route_changing()).count();
+    if route_events == 0 {
+        return Err(format!(
+            "regime `{}` injected no route-changing events in {} windows — \
+             nothing to evaluate against",
+            spec.regime, spec.windows
+        ));
+    }
+
+    let run = |threads: usize| {
+        let mut det = world.build(threads);
+        for r in steps {
+            det.step(r.now, &r.updates, &r.public);
+        }
+        let log = log_repr(&det);
+        let sigs: Vec<(u64, usize)> = det
+            .signal_log()
+            .iter()
+            .filter_map(|s| match &s.key.scope {
+                rrr_core::SignalScope::AsSuffix { dst_prefix, .. } => gen
+                    .corpus_index_of(*dst_prefix)
+                    .map(|ci| (s.window.index().min(spec.windows - 1), ci)),
+                _ => None,
+            })
+            .collect();
+        (log, sigs)
+    };
+    let (log_a, sigs) = run(base_threads);
+    let (log_b, _) = run(base_threads);
+    if log_a != log_b {
+        return Err(format!(
+            "two identical weather runs diverged: {}",
+            first_log_diff(&log_a, &log_b)
+        ));
+    }
+    if sigs.is_empty() {
+        return Err(format!(
+            "regime `{}` produced no corpus-scoped signals over {} windows \
+             ({} route-changing truth events went unobserved)",
+            spec.regime, spec.windows, route_events
+        ));
+    }
+
+    let report = weather::score(spec, &truth, &sigs, 0);
+    if report.windows.len() != spec.windows as usize {
+        return Err(format!(
+            "report covers {} windows, spec says {}",
+            report.windows.len(),
+            spec.windows
+        ));
+    }
+    for w in &report.windows {
+        if w.truth_covered > w.truth_route || w.signals_true > w.signals {
+            return Err(format!(
+                "window {} tallies are incoherent: covered {}/{} true {}/{}",
+                w.window, w.truth_covered, w.truth_route, w.signals_true, w.signals
+            ));
+        }
+    }
+    let (precision, coverage) = report.totals();
+    for (name, v) in [("precision", precision), ("coverage", coverage)] {
+        if let Some(x) = v {
+            if !(0.0..=1.0).contains(&x) {
+                return Err(format!("run-wide {name} {x} escapes [0, 1]"));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Plans a refresh and applies it with identical re-measurements (new

@@ -6,6 +6,7 @@
 
 use crate::faults::Fault;
 use crate::ron::{self, Value};
+use crate::weather::WeatherSpec;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -18,6 +19,10 @@ pub enum WorldKind {
     /// The full simulated internet from `rrr-bench::world` (topology, BGP
     /// engine, measurement platform), small scale.
     Bench,
+    /// An internet-weather regime over the lazy large-scale topology
+    /// (`rrr-bench::weather`): generator-driven churn with a ground-truth
+    /// event log. Configured by the scenario's `weather` block.
+    Weather,
 }
 
 /// A scripted routing event — a *cause* for signals, distinct from faults
@@ -84,6 +89,12 @@ pub enum Oracle {
     /// count — while the instrumented outputs stay bit-identical to the
     /// uninstrumented run (metrics are inert).
     MetricsInvariants,
+    /// The weather regime's signals, scored against the generator's
+    /// ground-truth event log, produce a sane [`crate::WeatherReport`]:
+    /// events were injected, signals fired, per-window precision/coverage
+    /// stay within [0, 1], and the whole run reproduces bit-for-bit from
+    /// the spec's seed. Weather world only.
+    WeatherReport,
 }
 
 impl Oracle {
@@ -98,8 +109,25 @@ impl Oracle {
             Oracle::ServeEquivalence { .. } => "serve-equivalence",
             Oracle::PartitionInvariance { .. } => "partition-invariance",
             Oracle::MetricsInvariants => "metrics-invariants",
+            Oracle::WeatherReport => "weather-report",
         }
     }
+
+    /// Every oracle name, for corpus-coverage accounting: the scenario
+    /// corpus meta-test asserts each of these is exercised by at least one
+    /// checked-in scenario.
+    pub const ALL_NAMES: [&'static str; 10] = [
+        "shard-invariance",
+        "crash-resume",
+        "invariants",
+        "revocation",
+        "baselines",
+        "mrt-round-trip",
+        "serve-equivalence",
+        "partition-invariance",
+        "metrics-invariants",
+        "weather-report",
+    ];
 }
 
 /// The expected outcome of running the scenario.
@@ -125,6 +153,9 @@ pub struct Scenario {
     pub faults: Vec<Fault>,
     pub oracles: Vec<Oracle>,
     pub expect: Expect,
+    /// The weather regime driving a [`WorldKind::Weather`] scenario
+    /// (required there, rejected elsewhere).
+    pub weather: Option<WeatherSpec>,
     /// Split every round into two `step` calls, the first landing mid-way
     /// through the BGP window — so crash points (and WAL records) exist
     /// while a window is still open. Micro world only.
@@ -252,6 +283,7 @@ impl Oracle {
                 vec![("crash".to_string(), Value::Int(crash as i64))],
             ),
             Oracle::MetricsInvariants => Value::Unit("MetricsInvariants".to_string()),
+            Oracle::WeatherReport => Value::Unit("WeatherReport".to_string()),
         }
     }
 
@@ -278,6 +310,7 @@ impl Oracle {
                 Ok(Oracle::PartitionInvariance { crash: opt_u64(v, "crash", 0)? })
             }
             "MetricsInvariants" => Ok(Oracle::MetricsInvariants),
+            "WeatherReport" => Ok(Oracle::WeatherReport),
             other => Err(bad(format!("unknown oracle `{other}`"))),
         }
     }
@@ -309,7 +342,12 @@ impl Scenario {
         let world = match v.field("world").and_then(Value::name) {
             None | Some("Micro") => WorldKind::Micro,
             Some("Bench") => WorldKind::Bench,
+            Some("Weather") => WorldKind::Weather,
             Some(other) => return Err(bad(format!("unknown world `{other}`"))),
+        };
+        let weather = match v.field("weather") {
+            None => None,
+            Some(w) => Some(WeatherSpec::from_value(w, seed, rounds).map_err(bad)?),
         };
         let mut events = Vec::new();
         for e in v.field("events").and_then(Value::as_seq).unwrap_or(&[]) {
@@ -356,6 +394,7 @@ impl Scenario {
             faults,
             oracles,
             expect,
+            weather,
             half_steps,
             source: None,
         };
@@ -370,6 +409,7 @@ impl Scenario {
         let world = match self.world {
             WorldKind::Micro => "Micro",
             WorldKind::Bench => "Bench",
+            WorldKind::Weather => "Weather",
         };
         let expect = match &self.expect {
             Expect::Pass => Value::Unit("Pass".to_string()),
@@ -378,26 +418,29 @@ impl Scenario {
                 vec![("kind".to_string(), Value::Str(kind.clone()))],
             ),
         };
-        Value::Struct(
-            "Scenario".to_string(),
-            vec![
-                ("name".to_string(), Value::Str(self.name.clone())),
-                ("seed".to_string(), Value::Int(self.seed as i64)),
-                ("world".to_string(), Value::Unit(world.to_string())),
-                ("rounds".to_string(), Value::Int(self.rounds as i64)),
-                ("half_steps".to_string(), Value::Bool(self.half_steps)),
-                (
-                    "events".to_string(),
-                    Value::Seq(self.events.iter().map(SimEvent::to_value).collect()),
-                ),
-                ("faults".to_string(), Value::Seq(faults.iter().map(Fault::to_value).collect())),
-                (
-                    "oracles".to_string(),
-                    Value::Seq(self.oracles.iter().map(Oracle::to_value).collect()),
-                ),
-                ("expect".to_string(), expect),
-            ],
-        )
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("seed".to_string(), Value::Int(self.seed as i64)),
+            ("world".to_string(), Value::Unit(world.to_string())),
+            ("rounds".to_string(), Value::Int(self.rounds as i64)),
+        ];
+        if let Some(w) = &self.weather {
+            fields.push(("weather".to_string(), w.to_value()));
+        }
+        fields.extend(vec![
+            ("half_steps".to_string(), Value::Bool(self.half_steps)),
+            (
+                "events".to_string(),
+                Value::Seq(self.events.iter().map(SimEvent::to_value).collect()),
+            ),
+            ("faults".to_string(), Value::Seq(faults.iter().map(Fault::to_value).collect())),
+            (
+                "oracles".to_string(),
+                Value::Seq(self.oracles.iter().map(Oracle::to_value).collect()),
+            ),
+            ("expect".to_string(), expect),
+        ]);
+        Value::Struct("Scenario".to_string(), fields)
     }
 
     /// Number of `step` calls the scenario makes (rounds, doubled when
@@ -459,6 +502,46 @@ impl Scenario {
                 self.name
             )));
         }
+        if self.world == WorldKind::Weather {
+            let Some(weather) = &self.weather else {
+                return Err(bad(format!(
+                    "scenario `{}`: the Weather world requires a `weather: Weather(...)` block",
+                    self.name
+                )));
+            };
+            if weather.windows != self.rounds {
+                return Err(bad(format!(
+                    "scenario `{}`: weather `windows` ({}) must equal `rounds` ({}) — \
+                     one step per generated window",
+                    self.name, weather.windows, self.rounds
+                )));
+            }
+            if !self.events.is_empty()
+                || self.half_steps
+                || self.oracles.iter().any(|o| matches!(o, Oracle::Revocation))
+            {
+                return Err(bad(format!(
+                    "scenario `{}`: the Weather world generates its own routing events; \
+                     scripted events, half_steps, and the Revocation oracle require the \
+                     Micro world",
+                    self.name
+                )));
+            }
+        } else if self.weather.is_some() {
+            return Err(bad(format!(
+                "scenario `{}`: a `weather` block requires `world: Weather`",
+                self.name
+            )));
+        }
+        if self.oracles.iter().any(|o| matches!(o, Oracle::WeatherReport))
+            && self.world != WorldKind::Weather
+        {
+            return Err(bad(format!(
+                "scenario `{}`: the WeatherReport oracle needs ground truth only the \
+                 Weather world produces",
+                self.name
+            )));
+        }
         Ok(())
     }
 
@@ -496,6 +579,24 @@ pub fn load_corpus(dir: &Path) -> Result<Vec<Scenario>, ScenarioError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn oracle_all_names_matches_the_constructors_exactly() {
+        let one_of_each = [
+            Oracle::ShardInvariance,
+            Oracle::CrashResume { split: 1, every: 0 },
+            Oracle::Invariants,
+            Oracle::Revocation,
+            Oracle::Baselines { budget: 1 },
+            Oracle::MrtRoundTrip,
+            Oracle::ServeEquivalence { feeds: 1 },
+            Oracle::PartitionInvariance { crash: 0 },
+            Oracle::MetricsInvariants,
+            Oracle::WeatherReport,
+        ];
+        let names: Vec<&str> = one_of_each.iter().map(Oracle::name).collect();
+        assert_eq!(names, Oracle::ALL_NAMES, "ALL_NAMES drifted from the constructors");
+    }
 
     #[test]
     fn parses_a_full_scenario() {

@@ -1,0 +1,299 @@
+//! Lazily materialized large-scale AS world.
+//!
+//! The eager generator ([`crate::gen::generate`]) builds every router,
+//! peering point, and prefix up front, which caps it at
+//! `plan::MAX_ASES` (1024) ASes. Soak evaluation wants worlds two orders
+//! of magnitude bigger — ~100k ASes, ~1M prefixes — where only a few
+//! hundred prefixes are ever touched by a run. [`LazyTopology`] serves
+//! that case: the whole world is *defined* by pure seed-keyed hash
+//! derivation, and the only state is a materialize-on-first-touch cache
+//! of the provider chains a run actually walks.
+//!
+//! # Derived structure
+//!
+//! - ASes are indices `0..num_ases`. The first [`LazyConfig::core`]
+//!   indices form a fully meshed tier-1 core; every other AS `a` buys
+//!   transit from a hash-chosen provider in `[0, a)`, giving a random
+//!   recursive DAG whose expected chain depth is `ln(num_ases)` (~11–12
+//!   hops at 100k ASes, matching observed Internet path lengths).
+//! - Destination prefix `p` (`0..num_prefixes`) is the /24 at
+//!   `0x3000_0000 + (p << 8)`, originated by a hash-chosen AS.
+//! - Every AS owns an infrastructure /24 at `0x6000_0000 + (idx << 8)`
+//!   for router interface addresses, disjoint from the destination plan
+//!   by construction.
+//!
+//! Vantage points are stubs homed on core ASes (`vp_asn`,
+//! `vp_home_core`), so per-VP AS paths share the destination's provider
+//! chain as a common suffix — the shape BGP suffix monitors key on.
+//!
+//! Path *variants* model routing state without mutating the graph:
+//! [`PathVariant::Detour`] re-parents the origin onto its alternate
+//! provider (a link failure pushing the chain one sibling over) and
+//! [`PathVariant::EgressShift`] moves the chain's core attachment to the
+//! neighboring core AS (a hot-potato egress move deep in the path).
+
+use rrr_types::{Asn, Ipv4, Prefix};
+use std::collections::HashMap;
+
+/// SplitMix64 finalizer (same constants as `rrr_bgp::envelope::mix64`,
+/// duplicated here so the topology crate stays dependency-light).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Base address of the destination-prefix plan (/24 per prefix index).
+const DST_BASE: u32 = 0x3000_0000;
+/// Base address of the per-AS infrastructure plan (/24 per AS index).
+const INFRA_BASE: u32 = 0x6000_0000;
+/// ASN offset for derived ASes (clear of the eager generator's plan and
+/// the micro world's literals).
+const ASN_BASE: u32 = 100_000;
+/// ASN offset for vantage-point stub ASes.
+const VP_ASN_BASE: u32 = 50_000;
+
+/// Size and seed of a lazily derived world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LazyConfig {
+    pub num_ases: u32,
+    pub num_prefixes: u32,
+    /// Tier-1 clique size; VP home attachments cycle through these.
+    pub core: u32,
+    pub seed: u64,
+}
+
+impl LazyConfig {
+    pub fn new(num_ases: u32, num_prefixes: u32, seed: u64) -> Self {
+        assert!(num_ases >= 32, "need at least the core plus some stubs");
+        assert!(num_ases <= 1 << 20, "address plan caps at 2^20 ASes");
+        assert!((1..=1 << 20).contains(&num_prefixes), "plan caps at 2^20 prefixes");
+        LazyConfig { num_ases, num_prefixes, core: 16, seed }
+    }
+}
+
+/// Which routing state a derived AS path reflects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathVariant {
+    /// The steady-state chain.
+    Steady,
+    /// The origin's provider link failed: re-parent onto the alternate
+    /// provider (the chain differs from its second element on).
+    Detour,
+    /// Hot-potato egress moved: the chain attaches to the neighboring
+    /// core AS (the change sits mid-path, near the core).
+    EgressShift,
+}
+
+/// A ~100k-AS world materialized on first touch.
+#[derive(Debug)]
+pub struct LazyTopology {
+    cfg: LazyConfig,
+    /// AS index → provider chain up to (and including) its core attachment
+    /// `[a, provider(a), ..., core]`, cached on first walk.
+    chains: HashMap<u32, Vec<u32>>,
+}
+
+impl LazyTopology {
+    pub fn new(cfg: LazyConfig) -> Self {
+        LazyTopology { cfg, chains: HashMap::new() }
+    }
+
+    pub fn config(&self) -> &LazyConfig {
+        &self.cfg
+    }
+
+    /// How many provider chains have been materialized — the laziness
+    /// witness: a soak touching C prefixes stays O(C · ln ASes), not
+    /// O(num_ases).
+    pub fn materialized_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// The ASN of derived AS index `idx`.
+    pub fn asn(&self, idx: u32) -> Asn {
+        debug_assert!(idx < self.cfg.num_ases);
+        Asn(ASN_BASE + idx)
+    }
+
+    /// The ASN of vantage-point stub `vp`.
+    pub fn vp_asn(&self, vp: u32) -> Asn {
+        Asn(VP_ASN_BASE + vp)
+    }
+
+    /// The core AS index a vantage point homes on.
+    pub fn vp_home_core(&self, vp: u32) -> u32 {
+        vp % self.cfg.core
+    }
+
+    /// The destination /24 of prefix index `p`.
+    pub fn dst_prefix(&self, p: u32) -> Prefix {
+        debug_assert!(p < self.cfg.num_prefixes);
+        Prefix::new(Ipv4(DST_BASE + (p << 8)), 24)
+    }
+
+    /// The infrastructure /24 owned by AS index `idx`.
+    pub fn infra_prefix(&self, idx: u32) -> Prefix {
+        debug_assert!(idx < self.cfg.num_ases);
+        Prefix::new(Ipv4(INFRA_BASE + (idx << 8)), 24)
+    }
+
+    /// A router interface address inside an AS's infrastructure /24.
+    pub fn infra_ip(&self, idx: u32, host: u8) -> Ipv4 {
+        Ipv4(INFRA_BASE + (idx << 8) + host as u32)
+    }
+
+    /// The AS index originating destination prefix `p` (never a core AS,
+    /// so every origin has a provider chain to fail over).
+    pub fn origin_of(&self, p: u32) -> u32 {
+        let span = self.cfg.num_ases - self.cfg.core;
+        self.cfg.core + (mix64(self.cfg.seed ^ 0xD57 ^ p as u64) % span as u64) as u32
+    }
+
+    /// `a`'s transit provider (hash-chosen in `[0, a)`; core ASes have
+    /// none). `salt` selects among the alternatives an AS multihomes to.
+    fn provider(&self, a: u32, salt: u64) -> u32 {
+        debug_assert!(a >= self.cfg.core);
+        let h = mix64(self.cfg.seed ^ 0xA11 ^ (a as u64) ^ salt.wrapping_mul(0x1_0000_0001));
+        (h % a as u64) as u32
+    }
+
+    /// The provider chain `[a, provider(a), ..., core_attachment]`,
+    /// materialized and cached on first touch.
+    pub fn chain(&mut self, a: u32) -> &[u32] {
+        if !self.chains.contains_key(&a) {
+            let mut chain = vec![a];
+            let mut cur = a;
+            while cur >= self.cfg.core {
+                cur = self.provider(cur, 0);
+                chain.push(cur);
+            }
+            self.chains.insert(a, chain);
+        }
+        &self.chains[&a]
+    }
+
+    /// The AS-path (as raw ASN values, nearest first) vantage point `vp`
+    /// observes toward destination prefix `p` under `variant`:
+    /// `[vp_asn, home_core, (transit core), chain..reversed..origin]`.
+    pub fn as_path(&mut self, vp: u32, p: u32, variant: PathVariant) -> Vec<u32> {
+        let origin = self.origin_of(p);
+        let mut chain: Vec<u32> = self.chain(origin).to_vec();
+        match variant {
+            PathVariant::Steady => {}
+            PathVariant::Detour if chain.len() >= 3 => {
+                // Re-parent the origin onto its alternate provider and
+                // re-walk from there (cached per intermediate AS).
+                let alt = self.provider(origin, 1);
+                let mut rebuilt = vec![origin, alt];
+                if alt >= self.cfg.core {
+                    rebuilt.extend_from_slice(&self.chain(alt)[1..]);
+                }
+                chain = rebuilt;
+            }
+            PathVariant::Detour => {
+                // Origin sits directly under the core: the detour climbs
+                // through a hash-chosen sibling instead.
+                let span = self.cfg.num_ases - self.cfg.core;
+                let mut sib = self.cfg.core
+                    + (mix64(self.cfg.seed ^ 0xDE7 ^ origin as u64) % span as u64) as u32;
+                if sib == origin {
+                    sib = self.cfg.core + (sib - self.cfg.core + 1) % span;
+                }
+                let tail: Vec<u32> = self.chain(sib).to_vec();
+                chain = std::iter::once(origin).chain(tail).collect();
+            }
+            PathVariant::EgressShift => {
+                // Attach to the neighboring core AS instead.
+                let top = *chain.last().expect("chains are non-empty");
+                *chain.last_mut().expect("non-empty") = (top + 1) % self.cfg.core;
+            }
+        }
+        let home = self.vp_home_core(vp);
+        let mut path: Vec<u32> = vec![self.vp_asn(vp).0, self.asn(home).0];
+        let top = *chain.last().expect("non-empty");
+        if top != home {
+            path.push(self.asn(top).0);
+        }
+        // Chain runs origin → core; the AS path wants core → origin after
+        // the VP-side hops (skipping the core attachment already pushed).
+        for &a in chain.iter().rev().skip(1) {
+            path.push(self.asn(a).0);
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> LazyTopology {
+        LazyTopology::new(LazyConfig::new(100_000, 1 << 20, 42))
+    }
+
+    #[test]
+    fn address_plans_are_disjoint_and_stable() {
+        let t = world();
+        let d = t.dst_prefix(123_456);
+        let i = t.infra_prefix(99_999);
+        assert_eq!(d.len(), 24);
+        assert!(!d.covers(i) && !i.covers(d));
+        assert!(d.network().value() < INFRA_BASE);
+        assert!(i.contains(t.infra_ip(99_999, 7)));
+    }
+
+    #[test]
+    fn chains_terminate_in_the_core_and_stay_shallow() {
+        let mut t = world();
+        for p in [0u32, 77, 512_000, (1 << 20) - 1] {
+            let origin = t.origin_of(p);
+            let chain = t.chain(origin).to_vec();
+            assert_eq!(chain[0], origin);
+            assert!(*chain.last().expect("non-empty") < t.config().core);
+            assert!(chain.windows(2).all(|w| w[1] < w[0]), "providers strictly descend");
+            assert!(chain.len() < 64, "chain depth {} is implausible", chain.len());
+        }
+    }
+
+    #[test]
+    fn materialization_is_lazy_and_deterministic() {
+        let mut a = world();
+        let mut b = world();
+        assert_eq!(a.materialized_chains(), 0);
+        let pa = a.as_path(3, 900_001, PathVariant::Steady);
+        let pb = b.as_path(3, 900_001, PathVariant::Steady);
+        assert_eq!(pa, pb);
+        assert!(a.materialized_chains() < 64, "one touch must not materialize the world");
+        assert_eq!(pa.first().copied(), Some(a.vp_asn(3).0));
+        assert_eq!(pa.last().copied(), Some(a.asn(a.origin_of(900_001)).0));
+    }
+
+    #[test]
+    fn variants_change_the_path_and_revert() {
+        let mut t = world();
+        for p in [5u32, 400_000, 1_000_000] {
+            let steady = t.as_path(0, p, PathVariant::Steady);
+            let detour = t.as_path(0, p, PathVariant::Detour);
+            let egress = t.as_path(0, p, PathVariant::EgressShift);
+            assert_ne!(steady, detour, "prefix {p}");
+            assert_ne!(steady, egress, "prefix {p}");
+            assert_eq!(steady, t.as_path(0, p, PathVariant::Steady), "variant is stateless");
+            // All variants keep the same origin (staleness is about the
+            // route, not the destination).
+            assert_eq!(steady.last(), detour.last());
+            assert_eq!(steady.last(), egress.last());
+        }
+    }
+
+    #[test]
+    fn vps_share_the_destination_chain_suffix() {
+        let mut t = world();
+        let a = t.as_path(0, 12_345, PathVariant::Steady);
+        let b = t.as_path(5, 12_345, PathVariant::Steady);
+        let suffix_len = t.chain(t.origin_of(12_345)).len().min(a.len().min(b.len()));
+        assert!(suffix_len >= 1);
+        assert_eq!(a[a.len() - 1], b[b.len() - 1], "same origin");
+    }
+}

@@ -22,12 +22,14 @@
 pub mod city;
 pub mod config;
 pub mod gen;
+pub mod lazy;
 pub mod model;
 pub mod registry;
 
 pub use city::{City, CITY_TABLE};
 pub use config::TopologyConfig;
 pub use gen::generate;
+pub use lazy::{LazyConfig, LazyTopology, PathVariant};
 pub use model::{
     Adjacency, AdjacencyId, AsIdx, AsInfo, IpOwner, Ixp, PeeringPoint, Relationship, Router, Tier,
     Topology,

@@ -36,6 +36,7 @@ fn micro_scenario(seed: u64, rounds: u64, event_kind: u8, fault_kind: u8) -> Sce
         oracles: vec![],
         expect: Expect::Pass,
         half_steps: false,
+        weather: None,
         source: None,
     }
 }

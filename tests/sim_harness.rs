@@ -3,7 +3,9 @@
 //! corrupted checkpoint must fail with a minimized fault plan and a
 //! replayable artifact that reproduces the identical failure.
 
-use rrr_sim::{load_corpus, load_scenario_or_artifact, run_scenario, RunOptions, Scenario};
+use rrr_sim::{
+    load_corpus, load_scenario_or_artifact, run_scenario, Fault, Oracle, RunOptions, Scenario,
+};
 use std::path::{Path, PathBuf};
 
 fn scenarios_dir() -> PathBuf {
@@ -46,6 +48,29 @@ fn the_scenario_corpus_passes() {
         }
     }
     assert!(failed.is_empty(), "failing scenarios:\n{}", failed.join("\n"));
+}
+
+/// Corpus-coverage meta-test: every oracle and every fault constructor
+/// the harness defines must be exercised by at least one scenario in
+/// `tests/scenarios/`. Adding a variant without corpus coverage — or
+/// deleting the last scenario that covers one — fails here by name, so
+/// the suite cannot hollow out silently. (The lists come from
+/// `Oracle::ALL_NAMES` / `Fault::ALL_NAMES`, which their `from_value`
+/// parsers are checked against, so a new variant cannot dodge this test
+/// by being left off the list.)
+#[test]
+fn the_corpus_exercises_every_oracle_and_fault_constructor() {
+    let corpus = load_corpus(&scenarios_dir()).expect("corpus loads");
+    let oracles: std::collections::HashSet<&str> =
+        corpus.iter().flat_map(|sc| &sc.oracles).map(|o| o.name()).collect();
+    for name in Oracle::ALL_NAMES {
+        assert!(oracles.contains(name), "no scenario in tests/scenarios/ runs oracle `{name}`");
+    }
+    let faults: std::collections::HashSet<&str> =
+        corpus.iter().flat_map(|sc| &sc.faults).map(|f| f.name()).collect();
+    for name in Fault::ALL_NAMES {
+        assert!(faults.contains(name), "no scenario in tests/scenarios/ injects fault `{name}`");
+    }
 }
 
 #[test]
